@@ -1,0 +1,119 @@
+"""Ablations over the three components of the paper's attack flow.
+
+DESIGN.md calls out three design choices; each ablation removes one:
+
+* **pre-processing** (Sec. IV-A): std-window target selection vs. a
+  random draw, same layer-wise training -- selection should not *hurt*
+  encoding quality and typically improves it;
+* **layer-wise rates** (Sec. IV-B): (0, 0, lambda) vs. uniform
+  (lambda, lambda, lambda) -- zeroing the early groups buys accuracy
+  and/or average encoding quality after quantization;
+* **histogram flip** (Sec. IV-C implementation detail): Algorithm 1
+  with the correlation-sign-aware histogram vs. the raw histogram on a
+  negatively-correlated model with a skewed (face) pixel distribution.
+"""
+
+import pytest
+
+from benchmarks.conftest import BITS_SWEEP, FACE_BITS, LAMBDA_SWEEP, run_once
+from repro.pipeline.reporting import format_table, percent
+from repro.quantization.target_correlated import detect_flip
+
+RATE = LAMBDA_SWEEP[1]
+BITS = BITS_SWEEP[0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_preprocessing(cache, benchmark):
+    def experiment():
+        with_selection = cache.attack("rgb", (0.0, 0.0, RATE), preprocess=True)
+        without = cache.attack("rgb", (0.0, 0.0, RATE), preprocess=False)
+        return {
+            "std selection": with_selection.quantize(BITS, "target_correlated"),
+            "random targets": without.quantize(BITS, "target_correlated"),
+        }
+
+    results = run_once(benchmark, experiment)
+    rows = [[name, percent(ev.accuracy), f"{ev.mean_mape:.2f}",
+             f"{ev.recognized_count}/{ev.encoded_images}"]
+            for name, ev in results.items()]
+    print()
+    print(format_table(["targets", "accuracy", "MAPE", "recognizable"],
+                       rows, title=f"Ablation: Sec. IV-A pre-processing ({BITS}-bit)"))
+    selected = results["std selection"]
+    random_draw = results["random targets"]
+    # Selection must not hurt quality (and usually helps).
+    assert selected.mean_mape <= random_draw.mean_mape + 2.0
+    assert selected.accuracy >= random_draw.accuracy - 0.05
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_layerwise_rates(cache, benchmark):
+    # The benefit of zeroing the early groups shows at the paper's
+    # low-rate regime, where Table II says the early groups encode
+    # badly: a uniform rate wastes capacity on bad images, so the
+    # layer-wise variant wins on average quality. (At very high rates
+    # this tiny substrate's early layers encode fine -- its easy 6-class
+    # task lacks the paper's early-layer accuracy fragility -- so the
+    # contrast lives at the low end of the sweep.)
+    rate = LAMBDA_SWEEP[0]
+    bits = BITS_SWEEP[0]
+
+    def experiment():
+        layerwise = cache.attack("rgb", (0.0, 0.0, rate), preprocess=True)
+        uniform = cache.attack("rgb", (rate, rate, rate), preprocess=True)
+        return {
+            "layer-wise (0,0,r)": layerwise.quantize(bits, "target_correlated"),
+            "uniform (r,r,r)": uniform.quantize(bits, "target_correlated"),
+        }
+
+    results = run_once(benchmark, experiment)
+    rows = [[name, percent(ev.accuracy), f"{ev.mean_mape:.2f}",
+             f"{ev.recognized_percent:.0f}%"]
+            for name, ev in results.items()]
+    print()
+    print(format_table(["rates", "accuracy", "MAPE", "recognizable %"],
+                       rows, title=f"Ablation: Sec. IV-B layer-wise rates ({bits}-bit)"))
+    layerwise = results["layer-wise (0,0,r)"]
+    uniform = results["uniform (r,r,r)"]
+    # Zeroing the early groups must not cost accuracy ...
+    assert layerwise.accuracy >= uniform.accuracy - 0.02
+    # ... and buys average encoding quality and recognizability.
+    assert layerwise.mean_mape <= uniform.mean_mape + 0.5
+    assert layerwise.recognized_percent >= uniform.recognized_percent - 2.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_histogram_flip(face_experiment, benchmark):
+    attack = face_experiment.attack
+
+    def experiment():
+        group = next(g for g in attack.groups if g.payload is not None)
+        attack.restore()
+        detected = detect_flip(group.weight_vector(), group.payload.secret_vector())
+        with_flip = attack.quantize(FACE_BITS, "target_correlated",
+                                    flip_override=detected)
+        without_flip = attack.quantize(FACE_BITS, "target_correlated",
+                                       flip_override=False)
+        return detected, with_flip, without_flip
+
+    detected, with_flip, without_flip = run_once(benchmark, experiment)
+
+    rows = [
+        ["sign-aware histogram", percent(with_flip.accuracy),
+         f"{with_flip.mean_mape:.1f}", f"{with_flip.mean_ssim:.3f}"],
+        ["raw histogram", percent(without_flip.accuracy),
+         f"{without_flip.mean_mape:.1f}", f"{without_flip.mean_ssim:.3f}"],
+    ]
+    print()
+    print(format_table(["variant", "accuracy", "MAPE", "SSIM"], rows,
+                       title=f"Ablation: histogram flip (faces, {FACE_BITS}-bit, "
+                             f"detected flip={detected})"))
+    if detected:
+        # When the correlation came out negative, the sign-aware variant
+        # must not lose to the raw histogram on reconstruction quality.
+        assert with_flip.mean_mape <= without_flip.mean_mape + 1.0
+        assert with_flip.mean_ssim >= without_flip.mean_ssim - 0.02
+    else:
+        # Correlation came out positive: both variants coincide.
+        assert abs(with_flip.mean_mape - without_flip.mean_mape) < 1e-6

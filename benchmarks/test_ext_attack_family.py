@@ -1,0 +1,144 @@
+"""Extension: the three Song et al. attacks under compression.
+
+Sec. II-B of the paper argues the ordering qualitatively:
+
+* **LSB encoding** dies instantly under quantization (the replaced
+  mantissa bits do not survive re-discretisation);
+* **sign encoding** carries 1 bit/parameter, an 8x capacity penalty for
+  8-bit pixels, and signs partially survive quantization (representative
+  values keep most signs);
+* **correlated value encoding** uses full weight values and, with the
+  paper's target-correlated quantizer, survives low-bit quantization.
+
+This bench measures all three end-to-end on the same model family and
+payload images, before and after 4-bit quantization.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.attacks import (
+    SignEncodingPenalty,
+    bit_error_rate,
+    bits_to_images,
+    images_to_bits,
+    lsb_decode,
+    lsb_encode,
+    sign_decode_bits,
+    sign_image_capacity,
+)
+from repro.datasets.transforms import images_to_batch, normalize_batch
+from repro.metrics import batch_mape
+from repro.models.introspect import encodable_parameters
+from repro.pipeline import QuantizationConfig, TrainingConfig
+from repro.pipeline.baselines import quantize_and_finetune
+from repro.pipeline.reporting import format_table
+
+
+@pytest.mark.benchmark(group="ext-attack-family")
+def test_attack_family_under_quantization(cache, benchmark):
+    def experiment():
+        results = {}
+
+        # ---- correlated value encoding (the cached our-flow attack).
+        corr = cache.our_attack("rgb", 20.0)
+        corr_before = corr.evaluate()
+        corr_after = corr.quantize(4, "target_correlated")
+        results["correlation"] = {
+            "capacity": corr_before.encoded_images,
+            "mape_before": corr_before.mean_mape,
+            "mape_after": corr_after.mean_mape,
+        }
+
+        train, test = cache.datasets["rgb"]
+        images = train.images[:2]
+        payload_bits = images_to_bits(images)
+
+        # ---- LSB: post-training bit replacement on a benign model copy.
+        benign = cache.benign("rgb")
+        from repro.models import resnet8_tiny
+        lsb_model = resnet8_tiny(num_classes=6, in_channels=3, width=8,
+                                 rng=np.random.default_rng(7))
+        lsb_model.load_state_dict(benign.model.state_dict())
+        params = [p for _, p in encodable_parameters(lsb_model)]
+        lsb_encode(params, payload_bits, bits_per_weight=8)
+        decoded = lsb_decode(params, payload_bits.size, 8)
+        lsb_before = bit_error_rate(payload_bits, decoded)
+        quantize_and_finetune(
+            lsb_model, QuantizationConfig(bits=4, method="uniform", finetune_epochs=0),
+            train, TrainingConfig(epochs=1), benign.mean, benign.std,
+        )
+        decoded = lsb_decode(params, payload_bits.size, 8)
+        lsb_after = bit_error_rate(payload_bits, decoded)
+        results["lsb"] = {"ber_before": lsb_before, "ber_after": lsb_after}
+
+        # ---- sign encoding: train a fresh model with the sign penalty.
+        from repro.pipeline.trainer import Trainer
+        sign_model = resnet8_tiny(num_classes=6, in_channels=3, width=8,
+                                  rng=np.random.default_rng(8))
+        sign_params = [p for _, p in encodable_parameters(sign_model)]
+        total_weights = sum(p.size for p in sign_params)
+        capacity = sign_image_capacity(total_weights, train.pixels_per_image)
+        sign_images = train.images[:max(capacity, 1)]
+        sign_bits = images_to_bits(sign_images)
+        # The hinge penalty averages over all ~19k parameters, so its
+        # per-weight gradient is rate/l -- the rate must scale with the
+        # parameter count to move weights across zero.
+        penalty = SignEncodingPenalty(sign_params, sign_bits, rate=500.0)
+        train_batch = images_to_batch(train.images)
+        train_batch, mean, std = normalize_batch(train_batch)
+        Trainer(sign_model, train_batch, train.labels,
+                TrainingConfig(epochs=15, batch_size=32, lr=0.08),
+                penalty=penalty).train()
+        decoded_bits = sign_decode_bits(sign_params, sign_bits.size)
+        sign_before = bit_error_rate(sign_bits, decoded_bits)
+        quantize_and_finetune(
+            sign_model, QuantizationConfig(bits=4, method="kmeans", finetune_epochs=1),
+            train, TrainingConfig(epochs=1, batch_size=32), mean, std,
+        )
+        decoded_bits = sign_decode_bits(sign_params, sign_bits.size)
+        sign_after = bit_error_rate(sign_bits, decoded_bits)
+        sign_recon = bits_to_images(decoded_bits, sign_images.shape)
+        sign_mape = float(batch_mape(sign_images, sign_recon).mean())
+        results["sign"] = {
+            "capacity": len(sign_images),
+            "ber_before": sign_before, "ber_after": sign_after,
+            "mape_after": sign_mape,
+        }
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    print()
+    print(format_table(
+        ["attack", "payload", "fidelity before 4b", "fidelity after 4b"],
+        [
+            ["correlation (ours)",
+             f"{results['correlation']['capacity']} images",
+             f"MAPE {results['correlation']['mape_before']:.1f}",
+             f"MAPE {results['correlation']['mape_after']:.1f}"],
+            ["LSB (8 bits/weight)", "2 images",
+             f"BER {results['lsb']['ber_before']:.3f}",
+             f"BER {results['lsb']['ber_after']:.3f}"],
+            ["sign (1 bit/weight)",
+             f"{results['sign']['capacity']} images",
+             f"BER {results['sign']['ber_before']:.3f}",
+             f"BER {results['sign']['ber_after']:.3f} "
+             f"(MAPE {results['sign']['mape_after']:.1f})"],
+        ],
+        title="Extension: Song et al. attack family under 4-bit quantization",
+    ))
+
+    # LSB: perfect before, destroyed after (BER near 0.5 = random).
+    assert results["lsb"]["ber_before"] == 0.0
+    assert results["lsb"]["ber_after"] > 0.25
+    # Sign: encodes with low error, degrades under quantization but far
+    # less than LSB.
+    assert results["sign"]["ber_before"] < 0.2
+    assert results["sign"]["ber_after"] < results["lsb"]["ber_after"]
+    # Correlation capacity dwarfs sign capacity (the paper's efficiency
+    # argument: one pixel per weight vs. one bit per weight).
+    assert results["correlation"]["capacity"] > results["sign"]["capacity"]
+    # Correlation survives quantization with bounded MAPE growth.
+    assert results["correlation"]["mape_after"] < results["correlation"]["mape_before"] + 8.0

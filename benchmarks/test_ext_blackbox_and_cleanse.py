@@ -1,0 +1,151 @@
+"""Extension: the black-box capacity-abuse attack + retrain cleansing.
+
+Two forward-looking experiments around the paper's threat model:
+
+* **capacity abuse** -- when the adversary cannot read weights at all,
+  label-encoded synthetic queries still leak data through the released
+  model's *decision function*, and (unlike LSB) survive quantization;
+* **retrain cleansing** -- a data holder who fine-tunes on clean data
+  with weight decay before releasing erodes the correlation payload at
+  a measurable accuracy cost.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.attacks import build_query_set, extract_bits, poison_training_set
+from repro.datasets.transforms import images_to_batch, normalize_batch
+from repro.defenses import retrain_cleanse
+from repro.models import resnet8_tiny
+from repro.pipeline import QuantizationConfig, TrainingConfig
+from repro.pipeline.baselines import quantize_and_finetune
+from repro.pipeline.evaluation import evaluate_attack
+from repro.pipeline.reporting import format_table, percent
+from repro.pipeline.trainer import Trainer
+
+
+@pytest.mark.benchmark(group="ext-blackbox")
+def test_capacity_abuse_attack(cache, benchmark):
+    def experiment():
+        train, test = cache.datasets["rgb"]
+        image_shape = (3, train.image_shape[0], train.image_shape[1])
+        secret = np.random.default_rng(5).integers(0, 2, 120).astype(np.uint8)
+        queries = build_query_set(secret, image_shape, train.num_classes, seed=17)
+
+        train_batch = images_to_batch(train.images)
+        train_batch, mean, std = normalize_batch(train_batch)
+        test_batch = images_to_batch(test.images)
+        test_batch, _, _ = normalize_batch(test_batch, mean, std)
+        # The malicious code normalises the queries with the same stats.
+        normalized_queries = build_query_set(secret, image_shape,
+                                             train.num_classes, seed=17)
+        poisoned_inputs, poisoned_labels = poison_training_set(
+            train_batch, train.labels,
+            type(queries)(
+                inputs=(normalized_queries.inputs - mean.reshape(1, -1, 1, 1))
+                / std.reshape(1, -1, 1, 1),
+                labels=queries.labels,
+                num_classes=queries.num_classes,
+                num_bits=queries.num_bits,
+            ),
+            repeats=4,
+        )
+        model = resnet8_tiny(num_classes=train.num_classes, in_channels=3,
+                             width=8, rng=np.random.default_rng(7))
+        Trainer(model, poisoned_inputs, poisoned_labels,
+                TrainingConfig(epochs=15, batch_size=32, lr=0.08)).train()
+
+        from repro.metrics import evaluate_accuracy
+
+        def query_model(bits_model):
+            queries_again = build_query_set(secret, image_shape,
+                                            train.num_classes, seed=17)
+            normalized = (queries_again.inputs - mean.reshape(1, -1, 1, 1)) / std.reshape(1, -1, 1, 1)
+            from repro.metrics.accuracy import predict_classes
+            from repro.attacks.capacity_abuse import decode_labels_as_bits
+            predictions = predict_classes(bits_model, normalized)
+            return decode_labels_as_bits(predictions, train.num_classes, len(secret))
+
+        accuracy_before = evaluate_accuracy(model, test_batch, test.labels)
+        error_before = (query_model(model) != secret).mean()
+        quantize_and_finetune(
+            model, QuantizationConfig(bits=4, method="kmeans", finetune_epochs=1),
+            train, TrainingConfig(epochs=1, batch_size=32), mean, std,
+        )
+        accuracy_after = evaluate_accuracy(model, test_batch, test.labels)
+        error_after = (query_model(model) != secret).mean()
+        return {
+            "accuracy_before": accuracy_before, "error_before": error_before,
+            "accuracy_after": accuracy_after, "error_after": error_after,
+        }
+
+    stats = run_once(benchmark, experiment)
+
+    print()
+    print(format_table(
+        ["stage", "test accuracy", "secret bit-error rate"],
+        [["trained (poisoned)", percent(stats["accuracy_before"]),
+          f"{stats['error_before']:.3f}"],
+         ["after 4-bit quantization", percent(stats["accuracy_after"]),
+          f"{stats['error_after']:.3f}"]],
+        title="Extension: black-box capacity-abuse attack",
+    ))
+    # The model memorises the label-encoded queries ...
+    assert stats["error_before"] < 0.1
+    # ... the secret survives quantization far better than LSB's 0.5 BER ...
+    assert stats["error_after"] < 0.25
+    # ... and the model still passes validation.
+    assert stats["accuracy_before"] > 0.8
+
+
+@pytest.mark.benchmark(group="ext-blackbox")
+def test_retrain_cleansing(cache, benchmark):
+    """Negative result + fix: plain fine-tuning cannot remove the payload
+    (once the task is fit, only weight decay acts -- a uniform rescale
+    that the scale-invariant decoder ignores); noise-then-restore can."""
+
+    def experiment():
+        from repro.defenses import perturb_and_restore
+        attack = cache.our_attack("rgb", 20.0)
+        attack.restore()
+        train = attack.train_dataset
+        train_batch = images_to_batch(train.images)
+        train_batch, _, _ = normalize_batch(train_batch, attack.mean, attack.std)
+
+        def evaluate():
+            return evaluate_attack(
+                attack.model, attack.test_batch, attack.test_dataset.labels,
+                groups=attack.groups, mean=attack.mean, std=attack.std,
+            )
+
+        results = {"released as-is": evaluate()}
+        attack.restore()
+        retrain_cleanse(attack.model, train_batch, train.labels,
+                        epochs=6, lr=0.05, weight_decay=5e-3)
+        results["fine-tune only (6 ep)"] = evaluate()
+        attack.restore()
+        perturb_and_restore(attack.model, train_batch, train.labels,
+                            noise_fraction=0.6, epochs=3, lr=0.02)
+        results["perturb + restore"] = evaluate()
+        attack.restore()
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    rows = [[name, percent(ev.accuracy), f"{ev.mean_mape:.1f}",
+             f"{ev.recognized_count}/{ev.encoded_images}"]
+            for name, ev in results.items()]
+    print()
+    print(format_table(["release strategy", "accuracy", "MAPE", "recognizable"],
+                       rows, title="Extension: payload removal before release"))
+
+    baseline = results["released as-is"]
+    finetuned = results["fine-tune only (6 ep)"]
+    scrubbed = results["perturb + restore"]
+    # The negative result: plain fine-tuning leaves the payload ~intact.
+    assert finetuned.mean_mape < baseline.mean_mape + 3.0
+    # Perturb-and-restore corrupts the payload ...
+    assert scrubbed.mean_mape > baseline.mean_mape + 3.0
+    # ... while restoring a usable model.
+    assert scrubbed.accuracy > 0.7

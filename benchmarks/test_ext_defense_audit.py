@@ -1,0 +1,82 @@
+"""Extension: the data holder's pre-release audit and sanitization.
+
+Measures what the paper leaves to future work:
+
+* detection -- the correlation scan flags the attacked model and clears
+  the benign one (a perfect separation at this scale);
+* sanitization -- noise injection sweeps out the payload at a
+  controllable accuracy cost.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import LAMBDA_SWEEP, run_once
+from repro.defenses import detect_attack, inject_noise
+from repro.metrics import evaluate_accuracy
+from repro.pipeline.evaluation import evaluate_attack
+from repro.pipeline.reporting import format_table, percent
+
+NOISE_SWEEP = (0.0, 0.1, 0.3, 0.6)
+
+
+@pytest.mark.benchmark(group="ext-defense")
+def test_audit_separates_attacked_from_benign(cache, benchmark):
+    def experiment():
+        attack = cache.our_attack("rgb", LAMBDA_SWEEP[1])
+        benign = cache.benign("rgb")
+        train, _ = cache.datasets["rgb"]
+        attacked_report = detect_attack(attack.model, train,
+                                        reference=benign.model, max_images=48)
+        benign_report = detect_attack(benign.model, train, max_images=48)
+        return attacked_report, benign_report
+
+    attacked_report, benign_report = run_once(benchmark, experiment)
+
+    print()
+    print(format_table(
+        ["model", "max |corr|", "suspicious images", "flagged"],
+        [["attacked", f"{attacked_report.max_abs_correlation:.3f}",
+          attacked_report.suspicious_images, attacked_report.flagged],
+         ["benign", f"{benign_report.max_abs_correlation:.3f}",
+          benign_report.suspicious_images, benign_report.flagged]],
+        title="Extension: pre-release audit",
+    ))
+    assert attacked_report.flagged
+    assert not benign_report.flagged
+    assert attacked_report.max_abs_correlation > benign_report.max_abs_correlation
+
+
+@pytest.mark.benchmark(group="ext-defense")
+def test_noise_sanitization_tradeoff(cache, benchmark):
+    def experiment():
+        attack = cache.our_attack("rgb", LAMBDA_SWEEP[1])
+        results = {}
+        for fraction in NOISE_SWEEP:
+            attack.restore()
+            inject_noise(attack.model, fraction, seed=0)
+            results[fraction] = evaluate_attack(
+                attack.model, attack.test_batch, attack.test_dataset.labels,
+                groups=attack.groups, mean=attack.mean, std=attack.std,
+            )
+        attack.restore()
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    rows = [[f"{f:.0%}", percent(ev.accuracy), f"{ev.mean_mape:.1f}",
+             f"{ev.recognized_count}/{ev.encoded_images}"]
+            for f, ev in results.items()]
+    print()
+    print(format_table(["noise", "accuracy", "MAPE", "recognizable"],
+                       rows, title="Extension: noise-injection sanitization"))
+
+    clean = results[0.0]
+    heavy = results[NOISE_SWEEP[-1]]
+    # Heavy noise corrupts the payload ...
+    assert heavy.mean_mape > clean.mean_mape + 3.0
+    # ... monotonically in the sweep ...
+    mapes = [results[f].mean_mape for f in NOISE_SWEEP]
+    assert all(b >= a - 1.0 for a, b in zip(mapes, mapes[1:]))
+    # ... while moderate noise keeps accuracy within a usable band.
+    assert results[0.1].accuracy > clean.accuracy - 0.1

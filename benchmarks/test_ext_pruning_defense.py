@@ -1,0 +1,64 @@
+"""Extension: does magnitude pruning (the paper's *other* compression)
+also defend against the correlation attack?
+
+The paper's introduction names "quantization and pruning" as the
+hardware compressions a malicious training pipeline would include, but
+evaluates quantization only.  This bench closes that gap: sweep global
+magnitude-pruning sparsity over one attacked model and measure the
+attack metrics.  Pruning zeroes the smallest |w| -- for pixel-correlated
+weights those are the mid-gray pixels -- so reconstruction quality decays
+with sparsity even when accuracy survives fine-tuning.
+"""
+
+import pytest
+
+from benchmarks.conftest import LAMBDA_SWEEP, run_once
+from repro.datasets.transforms import images_to_batch, normalize_batch
+from repro.nn.dataloader import DataLoader
+from repro.pipeline.evaluation import evaluate_attack
+from repro.pipeline.reporting import format_table, percent
+from repro.quantization import MagnitudePruner, apply_pruning, finetune_pruned
+
+SPARSITIES = (0.0, 0.3, 0.6, 0.9)
+
+
+@pytest.mark.benchmark(group="ext-pruning")
+def test_pruning_as_defense(cache, benchmark):
+    def experiment():
+        attack = cache.original_attack("rgb", LAMBDA_SWEEP[1])
+        train = attack.train_dataset
+        train_batch = images_to_batch(train.images)
+        train_batch, _, _ = normalize_batch(train_batch, attack.mean, attack.std)
+        results = {}
+        for sparsity in SPARSITIES:
+            attack.restore()
+            pruner = MagnitudePruner(sparsity, scope="global")
+            result = pruner.prune_model(attack.model)
+            apply_pruning(attack.model, result)
+            if sparsity > 0:
+                loader = DataLoader(train_batch, train.labels, batch_size=32, seed=1)
+                finetune_pruned(attack.model, result, loader, epochs=2, lr=0.02)
+            results[sparsity] = evaluate_attack(
+                attack.model, attack.test_batch, attack.test_dataset.labels,
+                groups=attack.groups, mean=attack.mean, std=attack.std,
+            )
+        attack.restore()
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    rows = [[f"{s:.0%}", percent(ev.accuracy), f"{ev.mean_mape:.1f}",
+             f"{ev.recognized_count}/{ev.encoded_images}"]
+            for s, ev in results.items()]
+    print()
+    print(format_table(["sparsity", "accuracy", "MAPE", "recognizable"],
+                       rows, title="Extension: magnitude pruning vs. the attack"))
+
+    dense = results[0.0]
+    extreme = results[SPARSITIES[-1]]
+    # Aggressive pruning must degrade reconstruction quality.
+    assert extreme.mean_mape > dense.mean_mape + 5.0
+    # And reduce the recognizable count.
+    assert extreme.recognized_count <= dense.recognized_count
+    # Moderate pruning is a weaker defense than aggressive pruning.
+    assert results[0.3].mean_mape <= extreme.mean_mape + 1.0

@@ -1,0 +1,114 @@
+"""Extension: the cited related attacks, measured on the same substrate.
+
+The paper's related work ranks the privacy-attack landscape
+qualitatively; this bench quantifies it:
+
+* **model inversion** (ref [10], no malicious training needed) recovers
+  a class *prototype* -- far worse per-image fidelity than the
+  correlation attack's actual training images;
+* **membership inference** (ref [11]) measures a side effect: does the
+  correlation attack's memorisation *increase* ordinary membership
+  leakage?  (If it did, the attack would lose evasiveness against an
+  MIA-auditing data holder.)
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import LAMBDA_SWEEP, run_once
+from repro.attacks import (
+    InversionConfig,
+    invert_class,
+    inversion_quality_vs_class,
+    membership_inference,
+)
+from repro.datasets.transforms import images_to_batch, normalize_batch
+from repro.pipeline.reporting import format_table
+
+
+@pytest.mark.benchmark(group="ext-related")
+def test_inversion_vs_correlation_quality(cache, benchmark):
+    def experiment():
+        attack = cache.our_attack("rgb", LAMBDA_SWEEP[1])
+        attack.restore()
+        train = attack.train_dataset
+        correlation_eval = attack.evaluate()
+
+        # Invert every class of the same released model.  The point of
+        # comparison: the correlation attack reconstructs *specific*
+        # training images; an inversion prototype cannot target any
+        # particular image, so score it against the same specific images
+        # the correlation attack stole (per-class mean MAPE), with the
+        # nearest-member score reported as its best case.
+        shape = (3, train.image_shape[0], train.image_shape[1])
+        prototype_vs_stolen, prototype_best_case = [], []
+        for target in range(train.num_classes):
+            stolen_targets = attack.payload.images[attack.payload.labels == target]
+            class_images = train.images[train.labels == target]
+            if len(stolen_targets) == 0:
+                continue
+            prototype = invert_class(
+                attack.model, target, shape,
+                InversionConfig(steps=100, lr=0.1, seed=target),
+                attack.mean, attack.std,
+            )
+            from repro.metrics import batch_mape
+            repeated = np.repeat(prototype[None], len(stolen_targets), axis=0)
+            prototype_vs_stolen.extend(batch_mape(stolen_targets, repeated))
+            prototype_best_case.append(
+                inversion_quality_vs_class(prototype, class_images))
+        return (correlation_eval, np.array(prototype_vs_stolen),
+                np.array(prototype_best_case))
+
+    correlation_eval, vs_stolen, best_case = run_once(benchmark, experiment)
+
+    print()
+    print(format_table(
+        ["attack", "MAPE vs the stolen images", "best-case MAPE"],
+        [["correlation encoding", f"{correlation_eval.mean_mape:.1f}", "-"],
+         ["model inversion prototype", f"{vs_stolen.mean():.1f}",
+          f"{best_case.mean():.1f}"]],
+        title="Extension: inversion vs correlation fidelity",
+    ))
+    # Targeted theft beats untargeted prototypes on the specific images.
+    assert correlation_eval.mean_mape < vs_stolen.mean()
+
+
+@pytest.mark.benchmark(group="ext-related")
+def test_membership_leakage_benign_vs_attacked(cache, benchmark):
+    def experiment():
+        benign = cache.benign("rgb")
+        attack = cache.our_attack("rgb", LAMBDA_SWEEP[1])
+        attack.restore()
+        train, test = cache.datasets["rgb"]
+        train_batch = images_to_batch(train.images)
+        train_batch, _, _ = normalize_batch(train_batch, benign.mean, benign.std)
+        test_batch = images_to_batch(test.images)
+        test_batch, _, _ = normalize_batch(test_batch, benign.mean, benign.std)
+        benign_result = membership_inference(
+            benign.model, train_batch, train.labels, test_batch, test.labels)
+
+        train_batch_a = images_to_batch(train.images)
+        train_batch_a, _, _ = normalize_batch(train_batch_a, attack.mean, attack.std)
+        attacked_result = membership_inference(
+            attack.model, train_batch_a, train.labels,
+            attack.test_batch, attack.test_dataset.labels)
+        return benign_result, attacked_result
+
+    benign_result, attacked_result = run_once(benchmark, experiment)
+
+    print()
+    print(format_table(
+        ["model", "MIA AUC", "best advantage"],
+        [["benign", f"{benign_result.auc:.3f}", f"{benign_result.advantage():.3f}"],
+         ["attacked", f"{attacked_result.auc:.3f}", f"{attacked_result.advantage():.3f}"]],
+        title="Extension: loss-threshold membership inference",
+    ))
+    # Sanity: AUCs are valid probabilities.
+    for result in (benign_result, attacked_result):
+        assert 0.0 <= result.auc <= 1.0
+    # The attack does not blow up ordinary membership leakage: the
+    # attacked model's AUC stays within a modest band of the benign
+    # model's (the payload lives in weight *values*, not in per-sample
+    # loss behaviour).
+    assert attacked_result.auc <= benign_result.auc + 0.15

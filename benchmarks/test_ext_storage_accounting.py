@@ -1,0 +1,70 @@
+"""Extension: released-model storage accounting across compressions.
+
+Deep compression's pipeline is prune -> quantize -> Huffman.  This bench
+reports the storage cost of the released attack model under each stage
+combination and verifies the arithmetic relationships (each stage can
+only shrink the coded part), including that the target-correlated
+quantizer's skewed cluster occupancies Huffman-code at least as well as
+a benign quantizer's.
+"""
+
+import pytest
+
+from benchmarks.conftest import BITS_SWEEP, LAMBDA_SWEEP, run_once
+from repro.pipeline.reporting import format_table
+from repro.quantization import (
+    MagnitudePruner,
+    huffman_model_bytes,
+    pruned_model_bytes,
+    quantized_model_bytes,
+)
+
+BITS = BITS_SWEEP[0]
+
+
+@pytest.mark.benchmark(group="ext-storage")
+def test_storage_accounting(cache, benchmark):
+    def experiment():
+        attack = cache.our_attack("rgb", LAMBDA_SWEEP[1])
+        attack.restore()
+        model = attack.model
+        dense_bytes = sum(p.size for p in model.parameters()) * 4
+
+        from repro.pipeline.baselines import make_quantizer
+        from repro.pipeline.config import QuantizationConfig
+
+        sizes = {"dense float32": dense_bytes}
+        huffman = {}
+        for method in ("weighted_entropy", "target_correlated"):
+            attack.restore()
+            quantizer = make_quantizer(
+                QuantizationConfig(bits=BITS, method=method),
+                target_images=attack.payload.images,
+            )
+            result = quantizer.quantize_model(model)
+            sizes[f"{method} {BITS}b"] = quantized_model_bytes(model, result)
+            huffman[method] = huffman_model_bytes(result)
+            sizes[f"{method} {BITS}b + huffman(coded part)"] = huffman[method]
+
+        attack.restore()
+        pruner = MagnitudePruner(0.9, scope="global")
+        sizes["pruned 90% (sparse storage)"] = pruned_model_bytes(
+            model, pruner.prune_model(model))
+        attack.restore()
+        return sizes, huffman
+
+    sizes, huffman = run_once(benchmark, experiment)
+
+    print()
+    print(format_table(
+        ["representation", "bytes"],
+        [[name, size] for name, size in sizes.items()],
+        title="Extension: released-model storage",
+    ))
+
+    dense = sizes["dense float32"]
+    for method in ("weighted_entropy", "target_correlated"):
+        assert sizes[f"{method} {BITS}b"] < dense
+    # Huffman-coded assignments never exceed the fixed-width coded part.
+    assert huffman["target_correlated"] <= huffman["weighted_entropy"] * 1.3
+    assert sizes["pruned 90% (sparse storage)"] < dense

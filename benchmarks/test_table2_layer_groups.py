@@ -1,0 +1,76 @@
+"""Table II -- badly encoded images (MAPE > 20) per layer group.
+
+Paper: with a uniform correlation rate, the early groups encode far
+worse than the deep group at every rate, and raising the rate helps the
+deep group much more than group 1:
+
+    lambda=3:  group1 100%, group2 75%,   group3 27.6% bad
+    lambda=5:  group1 74%,  group2 35.7%, group3 20.4% bad
+    lambda=10: group1 48%,  group2 32.1%, group3 15.1% bad
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import LAMBDA_SWEEP, run_once
+from repro.attacks.decoder import decode_images
+from repro.metrics import batch_mape
+from repro.pipeline.reporting import format_table
+
+
+def per_group_bad_fraction(attack, threshold=20.0):
+    """Fraction of MAPE>threshold images per active group."""
+    out = {}
+    for group in attack.groups:
+        if group.payload is None:
+            continue
+        recon = decode_images(group.weight_vector(), group.payload, polarity="reference")
+        mape = batch_mape(group.payload.images, recon)
+        out[group.name] = (int((mape > threshold).sum()), len(mape))
+    return out
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_group_encoding_quality(cache, benchmark):
+    def experiment():
+        results = {}
+        for lam in LAMBDA_SWEEP:
+            attack = cache.original_attack("rgb", lam)
+            results[lam] = per_group_bad_fraction(attack)
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    group_names = sorted(next(iter(results.values())).keys())
+    rows = []
+    for lam, groups in results.items():
+        row = [f"{lam:g}"]
+        for name in group_names:
+            bad, total = groups[name]
+            row.append(f"{bad}/{total} ({100.0 * bad / max(total, 1):.0f}%)")
+        rows.append(row)
+    print()
+    print(format_table(["lambda"] + group_names, rows,
+                       title="Table II: badly encoded images (MAPE > 20) per group"))
+
+    # Claim 1: early groups (1+2 combined -- they hold only a few images
+    # at this scale) encode no better than the deep group at the low
+    # rate, the paper's clearest case (its lambda=3 row: 100%/75% bad in
+    # groups 1/2 vs 27.6% in group 3).  At higher rates the tiny
+    # substrate's early layers eventually encode fine -- its easy task
+    # lacks ResNet-34's early-layer fragility -- so the ordering there
+    # is reported but not asserted.
+    for lam in LAMBDA_SWEEP[:1]:
+        groups = results[lam]
+        early_bad = groups["group1"][0] + groups["group2"][0]
+        early_total = groups["group1"][1] + groups["group2"][1]
+        frac_early = early_bad / max(early_total, 1)
+        frac_deep = groups["group3"][0] / max(groups["group3"][1], 1)
+        assert frac_early >= frac_deep - 0.05, (
+            f"lambda={lam}: early groups unexpectedly encoded better than the deep group"
+        )
+    # Claim 2: raising the rate improves the deep group's encoding.
+    low, high = LAMBDA_SWEEP[0], LAMBDA_SWEEP[-1]
+    frac_low = results[low]["group3"][0] / max(results[low]["group3"][1], 1)
+    frac_high = results[high]["group3"][0] / max(results[high]["group3"][1], 1)
+    assert frac_high <= frac_low + 0.05

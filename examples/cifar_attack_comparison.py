@@ -1,0 +1,98 @@
+"""CIFAR scenario: benign model vs. original attack vs. the paper's flow.
+
+Reproduces the storyline of the paper's evaluation on the synthetic
+CIFAR-like dataset:
+
+* a benign model sets the accuracy bar the data holder validates against;
+* the original correlated value encoding attack (Song et al.) steals
+  images but collapses under weighted-entropy quantization;
+* the paper's quantized correlation encoding flow steals comparable
+  data from a 4-bit model while passing the accuracy validation.
+
+Run:  python examples/cifar_attack_comparison.py
+"""
+
+import numpy as np
+
+from repro.datasets import SyntheticCifarConfig, make_synthetic_cifar, train_test_split
+from repro.datasets.transforms import images_to_batch, normalize_batch
+from repro.models import resnet8_tiny
+from repro.pipeline import (
+    AttackConfig,
+    QuantizationConfig,
+    TrainingConfig,
+    format_table,
+    original_correlation_attack,
+    run_quantized_correlation_attack,
+    train_benign,
+)
+from repro.pipeline.baselines import quantize_and_finetune
+from repro.pipeline.evaluation import evaluate_attack
+from repro.pipeline.reporting import percent
+
+BITS = 4
+RATE = 20.0
+
+
+def builder():
+    return resnet8_tiny(num_classes=6, in_channels=3, width=8,
+                        rng=np.random.default_rng(7))
+
+
+def main() -> None:
+    data = make_synthetic_cifar(
+        SyntheticCifarConfig(num_images=240, num_classes=6, image_size=16, seed=3)
+    )
+    train, test = train_test_split(data, test_fraction=0.2, seed=0)
+    training = TrainingConfig(epochs=15, batch_size=32, lr=0.08)
+
+    print("1/4 training the benign reference model ...")
+    benign = train_benign(train, test, builder, training)
+
+    print("2/4 running the original correlation attack (uniform rate) ...")
+    original = original_correlation_attack(train, test, builder, training, rate=RATE)
+
+    print("3/4 quantizing the original attack model with weighted entropy ...")
+    quantize_and_finetune(
+        original.model,
+        QuantizationConfig(bits=BITS, method="weighted_entropy"),
+        train, training, original.mean, original.std,
+    )
+    test_batch = images_to_batch(test.images)
+    test_batch, _, _ = normalize_batch(test_batch, original.mean, original.std)
+    original_weq = evaluate_attack(
+        original.model, test_batch, test.labels,
+        payload=original.payload, weight_vector=original.weight_vector(),
+        mean=original.mean, std=original.std,
+    )
+
+    print("4/4 running the paper's full quantized attack flow ...")
+    ours = run_quantized_correlation_attack(
+        train, test, builder, training,
+        AttackConfig(layer_ranges=((1, 2), (3, 4), (5, -1)),
+                     rates=(0.0, 0.0, RATE), std_window=8.0),
+        QuantizationConfig(bits=BITS, method="target_correlated"),
+    )
+
+    rows = [
+        ["benign (uncompressed)", percent(benign.accuracy), "-", "-"],
+        ["original attack (uncompressed)", percent(original.evaluation.accuracy),
+         f"{original.evaluation.mean_mape:.1f}",
+         f"{original.evaluation.recognized_count}/{original.evaluation.encoded_images}"],
+        [f"original attack + WEQ {BITS}b", percent(original_weq.accuracy),
+         f"{original_weq.mean_mape:.1f}",
+         f"{original_weq.recognized_count}/{original_weq.encoded_images}"],
+        [f"our flow, {BITS}b released model", percent(ours.quantized.accuracy),
+         f"{ours.quantized.mean_mape:.1f}",
+         f"{ours.quantized.recognized_count}/{ours.quantized.encoded_images}"],
+    ]
+    print()
+    print(format_table(["model", "accuracy", "MAPE", "recognizable"], rows,
+                       title="CIFAR attack comparison"))
+    print("\nReading the table: WEQ (the defense) should hurt the original "
+          "attack's accuracy and/or recognizable count, while our flow keeps "
+          "both near the uncompressed attack.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Defender's view: how much does plain quantization actually protect?
+
+The paper's motivation section shows that benign weighted-entropy
+quantization *defeats* the original correlation attack at low bit
+widths.  This study sweeps quantizers and bit widths over one attacked
+model and reports where the defense operating point lies -- and how the
+adversary's target-correlated quantizer escapes it.
+
+Also demonstrates the two baseline attacks (LSB, sign encoding) and why
+quantization trivially kills LSB encoding.
+
+Run:  python examples/quantization_defense_study.py
+"""
+
+import numpy as np
+
+from repro.attacks import lsb_decode, lsb_encode
+from repro.datasets import SyntheticCifarConfig, make_synthetic_cifar, train_test_split
+from repro.datasets.transforms import images_to_batch, normalize_batch
+from repro.models import resnet8_tiny
+from repro.models.introspect import encodable_parameters
+from repro.pipeline import (
+    AttackConfig,
+    QuantizationConfig,
+    TrainingConfig,
+    format_table,
+    run_quantized_correlation_attack,
+)
+from repro.pipeline.baselines import quantize_and_finetune
+from repro.pipeline.evaluation import evaluate_attack
+from repro.pipeline.reporting import percent
+
+
+def main() -> None:
+    data = make_synthetic_cifar(
+        SyntheticCifarConfig(num_images=240, num_classes=6, image_size=16, seed=3)
+    )
+    train, test = train_test_split(data, test_fraction=0.2, seed=0)
+    training = TrainingConfig(epochs=15, batch_size=32, lr=0.08)
+
+    print("training one attacked model (layer-wise correlation, rate 20) ...")
+    result = run_quantized_correlation_attack(
+        train, test,
+        lambda: resnet8_tiny(num_classes=6, width=8, rng=np.random.default_rng(7)),
+        training,
+        AttackConfig(layer_ranges=((1, 2), (3, 4), (5, -1)),
+                     rates=(0.0, 0.0, 20.0), std_window=8.0),
+        quantization=None,
+    )
+    state = result.model.state_dict()
+    test_batch = images_to_batch(test.images)
+    test_batch, _, _ = normalize_batch(test_batch, result.mean, result.std)
+
+    rows = []
+    for method in ("uniform", "kmeans", "weighted_entropy", "target_correlated"):
+        for bits in (4, 3, 2):
+            result.model.load_state_dict(state)
+            quantize_and_finetune(
+                result.model,
+                QuantizationConfig(bits=bits, method=method),
+                train, training, result.mean, result.std,
+                target_images=result.payload.images,
+            )
+            ev = evaluate_attack(result.model, test_batch, test.labels,
+                                 groups=result.groups,
+                                 mean=result.mean, std=result.std)
+            rows.append([method, bits, percent(ev.accuracy),
+                         f"{ev.mean_mape:.1f}",
+                         f"{ev.recognized_count}/{ev.encoded_images}"])
+    result.model.load_state_dict(state)
+    print()
+    print(format_table(["quantizer", "bits", "accuracy", "MAPE", "recognizable"],
+                       rows, title="Defense sweep over one attacked model"))
+    print("\nDefender's takeaway: benign quantizers degrade the attack as bits "
+          "shrink, but only if the adversary does not control the quantizer -- "
+          "the target-correlated rows keep the stolen data intact.")
+
+    # ------------------------------------------------------ LSB baseline
+    print("\nLSB-encoding baseline: quantization as a perfect defense")
+    params = [p for _, p in encodable_parameters(result.model)]
+    rng = np.random.default_rng(0)
+    secret = rng.integers(0, 2, size=4096).astype(np.uint8)
+    lsb_encode(params, secret, bits_per_weight=8)
+    intact = (lsb_decode(params, secret.size, 8) == secret).mean()
+    quantize_and_finetune(result.model, QuantizationConfig(bits=4, method="uniform",
+                                                           finetune_epochs=0),
+                          train, training, result.mean, result.std)
+    after = (lsb_decode(params, secret.size, 8) == secret).mean()
+    print(f"  secret bits intact before quantization: {intact:.1%}")
+    print(f"  secret bits intact after 4-bit quantization: {after:.1%} "
+          f"(~50% = random, payload destroyed)")
+
+
+if __name__ == "__main__":
+    main()

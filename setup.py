@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires PEP 660 wheel builds; this offline environment
+lacks the `wheel` distribution, so `python setup.py develop` is the
+supported editable-install path (see README).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""Data-stealing attacks on ML models (Song et al. CCS'17 + DAC'20 paper).
+
+* :mod:`repro.attacks.secret` -- packaging training images into the
+  secret vector ``s`` and assigning parameter slices.
+* :mod:`repro.attacks.correlated` -- Eq. 1 correlated value encoding.
+* :mod:`repro.attacks.layerwise` -- Eq. 2 layer-wise correlation
+  regularization (the paper's contribution).
+* :mod:`repro.attacks.lsb` / :mod:`repro.attacks.sign` -- the two
+  baseline encoding attacks.
+* :mod:`repro.attacks.decoder` -- extracting images back out of a
+  released model's weights.
+* :mod:`repro.attacks.capacity` -- how many images fit where.
+"""
+
+from repro.attacks.secret import SecretPayload
+from repro.attacks.correlated import CorrelationPenalty, pearson_correlation
+from repro.attacks.layerwise import LayerGroup, LayerwiseCorrelationPenalty, group_by_layer_ranges
+from repro.attacks.decoder import (
+    decode_groups,
+    decode_images,
+    decode_slice,
+    extract_weight_vector,
+    total_variation,
+)
+from repro.attacks.lsb import lsb_capacity_bits, lsb_decode, lsb_encode
+from repro.attacks.sign import SignEncodingPenalty, sign_decode_bits
+from repro.attacks.capacity import estimate_image_capacity, group_capacities
+from repro.attacks.image_codec import (
+    bit_error_rate,
+    bits_to_images,
+    images_to_bits,
+    lsb_image_capacity,
+    sign_image_capacity,
+)
+from repro.attacks.capacity_abuse import (
+    SyntheticQuerySet,
+    bits_per_query,
+    build_query_set,
+    extract_bits,
+    poison_training_set,
+)
+from repro.attacks.model_inversion import (
+    InversionConfig,
+    invert_class,
+    inversion_quality_vs_class,
+)
+from repro.attacks.membership import (
+    MembershipResult,
+    membership_inference,
+    per_sample_loss,
+)
+
+__all__ = [
+    "SecretPayload", "CorrelationPenalty", "pearson_correlation",
+    "LayerGroup", "LayerwiseCorrelationPenalty", "group_by_layer_ranges",
+    "decode_groups", "decode_images", "decode_slice",
+    "extract_weight_vector", "total_variation",
+    "lsb_encode", "lsb_decode", "lsb_capacity_bits",
+    "SignEncodingPenalty", "sign_decode_bits",
+    "estimate_image_capacity", "group_capacities",
+    "images_to_bits", "bits_to_images", "bit_error_rate",
+    "lsb_image_capacity", "sign_image_capacity",
+    "SyntheticQuerySet", "bits_per_query", "build_query_set",
+    "poison_training_set", "extract_bits",
+    "InversionConfig", "invert_class", "inversion_quality_vs_class",
+    "MembershipResult", "membership_inference", "per_sample_loss",
+]

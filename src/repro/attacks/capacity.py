@@ -1,0 +1,39 @@
+"""Capacity estimation: how many images fit into which weights.
+
+The paper's pre-processing "estimates the number of images that can be
+encoded (n) based on the parameter amount and image size"; these helpers
+implement that arithmetic for whole models and per layer group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import CapacityError
+from repro.models.introspect import encodable_parameters
+from repro.nn.module import Module
+
+
+def estimate_image_capacity(num_weights: int, pixels_per_image: int) -> int:
+    """Whole images encodable into ``num_weights`` parameters."""
+    if pixels_per_image <= 0:
+        raise CapacityError(f"pixels_per_image must be positive, got {pixels_per_image}")
+    return max(0, num_weights // pixels_per_image)
+
+
+def model_image_capacity(model: Module, image_shape: Tuple[int, int, int]) -> int:
+    """Capacity of all encodable weights of a model."""
+    height, width, channels = image_shape
+    total = sum(p.size for _, p in encodable_parameters(model))
+    return estimate_image_capacity(total, height * width * channels)
+
+
+def group_capacities(groups: Sequence, pixels_per_image: int) -> Dict[str, int]:
+    """Per-group image capacity (groups with rate 0 report 0)."""
+    out: Dict[str, int] = {}
+    for group in groups:
+        if group.rate == 0.0:
+            out[group.name] = 0
+        else:
+            out[group.name] = estimate_image_capacity(group.num_weights, pixels_per_image)
+    return out

@@ -1,0 +1,143 @@
+"""Capacity-abuse attack (Song et al. CCS'17's black-box attack).
+
+The white-box attacks (LSB/sign/correlation) need the released weights.
+When the adversary can only *query* the released model, Song et al.
+abuse its memorization capacity instead: the malicious training code
+augments the training set with synthetic inputs whose **labels encode
+secret bits**.  The model memorises those (input, label) pairs; the
+adversary later regenerates the same synthetic inputs (they are derived
+from a pseudorandom seed baked into the training code), queries the
+model, and reads the secret back out of the predicted labels.
+
+Each synthetic query leaks ``floor(log2(num_classes))`` bits, so this is
+far less efficient than correlated value encoding -- but it needs no
+weight access at all, and quantization barely touches it (memorised
+decision regions survive re-discretisation far better than weight LSBs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import CapacityError
+from repro.metrics.accuracy import predict_classes
+from repro.nn.module import Module
+
+
+def bits_per_query(num_classes: int) -> int:
+    """Secret bits one synthetic query can carry."""
+    if num_classes < 2:
+        raise CapacityError("need at least two classes to encode bits in labels")
+    return int(np.floor(np.log2(num_classes)))
+
+
+@dataclass(frozen=True)
+class SyntheticQuerySet:
+    """The deterministic synthetic inputs + their bit-encoding labels."""
+
+    inputs: np.ndarray          # (n, C, H, W) float batch
+    labels: np.ndarray          # (n,) int labels encoding the secret
+    num_classes: int
+    num_bits: int
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+
+def generate_queries(
+    count: int,
+    image_shape: Tuple[int, int, int],
+    seed: int,
+) -> np.ndarray:
+    """Deterministic pseudorandom query images (NCHW float in [0, 1]).
+
+    Both the malicious trainer and the later extractor call this with
+    the same seed -- the seed is the shared secret channel.
+    """
+    channels, height, width = image_shape
+    rng = np.random.default_rng(seed)
+    return rng.random((count, channels, height, width))
+
+
+def encode_bits_as_labels(bits: np.ndarray, num_classes: int) -> np.ndarray:
+    """Pack a bit string into class labels, ``bits_per_query`` at a time."""
+    width = bits_per_query(num_classes)
+    bits = np.asarray(bits).reshape(-1)
+    if bits.size % width:
+        pad = width - bits.size % width
+        bits = np.concatenate([bits, np.zeros(pad, dtype=bits.dtype)])
+    groups = bits.reshape(-1, width)
+    labels = np.zeros(len(groups), dtype=np.int64)
+    for bit_index in range(width):
+        labels = (labels << 1) | groups[:, bit_index].astype(np.int64)
+    return labels
+
+
+def decode_labels_as_bits(labels: np.ndarray, num_classes: int, num_bits: int) -> np.ndarray:
+    """Invert :func:`encode_bits_as_labels` (truncating padding bits)."""
+    width = bits_per_query(num_classes)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    out = np.zeros((len(labels), width), dtype=np.uint8)
+    for bit_index in range(width):
+        shift = width - 1 - bit_index
+        out[:, bit_index] = (labels >> shift) & 1
+    flat = out.reshape(-1)
+    if num_bits > flat.size:
+        raise CapacityError(f"requested {num_bits} bits but queries carry {flat.size}")
+    return flat[:num_bits]
+
+
+def build_query_set(
+    secret_bits: np.ndarray,
+    image_shape: Tuple[int, int, int],
+    num_classes: int,
+    seed: int = 0,
+) -> SyntheticQuerySet:
+    """Package a secret bit string as a labelled synthetic query set."""
+    secret_bits = np.asarray(secret_bits).reshape(-1)
+    labels = encode_bits_as_labels(secret_bits, num_classes)
+    inputs = generate_queries(len(labels), image_shape, seed)
+    return SyntheticQuerySet(inputs=inputs, labels=labels,
+                             num_classes=num_classes, num_bits=secret_bits.size)
+
+
+def poison_training_set(
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    queries: SyntheticQuerySet,
+    repeats: int = 4,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Append the synthetic queries to the training arrays.
+
+    ``repeats`` copies push the model to memorise the queries even when
+    they are a small fraction of the data (the malicious code controls
+    this knob; it looks like oversampling).
+    """
+    if queries.inputs.shape[1:] != inputs.shape[1:]:
+        raise CapacityError(
+            f"query shape {queries.inputs.shape[1:]} does not match "
+            f"training inputs {inputs.shape[1:]}"
+        )
+    poisoned_inputs = np.concatenate([inputs] + [queries.inputs] * repeats)
+    poisoned_labels = np.concatenate(
+        [np.asarray(labels)] + [queries.labels] * repeats
+    )
+    return poisoned_inputs, poisoned_labels
+
+
+def extract_bits(
+    model: Module,
+    num_bits: int,
+    image_shape: Tuple[int, int, int],
+    num_classes: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Black-box extraction: regenerate the queries, read predicted labels."""
+    width = bits_per_query(num_classes)
+    count = int(np.ceil(num_bits / width))
+    inputs = generate_queries(count, image_shape, seed)
+    predictions = predict_classes(model, inputs)
+    return decode_labels_as_bits(predictions, num_classes, num_bits)

@@ -1,0 +1,100 @@
+"""Correlated value encoding attack (Eq. 1 of the paper; Song et al. CCS'17).
+
+The malicious regularizer
+
+    C(theta, s) = -lambda_c * |pearson(theta, s)|
+
+is added to the training loss.  Minimising it drives the weight vector
+towards (an affine image of) the secret pixel vector, which the
+adversary later inverts with a min-max remap.  The penalty is built from
+autograd primitives, so its gradient w.r.t. every weight tensor flows
+through the normal backward pass -- exactly how the "seemingly normal
+regularizer" hides inside a stock training loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.errors import CapacityError
+from repro.nn.module import Parameter
+
+
+def pearson_correlation(theta: Tensor, secret: Tensor) -> Tensor:
+    """Differentiable Pearson correlation between two flat tensors."""
+    theta_centered = F.sub(theta, F.mean(theta))
+    secret_centered = F.sub(secret, F.mean(secret))
+    covariance = F.sum(F.mul(theta_centered, secret_centered))
+    theta_norm = F.sqrt(F.sum(F.mul(theta_centered, theta_centered)))
+    secret_norm = F.sqrt(F.sum(F.mul(secret_centered, secret_centered)))
+    return F.div(covariance, F.add(F.mul(theta_norm, secret_norm), Tensor(1e-12)))
+
+
+def flatten_parameters(params: Sequence[Parameter]) -> Tensor:
+    """Differentiably concatenate parameter tensors into one flat vector."""
+    if not params:
+        raise CapacityError("no parameters supplied for correlation")
+    flats = [F.reshape(p, (-1,)) for p in params]
+    if len(flats) == 1:
+        return flats[0]
+    return F.concat(flats, axis=0)
+
+
+class CorrelationPenalty:
+    """Eq. 1: ``-lambda_c * |corr(theta, s)|`` over a set of weight tensors.
+
+    Args:
+        params: weight tensors whose concatenation is ``theta``.
+        secret: the flat pixel vector ``s``.
+        rate: the correlation rate ``lambda_c``.
+        sign_mode: ``"abs"`` is the paper's Eq. 1 (maximise |corr|; the
+            converged sign is then decided by initialisation randomness
+            and must be recovered at decode time -- see
+            ``quantization.target_correlated.detect_flip``).
+            ``"positive"`` drops the absolute value (``-lambda * corr``),
+            locking a positive correlation: decoding needs no polarity
+            resolution at all.  Both are within the adversary's power;
+            "abs" is the default for paper fidelity.
+
+    The correlation runs over the first ``min(len(theta), len(s))``
+    entries, mirroring the paper's "number of images estimated from the
+    parameter amount" capacity rule.
+    """
+
+    def __init__(self, params: Sequence[Parameter], secret: np.ndarray, rate: float,
+                 sign_mode: str = "abs") -> None:
+        self.params: List[Parameter] = list(params)
+        secret = np.asarray(secret, dtype=np.float64).reshape(-1)
+        if secret.size == 0:
+            raise CapacityError("secret vector is empty")
+        total = sum(p.size for p in self.params)
+        self.length = min(total, secret.size)
+        if self.length < 2:
+            raise CapacityError("need at least two correlated entries")
+        self._secret = Tensor(secret[: self.length])
+        self.rate = float(rate)
+        if sign_mode not in ("abs", "positive"):
+            raise CapacityError(f"sign_mode must be 'abs' or 'positive', got {sign_mode!r}")
+        self.sign_mode = sign_mode
+
+    def __call__(self) -> Tensor:
+        """The penalty term to add to the training loss."""
+        theta = flatten_parameters(self.params)
+        theta = F.getitem(theta, slice(0, self.length))
+        corr = pearson_correlation(theta, self._secret)
+        if self.sign_mode == "abs":
+            corr = F.abs(corr)
+        return F.mul(corr, Tensor(-self.rate))
+
+    def correlation_value(self) -> float:
+        """Current (non-differentiable) correlation, for monitoring."""
+        theta = np.concatenate([p.data.reshape(-1) for p in self.params])[: self.length]
+        secret = self._secret.data
+        theta_c = theta - theta.mean()
+        secret_c = secret - secret.mean()
+        denom = np.sqrt((theta_c ** 2).sum()) * np.sqrt((secret_c ** 2).sum()) + 1e-12
+        return float((theta_c * secret_c).sum() / denom)

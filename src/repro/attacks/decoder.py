@@ -1,0 +1,152 @@
+"""Extracting embedded images back out of a released model.
+
+The adversary has white-box access to the released (possibly quantized)
+model.  Decoding an image is a per-slice min-max remap of the weight
+vector to [0, 255] (paper Sec. II-B).
+
+**Polarity.**  Because Eq. 1 maximises the *absolute* correlation, the
+decoded slice may come out inverted.  Note that most single-image
+statistics -- including total variation -- are negation-invariant
+(TV(255-x) == TV(x)), so polarity is NOT recoverable from one slice
+alone; ``polarity="auto"``'s TV comparison only breaks ties through
+rounding asymmetries and should be treated as a coin flip on a single
+image.  Real adversaries resolve the sign either (a) by eye (Song et
+al.'s approach: inspect both decodings), (b) by training with
+``CorrelationPenalty(sign_mode="positive")`` so no ambiguity exists, or
+(c) with a dataset prior (e.g. faces are bright-background).  For
+metrics, ``polarity="reference"`` gives the oracle upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.secret import SecretPayload
+from repro.errors import CapacityError
+from repro.models.introspect import parameter_vector
+from repro.nn.module import Module
+
+
+def extract_weight_vector(model: Module, names: Optional[Sequence[str]] = None) -> np.ndarray:
+    """Flatten (a subset of) the model's encodable weights, layer order."""
+    return parameter_vector(model, list(names) if names is not None else None)
+
+
+def total_variation(image: np.ndarray) -> float:
+    """Mean absolute difference between neighbouring pixels (smoothness)."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        image = image[..., None]
+    dx = np.abs(np.diff(image, axis=1)).mean() if image.shape[1] > 1 else 0.0
+    dy = np.abs(np.diff(image, axis=0)).mean() if image.shape[0] > 1 else 0.0
+    return float(dx + dy)
+
+
+def _remap_to_pixels(values: np.ndarray) -> np.ndarray:
+    low = values.min()
+    high = values.max()
+    if high - low < 1e-12:
+        return np.full(values.shape, 128.0)
+    return (values - low) / (high - low) * 255.0
+
+
+def decode_slice(
+    values: np.ndarray,
+    image_shape: Tuple[int, int, int],
+    polarity: str = "auto",
+    reference: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Decode one weight slice into a uint8 image.
+
+    Args:
+        values: flat weight slice of length H*W*C.
+        image_shape: (H, W, C).
+        polarity: ``"pos"``, ``"neg"``, ``"auto"`` (total-variation
+            heuristic -- what a real adversary does), or ``"reference"``
+            (pick the polarity closer to ``reference``; metric use only).
+        reference: original uint8 image, required for ``"reference"``.
+    """
+    height, width, channels = image_shape
+    expected = height * width * channels
+    if values.size != expected:
+        raise CapacityError(f"slice has {values.size} values, image needs {expected}")
+    positive = _remap_to_pixels(values.astype(np.float64)).reshape(image_shape)
+    if polarity == "pos":
+        return np.clip(np.round(positive), 0, 255).astype(np.uint8)
+    negative = 255.0 - positive
+    if polarity == "neg":
+        return np.clip(np.round(negative), 0, 255).astype(np.uint8)
+    if polarity == "auto":
+        # Natural images concentrate mass away from the extremes less
+        # symmetrically than their negatives; TV picks the smoother of
+        # the two remaps of the *noisy* decoded slice.
+        chosen = positive if total_variation(positive) <= total_variation(negative) else negative
+        return np.clip(np.round(chosen), 0, 255).astype(np.uint8)
+    if polarity == "reference":
+        if reference is None:
+            raise CapacityError("polarity='reference' needs a reference image")
+        ref = reference.astype(np.float64)
+        err_pos = np.abs(positive - ref).mean()
+        err_neg = np.abs(negative - ref).mean()
+        chosen = positive if err_pos <= err_neg else negative
+        return np.clip(np.round(chosen), 0, 255).astype(np.uint8)
+    raise CapacityError(f"unknown polarity {polarity!r}")
+
+
+def decode_images(
+    weights: np.ndarray,
+    payload: SecretPayload,
+    polarity: str = "reference",
+) -> np.ndarray:
+    """Decode every payload image from a flat weight vector.
+
+    The first ``len(payload) * pixels_per_image`` weights are split into
+    per-image slices in payload order (the same layout the encoder's
+    secret vector used).
+
+    Returns:
+        uint8 array (n, H, W, C) of reconstructions.
+    """
+    needed = payload.total_pixels
+    if weights.size < needed:
+        raise CapacityError(
+            f"weight vector has {weights.size} entries, payload needs {needed}"
+        )
+    out = np.empty_like(payload.images)
+    for index, slc in enumerate(payload.image_slices()):
+        reference = payload.images[index] if polarity == "reference" else None
+        out[index] = decode_slice(
+            weights[slc], payload.image_shape, polarity=polarity, reference=reference
+        )
+    return out
+
+
+def decode_groups(
+    groups,
+    polarity: str = "reference",
+) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+    """Decode every image from every active layer group.
+
+    Args:
+        groups: sequence of :class:`~repro.attacks.layerwise.LayerGroup`
+            with payloads assigned.
+
+    Returns:
+        (reconstructions, originals, group_names) stacked over all
+        active groups, in group order.
+    """
+    recon_parts: List[np.ndarray] = []
+    orig_parts: List[np.ndarray] = []
+    names: List[str] = []
+    for group in groups:
+        if group.payload is None:
+            continue
+        weights = group.weight_vector()
+        recon_parts.append(decode_images(weights, group.payload, polarity=polarity))
+        orig_parts.append(group.payload.images)
+        names.extend([group.name] * len(group.payload))
+    if not recon_parts:
+        raise CapacityError("no group holds a payload to decode")
+    return np.concatenate(recon_parts), np.concatenate(orig_parts), names

@@ -1,0 +1,60 @@
+"""Image payloads for the bit-level baseline attacks (LSB / sign).
+
+The correlated value encoding attack stores pixels directly in weight
+*values*; the two baselines store *bits*.  These helpers pack images
+into bit strings and back, so all three attacks steal the same payloads
+and can be compared end-to-end (see
+``benchmarks/test_ext_attack_family.py``):
+
+* LSB: 8 bits/pixel into the low mantissa bits of float32 weights;
+* sign: 8 bits/pixel into parameter signs (one bit per parameter).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import CapacityError
+
+
+def images_to_bits(images: np.ndarray) -> np.ndarray:
+    """Pack uint8 images into a flat bit array (big-endian per byte)."""
+    images = np.asarray(images, dtype=np.uint8)
+    return np.unpackbits(images.reshape(-1))
+
+
+def bits_to_images(bits: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Unpack a bit array back into uint8 images of the given shape."""
+    expected = int(np.prod(shape)) * 8
+    bits = np.asarray(bits).reshape(-1)
+    if bits.size < expected:
+        raise CapacityError(
+            f"need {expected} bits for shape {shape}, got {bits.size}"
+        )
+    return np.packbits(bits[:expected].astype(np.uint8)).reshape(shape)
+
+
+def bit_error_rate(original_bits: np.ndarray, decoded_bits: np.ndarray) -> float:
+    """Fraction of flipped bits between two equal-length bit strings."""
+    original_bits = np.asarray(original_bits).reshape(-1)
+    decoded_bits = np.asarray(decoded_bits).reshape(-1)
+    if original_bits.size != decoded_bits.size:
+        raise CapacityError(
+            f"bit strings differ in length: {original_bits.size} vs {decoded_bits.size}"
+        )
+    if original_bits.size == 0:
+        return 0.0
+    return float((original_bits != decoded_bits).mean())
+
+
+def lsb_image_capacity(num_weights: int, pixels_per_image: int,
+                       bits_per_weight: int) -> int:
+    """Whole images storable via LSB encoding."""
+    return (num_weights * bits_per_weight) // (pixels_per_image * 8)
+
+
+def sign_image_capacity(num_weights: int, pixels_per_image: int) -> int:
+    """Whole images storable via sign encoding (1 bit per weight)."""
+    return num_weights // (pixels_per_image * 8)

@@ -1,0 +1,151 @@
+"""Layer-wise correlation training regularization (Eq. 2, Sec. IV-B).
+
+The paper's observation: early layers are both accuracy-critical and
+naturally hard to correlate with pixel data (Table II), so a uniform
+correlation rate wastes capacity and hurts accuracy.  Eq. 2 instead
+assigns a rate ``lambda_k`` per layer *group*:
+
+    C(theta, s) = - sum_k  lambda_k * |pearson(theta_k, s_k)| * P_k
+
+with ``P_k = l_k / l`` the group's share of the correlated weights.
+Groups with ``lambda_k = 0`` are excluded from encoding entirely (the
+paper's final configuration zeroes groups 1 and 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.correlated import CorrelationPenalty
+from repro.attacks.secret import SecretPayload
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.errors import CapacityError, ConfigError
+from repro.models.introspect import encodable_parameters
+from repro.nn.module import Module, Parameter
+
+
+@dataclass
+class LayerGroup:
+    """A contiguous group of encodable layers sharing one rate."""
+
+    name: str
+    param_names: List[str]
+    params: List[Parameter]
+    rate: float
+    payload: Optional[SecretPayload] = None
+
+    @property
+    def num_weights(self) -> int:
+        return sum(p.size for p in self.params)
+
+    def capacity(self, pixels_per_image: int) -> int:
+        """Whole images this group can encode."""
+        return self.num_weights // pixels_per_image
+
+    def weight_vector(self) -> np.ndarray:
+        return np.concatenate([p.data.reshape(-1) for p in self.params])
+
+
+def group_by_layer_ranges(
+    model: Module,
+    ranges: Sequence[Tuple[int, int]],
+    rates: Sequence[float],
+    names: Optional[Sequence[str]] = None,
+) -> List[LayerGroup]:
+    """Split a model's encodable layers into groups by 1-based index ranges.
+
+    ``ranges`` follows the paper's convention, e.g. ResNet-34 groups
+    ``[(1, 12), (13, 16), (17, 34)]``.  An end of ``-1`` means "through
+    the last layer".  Ranges must be contiguous from layer 1 and cover
+    every encodable layer.
+    """
+    if len(ranges) != len(rates):
+        raise ConfigError("ranges and rates must have the same length")
+    layers = encodable_parameters(model)
+    total = len(layers)
+    resolved = []
+    for start, end in ranges:
+        resolved.append((start, total if end == -1 else end))
+    expected_start = 1
+    for start, end in resolved:
+        if start != expected_start:
+            raise ConfigError(f"ranges must be contiguous from 1; got start {start}, expected {expected_start}")
+        if end < start:
+            raise ConfigError(f"empty range ({start}, {end})")
+        expected_start = end + 1
+    if resolved[-1][1] != total:
+        raise ConfigError(
+            f"ranges cover layers 1..{resolved[-1][1]} but the model has {total} encodable layers"
+        )
+    groups: List[LayerGroup] = []
+    for index, ((start, end), rate) in enumerate(zip(resolved, rates)):
+        members = layers[start - 1:end]
+        group_name = names[index] if names else f"group{index + 1}"
+        groups.append(LayerGroup(
+            name=group_name,
+            param_names=[n for n, _ in members],
+            params=[p for _, p in members],
+            rate=float(rate),
+        ))
+    return groups
+
+
+def assign_payload(
+    groups: Sequence[LayerGroup], payload: SecretPayload
+) -> int:
+    """Distribute whole images across encoding groups in order.
+
+    Groups with ``rate == 0`` are skipped (the paper's defensive
+    grouping).  Each group receives as many whole images as its weight
+    count can hold.  Returns the number of images actually assigned;
+    groups' ``payload`` fields are filled in place.
+    """
+    pixels = payload.pixels_per_image
+    remaining = len(payload)
+    offset = 0
+    for group in groups:
+        if group.rate == 0.0 or remaining == 0:
+            group.payload = None
+            continue
+        count = min(group.capacity(pixels), remaining)
+        if count == 0:
+            group.payload = None
+            continue
+        group.payload = SecretPayload(
+            payload.images[offset:offset + count],
+            payload.labels[offset:offset + count],
+        )
+        offset += count
+        remaining -= count
+    return offset
+
+
+class LayerwiseCorrelationPenalty:
+    """Eq. 2: the sum of per-group correlation penalties weighted by P_k."""
+
+    def __init__(self, groups: Sequence[LayerGroup]) -> None:
+        self.groups: List[LayerGroup] = list(groups)
+        active = [g for g in self.groups if g.rate > 0.0 and g.payload is not None]
+        if not active:
+            raise CapacityError("no active encoding groups (all rates zero or no payload)")
+        self._total_weights = sum(g.num_weights for g in active)
+        self._terms: List[Tuple[CorrelationPenalty, float]] = []
+        for group in active:
+            share = group.num_weights / self._total_weights
+            penalty = CorrelationPenalty(group.params, group.payload.secret_vector(), group.rate)
+            self._terms.append((penalty, share))
+
+    def __call__(self) -> Tensor:
+        total: Optional[Tensor] = None
+        for penalty, share in self._terms:
+            term = F.mul(penalty(), Tensor(share))
+            total = term if total is None else F.add(total, term)
+        return total
+
+    def correlations(self) -> List[float]:
+        """Current per-active-group correlation values (monitoring)."""
+        return [penalty.correlation_value() for penalty, _ in self._terms]

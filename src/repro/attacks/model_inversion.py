@@ -1,0 +1,115 @@
+"""Model inversion attack (Fredrikson et al., CCS 2015 -- paper ref [10]).
+
+The weakest member of the privacy-attack landscape the paper cites:
+with white-box access but *no* malicious training, gradient-ascend an
+input to maximise one class's logit (plus a total-variation prior for
+smoothness).  The result is a class *prototype*, not a training image --
+which is exactly the paper's implicit contrast: the correlation attack
+steals actual training samples, inversion only recovers what the class
+looks like on average.  ``benchmarks/test_ext_related_attacks.py``
+quantifies that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigError
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class InversionConfig:
+    """Hyper-parameters of the inversion optimisation."""
+
+    steps: int = 150
+    lr: float = 0.1
+    tv_weight: float = 1e-3
+    momentum: float = 0.9
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.steps < 1:
+            raise ConfigError("steps must be >= 1")
+        if self.lr <= 0:
+            raise ConfigError("lr must be positive")
+
+
+def _tv_penalty(image: Tensor) -> Tensor:
+    """Differentiable total variation of an NCHW tensor (smoothness prior)."""
+    _, _, height, width = image.shape
+    right = F.getitem(image, (slice(None), slice(None), slice(None), slice(1, width)))
+    left = F.getitem(image, (slice(None), slice(None), slice(None), slice(0, width - 1)))
+    down = F.getitem(image, (slice(None), slice(None), slice(1, height), slice(None)))
+    up = F.getitem(image, (slice(None), slice(None), slice(0, height - 1), slice(None)))
+    dx = F.sub(right, left)
+    dy = F.sub(down, up)
+    return F.add(F.mean(F.mul(dx, dx)), F.mean(F.mul(dy, dy)))
+
+
+def invert_class(
+    model: Module,
+    target_class: int,
+    image_shape: Tuple[int, int, int],
+    config: InversionConfig = InversionConfig(),
+    mean: Optional[np.ndarray] = None,
+    std: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Reconstruct a class prototype from a released model.
+
+    Args:
+        model: released classifier (white-box: gradients flow to input).
+        target_class: the class to invert.
+        image_shape: (C, H, W) of the model's input.
+        config: optimisation hyper-parameters.
+        mean / std: the model's input normalization; the returned image
+            is denormalised through them.
+
+    Returns:
+        uint8 image (H, W, C) -- the recovered prototype.
+    """
+    config.validate()
+    was_training = model.training
+    model.eval()
+    rng = np.random.default_rng(config.seed)
+    image = Tensor(rng.normal(0.0, 0.1, size=(1, *image_shape)), requires_grad=True)
+    velocity = np.zeros_like(image.data)
+    for _ in range(config.steps):
+        logits = model(image)
+        # Maximise the target's log-probability (numerically stable
+        # log-softmax -- raw exp margins overflow as logits grow during
+        # the ascent) while keeping the image smooth.
+        log_probs = F.log_softmax(logits)
+        objective = F.getitem(log_probs, (0, target_class))
+        loss = F.add(F.neg(objective), F.mul(_tv_penalty(image), Tensor(config.tv_weight)))
+        image.grad = None
+        loss.backward()
+        velocity = config.momentum * velocity + image.grad
+        image.data = image.data - config.lr * velocity
+    if was_training:
+        model.train()
+
+    recovered = image.data[0]
+    if mean is not None and std is not None:
+        recovered = recovered * np.asarray(std).reshape(-1, 1, 1) + \
+            np.asarray(mean).reshape(-1, 1, 1)
+    recovered = np.clip(recovered, 0.0, 1.0) * 255.0
+    return np.transpose(recovered, (1, 2, 0)).astype(np.uint8)
+
+
+def inversion_quality_vs_class(
+    prototype: np.ndarray, class_images: np.ndarray
+) -> float:
+    """Best-case MAPE of a prototype against any image of its class.
+
+    Inversion recovers *a* class representative; the fair score is its
+    distance to the nearest real class member.
+    """
+    from repro.metrics.mape import batch_mape
+    repeated = np.repeat(prototype[None], len(class_images), axis=0)
+    return float(batch_mape(class_images, repeated).min())

@@ -1,0 +1,97 @@
+"""Packaging target images into the secret vector ``s``.
+
+The correlated value encoding attack correlates model weights with a
+flat vector of pixel values.  :class:`SecretPayload` owns that vector:
+which images were selected, their labels, their pixel layout, and which
+contiguous slice of the (flattened) encoding weights each image claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import ImageDataset
+from repro.errors import CapacityError
+
+
+@dataclass
+class SecretPayload:
+    """The target data of an encoding attack.
+
+    Attributes:
+        images: uint8 array (n, H, W, C) -- the originals being stolen.
+        labels: int64 array (n,) -- original class labels (used by the
+            "model recognises its own stolen image" metric).
+        image_shape: (H, W, C).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    image_shape: Tuple[int, int, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.uint8)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise CapacityError(f"payload images must be (n, H, W, C), got {self.images.shape}")
+        if len(self.images) != len(self.labels):
+            raise CapacityError("payload images and labels differ in length")
+        self.image_shape = tuple(self.images.shape[1:])
+
+    @classmethod
+    def from_dataset(cls, dataset: ImageDataset, indices: Sequence[int]) -> "SecretPayload":
+        indices = np.asarray(indices)
+        return cls(dataset.images[indices], dataset.labels[indices])
+
+    # ----------------------------------------------------------- geometry
+    def __len__(self) -> int:
+        return len(self.images)
+
+    @property
+    def pixels_per_image(self) -> int:
+        height, width, channels = self.image_shape
+        return height * width * channels
+
+    @property
+    def total_pixels(self) -> int:
+        return len(self.images) * self.pixels_per_image
+
+    # ------------------------------------------------------------- vector
+    def secret_vector(self) -> np.ndarray:
+        """The flat float vector ``s`` (raw pixel values, image-major).
+
+        Pearson correlation is shift/scale invariant, so the raw
+        [0, 255] pixel values are used directly; decoding remaps the
+        weight slice back to [0, 255] (paper Sec. II-B).
+        """
+        return self.images.reshape(len(self.images), -1).astype(np.float64).reshape(-1)
+
+    def image_slices(self) -> List[slice]:
+        """Slice of the secret vector (and weight vector) per image."""
+        size = self.pixels_per_image
+        return [slice(i * size, (i + 1) * size) for i in range(len(self.images))]
+
+    def take(self, count: int) -> "SecretPayload":
+        """First ``count`` images as a new payload."""
+        if count > len(self.images):
+            raise CapacityError(
+                f"requested {count} images but payload has only {len(self.images)}"
+            )
+        return SecretPayload(self.images[:count], self.labels[:count])
+
+    def split(self, counts: Sequence[int]) -> List["SecretPayload"]:
+        """Partition into consecutive payloads of the given sizes."""
+        if sum(counts) > len(self.images):
+            raise CapacityError(
+                f"split sizes {list(counts)} exceed payload size {len(self.images)}"
+            )
+        out: List[SecretPayload] = []
+        offset = 0
+        for count in counts:
+            out.append(SecretPayload(self.images[offset:offset + count],
+                                     self.labels[offset:offset + count]))
+            offset += count
+        return out

@@ -1,0 +1,58 @@
+"""Sign encoding attack (Song et al. CCS'17 baseline).
+
+Each parameter's sign bit carries one secret bit: a penalty term
+
+    P(theta, b) = lambda_s * mean( max(0, -theta_i * b_i) )
+
+pushes ``sign(theta_i)`` towards ``b_i`` in {-1, +1} during training.
+Capacity is one bit per parameter -- the paper's point that this attack
+is far less efficient than correlated value encoding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.errors import CapacityError
+from repro.nn.module import Parameter
+
+
+class SignEncodingPenalty:
+    """Hinge penalty that aligns parameter signs with secret bits."""
+
+    def __init__(self, params: Sequence[Parameter], secret_bits: np.ndarray, rate: float) -> None:
+        self.params: List[Parameter] = list(params)
+        bits = np.asarray(secret_bits).reshape(-1)
+        if not np.all((bits == 0) | (bits == 1)):
+            raise CapacityError("secret bits must be 0/1")
+        total = sum(p.size for p in self.params)
+        self.length = min(total, bits.size)
+        if self.length == 0:
+            raise CapacityError("no capacity for sign encoding")
+        signs = bits[: self.length].astype(np.float64) * 2.0 - 1.0
+        self._target = Tensor(signs)
+        self.rate = float(rate)
+
+    def __call__(self) -> Tensor:
+        from repro.attacks.correlated import flatten_parameters
+        theta = flatten_parameters(self.params)
+        theta = F.getitem(theta, slice(0, self.length))
+        hinge = F.relu(F.neg(F.mul(theta, self._target)))
+        return F.mul(F.mean(hinge), Tensor(self.rate))
+
+    def bit_accuracy(self) -> float:
+        """Fraction of parameters whose sign currently matches its bit."""
+        theta = np.concatenate([p.data.reshape(-1) for p in self.params])[: self.length]
+        return float(((theta >= 0) == (self._target.data > 0)).mean())
+
+
+def sign_decode_bits(params: Sequence[Parameter], num_bits: int) -> np.ndarray:
+    """Read secret bits back from parameter signs (>= 0 decodes as 1)."""
+    theta = np.concatenate([p.data.reshape(-1) for p in params])
+    if num_bits > theta.size:
+        raise CapacityError(f"requested {num_bits} bits but only {theta.size} parameters")
+    return (theta[:num_bits] >= 0).astype(np.uint8)

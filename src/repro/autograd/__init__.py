@@ -1,0 +1,20 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the training substrate for the whole reproduction: a
+small but complete tensor library with a dynamic computation graph,
+broadcast-aware arithmetic, convolution/pooling, and a fused numerically
+stable softmax cross-entropy.  Gradients of every op are covered by
+numerical-differentiation tests (see ``tests/autograd``).
+
+The public surface is:
+
+* :class:`Tensor` -- the differentiable array type.
+* :mod:`repro.autograd.functional` -- free functions (``relu``, ``conv2d`` ...).
+* :func:`grad_check` -- numerical gradient verification helper.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.grad_check import grad_check
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "grad_check"]

@@ -1,0 +1,570 @@
+"""Differentiable free functions over :class:`~repro.autograd.tensor.Tensor`.
+
+Every function here builds a graph node (when gradients are enabled) via
+``Function.apply``.  Convolution, pooling and the fused softmax
+cross-entropy live in :mod:`repro.autograd.ops_nn` and are re-exported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.function import Function, unbroadcast
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+
+# ---------------------------------------------------------------------------
+# Elementwise binary ops
+# ---------------------------------------------------------------------------
+
+
+class Add(Function):
+    def forward(self, a, b):
+        self._shapes = (a.shape, b.shape)
+        return a + b
+
+    def backward(self, grad):
+        sa, sb = self._shapes
+        return unbroadcast(grad, sa), unbroadcast(grad, sb)
+
+
+class Sub(Function):
+    def forward(self, a, b):
+        self._shapes = (a.shape, b.shape)
+        return a - b
+
+    def backward(self, grad):
+        sa, sb = self._shapes
+        return unbroadcast(grad, sa), unbroadcast(-grad, sb)
+
+
+class Mul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, grad):
+        a, b = self.saved
+        return unbroadcast(grad * b, a.shape), unbroadcast(grad * a, b.shape)
+
+
+class Div(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a / b
+
+    def backward(self, grad):
+        a, b = self.saved
+        grad_a = unbroadcast(grad / b, a.shape)
+        grad_b = unbroadcast(-grad * a / (b * b), b.shape)
+        return grad_a, grad_b
+
+
+class Maximum(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return np.maximum(a, b)
+
+    def backward(self, grad):
+        a, b = self.saved
+        mask = a >= b
+        return unbroadcast(grad * mask, a.shape), unbroadcast(grad * ~mask, b.shape)
+
+
+class MatMul(Function):
+    def forward(self, a, b):
+        if a.ndim != 2 or b.ndim != 2:
+            raise ShapeError(f"matmul expects 2-D operands, got {a.shape} @ {b.shape}")
+        self.save_for_backward(a, b)
+        return a @ b
+
+    def backward(self, grad):
+        a, b = self.saved
+        return grad @ b.T, a.T @ grad
+
+
+# ---------------------------------------------------------------------------
+# Elementwise unary ops
+# ---------------------------------------------------------------------------
+
+
+class Neg(Function):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad):
+        return (-grad,)
+
+
+class Pow(Function):
+    def __init__(self, exponent: float) -> None:
+        super().__init__()
+        self.exponent = float(exponent)
+
+    def forward(self, a):
+        self.save_for_backward(a)
+        return a ** self.exponent
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad * self.exponent * a ** (self.exponent - 1.0),)
+
+
+class Exp(Function):
+    def forward(self, a):
+        out = np.exp(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out,)
+
+
+class Log(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.log(a)
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad / a,)
+
+
+class Sqrt(Function):
+    def forward(self, a):
+        out = np.sqrt(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad / (2.0 * out),)
+
+
+class Abs(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.abs(a)
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad * np.sign(a),)
+
+
+class Tanh(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * (1.0 - out * out),)
+
+
+class Sigmoid(Function):
+    def forward(self, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out * (1.0 - out),)
+
+
+class ReLU(Function):
+    def forward(self, a):
+        mask = a > 0
+        self.save_for_backward(mask)
+        return a * mask
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+class LeakyReLU(Function):
+    def __init__(self, slope: float = 0.01) -> None:
+        super().__init__()
+        self.slope = float(slope)
+
+    def forward(self, a):
+        mask = a > 0
+        self.save_for_backward(mask)
+        return np.where(mask, a, self.slope * a)
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (np.where(mask, grad, self.slope * grad),)
+
+
+class Softplus(Function):
+    """log(1 + exp(x)), computed stably."""
+
+    def forward(self, a):
+        out = np.logaddexp(0.0, a)
+        self.save_for_backward(a)
+        return out
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad / (1.0 + np.exp(-a)),)
+
+
+class Gelu(Function):
+    """Gaussian error linear unit (exact erf form)."""
+
+    def forward(self, a):
+        from scipy.special import erf
+        cdf = 0.5 * (1.0 + erf(a / np.sqrt(2.0)))
+        self.save_for_backward(a, cdf)
+        return a * cdf
+
+    def backward(self, grad):
+        a, cdf = self.saved
+        pdf = np.exp(-0.5 * a * a) / np.sqrt(2.0 * np.pi)
+        return (grad * (cdf + a * pdf),)
+
+
+class Silu(Function):
+    """x * sigmoid(x) (a.k.a. swish)."""
+
+    def forward(self, a):
+        sig = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(a, sig)
+        return a * sig
+
+    def backward(self, grad):
+        a, sig = self.saved
+        return (grad * (sig + a * sig * (1.0 - sig)),)
+
+
+class Clip(Function):
+    def __init__(self, low: float, high: float) -> None:
+        super().__init__()
+        self.low, self.high = float(low), float(high)
+
+    def forward(self, a):
+        self.save_for_backward((a >= self.low) & (a <= self.high))
+        return np.clip(a, self.low, self.high)
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+
+def _normalize_axis(axis, ndim) -> Optional[Tuple[int, ...]]:
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(ax % ndim for ax in axis)
+
+
+class Sum(Function):
+    def __init__(self, axis=None, keepdims=False) -> None:
+        super().__init__()
+        self.axis, self.keepdims = axis, keepdims
+
+    def forward(self, a):
+        self._shape = a.shape
+        return a.sum(axis=self.axis, keepdims=self.keepdims)
+
+    def backward(self, grad):
+        grad = np.asarray(grad)
+        axis = _normalize_axis(self.axis, len(self._shape))
+        if axis is not None and not self.keepdims:
+            for ax in sorted(axis):
+                grad = np.expand_dims(grad, ax)
+        return (np.broadcast_to(grad, self._shape).copy(),)
+
+
+class Mean(Function):
+    def __init__(self, axis=None, keepdims=False) -> None:
+        super().__init__()
+        self.axis, self.keepdims = axis, keepdims
+
+    def forward(self, a):
+        self._shape = a.shape
+        out = a.mean(axis=self.axis, keepdims=self.keepdims)
+        self._count = a.size / out.size if out.size else 1.0
+        return out
+
+    def backward(self, grad):
+        grad = np.asarray(grad) / self._count
+        axis = _normalize_axis(self.axis, len(self._shape))
+        if axis is not None and not self.keepdims:
+            for ax in sorted(axis):
+                grad = np.expand_dims(grad, ax)
+        return (np.broadcast_to(grad, self._shape).copy(),)
+
+
+class MaxReduce(Function):
+    def __init__(self, axis=None, keepdims=False, minimum=False) -> None:
+        super().__init__()
+        self.axis, self.keepdims, self.minimum = axis, keepdims, minimum
+
+    def forward(self, a):
+        reducer = np.min if self.minimum else np.max
+        out_keep = reducer(a, axis=self.axis, keepdims=True)
+        self.save_for_backward(a, out_keep)
+        if self.keepdims:
+            return out_keep
+        if self.axis is None:
+            return out_keep.reshape(())
+        return np.squeeze(out_keep, axis=self.axis)
+
+    def backward(self, grad):
+        a, out_keep = self.saved
+        grad = np.asarray(grad)
+        mask = (a == out_keep)
+        # Split the gradient evenly among tied extrema (subgradient choice).
+        counts = mask.sum(axis=self.axis, keepdims=True)
+        if not self.keepdims:
+            if self.axis is None:
+                grad = grad.reshape((1,) * a.ndim)
+            else:
+                axis = _normalize_axis(self.axis, a.ndim)
+                for ax in sorted(axis):
+                    grad = np.expand_dims(grad, ax)
+        return (mask * grad / counts,)
+
+
+# ---------------------------------------------------------------------------
+# Shape ops
+# ---------------------------------------------------------------------------
+
+
+class Reshape(Function):
+    def __init__(self, shape: Tuple[int, ...]) -> None:
+        super().__init__()
+        self.shape = shape
+
+    def forward(self, a):
+        self._orig = a.shape
+        return a.reshape(self.shape)
+
+    def backward(self, grad):
+        return (grad.reshape(self._orig),)
+
+
+class Transpose(Function):
+    def __init__(self, axes: Optional[Tuple[int, ...]]) -> None:
+        super().__init__()
+        self.axes = axes
+
+    def forward(self, a):
+        self._ndim = a.ndim
+        return np.transpose(a, self.axes)
+
+    def backward(self, grad):
+        if self.axes is None:
+            return (np.transpose(grad),)
+        inverse = np.argsort(self.axes)
+        return (np.transpose(grad, inverse),)
+
+
+class GetItem(Function):
+    def __init__(self, index) -> None:
+        super().__init__()
+        self.index = index
+
+    def forward(self, a):
+        self._shape = a.shape
+        return a[self.index]
+
+    def backward(self, grad):
+        out = np.zeros(self._shape, dtype=grad.dtype)
+        np.add.at(out, self.index, grad)
+        return (out,)
+
+
+class Concat(Function):
+    def __init__(self, axis: int = 0) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, *arrays):
+        self._sizes = [a.shape[self.axis] for a in arrays]
+        return np.concatenate(arrays, axis=self.axis)
+
+    def backward(self, grad):
+        splits = np.cumsum(self._sizes)[:-1]
+        return tuple(np.split(grad, splits, axis=self.axis))
+
+
+class Where(Function):
+    """Elementwise select: condition is a constant boolean mask."""
+
+    def __init__(self, condition: np.ndarray) -> None:
+        super().__init__()
+        self.condition = np.asarray(condition, dtype=bool)
+
+    def forward(self, a, b):
+        self._shapes = (a.shape, b.shape)
+        return np.where(self.condition, a, b)
+
+    def backward(self, grad):
+        sa, sb = self._shapes
+        grad_a = unbroadcast(grad * self.condition, sa)
+        grad_b = unbroadcast(grad * ~self.condition, sb)
+        return grad_a, grad_b
+
+
+class Stack(Function):
+    """Stack tensors along a new leading-or-given axis."""
+
+    def __init__(self, axis: int = 0) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, *arrays):
+        return np.stack(arrays, axis=self.axis)
+
+    def backward(self, grad):
+        pieces = np.split(grad, grad.shape[self.axis], axis=self.axis)
+        return tuple(np.squeeze(piece, axis=self.axis) for piece in pieces)
+
+
+class Pad2D(Function):
+    """Zero-pad the two trailing spatial axes of an NCHW tensor."""
+
+    def __init__(self, padding: int) -> None:
+        super().__init__()
+        self.padding = int(padding)
+
+    def forward(self, a):
+        p = self.padding
+        return np.pad(a, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def backward(self, grad):
+        p = self.padding
+        return (grad[:, :, p:-p or None, p:-p or None],)
+
+
+# ---------------------------------------------------------------------------
+# Public functional API
+# ---------------------------------------------------------------------------
+
+
+def add(a, b) -> Tensor: return Add.apply(a, b)
+def sub(a, b) -> Tensor: return Sub.apply(a, b)
+def mul(a, b) -> Tensor: return Mul.apply(a, b)
+def div(a, b) -> Tensor: return Div.apply(a, b)
+def maximum(a, b) -> Tensor: return Maximum.apply(a, b)
+def matmul(a, b) -> Tensor: return MatMul.apply(a, b)
+def neg(a) -> Tensor: return Neg.apply(a)
+def pow(a, exponent: float) -> Tensor: return Pow.apply(a, exponent=exponent)  # noqa: A001
+def exp(a) -> Tensor: return Exp.apply(a)
+def log(a) -> Tensor: return Log.apply(a)
+def sqrt(a) -> Tensor: return Sqrt.apply(a)
+def abs(a) -> Tensor: return Abs.apply(a)  # noqa: A001
+def tanh(a) -> Tensor: return Tanh.apply(a)
+def sigmoid(a) -> Tensor: return Sigmoid.apply(a)
+def relu(a) -> Tensor: return ReLU.apply(a)
+def leaky_relu(a, slope: float = 0.01) -> Tensor: return LeakyReLU.apply(a, slope=slope)
+def softplus(a) -> Tensor: return Softplus.apply(a)
+def gelu(a) -> Tensor: return Gelu.apply(a)
+def silu(a) -> Tensor: return Silu.apply(a)
+def clip(a, low: float, high: float) -> Tensor: return Clip.apply(a, low=low, high=high)
+
+
+def sum(a, axis=None, keepdims=False) -> Tensor:  # noqa: A001
+    return Sum.apply(a, axis=axis, keepdims=keepdims)
+
+
+def mean(a, axis=None, keepdims=False) -> Tensor:
+    return Mean.apply(a, axis=axis, keepdims=keepdims)
+
+
+def max(a, axis=None, keepdims=False) -> Tensor:  # noqa: A001
+    return MaxReduce.apply(a, axis=axis, keepdims=keepdims, minimum=False)
+
+
+def min(a, axis=None, keepdims=False) -> Tensor:  # noqa: A001
+    return MaxReduce.apply(a, axis=axis, keepdims=keepdims, minimum=True)
+
+
+def var(a, axis=None, keepdims=False) -> Tensor:
+    """Population variance composed from differentiable primitives."""
+    centered = sub(a, mean(a, axis=axis, keepdims=True))
+    return mean(mul(centered, centered), axis=axis, keepdims=keepdims)
+
+
+def reshape(a, *shape) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Reshape.apply(a, shape=shape)
+
+
+def transpose(a, *axes) -> Tensor:
+    if len(axes) == 0:
+        axes_arg = None
+    elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+        axes_arg = tuple(axes[0])
+    else:
+        axes_arg = axes
+    return Transpose.apply(a, axes=axes_arg)
+
+
+def flatten(a, start_axis: int = 1) -> Tensor:
+    shape = a.shape[:start_axis] + (-1,)
+    return reshape(a, shape)
+
+
+def getitem(a, index) -> Tensor:
+    return GetItem.apply(a, index=index)
+
+
+def concat(tensors: Sequence, axis: int = 0) -> Tensor:
+    return Concat.apply(*tensors, axis=axis)
+
+
+def where(condition, a, b) -> Tensor:
+    """Select ``a`` where ``condition`` is true, else ``b`` (condition is
+    treated as a constant -- no gradient flows through it)."""
+    if isinstance(condition, Tensor):
+        condition = condition.data
+    return Where.apply(a, b, condition=condition)
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    return Stack.apply(*tensors, axis=axis)
+
+
+def pad2d(a, padding: int) -> Tensor:
+    if padding == 0:
+        return a if isinstance(a, Tensor) else Tensor(a)
+    return Pad2D.apply(a, padding=padding)
+
+
+# Neural-network ops (conv / pool / losses) are defined in ops_nn and
+# re-exported here so that `functional` is the single import site.
+from repro.autograd.ops_nn import (  # noqa: E402
+    avg_pool2d,
+    conv2d,
+    global_avg_pool2d,
+    log_softmax,
+    max_pool2d,
+    softmax,
+    softmax_cross_entropy,
+)
+
+__all__ = [
+    "add", "sub", "mul", "div", "maximum", "matmul", "neg", "pow", "exp",
+    "log", "sqrt", "abs", "tanh", "sigmoid", "relu", "leaky_relu", "clip",
+    "softplus", "gelu", "silu",
+    "sum", "mean", "max", "min", "var", "reshape", "transpose", "flatten",
+    "getitem", "concat", "where", "stack", "pad2d",
+    "conv2d", "max_pool2d", "avg_pool2d",
+    "global_avg_pool2d", "softmax", "log_softmax", "softmax_cross_entropy",
+]

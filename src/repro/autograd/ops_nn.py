@@ -1,0 +1,278 @@
+"""Neural-network ops: convolution, pooling, softmax and the fused loss.
+
+Convolution is implemented with the standard im2col lowering: each local
+receptive field becomes a column, so the convolution is one large matrix
+multiply.  This is the usual way to get acceptable conv performance out
+of pure numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+
+# ---------------------------------------------------------------------------
+# im2col machinery
+# ---------------------------------------------------------------------------
+
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution output size is non-positive: input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def _im2col_indices(
+    shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int, padding: int
+):
+    """Index arrays that gather conv patches into columns (CS231n style)."""
+    _, channels, height, width = shape
+    out_h = _conv_output_size(height, kh, stride, padding)
+    out_w = _conv_output_size(width, kw, stride, padding)
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Lower NCHW input to a (C*kh*kw, N*out_h*out_w) patch matrix."""
+    p = padding
+    x_padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p))) if p > 0 else x
+    k, i, j, _, _ = _im2col_indices(x.shape, kh, kw, stride, padding)
+    cols = x_padded[:, k, i, j]
+    return cols.transpose(1, 2, 0).reshape(kh * kw * x.shape[1], -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add a patch matrix back into an NCHW array (inverse of im2col)."""
+    batch, channels, height, width = shape
+    p = padding
+    padded = np.zeros((batch, channels, height + 2 * p, width + 2 * p), dtype=cols.dtype)
+    k, i, j, _, _ = _im2col_indices(shape, kh, kw, stride, padding)
+    cols_reshaped = cols.reshape(channels * kh * kw, -1, batch).transpose(2, 0, 1)
+    np.add.at(padded, (slice(None), k, i, j), cols_reshaped)
+    if p == 0:
+        return padded
+    return padded[:, :, p:-p, p:-p]
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+
+
+class Conv2dFn(Function):
+    def __init__(self, stride: int = 1, padding: int = 0) -> None:
+        super().__init__()
+        self.stride, self.padding = int(stride), int(padding)
+
+    def forward(self, x, weight):
+        if x.ndim != 4 or weight.ndim != 4:
+            raise ShapeError(f"conv2d expects NCHW input and OIHW weight, got {x.shape}, {weight.shape}")
+        out_channels, in_channels, kh, kw = weight.shape
+        if x.shape[1] != in_channels:
+            raise ShapeError(
+                f"conv2d channel mismatch: input has {x.shape[1]}, weight expects {in_channels}"
+            )
+        cols = im2col(x, kh, kw, self.stride, self.padding)
+        out = weight.reshape(out_channels, -1) @ cols
+        _, _, _, out_h, out_w = _im2col_indices(x.shape, kh, kw, self.stride, self.padding)
+        out = out.reshape(out_channels, out_h, out_w, x.shape[0]).transpose(3, 0, 1, 2)
+        self.save_for_backward(cols, weight)
+        self._x_shape = x.shape
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad):
+        cols, weight = self.saved
+        out_channels, _, kh, kw = weight.shape
+        grad_flat = grad.transpose(1, 2, 3, 0).reshape(out_channels, -1)
+        grad_weight = (grad_flat @ cols.T).reshape(weight.shape)
+        grad_cols = weight.reshape(out_channels, -1).T @ grad_flat
+        grad_x = col2im(grad_cols, self._x_shape, kh, kw, self.stride, self.padding)
+        return grad_x, grad_weight
+
+
+def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution over NCHW input with OIHW weights."""
+    out = Conv2dFn.apply(x, weight, stride=stride, padding=padding)
+    if bias is not None:
+        from repro.autograd import functional as F
+        out = F.add(out, F.reshape(bias, (1, -1, 1, 1)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+
+class MaxPool2dFn(Function):
+    def __init__(self, kernel: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel = int(kernel)
+        self.stride = int(stride) if stride is not None else int(kernel)
+
+    def forward(self, x):
+        batch, channels, _, _ = x.shape
+        reshaped = x.reshape(batch * channels, 1, *x.shape[2:])
+        cols = im2col(reshaped, self.kernel, self.kernel, self.stride, 0)
+        self._argmax = np.argmax(cols, axis=0)
+        out = cols[self._argmax, np.arange(cols.shape[1])]
+        _, _, _, out_h, out_w = _im2col_indices(
+            reshaped.shape, self.kernel, self.kernel, self.stride, 0
+        )
+        self._cols_shape = cols.shape
+        self._reshaped_shape = reshaped.shape
+        self._x_shape = x.shape
+        return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
+            batch, channels, out_h, out_w
+        )
+
+    def backward(self, grad):
+        batch, channels, _, _ = self._x_shape
+        grad_flat = grad.reshape(batch * channels, -1).transpose(1, 0).reshape(-1)
+        grad_cols = np.zeros(self._cols_shape, dtype=grad.dtype)
+        grad_cols[self._argmax, np.arange(grad_cols.shape[1])] = grad_flat
+        grad_reshaped = col2im(
+            grad_cols, self._reshaped_shape, self.kernel, self.kernel, self.stride, 0
+        )
+        return (grad_reshaped.reshape(self._x_shape),)
+
+
+class AvgPool2dFn(Function):
+    def __init__(self, kernel: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel = int(kernel)
+        self.stride = int(stride) if stride is not None else int(kernel)
+
+    def forward(self, x):
+        batch, channels, _, _ = x.shape
+        reshaped = x.reshape(batch * channels, 1, *x.shape[2:])
+        cols = im2col(reshaped, self.kernel, self.kernel, self.stride, 0)
+        out = cols.mean(axis=0)
+        _, _, _, out_h, out_w = _im2col_indices(
+            reshaped.shape, self.kernel, self.kernel, self.stride, 0
+        )
+        self._cols_shape = cols.shape
+        self._reshaped_shape = reshaped.shape
+        self._x_shape = x.shape
+        return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
+            batch, channels, out_h, out_w
+        )
+
+    def backward(self, grad):
+        batch, channels, _, _ = self._x_shape
+        grad_flat = grad.reshape(batch * channels, -1).transpose(1, 0).reshape(-1)
+        grad_cols = np.broadcast_to(
+            grad_flat / (self.kernel * self.kernel), self._cols_shape
+        ).copy()
+        grad_reshaped = col2im(
+            grad_cols, self._reshaped_shape, self.kernel, self.kernel, self.stride, 0
+        )
+        return (grad_reshaped.reshape(self._x_shape),)
+
+
+def max_pool2d(x, kernel: int, stride: Optional[int] = None) -> Tensor:
+    return MaxPool2dFn.apply(x, kernel=kernel, stride=stride)
+
+
+def avg_pool2d(x, kernel: int, stride: Optional[int] = None) -> Tensor:
+    return AvgPool2dFn.apply(x, kernel=kernel, stride=stride)
+
+
+def global_avg_pool2d(x) -> Tensor:
+    """Average each channel's spatial map down to a single value."""
+    from repro.autograd import functional as F
+    return F.mean(x, axis=(2, 3))
+
+
+# ---------------------------------------------------------------------------
+# Softmax and the fused cross-entropy loss
+# ---------------------------------------------------------------------------
+
+
+def _log_softmax_array(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+
+class LogSoftmax(Function):
+    def forward(self, logits):
+        out = _log_softmax_array(logits)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        softmax_vals = np.exp(out)
+        return (grad - softmax_vals * grad.sum(axis=1, keepdims=True),)
+
+
+class SoftmaxCrossEntropy(Function):
+    """Mean cross-entropy between logits and integer class targets.
+
+    Fusing the softmax into the loss keeps the computation numerically
+    stable and makes the backward pass the textbook ``softmax - onehot``.
+    """
+
+    def __init__(self, targets: np.ndarray) -> None:
+        super().__init__()
+        self.targets = np.asarray(targets, dtype=np.int64)
+
+    def forward(self, logits):
+        if logits.ndim != 2:
+            raise ShapeError(f"cross-entropy expects (batch, classes) logits, got {logits.shape}")
+        if self.targets.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"targets shape {self.targets.shape} does not match batch {logits.shape[0]}"
+            )
+        log_probs = _log_softmax_array(logits)
+        self.save_for_backward(log_probs)
+        batch = logits.shape[0]
+        return np.asarray(-log_probs[np.arange(batch), self.targets].mean())
+
+    def backward(self, grad):
+        (log_probs,) = self.saved
+        batch = log_probs.shape[0]
+        grad_logits = np.exp(log_probs)
+        grad_logits[np.arange(batch), self.targets] -= 1.0
+        return (grad_logits * (np.asarray(grad) / batch),)
+
+
+def log_softmax(logits) -> Tensor:
+    return LogSoftmax.apply(logits)
+
+
+def softmax(logits) -> Tensor:
+    from repro.autograd import functional as F
+    return F.exp(log_softmax(logits))
+
+
+def softmax_cross_entropy(logits, targets) -> Tensor:
+    """Mean cross-entropy loss; ``targets`` is an int array of class ids."""
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    return SoftmaxCrossEntropy.apply(logits, targets=targets)

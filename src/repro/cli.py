@@ -1,0 +1,190 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands:
+
+* ``attack``  -- run the full quantized correlation attack flow.
+* ``benign``  -- train the benign reference model.
+* ``audit``   -- run the defender's pre-release audit on an attack run.
+
+Examples::
+
+    python -m repro.cli attack --bits 4 --rate 20 --epochs 15
+    python -m repro.cli attack --dataset faces --bits 3 --out result.json
+    python -m repro.cli benign --epochs 15
+    python -m repro.cli audit --rate 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datasets import (
+    SyntheticCifarConfig,
+    SyntheticDigitsConfig,
+    SyntheticFacesConfig,
+    make_synthetic_cifar,
+    make_synthetic_digits,
+    make_synthetic_faces,
+    to_grayscale,
+    train_test_split,
+)
+from repro.pipeline import (
+    AttackConfig,
+    QuantizationConfig,
+    TrainingConfig,
+    run_quantized_correlation_attack,
+    train_benign,
+)
+from repro.pipeline.reporting import percent
+from repro.pipeline.results_io import attack_result_to_dict, save_result
+
+
+def _build_dataset(name: str, seed: int):
+    if name == "cifar":
+        data = make_synthetic_cifar(
+            SyntheticCifarConfig(num_images=240, num_classes=6, image_size=16, seed=seed)
+        )
+    elif name == "cifar-gray":
+        data = to_grayscale(make_synthetic_cifar(
+            SyntheticCifarConfig(num_images=240, num_classes=6, image_size=16, seed=seed)
+        ))
+    elif name == "faces":
+        data = make_synthetic_faces(
+            SyntheticFacesConfig(num_identities=12, images_per_identity=8,
+                                 image_size=24, seed=seed)
+        )
+    elif name == "digits":
+        data = make_synthetic_digits(
+            SyntheticDigitsConfig(num_images=300, image_size=20, seed=seed)
+        )
+    else:
+        raise SystemExit(f"unknown dataset {name!r}")
+    return train_test_split(data, test_fraction=0.2, seed=0)
+
+
+def _build_model_builder(dataset_name: str, train_dataset, seed: int):
+    channels = train_dataset.image_shape[2]
+    if dataset_name == "faces":
+        from repro.models import face_net_mini
+        return lambda: face_net_mini(
+            num_identities=train_dataset.num_classes, in_channels=channels,
+            width=8, rng=np.random.default_rng(seed),
+        )
+    from repro.models import resnet8_tiny
+    return lambda: resnet8_tiny(
+        num_classes=train_dataset.num_classes, in_channels=channels,
+        width=8, rng=np.random.default_rng(seed),
+    )
+
+
+def _attack_configs(args) -> tuple:
+    if args.dataset == "faces":
+        attack = AttackConfig(layer_ranges=((1, 2), (3, 5), (6, -1)),
+                              rates=(0.0, 0.0, args.rate),
+                              std_window=10.0, capacity_fraction=0.6)
+    else:
+        attack = AttackConfig(layer_ranges=((1, 2), (3, 4), (5, -1)),
+                              rates=(0.0, 0.0, args.rate), std_window=8.0)
+    training = TrainingConfig(epochs=args.epochs, batch_size=args.batch_size,
+                              lr=args.lr, seed=args.seed)
+    quantization = QuantizationConfig(bits=args.bits, method=args.method)
+    return training, attack, quantization
+
+
+def _cmd_attack(args) -> int:
+    train, test = _build_dataset(args.dataset, args.data_seed)
+    builder = _build_model_builder(args.dataset, train, args.seed)
+    training, attack, quantization = _attack_configs(args)
+    result = run_quantized_correlation_attack(
+        train, test, builder, training, attack, quantization,
+        progress=lambda stage: print(f"[{stage}]", file=sys.stderr),
+    )
+    for label, ev in [("uncompressed", result.uncompressed),
+                      (f"{args.bits}-bit released", result.quantized)]:
+        print(f"{label}: accuracy {percent(ev.accuracy)}, "
+              f"MAPE {ev.mean_mape:.2f}, SSIM {ev.mean_ssim:.3f}, "
+              f"recognizable {ev.recognized_count}/{ev.encoded_images}")
+    if args.out:
+        save_result(attack_result_to_dict(result), args.out)
+        print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_benign(args) -> int:
+    train, test = _build_dataset(args.dataset, args.data_seed)
+    builder = _build_model_builder(args.dataset, train, args.seed)
+    training = TrainingConfig(epochs=args.epochs, batch_size=args.batch_size,
+                              lr=args.lr, seed=args.seed)
+    result = train_benign(train, test, builder, training)
+    print(f"benign accuracy: {percent(result.accuracy)}")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.defenses import detect_attack
+    train, test = _build_dataset(args.dataset, args.data_seed)
+    builder = _build_model_builder(args.dataset, train, args.seed)
+    training, attack, _ = _attack_configs(args)
+    print("[training attacked model]", file=sys.stderr)
+    result = run_quantized_correlation_attack(
+        train, test, builder, training, attack, quantization=None,
+    )
+    print("[training benign reference]", file=sys.stderr)
+    reference = train_benign(train, test, builder, training)
+    report = detect_attack(result.model, train, reference=reference.model)
+    print(report)
+    return 0 if report.flagged else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DAC'20 compressed-model data-stealing reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset",
+                       choices=["cifar", "cifar-gray", "faces", "digits"],
+                       default="cifar")
+        p.add_argument("--epochs", type=int, default=15)
+        p.add_argument("--batch-size", type=int, default=32)
+        p.add_argument("--lr", type=float, default=0.08)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--data-seed", type=int, default=3)
+
+    attack = sub.add_parser("attack", help="run the full attack flow")
+    _common(attack)
+    attack.add_argument("--rate", type=float, default=20.0,
+                        help="correlation rate for the deep layer group")
+    attack.add_argument("--bits", type=int, default=4)
+    attack.add_argument("--method", default="target_correlated",
+                        choices=["target_correlated", "weighted_entropy",
+                                 "uniform", "kmeans"])
+    attack.add_argument("--out", help="write the result summary as JSON")
+    attack.set_defaults(func=_cmd_attack)
+
+    benign = sub.add_parser("benign", help="train the benign reference")
+    _common(benign)
+    benign.set_defaults(func=_cmd_benign)
+
+    audit = sub.add_parser("audit", help="audit an attacked model (defender view)")
+    _common(audit)
+    audit.add_argument("--rate", type=float, default=20.0)
+    audit.add_argument("--bits", type=int, default=4)
+    audit.add_argument("--method", default="target_correlated")
+    audit.set_defaults(func=_cmd_audit)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Dataset container shared by every generator and the pipeline."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+class ImageDataset:
+    """In-memory labelled image dataset.
+
+    Attributes:
+        images: uint8 array of shape (N, H, W, C) -- channels last, raw
+            pixel values in [0, 255] exactly as the attack encodes them.
+        labels: int64 array of shape (N,).
+        class_names: optional list of human-readable class names.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        class_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        images = np.asarray(images)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise DatasetError(f"images must be (N, H, W, C), got shape {images.shape}")
+        if images.dtype != np.uint8:
+            raise DatasetError(f"images must be uint8 in [0, 255], got dtype {images.dtype}")
+        if len(images) != len(labels):
+            raise DatasetError(
+                f"images ({len(images)}) and labels ({len(labels)}) differ in length"
+            )
+        self.images = images
+        self.labels = labels
+        if class_names is not None:
+            class_names = list(class_names)
+            if labels.size and labels.max() >= len(class_names):
+                raise DatasetError("labels reference classes beyond class_names")
+        self.class_names: Optional[List[str]] = class_names
+
+    # --------------------------------------------------------------- shape
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return self.images.shape[1:]
+
+    @property
+    def num_classes(self) -> int:
+        if self.class_names is not None:
+            return len(self.class_names)
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    @property
+    def pixels_per_image(self) -> int:
+        height, width, channels = self.image_shape
+        return height * width * channels
+
+    # ------------------------------------------------------------- subsets
+    def subset(self, indices: Sequence[int]) -> "ImageDataset":
+        """Select a subset (copy) of the dataset by index."""
+        indices = np.asarray(indices)
+        return ImageDataset(self.images[indices], self.labels[indices], self.class_names)
+
+    # --------------------------------------------------------------- stats
+    def per_image_std(self) -> np.ndarray:
+        """Pixel-value standard deviation of each image (Sec. IV-A statistic)."""
+        flat = self.images.reshape(len(self.images), -1).astype(np.float64)
+        return flat.std(axis=1)
+
+    def __repr__(self) -> str:
+        return (
+            f"ImageDataset(n={len(self)}, shape={self.image_shape}, "
+            f"classes={self.num_classes})"
+        )

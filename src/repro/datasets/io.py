@@ -1,0 +1,40 @@
+"""Persist datasets as npz archives.
+
+Synthetic generation is fast, but pinning a dataset to disk makes an
+experiment byte-reproducible across library versions (the generators'
+output could legitimately change between releases).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.base import ImageDataset
+from repro.errors import DatasetError
+
+
+def save_dataset(dataset: ImageDataset, path: Union[str, os.PathLike]) -> None:
+    """Write a dataset (images, labels, class names) to an npz file."""
+    payload = {
+        "images": dataset.images,
+        "labels": dataset.labels,
+    }
+    if dataset.class_names is not None:
+        payload["class_names"] = np.array(dataset.class_names, dtype=np.str_)
+    np.savez_compressed(path, **payload)
+
+
+def load_dataset(path: Union[str, os.PathLike]) -> ImageDataset:
+    """Read back a dataset written by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "images" not in archive or "labels" not in archive:
+            raise DatasetError(f"{path!s} is not a saved ImageDataset")
+        images = archive["images"]
+        labels = archive["labels"]
+        class_names = None
+        if "class_names" in archive:
+            class_names = [str(name) for name in archive["class_names"]]
+    return ImageDataset(images, labels, class_names)

@@ -1,0 +1,33 @@
+"""Deterministic dataset splitting."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.base import ImageDataset
+from repro.errors import DatasetError
+
+
+def train_test_split(
+    dataset: ImageDataset, test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[ImageDataset, ImageDataset]:
+    """Shuffle and split a dataset; stratified by class.
+
+    Stratification keeps every class present in both splits, which
+    matters for the small datasets the CPU-scale benchmarks use.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    train_indices, test_indices = [], []
+    for label in np.unique(dataset.labels):
+        members = np.flatnonzero(dataset.labels == label)
+        rng.shuffle(members)
+        cut = max(1, int(round(len(members) * test_fraction)))
+        if cut >= len(members):
+            cut = len(members) - 1
+        test_indices.extend(members[:cut])
+        train_indices.extend(members[cut:])
+    return dataset.subset(sorted(train_indices)), dataset.subset(sorted(test_indices))

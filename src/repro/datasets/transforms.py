@@ -1,0 +1,58 @@
+"""Image transforms: grayscale conversion, batching, normalization."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.base import ImageDataset
+from repro.errors import DatasetError
+
+# ITU-R BT.601 luma coefficients, the standard RGB->gray conversion.
+_LUMA = np.array([0.299, 0.587, 0.114])
+
+
+def to_grayscale(dataset: ImageDataset) -> ImageDataset:
+    """Convert an RGB dataset to single-channel grayscale (BT.601 luma)."""
+    if dataset.image_shape[2] == 1:
+        return dataset
+    if dataset.image_shape[2] != 3:
+        raise DatasetError(f"expected 1 or 3 channels, got {dataset.image_shape[2]}")
+    gray = (dataset.images.astype(np.float64) @ _LUMA)
+    gray = np.clip(np.round(gray), 0, 255).astype(np.uint8)[..., None]
+    return ImageDataset(gray, dataset.labels, dataset.class_names)
+
+
+def images_to_batch(images: np.ndarray) -> np.ndarray:
+    """uint8 NHWC images -> float NCHW batch scaled to [0, 1]."""
+    batch = np.asarray(images, dtype=np.float64) / 255.0
+    if batch.ndim == 3:
+        batch = batch[None]
+    return np.ascontiguousarray(batch.transpose(0, 3, 1, 2))
+
+
+def normalize_batch(
+    batch: np.ndarray,
+    mean: Optional[np.ndarray] = None,
+    std: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Standardise an NCHW batch per channel; returns (batch, mean, std)."""
+    if mean is None:
+        mean = batch.mean(axis=(0, 2, 3))
+    if std is None:
+        std = batch.std(axis=(0, 2, 3))
+        std = np.where(std < 1e-8, 1.0, std)
+    shaped_mean = np.asarray(mean).reshape(1, -1, 1, 1)
+    shaped_std = np.asarray(std).reshape(1, -1, 1, 1)
+    return (batch - shaped_mean) / shaped_std, np.asarray(mean), np.asarray(std)
+
+
+def random_flip_horizontal(
+    batch: np.ndarray, rng: np.random.Generator, probability: float = 0.5
+) -> np.ndarray:
+    """Flip a random subset of an NCHW batch left-right (augmentation)."""
+    out = batch.copy()
+    flips = rng.random(len(batch)) < probability
+    out[flips] = out[flips, :, :, ::-1]
+    return out

@@ -1,0 +1,29 @@
+"""Defenses for the data holder (extension beyond the paper).
+
+The paper closes by hoping the community will "examine this emerging
+threat"; this subpackage implements the natural countermeasures a data
+holder can run *before releasing a model*, and the benchmarks measure
+how well they catch the paper's attack:
+
+* :mod:`repro.defenses.detection` -- white-box audits: weight
+  distribution anomaly testing against a benign reference, and direct
+  correlation scanning of the weights against the holder's own data.
+* :mod:`repro.defenses.sanitization` -- payload destruction: noise
+  injection and weight clipping applied to the released weights, with
+  an accuracy cost the holder controls.
+"""
+
+from repro.defenses.detection import (
+    DetectionReport,
+    correlation_scan,
+    detect_attack,
+    weight_distribution_anomaly,
+)
+from repro.defenses.sanitization import clip_weights, inject_noise
+from repro.defenses.cleansing import perturb_and_restore, retrain_cleanse
+
+__all__ = [
+    "DetectionReport", "weight_distribution_anomaly", "correlation_scan",
+    "detect_attack", "inject_noise", "clip_weights", "retrain_cleanse",
+    "perturb_and_restore",
+]

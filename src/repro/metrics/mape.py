@@ -1,0 +1,42 @@
+"""Mean absolute pixel error (paper Sec. V-A).
+
+    MAPE = (1/u) * sum_i |x_i - x'_i|
+
+over the ``u`` pixels of an image, with pixel values in [0, 255].
+Lower is better; the paper calls an image "badly encoded" at MAPE > 20.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def mape(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """MAPE between one original and one reconstructed image."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ShapeError(
+            f"image shapes differ: {original.shape} vs {reconstructed.shape}"
+        )
+    return float(np.abs(original - reconstructed).mean())
+
+
+def batch_mape(originals: np.ndarray, reconstructions: np.ndarray) -> np.ndarray:
+    """Per-image MAPE over matched batches (n, H, W, C)."""
+    originals = np.asarray(originals, dtype=np.float64)
+    reconstructions = np.asarray(reconstructions, dtype=np.float64)
+    if originals.shape != reconstructions.shape:
+        raise ShapeError(
+            f"batch shapes differ: {originals.shape} vs {reconstructions.shape}"
+        )
+    return np.abs(originals - reconstructions).reshape(len(originals), -1).mean(axis=1)
+
+
+def count_below_threshold(
+    originals: np.ndarray, reconstructions: np.ndarray, threshold: float = 20.0
+) -> int:
+    """How many reconstructions have MAPE < threshold (Table IV metric)."""
+    return int((batch_mape(originals, reconstructions) < threshold).sum())

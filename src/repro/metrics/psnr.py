@@ -1,0 +1,34 @@
+"""Peak signal-to-noise ratio, the usual companion to SSIM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+_MAX_PIXEL = 255.0
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """PSNR in dB between two images; ``inf`` for identical images."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ShapeError(
+            f"image shapes differ: {original.shape} vs {reconstructed.shape}"
+        )
+    mse = float(((original - reconstructed) ** 2).mean())
+    if mse == 0.0:
+        return float("inf")
+    return float(20.0 * np.log10(_MAX_PIXEL) - 10.0 * np.log10(mse))
+
+
+def batch_psnr(originals: np.ndarray, reconstructions: np.ndarray) -> np.ndarray:
+    """Per-image PSNR over matched batches (n, H, W, C)."""
+    originals = np.asarray(originals)
+    reconstructions = np.asarray(reconstructions)
+    if originals.shape != reconstructions.shape:
+        raise ShapeError(
+            f"batch shapes differ: {originals.shape} vs {reconstructions.shape}"
+        )
+    return np.array([psnr(o, r) for o, r in zip(originals, reconstructions)])

@@ -1,0 +1,50 @@
+"""The paper's "recognizable images by the model itself" metric.
+
+A stolen image counts as *recognizable* when the released model, fed the
+reconstruction, predicts the original image's class (Sec. II-C reports
+"the number of recognizable images by the model itself").  This measures
+attack effectiveness end-to-end: the reconstruction must retain enough
+class-discriminative content to survive the model's own decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.transforms import images_to_batch, normalize_batch
+from repro.metrics.accuracy import predict_classes
+from repro.nn.module import Module
+
+
+def recognizable_mask(
+    model: Module,
+    reconstructions: np.ndarray,
+    labels: np.ndarray,
+    mean: np.ndarray = None,
+    std: np.ndarray = None,
+) -> np.ndarray:
+    """Boolean mask: model(reconstruction) == original label.
+
+    Args:
+        model: the released classifier.
+        reconstructions: uint8 images (n, H, W, C).
+        labels: the original labels of the encoded images.
+        mean / std: the normalization the model was trained with; when
+            given, reconstructions go through the same pipeline.
+    """
+    batch = images_to_batch(reconstructions)
+    if mean is not None and std is not None:
+        batch, _, _ = normalize_batch(batch, mean, std)
+    predictions = predict_classes(model, batch)
+    return predictions == np.asarray(labels)
+
+
+def recognizable_count(
+    model: Module,
+    reconstructions: np.ndarray,
+    labels: np.ndarray,
+    mean: np.ndarray = None,
+    std: np.ndarray = None,
+) -> int:
+    """Number of recognizable reconstructions (Table I / III metric)."""
+    return int(recognizable_mask(model, reconstructions, labels, mean, std).sum())

@@ -1,0 +1,70 @@
+"""Structural similarity index (Wang et al., IEEE TIP 2004).
+
+Gaussian-windowed SSIM with the standard constants (K1=0.01, K2=0.03,
+sigma=1.5, dynamic range 255).  The paper uses SSIM to quantify how much
+face texture survives extraction (Table IV, Fig. 5); SSIM > 0.5 counts
+as a high-quality reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.errors import ShapeError
+
+_K1, _K2 = 0.01, 0.03
+_SIGMA = 1.5
+_DYNAMIC_RANGE = 255.0
+
+
+def _ssim_single_channel(x: np.ndarray, y: np.ndarray) -> float:
+    c1 = (_K1 * _DYNAMIC_RANGE) ** 2
+    c2 = (_K2 * _DYNAMIC_RANGE) ** 2
+    mu_x = gaussian_filter(x, _SIGMA)
+    mu_y = gaussian_filter(y, _SIGMA)
+    mu_x_sq = mu_x * mu_x
+    mu_y_sq = mu_y * mu_y
+    mu_xy = mu_x * mu_y
+    sigma_x = gaussian_filter(x * x, _SIGMA) - mu_x_sq
+    sigma_y = gaussian_filter(y * y, _SIGMA) - mu_y_sq
+    sigma_xy = gaussian_filter(x * y, _SIGMA) - mu_xy
+    numerator = (2 * mu_xy + c1) * (2 * sigma_xy + c2)
+    denominator = (mu_x_sq + mu_y_sq + c1) * (sigma_x + sigma_y + c2)
+    return float((numerator / denominator).mean())
+
+
+def ssim(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """SSIM between two images (H, W) or (H, W, C); channel-averaged."""
+    x = np.asarray(original, dtype=np.float64)
+    y = np.asarray(reconstructed, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ShapeError(f"image shapes differ: {x.shape} vs {y.shape}")
+    if x.ndim == 2:
+        return _ssim_single_channel(x, y)
+    if x.ndim == 3:
+        channels = x.shape[2]
+        return float(np.mean([
+            _ssim_single_channel(x[..., c], y[..., c]) for c in range(channels)
+        ]))
+    raise ShapeError(f"ssim expects 2-D or 3-D images, got shape {x.shape}")
+
+
+def batch_ssim(originals: np.ndarray, reconstructions: np.ndarray) -> np.ndarray:
+    """Per-image SSIM over matched batches (n, H, W, C)."""
+    originals = np.asarray(originals)
+    reconstructions = np.asarray(reconstructions)
+    if originals.shape != reconstructions.shape:
+        raise ShapeError(
+            f"batch shapes differ: {originals.shape} vs {reconstructions.shape}"
+        )
+    return np.array([
+        ssim(orig, recon) for orig, recon in zip(originals, reconstructions)
+    ])
+
+
+def count_above_threshold(
+    originals: np.ndarray, reconstructions: np.ndarray, threshold: float = 0.5
+) -> int:
+    """How many reconstructions reach SSIM > threshold (Table IV metric)."""
+    return int((batch_ssim(originals, reconstructions) > threshold).sum())

@@ -1,0 +1,67 @@
+"""Face-recognition model: the stand-in for Inception-ResNet-v1.
+
+The paper trains Inception-ResNet-v1 with a softmax classifier head on
+FaceScrub.  The attack only needs a face classifier whose weights can
+memorise pixel data, so this compact residual embedding network (conv
+stem, residual stages, embedding layer, classifier head) exercises the
+identical attack code path at CPU scale.  See DESIGN.md substitutions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.blocks import BasicBlock, ConvBnRelu
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Sequential
+from repro.nn.pooling import GlobalAvgPool2d
+
+
+class FaceNetMini(Module):
+    """Residual embedding network with a softmax classifier head."""
+
+    def __init__(
+        self,
+        num_identities: int = 50,
+        in_channels: int = 1,
+        width: int = 16,
+        embedding_dim: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.stem = ConvBnRelu(in_channels, width, rng=rng)
+        self.stage1 = BasicBlock(width, 2 * width, stride=2, rng=rng)
+        self.stage2 = BasicBlock(2 * width, 4 * width, stride=2, rng=rng)
+        self.stage3 = BasicBlock(4 * width, 4 * width, stride=1, rng=rng)
+        self.pool = GlobalAvgPool2d()
+        self.embedding = Linear(4 * width, embedding_dim, rng=rng)
+        self.classifier = Linear(embedding_dim, num_identities, rng=rng)
+        self.embedding_dim = embedding_dim
+
+    def embed(self, x: Tensor) -> Tensor:
+        """L2-normalised face embedding (FaceNet-style)."""
+        features = self._features(x)
+        norm = F.sqrt(F.sum(F.mul(features, features), axis=1, keepdims=True))
+        return F.div(features, F.add(norm, Tensor(1e-8)))
+
+    def _features(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.pool(out)
+        return self.embedding(out)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(F.relu(self._features(x)))
+
+
+def face_net_mini(num_identities: int = 50, in_channels: int = 1, width: int = 16,
+                  rng: Optional[np.random.Generator] = None) -> FaceNetMini:
+    return FaceNetMini(num_identities=num_identities, in_channels=in_channels,
+                       width=width, rng=rng)

@@ -1,0 +1,60 @@
+"""Model introspection helpers shared by the attacks and quantizers.
+
+The encoding attacks and quantizers both operate on the model's *weight
+tensors* (conv kernels and linear weight matrices) in a stable layer
+order -- biases and BatchNorm affine parameters are excluded, matching
+the paper's setup where data is encoded into the convolution/FC weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+def encodable_parameters(model: Module) -> List[Tuple[str, Parameter]]:
+    """Ordered (name, parameter) list of conv/linear weight tensors.
+
+    Order is the module-tree registration order, which for the models in
+    this repo is input-to-output layer order -- the property the
+    paper's layer grouping (Sec. IV-B) relies on.
+    """
+    selected: List[Tuple[str, Parameter]] = []
+    for name, param in model.named_parameters():
+        if not name.endswith(".weight"):
+            continue
+        if param.ndim < 2:  # BatchNorm gamma is 1-D; conv/linear are >= 2-D
+            continue
+        selected.append((name, param))
+    return selected
+
+
+def parameter_vector(model: Module, names: List[str] = None) -> np.ndarray:
+    """Concatenate (a subset of) encodable weights into one flat vector."""
+    params = encodable_parameters(model)
+    if names is not None:
+        wanted = set(names)
+        params = [(n, p) for n, p in params if n in wanted]
+    if not params:
+        return np.zeros(0)
+    return np.concatenate([p.data.reshape(-1) for _, p in params])
+
+
+def set_parameter_vector(model: Module, vector: np.ndarray, names: List[str] = None) -> None:
+    """Write a flat vector back into the model's encodable weights."""
+    params = encodable_parameters(model)
+    if names is not None:
+        wanted = set(names)
+        params = [(n, p) for n, p in params if n in wanted]
+    offset = 0
+    for _, param in params:
+        size = param.size
+        param.data = np.asarray(vector[offset:offset + size], dtype=param.data.dtype).reshape(param.shape)
+        offset += size
+    if offset != len(vector):
+        raise ValueError(
+            f"vector length {len(vector)} does not match total weight count {offset}"
+        )

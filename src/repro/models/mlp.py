@@ -1,0 +1,40 @@
+"""Fully connected classifier over flattened inputs."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations.
+
+    Args:
+        layer_sizes: e.g. ``[3072, 256, 64, 10]`` -- input, hidden..., output.
+    """
+
+    def __init__(self, layer_sizes: Sequence[int],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        rng = rng if rng is not None else np.random.default_rng()
+        for index in range(len(layer_sizes) - 1):
+            layer = Linear(layer_sizes[index], layer_sizes[index + 1], rng=rng)
+            setattr(self, f"fc{index}", layer)
+        self.depth = len(layer_sizes) - 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = F.flatten(x, 1)
+        for index in range(self.depth):
+            x = getattr(self, f"fc{index}")(x)
+            if index < self.depth - 1:
+                x = F.relu(x)
+        return x

@@ -1,0 +1,88 @@
+"""ResNet family for CIFAR-sized inputs (He et al., 2016).
+
+``resnet34_cifar`` builds the paper's full-depth model.  The benchmark
+suite uses the narrow variants (same topology family, fewer/narrower
+blocks) because the substrate trains on CPU; layer-group structure --
+which is what the paper's Eq. 2 exploits -- is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.blocks import BasicBlock, ConvBnRelu
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Sequential
+from repro.nn.pooling import GlobalAvgPool2d
+
+
+class ResNet(Module):
+    """CIFAR-style ResNet: 3x3 stem, three/four stages, global pool, FC."""
+
+    def __init__(
+        self,
+        block_counts: Sequence[int],
+        widths: Sequence[int],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if len(block_counts) != len(widths):
+            raise ValueError("block_counts and widths must have the same length")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.stem = ConvBnRelu(in_channels, widths[0], kernel_size=3, stride=1,
+                               padding=1, rng=rng)
+        stages: List[Module] = []
+        current = widths[0]
+        for stage_index, (count, width) in enumerate(zip(block_counts, widths)):
+            blocks: List[Module] = []
+            for block_index in range(count):
+                stride = 2 if stage_index > 0 and block_index == 0 else 1
+                blocks.append(BasicBlock(current, width, stride=stride, rng=rng))
+                current = width
+            stages.append(Sequential(*blocks))
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(current, num_classes, rng=rng)
+        self.block_counts = tuple(block_counts)
+        self.widths = tuple(widths)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.stages(out)
+        out = self.pool(out)
+        return self.fc(out)
+
+    @property
+    def num_conv_layers(self) -> int:
+        """Number of convolutional layers on the main path (stem + blocks)."""
+        return 1 + 2 * sum(self.block_counts)
+
+
+def resnet34_cifar(num_classes: int = 10, in_channels: int = 3,
+                   rng: Optional[np.random.Generator] = None) -> ResNet:
+    """The paper's ResNet-34 configuration for 32x32 inputs."""
+    return ResNet([3, 4, 6, 3], [64, 128, 256, 512], num_classes, in_channels, rng)
+
+
+def resnet18_cifar(num_classes: int = 10, in_channels: int = 3,
+                   rng: Optional[np.random.Generator] = None) -> ResNet:
+    return ResNet([2, 2, 2, 2], [64, 128, 256, 512], num_classes, in_channels, rng)
+
+
+def resnet10(num_classes: int = 10, in_channels: int = 3, width: int = 16,
+             rng: Optional[np.random.Generator] = None) -> ResNet:
+    """Narrow ResNet-10 used for CPU-scale experiment runs."""
+    return ResNet([1, 1, 1, 1], [width, 2 * width, 4 * width, 8 * width],
+                  num_classes, in_channels, rng)
+
+
+def resnet8_tiny(num_classes: int = 10, in_channels: int = 3, width: int = 8,
+                 rng: Optional[np.random.Generator] = None) -> ResNet:
+    """Three-stage tiny ResNet for fast tests and benchmarks."""
+    return ResNet([1, 1, 1], [width, 2 * width, 4 * width],
+                  num_classes, in_channels, rng)

@@ -1,0 +1,50 @@
+"""A plain convolutional classifier used for fast tests and examples."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.blocks import ConvBnRelu
+from repro.nn.layers import Flatten, Linear
+from repro.nn.module import Module
+from repro.nn.pooling import MaxPool2d
+
+
+class SimpleCNN(Module):
+    """Two conv stages + MLP head for small square images.
+
+    Args:
+        in_channels: input channel count (1 for grayscale, 3 for RGB).
+        num_classes: output classes.
+        image_size: input height/width (square).
+        width: channel width of the first conv stage.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        image_size: int = 32,
+        width: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.block1 = ConvBnRelu(in_channels, width, rng=rng)
+        self.pool1 = MaxPool2d(2)
+        self.block2 = ConvBnRelu(width, 2 * width, rng=rng)
+        self.pool2 = MaxPool2d(2)
+        self.flatten = Flatten()
+        feature_size = (image_size // 4) ** 2 * 2 * width
+        self.fc1 = Linear(feature_size, 4 * width, rng=rng)
+        self.fc2 = Linear(4 * width, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.pool1(self.block1(x))
+        out = self.pool2(self.block2(out))
+        out = self.flatten(out)
+        out = self.fc1(out).relu()
+        return self.fc2(out)

@@ -1,0 +1,67 @@
+"""VGG-style plain convolutional stacks (no residual connections).
+
+Adds architectural diversity to the model zoo: the attack's layer
+grouping applies to any input-to-output conv ordering, and a plain
+stack is the simplest instance of it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.blocks import ConvBnRelu
+from repro.nn.layers import Flatten, Linear
+from repro.nn.module import Module, Sequential
+from repro.nn.pooling import MaxPool2d
+
+# 'M' entries are 2x2 max-pools, ints are conv output widths.
+_CONFIGS = {
+    "vgg_tiny": (8, "M", 16, "M", 32, "M"),
+    "vgg_small": (16, 16, "M", 32, 32, "M", 64, 64, "M"),
+}
+
+
+class VGG(Module):
+    """Conv-BN-ReLU stack with interleaved max-pools and an MLP head."""
+
+    def __init__(
+        self,
+        config: Sequence[Union[int, str]],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        layers: List[Module] = []
+        channels = in_channels
+        spatial = image_size
+        for entry in config:
+            if entry == "M":
+                layers.append(MaxPool2d(2))
+                spatial //= 2
+            else:
+                layers.append(ConvBnRelu(channels, int(entry), rng=rng))
+                channels = int(entry)
+        if spatial < 1:
+            raise ValueError("too many pooling stages for this image size")
+        self.features = Sequential(*layers)
+        self.flatten = Flatten()
+        self.classifier = Linear(channels * spatial * spatial, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.flatten(self.features(x)))
+
+
+def vgg_tiny(num_classes: int = 10, in_channels: int = 3, image_size: int = 32,
+             rng: Optional[np.random.Generator] = None) -> VGG:
+    return VGG(_CONFIGS["vgg_tiny"], num_classes, in_channels, image_size, rng)
+
+
+def vgg_small(num_classes: int = 10, in_channels: int = 3, image_size: int = 32,
+              rng: Optional[np.random.Generator] = None) -> VGG:
+    return VGG(_CONFIGS["vgg_small"], num_classes, in_channels, image_size, rng)

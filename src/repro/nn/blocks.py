@@ -1,0 +1,73 @@
+"""Composite blocks: conv-bn-relu and the ResNet basic residual block."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Conv2d, Identity, ReLU
+from repro.nn.module import Module, Sequential
+from repro.nn.norm import BatchNorm2d
+
+
+class ConvBnRelu(Module):
+    """Conv → BatchNorm → ReLU, the standard CNN stem unit."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.conv = Conv2d(
+            in_channels, out_channels, kernel_size,
+            stride=stride, padding=padding, bias=False, rng=rng,
+        )
+        self.bn = BatchNorm2d(out_channels)
+        self.act = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.bn(self.conv(x)))
+
+
+class BasicBlock(Module):
+    """ResNet v1 basic block: two 3x3 convs with an identity shortcut.
+
+    When the stride or channel count changes, the shortcut is a strided
+    1x1 convolution, as in He et al. (2016).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = F.add(out, self.shortcut(x))
+        return F.relu(out)

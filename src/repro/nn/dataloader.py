@@ -1,0 +1,57 @@
+"""Minimal dataset/loader abstractions for numpy array data."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+class DataLoader:
+    """Iterate (inputs, labels) minibatches over in-memory arrays.
+
+    Shuffling uses a dedicated Generator, so epoch order is reproducible
+    given the seed and independent of global numpy state.
+    """
+
+    def __init__(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        seed: Optional[int] = None,
+        drop_last: bool = False,
+    ) -> None:
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        if len(inputs) != len(labels):
+            raise DatasetError(
+                f"inputs ({len(inputs)}) and labels ({len(labels)}) differ in length"
+            )
+        if len(inputs) == 0:
+            raise DatasetError("cannot build a DataLoader over an empty dataset")
+        if batch_size <= 0:
+            raise DatasetError(f"batch size must be positive, got {batch_size}")
+        self.inputs = inputs
+        self.labels = labels
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, rem = divmod(len(self.inputs), self.batch_size)
+        return full if self.drop_last or rem == 0 else full + 1
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.inputs))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            index = order[start:start + self.batch_size]
+            if self.drop_last and len(index) < self.batch_size:
+                return
+            yield self.inputs[index], self.labels[index]

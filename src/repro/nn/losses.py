@@ -1,0 +1,14 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Mean softmax cross-entropy over integer class targets."""
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        return F.softmax_cross_entropy(logits, targets)

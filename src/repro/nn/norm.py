@@ -1,0 +1,73 @@
+"""Batch normalization layers.
+
+The normalization itself is composed from differentiable primitives, so
+the backward pass comes for free from autograd; only the running-stat
+bookkeeping is hand-written (it is not differentiated through).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class _BatchNorm(Module):
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def _axes(self):
+        raise NotImplementedError
+
+    def _param_shape(self):
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._axes()
+        shape = self._param_shape()
+        if self.training:
+            mean = F.mean(x, axis=axes, keepdims=True)
+            centered = F.sub(x, mean)
+            variance = F.mean(F.mul(centered, centered), axis=axes, keepdims=True)
+            batch_mean = mean.data.reshape(self.num_features)
+            batch_var = variance.data.reshape(self.num_features)
+            m = self.momentum
+            self.update_buffer("running_mean", (1 - m) * self.running_mean + m * batch_mean)
+            self.update_buffer("running_var", (1 - m) * self.running_var + m * batch_var)
+            normalized = F.div(centered, F.sqrt(F.add(variance, Tensor(self.eps))))
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            std = Tensor(np.sqrt(self.running_var.reshape(shape) + self.eps))
+            normalized = F.div(F.sub(x, mean), std)
+        gamma = F.reshape(self.gamma, shape)
+        beta = F.reshape(self.beta, shape)
+        return F.add(F.mul(normalized, gamma), beta)
+
+
+class BatchNorm2d(_BatchNorm):
+    """BatchNorm over NCHW activations (per-channel statistics)."""
+
+    def _axes(self):
+        return (0, 2, 3)
+
+    def _param_shape(self):
+        return (1, self.num_features, 1, 1)
+
+
+class BatchNorm1d(_BatchNorm):
+    """BatchNorm over (batch, features) activations."""
+
+    def _axes(self):
+        return (0,)
+
+    def _param_shape(self):
+        return (1, self.num_features)

@@ -1,0 +1,65 @@
+"""LayerNorm and GroupNorm -- batch-independent normalization layers.
+
+Quantization-aware pipelines often prefer batch-independent norms (no
+running statistics to re-calibrate after weight changes); these are
+provided for model-zoo diversity and are exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigError
+from repro.nn.module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalise over the trailing feature axis of (batch, features)."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = F.mean(x, axis=-1, keepdims=True)
+        centered = F.sub(x, mean)
+        variance = F.mean(F.mul(centered, centered), axis=-1, keepdims=True)
+        normalized = F.div(centered, F.sqrt(F.add(variance, Tensor(self.eps))))
+        return F.add(F.mul(normalized, self.gamma), self.beta)
+
+
+class GroupNorm(Module):
+    """Normalise NCHW activations within channel groups (Wu & He, 2018)."""
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_channels % num_groups:
+            raise ConfigError(
+                f"channels ({num_channels}) must divide evenly into groups ({num_groups})"
+            )
+        self.num_groups = int(num_groups)
+        self.num_channels = int(num_channels)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_channels))
+        self.beta = Parameter(np.zeros(num_channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, channels, height, width = x.shape
+        if channels != self.num_channels:
+            raise ConfigError(
+                f"expected {self.num_channels} channels, got {channels}"
+            )
+        grouped = F.reshape(x, (batch, self.num_groups, -1))
+        mean = F.mean(grouped, axis=2, keepdims=True)
+        centered = F.sub(grouped, mean)
+        variance = F.mean(F.mul(centered, centered), axis=2, keepdims=True)
+        normalized = F.div(centered, F.sqrt(F.add(variance, Tensor(self.eps))))
+        normalized = F.reshape(normalized, (batch, channels, height, width))
+        gamma = F.reshape(self.gamma, (1, channels, 1, 1))
+        beta = F.reshape(self.beta, (1, channels, 1, 1))
+        return F.add(F.mul(normalized, gamma), beta)

@@ -1,0 +1,24 @@
+"""Save/load model state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(model: Module, path: Union[str, os.PathLike]) -> None:
+    """Write the model's state dict to an npz file."""
+    state = model.state_dict()
+    # npz keys cannot contain '/', but '.' and ':' are fine.
+    np.savez(path, **state)
+
+
+def load_state(model: Module, path: Union[str, os.PathLike]) -> None:
+    """Load an npz state dict produced by :func:`save_state`."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)

@@ -1,0 +1,106 @@
+"""Experiment configuration dataclasses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the (benign-looking) training loop."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.epochs < 1:
+            raise ConfigError(f"epochs must be >= 1, got {self.epochs}")
+        if self.lr <= 0:
+            raise ConfigError(f"lr must be positive, got {self.lr}")
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """The adversary's knobs (Sec. IV).
+
+    Attributes:
+        layer_ranges: 1-based inclusive encodable-layer index ranges per
+            group; the paper's ResNet-34 grouping is
+            ``[(1, 12), (13, 16), (17, -1)]`` (-1 = through the end).
+        rates: per-group correlation rates ``lambda_k``; the paper's
+            final configuration zeroes the first two groups.
+        std_window: the pre-processing window length ``d``.
+        std_range: pin the window explicitly (paper uses [50, 55]).
+        selection_seed: RNG seed for the random target draw.
+        polarity: decoding polarity resolution ("auto" = adversary's TV
+            heuristic, "reference" = metric upper bound).
+        capacity_fraction: fraction of the active groups' image capacity
+            to actually encode.  Encoding at 100% correlates every
+            active weight, which costs accuracy on small models; the
+            paper's models are huge relative to the payload, so <1
+            emulates that regime.
+    """
+
+    layer_ranges: Tuple[Tuple[int, int], ...] = ((1, 12), (13, 16), (17, -1))
+    rates: Tuple[float, ...] = (0.0, 0.0, 5.0)
+    std_window: float = 5.0
+    std_range: Optional[Tuple[float, float]] = None
+    selection_seed: int = 0
+    polarity: str = "reference"
+    capacity_fraction: float = 1.0
+
+    def validate(self) -> None:
+        if len(self.layer_ranges) != len(self.rates):
+            raise ConfigError("layer_ranges and rates must have equal length")
+        if all(rate == 0.0 for rate in self.rates):
+            raise ConfigError("at least one group needs a non-zero rate")
+        if any(rate < 0 for rate in self.rates):
+            raise ConfigError("correlation rates must be non-negative")
+        if not 0.0 < self.capacity_fraction <= 1.0:
+            raise ConfigError(
+                f"capacity_fraction must be in (0, 1], got {self.capacity_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Compression step configuration.
+
+    Attributes:
+        bits: released bit width (levels = 2**bits).
+        method: "target_correlated" (Algorithm 1), "weighted_entropy"
+            (Park et al.), "uniform" or "kmeans" (deep compression).
+        scope: "per_layer" (default; deep compression and Park et al.
+            both keep one codebook per layer) or "global".
+        finetune_epochs / finetune_lr: the light post-quantization
+            fine-tuning both the paper and Park et al. apply.
+    """
+
+    bits: int = 4
+    method: str = "target_correlated"
+    scope: str = "per_layer"
+    finetune_epochs: int = 2
+    finetune_lr: float = 0.02
+
+    _METHODS = ("target_correlated", "weighted_entropy", "uniform", "kmeans")
+
+    def validate(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise ConfigError(f"bits must be in [1, 16], got {self.bits}")
+        if self.method not in self._METHODS:
+            raise ConfigError(f"method must be one of {self._METHODS}, got {self.method!r}")
+        if self.finetune_epochs < 0:
+            raise ConfigError("finetune_epochs must be >= 0")
+
+    @property
+    def levels(self) -> int:
+        return 1 << self.bits

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same row/column structure as the paper's tables;
+this keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(_line(list(headers)))
+    out.append("-+-".join("-" * width for width in widths))
+    out.extend(_line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def percent(value: float) -> str:
+    """0.8831 -> '88.31%'."""
+    return f"{100.0 * value:.2f}%"

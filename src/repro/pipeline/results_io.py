@@ -1,0 +1,67 @@
+"""Serialize experiment results to JSON (and back).
+
+Keeps the on-disk format plain: floats/ints/lists only, so results can
+be diffed, versioned and plotted without this library.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Union
+
+from repro.pipeline.evaluation import AttackEvaluation
+
+
+def evaluation_to_dict(evaluation: AttackEvaluation) -> Dict:
+    """Summarise one AttackEvaluation as plain JSON-ready data."""
+    return {
+        "accuracy": float(evaluation.accuracy),
+        "encoded_images": int(evaluation.encoded_images),
+        "mean_mape": float(evaluation.mean_mape),
+        "mean_ssim": float(evaluation.mean_ssim),
+        "recognized_count": int(evaluation.recognized_count),
+        "recognized_percent": float(evaluation.recognized_percent),
+        "mape_per_image": [float(v) for v in evaluation.mape_per_image],
+        "ssim_per_image": [float(v) for v in evaluation.ssim_per_image],
+        "recognizable": [bool(v) for v in evaluation.recognizable],
+    }
+
+
+def attack_result_to_dict(result) -> Dict:
+    """Summarise an AttackFlowResult (pipeline.attack_flow) as JSON data."""
+    out = {
+        "encoded_images": int(result.encoded_images),
+        "selection": {
+            "std_mean": float(result.selection.std_mean),
+            "std_range": [float(v) for v in result.selection.std_range],
+            "num_candidates": int(len(result.selection.candidate_indices)),
+        },
+        "history": {
+            "task_loss": [float(v) for v in result.history.task_loss],
+            "penalty": [float(v) for v in result.history.penalty],
+        },
+        "uncompressed": evaluation_to_dict(result.uncompressed),
+        "quantized": (evaluation_to_dict(result.quantized)
+                      if result.quantized is not None else None),
+    }
+    if result.quantization is not None:
+        out["quantization"] = {
+            "levels": int(result.quantization.levels),
+            "bits": int(result.quantization.bits),
+            "tensors": sorted(result.quantization.assignments),
+        }
+    return out
+
+
+def save_result(data: Dict, path: Union[str, os.PathLike]) -> None:
+    """Write a result dict as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_result(path: Union[str, os.PathLike]) -> Dict:
+    """Read back a result written by :func:`save_result`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

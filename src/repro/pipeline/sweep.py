@@ -1,0 +1,106 @@
+"""Parameter-sweep runner: cartesian grids of experiment configurations.
+
+The benchmarks hand-roll their sweeps for readable output; this runner
+is the programmatic equivalent for users extending the study -- it
+expands a grid, runs a callable per point, tags each record with its
+parameters, and renders/exports the collected records.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.pipeline.reporting import format_table
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> Iterator[Dict[str, Any]]:
+    """Yield one dict per point of the cartesian product of ``grid``."""
+    if not grid:
+        yield {}
+        return
+    keys = list(grid)
+    for values in itertools.product(*(grid[key] for key in keys)):
+        yield dict(zip(keys, values))
+
+
+@dataclass
+class SweepResult:
+    """Records collected by :class:`Sweep`."""
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def columns(self) -> List[str]:
+        columns: List[str] = []
+        for record in self.records:
+            for key in record:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def filter(self, **criteria: Any) -> "SweepResult":
+        """Records matching every key=value criterion."""
+        kept = [
+            record for record in self.records
+            if all(record.get(key) == value for key, value in criteria.items())
+        ]
+        return SweepResult(records=kept)
+
+    def best(self, metric: str, maximize: bool = True) -> Dict[str, Any]:
+        """The record with the best value of ``metric``."""
+        scored = [r for r in self.records if metric in r]
+        if not scored:
+            raise ConfigError(f"no record carries metric {metric!r}")
+        chooser = max if maximize else min
+        return chooser(scored, key=lambda r: r[metric])
+
+    def to_table(self, title: str = "") -> str:
+        columns = self.columns()
+        rows = [[record.get(col, "") for col in columns] for record in self.records]
+        return format_table(columns, rows, title=title)
+
+    def to_csv(self, path: Union[str, os.PathLike]) -> None:
+        columns = self.columns()
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(self.records)
+
+
+class Sweep:
+    """Run ``experiment(**params)`` over every grid point.
+
+    The experiment callable returns a dict of metrics; each record in
+    the result is ``{**params, **metrics}``.
+    """
+
+    def __init__(self, grid: Mapping[str, Sequence[Any]],
+                 experiment: Callable[..., Mapping[str, Any]]) -> None:
+        if not callable(experiment):
+            raise ConfigError("experiment must be callable")
+        self.grid = dict(grid)
+        self.experiment = experiment
+
+    def __len__(self) -> int:
+        count = 1
+        for values in self.grid.values():
+            count *= len(values)
+        return count
+
+    def run(self, progress: Callable[[Dict[str, Any]], None] = None) -> SweepResult:
+        result = SweepResult()
+        for params in expand_grid(self.grid):
+            if progress is not None:
+                progress(params)
+            metrics = self.experiment(**params)
+            record = dict(params)
+            record.update(metrics)
+            result.records.append(record)
+        return result

@@ -1,0 +1,166 @@
+"""Training loop with optional malicious-penalty hooks.
+
+From the data holder's point of view this is a stock training loop:
+loss = cross-entropy (+ "regularization").  The penalty callable is how
+the encoding attacks hide inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.dataloader import DataLoader
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+from repro.pipeline.config import TrainingConfig
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch task loss / penalty / validation traces."""
+
+    task_loss: List[float] = field(default_factory=list)
+    penalty: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.task_loss)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        return max(self.val_accuracy) if self.val_accuracy else float("nan")
+
+
+class Trainer:
+    """SGD trainer over in-memory NCHW float inputs and int labels."""
+
+    def __init__(
+        self,
+        model: Module,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        config: TrainingConfig,
+        penalty: Optional[Callable[[], Tensor]] = None,
+        augment: bool = False,
+        validation: Optional[tuple] = None,
+        grad_clip: Optional[float] = None,
+        schedule: Optional[str] = None,
+    ) -> None:
+        """Args:
+            augment: apply random horizontal flips per batch -- a stock
+                augmentation a real training pipeline would include.  It
+                only touches the task inputs; the encoding penalty's
+                secret vector is untouched, which is exactly why the
+                attack survives standard augmentation.
+            validation: optional ``(inputs, labels)`` evaluated after
+                every epoch into ``history.val_accuracy``.
+            grad_clip: optional global-norm gradient clipping threshold.
+            schedule: ``None``, ``"cosine"`` or ``"step"`` learning-rate
+                schedule over the configured epochs.
+        """
+        config.validate()
+        self.model = model
+        self.config = config
+        self.penalty = penalty
+        self.augment = bool(augment)
+        self.validation = validation
+        self.grad_clip = float(grad_clip) if grad_clip is not None else None
+        self._augment_rng = np.random.default_rng(config.seed + 1000)
+        self.loader = DataLoader(
+            inputs, labels, batch_size=config.batch_size, shuffle=True, seed=config.seed
+        )
+        self.optimizer = SGD(
+            model.parameters(), lr=config.lr, momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        if schedule is None:
+            self.schedule = None
+        elif schedule == "cosine":
+            from repro.nn.optim import CosineSchedule
+            self.schedule = CosineSchedule(self.optimizer, config.epochs)
+        elif schedule == "step":
+            from repro.nn.optim import StepSchedule
+            self.schedule = StepSchedule(self.optimizer, max(1, config.epochs // 3))
+        else:
+            from repro.errors import ConfigError
+            raise ConfigError(f"unknown schedule {schedule!r}")
+        self.loss_fn = CrossEntropyLoss()
+        self.history = TrainHistory()
+
+    def _clip_gradients(self) -> None:
+        """Scale all gradients so their global L2 norm is <= grad_clip."""
+        total = 0.0
+        for param in self.model.parameters():
+            if param.grad is not None:
+                total += float((param.grad ** 2).sum())
+        norm = total ** 0.5
+        if norm > self.grad_clip and norm > 0:
+            scale = self.grad_clip / norm
+            for param in self.model.parameters():
+                if param.grad is not None:
+                    param.grad = param.grad * scale
+
+    def train_epoch(self) -> float:
+        """One epoch; returns mean task loss."""
+        self.model.train()
+        total_task, total_penalty, count = 0.0, 0.0, 0
+        for inputs, labels in self.loader:
+            if self.augment:
+                from repro.datasets.transforms import random_flip_horizontal
+                inputs = random_flip_horizontal(inputs, self._augment_rng)
+            logits = self.model(Tensor(inputs))
+            task_loss = self.loss_fn(logits, labels)
+            loss = task_loss
+            penalty_value = 0.0
+            if self.penalty is not None:
+                penalty_term = self.penalty()
+                penalty_value = penalty_term.item()
+                loss = F.add(loss, penalty_term)
+            self.model.zero_grad()
+            loss.backward()
+            if self.grad_clip is not None:
+                self._clip_gradients()
+            self.optimizer.step()
+            batch = len(labels)
+            total_task += task_loss.item() * batch
+            total_penalty += penalty_value * batch
+            count += batch
+        mean_task = total_task / count
+        if not np.isfinite(mean_task):
+            from repro.errors import GradientError
+            raise GradientError(
+                "training diverged: task loss is not finite "
+                f"(epoch {self.history.epochs}, lr {self.optimizer.lr})"
+            )
+        self.history.task_loss.append(mean_task)
+        self.history.penalty.append(total_penalty / count)
+        if self.validation is not None:
+            from repro.metrics.accuracy import evaluate_accuracy
+            val_inputs, val_labels = self.validation
+            self.history.val_accuracy.append(
+                evaluate_accuracy(self.model, val_inputs, val_labels)
+            )
+            self.model.train()
+        if self.schedule is not None:
+            self.schedule.step()
+        return mean_task
+
+    def train(
+        self, epochs: Optional[int] = None,
+        progress: Optional[Callable[[int, float], None]] = None,
+    ) -> TrainHistory:
+        """Run the configured number of epochs."""
+        epochs = epochs if epochs is not None else self.config.epochs
+        for epoch in range(epochs):
+            mean_loss = self.train_epoch()
+            if progress is not None:
+                progress(epoch, mean_loss)
+        self.model.eval()
+        return self.history

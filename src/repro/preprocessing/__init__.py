@@ -1,0 +1,21 @@
+"""Data pre-processing stage of the attack flow (Sec. IV-A).
+
+Selects the subset of training images whose pixel-value statistics match
+the distribution the correlated weights will be pushed towards.
+"""
+
+from repro.preprocessing.selection import (
+    SelectionResult,
+    select_by_std_range,
+    select_encoding_targets,
+)
+from repro.preprocessing.stats import (
+    dataset_std_summary,
+    pixel_value_histogram,
+    weight_histogram,
+)
+
+__all__ = [
+    "SelectionResult", "select_encoding_targets", "select_by_std_range",
+    "dataset_std_summary", "pixel_value_histogram", "weight_histogram",
+]

@@ -1,0 +1,96 @@
+"""Std-based candidate selection (paper Sec. IV-A).
+
+The algorithm clusters training images by the standard deviation of
+their pixel values, computes the dataset mean std, keeps images whose
+std falls in a window ``[floor(std_mean), floor(std_mean) + d]``, and
+randomly draws ``n`` of them (n from the capacity estimate) as the
+correlation target set ``T``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.base import ImageDataset
+from repro.errors import CapacityError
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of the pre-processing stage."""
+
+    target_indices: np.ndarray
+    candidate_indices: np.ndarray
+    std_mean: float
+    std_range: Tuple[float, float]
+
+    def __len__(self) -> int:
+        return len(self.target_indices)
+
+
+def select_by_std_range(dataset: ImageDataset, low: float, high: float) -> np.ndarray:
+    """Indices of images with per-image pixel std strictly inside (low, high)."""
+    stds = dataset.per_image_std()
+    return np.flatnonzero((stds > low) & (stds < high))
+
+
+def select_encoding_targets(
+    dataset: ImageDataset,
+    capacity: int,
+    window: float = 5.0,
+    seed: int = 0,
+    widen_if_short: bool = True,
+    std_range: Optional[Tuple[float, float]] = None,
+) -> SelectionResult:
+    """Run Sec. IV-A selection and draw the correlation target set.
+
+    Args:
+        dataset: the training set the malicious algorithm received.
+        capacity: image capacity ``n`` (from the parameter amount).
+        window: the range length ``d``.
+        seed: RNG seed for the random draw.
+        widen_if_short: grow the window symmetrically when fewer than
+            ``capacity`` candidates fall inside it (the paper's fixed
+            window assumes CIFAR-scale datasets; small CPU-scale sets
+            sometimes need a wider net).
+        std_range: explicit (low, high) window overriding the computed
+            one -- the paper pins [50, 55] for CIFAR-10.
+
+    Returns:
+        A :class:`SelectionResult`; ``target_indices`` has
+        ``min(capacity, len(candidates))`` entries.
+    """
+    if capacity <= 0:
+        raise CapacityError(f"capacity must be positive, got {capacity}")
+    stds = dataset.per_image_std()
+    std_mean = float(stds.mean())
+    if std_range is not None:
+        std_min, std_max = float(std_range[0]), float(std_range[1])
+    else:
+        std_min = float(math.floor(std_mean))
+        std_max = std_min + float(window)
+    candidates = np.flatnonzero((stds > std_min) & (stds < std_max))
+    while widen_if_short and len(candidates) < capacity and (
+        std_min > stds.min() or std_max < stds.max()
+    ):
+        std_min -= 1.0
+        std_max += 1.0
+        candidates = np.flatnonzero((stds > std_min) & (stds < std_max))
+    if len(candidates) == 0:
+        raise CapacityError(
+            f"no candidate images with std in ({std_min}, {std_max}); "
+            f"dataset stds span [{stds.min():.1f}, {stds.max():.1f}]"
+        )
+    rng = np.random.default_rng(seed)
+    count = min(capacity, len(candidates))
+    chosen = rng.choice(candidates, size=count, replace=False)
+    return SelectionResult(
+        target_indices=np.sort(chosen),
+        candidate_indices=candidates,
+        std_mean=std_mean,
+        std_range=(std_min, std_max),
+    )

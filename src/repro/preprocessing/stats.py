@@ -1,0 +1,42 @@
+"""Distribution statistics for the Fig. 2 / Fig. 3 analyses."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.datasets.base import ImageDataset
+
+
+def pixel_value_histogram(
+    images: np.ndarray, bins: int = 64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalised histogram of pixel values over [0, 255]."""
+    pixels = np.asarray(images, dtype=np.float64).reshape(-1)
+    counts, edges = np.histogram(pixels, bins=bins, range=(0.0, 255.0))
+    total = counts.sum()
+    density = counts / total if total else counts.astype(np.float64)
+    return density, edges
+
+
+def weight_histogram(
+    weights: np.ndarray, bins: int = 64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalised histogram of a flat weight vector over its own range."""
+    weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+    counts, edges = np.histogram(weights, bins=bins)
+    total = counts.sum()
+    density = counts / total if total else counts.astype(np.float64)
+    return density, edges
+
+
+def dataset_std_summary(dataset: ImageDataset) -> Dict[str, float]:
+    """Per-image std statistics of a dataset (Sec. IV-A inputs)."""
+    stds = dataset.per_image_std()
+    return {
+        "mean": float(stds.mean()),
+        "min": float(stds.min()),
+        "max": float(stds.max()),
+        "median": float(np.median(stds)),
+    }

@@ -1,0 +1,54 @@
+"""Weight quantization: the defense and the adversary's version of it.
+
+* :class:`UniformQuantizer` / :class:`KMeansQuantizer` -- linear and
+  deep-compression-style baselines.
+* :class:`WeightedEntropyQuantizer` -- Park et al. CVPR'17, the paper's
+  representative "benign" compression (the defense in Table I).
+* :class:`TargetCorrelatedQuantizer` -- the paper's Algorithm 1: cluster
+  boundaries derived from the *target image* pixel histogram, so the
+  quantized weights keep the data-correlated distribution.
+* :func:`finetune_quantized` -- cluster-shared fine-tuning that recovers
+  accuracy after quantization without breaking the codebook structure.
+"""
+
+from repro.quantization.base import QuantizationResult, Quantizer, apply_quantization
+from repro.quantization.uniform import KMeansQuantizer, UniformQuantizer
+from repro.quantization.weighted_entropy import WeightedEntropyQuantizer
+from repro.quantization.target_correlated import TargetCorrelatedQuantizer, detect_flip
+from repro.quantization.finetune import finetune_quantized
+from repro.quantization.bitwidth import (
+    bits_for_levels,
+    levels_for_bits,
+    quantized_model_bytes,
+)
+from repro.quantization.pruning import (
+    MagnitudePruner,
+    PruningResult,
+    apply_pruning,
+    finetune_pruned,
+    pruned_model_bytes,
+)
+from repro.quantization.huffman import (
+    HuffmanCode,
+    build_huffman,
+    huffman_for_result,
+    huffman_model_bytes,
+)
+from repro.quantization.sensitivity import (
+    LayerSensitivity,
+    perturbation_sensitivity,
+    quantization_sensitivity,
+    suggest_groups,
+)
+
+__all__ = [
+    "Quantizer", "QuantizationResult", "apply_quantization",
+    "UniformQuantizer", "KMeansQuantizer", "WeightedEntropyQuantizer",
+    "TargetCorrelatedQuantizer", "detect_flip", "finetune_quantized",
+    "levels_for_bits", "bits_for_levels", "quantized_model_bytes",
+    "MagnitudePruner", "PruningResult", "apply_pruning", "finetune_pruned",
+    "pruned_model_bytes", "HuffmanCode", "build_huffman",
+    "huffman_for_result", "huffman_model_bytes",
+    "LayerSensitivity", "quantization_sensitivity",
+    "perturbation_sensitivity", "suggest_groups",
+]

@@ -1,0 +1,50 @@
+"""Bit-width arithmetic and compressed-model size accounting."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import QuantizationError
+from repro.nn.module import Module
+from repro.quantization.base import QuantizationResult
+
+
+def levels_for_bits(bits: int) -> int:
+    """Quantization levels for a bit width (8-bit -> 256 levels)."""
+    if bits < 1:
+        raise QuantizationError(f"bit width must be >= 1, got {bits}")
+    return 1 << bits
+
+
+def bits_for_levels(levels: int) -> int:
+    """Smallest bit width able to index ``levels`` clusters."""
+    if levels < 1:
+        raise QuantizationError(f"levels must be >= 1, got {levels}")
+    return max(1, math.ceil(math.log2(levels)))
+
+
+def quantized_model_bytes(model: Module, result: QuantizationResult) -> int:
+    """Storage estimate for the released model.
+
+    Quantized weights cost ``bits`` each plus a float32 codebook;
+    every remaining parameter (biases, BatchNorm) costs float32.
+    """
+    bits = result.bits
+    quantized_names = set(result.assignments)
+    total_bits = 0
+    from repro.models.introspect import encodable_parameters
+    encodable = dict(encodable_parameters(model))
+    for name, param in model.named_parameters():
+        if name in quantized_names and name in encodable:
+            total_bits += param.size * bits
+        else:
+            total_bits += param.size * 32
+    codebook_entries = {id(cb): cb.size for cb in result.codebooks.values()}
+    total_bits += sum(codebook_entries.values()) * 32
+    return (total_bits + 7) // 8
+
+
+def compression_ratio(model: Module, result: QuantizationResult) -> float:
+    """Float32 size divided by quantized size."""
+    full = sum(p.size for p in model.parameters()) * 4
+    return full / quantized_model_bytes(model, result)

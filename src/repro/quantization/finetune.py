@@ -1,0 +1,111 @@
+"""Cluster-shared fine-tuning after quantization.
+
+Both weighted-entropy quantization and the paper's flow "involve light
+fine-tuning to compensate for the accuracy loss".  With shared weights
+the trainable degrees of freedom are the *codebook entries*: each
+centroid's gradient is the sum of the gradients of every weight assigned
+to it (deep compression's shared-weight update rule).  Assignments stay
+fixed, so the codebook structure -- and therefore the embedded data's
+distribution shape -- survives.
+
+Biases and BatchNorm parameters remain full precision and are trained
+normally alongside the codebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.models.introspect import encodable_parameters
+from repro.nn.dataloader import DataLoader
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+from repro.quantization.base import QuantizationResult, apply_quantization
+
+
+def finetune_quantized(
+    model: Module,
+    result: QuantizationResult,
+    loader: DataLoader,
+    epochs: int = 1,
+    lr: float = 0.005,
+    momentum: float = 0.9,
+    penalty: Optional[Callable[[], Tensor]] = None,
+    progress: Optional[Callable[[int, float], None]] = None,
+) -> None:
+    """Fine-tune a quantized model without leaving the codebook.
+
+    Args:
+        model: model whose encodable weights are covered by ``result``.
+        result: codebooks/assignments from a Quantizer; updated in place.
+        loader: labelled minibatches (NCHW float inputs, int labels).
+        epochs / lr / momentum: optimisation hyper-parameters.
+        penalty: optional extra loss term (e.g. the correlation penalty,
+            if the adversary also regularises during fine-tuning).
+        progress: optional callback ``(epoch, mean_loss)``.
+    """
+    params = dict(encodable_parameters(model))
+    quantized = [(name, params[name]) for name in result.assignments]
+    others = [
+        p for name, p in model.named_parameters()
+        if name not in result.assignments
+    ]
+    loss_fn = CrossEntropyLoss()
+    other_opt = SGD(others, lr=lr, momentum=momentum) if others else None
+    velocity = {name: np.zeros_like(result.codebooks[name]) for name, _ in quantized}
+
+    # Shared codebooks (global scope) must receive one combined update,
+    # not one per tensor: group tensor names by codebook identity.
+    codebook_groups = {}
+    for name, _ in quantized:
+        codebook_groups.setdefault(id(result.codebooks[name]), []).append(name)
+
+    apply_quantization(model, result)
+    model.train()
+    for epoch in range(epochs):
+        total_loss, total_count = 0.0, 0
+        for inputs, labels in loader:
+            logits = model(Tensor(inputs))
+            loss = loss_fn(logits, labels)
+            if penalty is not None:
+                from repro.autograd import functional as F
+                loss = F.add(loss, penalty())
+            model.zero_grad()
+            loss.backward()
+            # Codebook update: per shared codebook, average member weight
+            # gradients into centroid gradients.  The mean (not the raw
+            # deep-compression sum) keeps the step size independent of
+            # cluster population -- at 3-bit a cluster can hold thousands
+            # of weights and the summed gradient would diverge.
+            for names in codebook_groups.values():
+                codebook = result.codebooks[names[0]]
+                grad = np.zeros_like(codebook)
+                counts = np.zeros(codebook.size)
+                for name in names:
+                    param = params[name]
+                    if param.grad is None:
+                        continue
+                    flat_assign = result.assignments[name].reshape(-1)
+                    grad += np.bincount(
+                        flat_assign,
+                        weights=param.grad.reshape(-1),
+                        minlength=codebook.size,
+                    )
+                    counts += np.bincount(flat_assign, minlength=codebook.size)
+                grad = grad / np.maximum(counts, 1.0)
+                vel = velocity[names[0]]
+                vel *= momentum
+                vel += grad
+                codebook -= lr * vel
+            if other_opt is not None:
+                other_opt.step()
+            apply_quantization(model, result)
+            total_loss += loss.item() * len(labels)
+            total_count += len(labels)
+        if progress is not None:
+            progress(epoch, total_loss / max(total_count, 1))
+    model.eval()

@@ -1,0 +1,138 @@
+"""Magnitude pruning -- the other compression axis the paper names.
+
+The paper's introduction lists "quantization and pruning" as the
+hardware-oriented compressions a malicious provider's training code
+would plausibly include; its evaluation focuses on quantization.  This
+module provides the pruning side so the interaction between pruning and
+the correlation attack can be studied (see
+``benchmarks/test_ext_pruning_defense.py``): magnitude pruning removes
+the smallest-|w| weights, which for a pixel-correlated weight vector
+are exactly the *dark-pixel* positions -- a qualitatively different
+failure mode from quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.models.introspect import encodable_parameters
+from repro.nn.module import Module
+
+
+@dataclass
+class PruningResult:
+    """Binary keep-masks for a set of named parameter tensors."""
+
+    sparsity: float
+    masks: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def kept_fraction(self, name: str) -> float:
+        mask = self.masks[name]
+        return float(mask.mean())
+
+    def total_kept_fraction(self) -> float:
+        kept = sum(int(m.sum()) for m in self.masks.values())
+        total = sum(m.size for m in self.masks.values())
+        return kept / total if total else 0.0
+
+
+class MagnitudePruner:
+    """Prune the smallest-magnitude weights.
+
+    Args:
+        sparsity: fraction of weights to remove, in [0, 1).
+        scope: "global" ranks all selected weights together (deep
+            compression's practice); "per_layer" ranks within each tensor.
+    """
+
+    def __init__(self, sparsity: float, scope: str = "global") -> None:
+        if not 0.0 <= sparsity < 1.0:
+            raise QuantizationError(f"sparsity must be in [0, 1), got {sparsity}")
+        if scope not in ("global", "per_layer"):
+            raise QuantizationError(f"scope must be 'global' or 'per_layer', got {scope!r}")
+        self.sparsity = float(sparsity)
+        self.scope = scope
+
+    def _mask_for(self, weights: np.ndarray, threshold: Optional[float] = None) -> np.ndarray:
+        if threshold is None:
+            if self.sparsity == 0.0:
+                return np.ones_like(weights, dtype=bool)
+            threshold = float(np.quantile(np.abs(weights), self.sparsity))
+        return np.abs(weights) > threshold
+
+    def prune_model(self, model: Module, names: Optional[Sequence[str]] = None) -> PruningResult:
+        """Build keep-masks over the model's encodable weights."""
+        params = encodable_parameters(model)
+        if names is not None:
+            wanted = set(names)
+            params = [(n, p) for n, p in params if n in wanted]
+        if not params:
+            raise QuantizationError("no parameters selected for pruning")
+        result = PruningResult(sparsity=self.sparsity)
+        if self.scope == "global":
+            all_weights = np.concatenate([p.data.reshape(-1) for _, p in params])
+            threshold = (float(np.quantile(np.abs(all_weights), self.sparsity))
+                         if self.sparsity > 0.0 else -1.0)
+            for name, param in params:
+                result.masks[name] = np.abs(param.data) > threshold
+        else:
+            for name, param in params:
+                result.masks[name] = self._mask_for(param.data.reshape(-1)).reshape(param.shape)
+        return result
+
+
+def apply_pruning(model: Module, result: PruningResult) -> None:
+    """Zero out the pruned weights in place."""
+    params = dict(encodable_parameters(model))
+    for name, mask in result.masks.items():
+        if name not in params:
+            raise QuantizationError(f"model has no encodable parameter {name!r}")
+        params[name].data = params[name].data * mask
+
+
+def finetune_pruned(
+    model: Module,
+    result: PruningResult,
+    loader,
+    epochs: int = 1,
+    lr: float = 0.02,
+    momentum: float = 0.9,
+) -> None:
+    """Masked fine-tuning: pruned positions stay zero throughout."""
+    from repro.autograd.tensor import Tensor
+    from repro.nn.losses import CrossEntropyLoss
+    from repro.nn.optim import SGD
+
+    apply_pruning(model, result)
+    params = dict(encodable_parameters(model))
+    loss_fn = CrossEntropyLoss()
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum)
+    model.train()
+    for _ in range(epochs):
+        for inputs, labels in loader:
+            loss = loss_fn(model(Tensor(inputs)), labels)
+            model.zero_grad()
+            loss.backward()
+            # Kill gradients at pruned positions before the update.
+            for name, mask in result.masks.items():
+                param = params[name]
+                if param.grad is not None:
+                    param.grad = param.grad * mask
+            optimizer.step()
+        apply_pruning(model, result)  # guard against momentum drift
+    model.eval()
+
+
+def pruned_model_bytes(model: Module, result: PruningResult,
+                       index_bits: int = 16) -> int:
+    """Sparse-storage estimate: kept values (float32) + per-value index."""
+    kept = sum(int(mask.sum()) for mask in result.masks.values())
+    pruned_names = set(result.masks)
+    other = sum(p.size for name, p in model.named_parameters()
+                if name not in pruned_names)
+    total_bits = kept * (32 + index_bits) + other * 32
+    return (total_bits + 7) // 8

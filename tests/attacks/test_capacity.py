@@ -1,0 +1,47 @@
+"""Capacity arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import estimate_image_capacity, group_capacities
+from repro.attacks.capacity import model_image_capacity
+from repro.attacks.layerwise import group_by_layer_ranges
+from repro.errors import CapacityError
+from repro.models.mlp import MLP
+
+
+class TestEstimate:
+    def test_basic(self):
+        assert estimate_image_capacity(1000, 100) == 10
+
+    def test_rounds_down(self):
+        assert estimate_image_capacity(199, 100) == 1
+
+    def test_zero_when_too_small(self):
+        assert estimate_image_capacity(50, 100) == 0
+
+    def test_invalid_pixels(self):
+        with pytest.raises(CapacityError):
+            estimate_image_capacity(100, 0)
+
+
+class TestModelCapacity:
+    def test_counts_encodable_weights_only(self):
+        model = MLP([10, 10, 10], rng=np.random.default_rng(0))
+        # 100 + 100 encodable weights; biases excluded.
+        assert model_image_capacity(model, (5, 5, 1)) == 200 // 25
+
+
+class TestGroupCapacities:
+    def test_zero_rate_reports_zero(self):
+        model = MLP([10, 10, 10], rng=np.random.default_rng(0))
+        groups = group_by_layer_ranges(model, ((1, 1), (2, -1)), (0.0, 1.0))
+        caps = group_capacities(groups, pixels_per_image=25)
+        assert caps["group1"] == 0
+        assert caps["group2"] == 4
+
+    def test_all_active(self):
+        model = MLP([10, 10, 10], rng=np.random.default_rng(0))
+        groups = group_by_layer_ranges(model, ((1, 1), (2, -1)), (1.0, 1.0))
+        caps = group_capacities(groups, pixels_per_image=25)
+        assert caps == {"group1": 4, "group2": 4}

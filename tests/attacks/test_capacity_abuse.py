@@ -1,0 +1,134 @@
+"""Capacity-abuse (black-box) attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    bits_per_query,
+    build_query_set,
+    extract_bits,
+    poison_training_set,
+)
+from repro.attacks.capacity_abuse import (
+    decode_labels_as_bits,
+    encode_bits_as_labels,
+    generate_queries,
+)
+from repro.errors import CapacityError
+
+RNG = np.random.default_rng(89)
+
+
+class TestBitPacking:
+    def test_bits_per_query(self):
+        assert bits_per_query(2) == 1
+        assert bits_per_query(6) == 2
+        assert bits_per_query(8) == 3
+        assert bits_per_query(10) == 3
+
+    def test_too_few_classes(self):
+        with pytest.raises(CapacityError):
+            bits_per_query(1)
+
+    def test_roundtrip(self):
+        bits = RNG.integers(0, 2, 60).astype(np.uint8)
+        labels = encode_bits_as_labels(bits, num_classes=8)
+        decoded = decode_labels_as_bits(labels, num_classes=8, num_bits=60)
+        assert np.array_equal(decoded, bits)
+
+    def test_roundtrip_with_padding(self):
+        bits = RNG.integers(0, 2, 7).astype(np.uint8)  # not divisible by 2
+        labels = encode_bits_as_labels(bits, num_classes=4)
+        decoded = decode_labels_as_bits(labels, num_classes=4, num_bits=7)
+        assert np.array_equal(decoded, bits)
+
+    def test_labels_within_class_range(self):
+        bits = RNG.integers(0, 2, 100).astype(np.uint8)
+        labels = encode_bits_as_labels(bits, num_classes=6)
+        assert labels.max() < 4  # 2 bits -> labels 0..3
+
+    def test_decode_too_many_bits_raises(self):
+        labels = np.zeros(2, dtype=np.int64)
+        with pytest.raises(CapacityError):
+            decode_labels_as_bits(labels, num_classes=4, num_bits=100)
+
+
+class TestQueries:
+    def test_deterministic(self):
+        a = generate_queries(5, (3, 8, 8), seed=1)
+        b = generate_queries(5, (3, 8, 8), seed=1)
+        assert np.array_equal(a, b)
+
+    def test_seed_matters(self):
+        a = generate_queries(5, (3, 8, 8), seed=1)
+        b = generate_queries(5, (3, 8, 8), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_build_query_set(self):
+        bits = RNG.integers(0, 2, 30).astype(np.uint8)
+        queries = build_query_set(bits, (1, 8, 8), num_classes=4, seed=0)
+        assert queries.num_bits == 30
+        assert len(queries) == 15  # 2 bits per query
+        assert queries.inputs.shape == (15, 1, 8, 8)
+
+    def test_poison_appends_with_repeats(self):
+        bits = RNG.integers(0, 2, 8).astype(np.uint8)
+        queries = build_query_set(bits, (1, 4, 4), num_classes=4, seed=0)
+        inputs = RNG.random((10, 1, 4, 4))
+        labels = RNG.integers(0, 4, 10)
+        px, py = poison_training_set(inputs, labels, queries, repeats=3)
+        assert len(px) == 10 + 3 * len(queries)
+        assert len(py) == len(px)
+
+    def test_poison_shape_mismatch(self):
+        bits = np.zeros(4, dtype=np.uint8)
+        queries = build_query_set(bits, (1, 4, 4), num_classes=4, seed=0)
+        with pytest.raises(CapacityError):
+            poison_training_set(RNG.random((5, 3, 4, 4)), np.zeros(5), queries)
+
+
+class TestEndToEnd:
+    def test_black_box_extraction(self):
+        """Train on a poisoned set; extract the secret by queries only."""
+        from repro.models.mlp import MLP
+        from repro.pipeline import Trainer, TrainingConfig
+
+        num_classes, image_shape = 4, (1, 6, 6)
+        secret = RNG.integers(0, 2, 40).astype(np.uint8)
+        queries = build_query_set(secret, image_shape, num_classes, seed=11)
+
+        # A small benign task ...
+        rng = np.random.default_rng(0)
+        centers = rng.standard_normal((num_classes, *image_shape)) * 2
+        labels = np.arange(80) % num_classes
+        inputs = centers[labels] + 0.3 * rng.standard_normal((80, *image_shape))
+        # ... poisoned with the query set.
+        px, py = poison_training_set(inputs, labels, queries, repeats=4)
+
+        model = MLP([36, 64, num_classes], rng=np.random.default_rng(1))
+        Trainer(model, px.reshape(len(px), -1), py,
+                TrainingConfig(epochs=30, batch_size=32, lr=0.1)).train()
+
+        class FlattenWrapper:
+            """Adapter so extract_bits can feed NCHW queries to the MLP."""
+            def __init__(self, mlp):
+                self.mlp = mlp
+                self.training = False
+            def eval(self):
+                return self.mlp.eval()
+            def train(self):
+                return self.mlp.train()
+            def __call__(self, x):
+                return self.mlp(x)
+
+        decoded = extract_bits(FlattenWrapper(model), len(secret),
+                               image_shape, num_classes, seed=11)
+        error = (decoded != secret).mean()
+        assert error < 0.1
+
+    def test_wrong_seed_extracts_noise(self):
+        from repro.models.mlp import MLP
+        model = MLP([36, 16, 4], rng=np.random.default_rng(2))
+        bits = extract_bits(model, 64, (1, 6, 6), 4, seed=99)
+        assert bits.shape == (64,)
+        assert set(np.unique(bits)).issubset({0, 1})

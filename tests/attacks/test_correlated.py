@@ -1,0 +1,124 @@
+"""Eq. 1 correlation penalty: math, gradients, optimisation behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CorrelationPenalty, pearson_correlation
+from repro.attacks.correlated import flatten_parameters
+from repro.autograd import Tensor, grad_check
+from repro.errors import CapacityError
+from repro.nn.module import Parameter
+
+RNG = np.random.default_rng(31)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = RNG.standard_normal(50)
+        corr = pearson_correlation(Tensor(x), Tensor(2.0 * x + 3.0))
+        assert np.isclose(corr.item(), 1.0, atol=1e-9)
+
+    def test_perfect_anticorrelation(self):
+        x = RNG.standard_normal(50)
+        corr = pearson_correlation(Tensor(x), Tensor(-x))
+        assert np.isclose(corr.item(), -1.0, atol=1e-9)
+
+    def test_matches_numpy(self):
+        a, b = RNG.standard_normal(100), RNG.standard_normal(100)
+        corr = pearson_correlation(Tensor(a), Tensor(b))
+        assert np.isclose(corr.item(), np.corrcoef(a, b)[0, 1], atol=1e-9)
+
+    def test_gradient(self):
+        secret = Tensor(RNG.standard_normal(20))
+        grad_check(lambda a: pearson_correlation(a, secret), [RNG.standard_normal(20)])
+
+    def test_scale_invariance(self):
+        a, b = RNG.standard_normal(30), RNG.standard_normal(30)
+        c1 = pearson_correlation(Tensor(a), Tensor(b)).item()
+        c2 = pearson_correlation(Tensor(5 * a + 1), Tensor(0.1 * b - 7)).item()
+        assert np.isclose(c1, c2, atol=1e-9)
+
+
+class TestFlattenParameters:
+    def test_concatenates_in_order(self):
+        p1 = Parameter(np.arange(4.0).reshape(2, 2))
+        p2 = Parameter(np.arange(4.0, 10.0).reshape(2, 3))
+        flat = flatten_parameters([p1, p2])
+        assert np.allclose(flat.data, np.arange(10.0))
+
+    def test_single_param(self):
+        p = Parameter(np.ones((2, 2)))
+        assert flatten_parameters([p]).shape == (4,)
+
+    def test_empty_raises(self):
+        with pytest.raises(CapacityError):
+            flatten_parameters([])
+
+    def test_gradient_routes_back(self):
+        p1 = Parameter(RNG.standard_normal((2, 2)))
+        p2 = Parameter(RNG.standard_normal(3))
+        from repro.autograd import functional as F
+        F.sum(F.mul(flatten_parameters([p1, p2]), flatten_parameters([p1, p2]))).backward()
+        assert p1.grad.shape == (2, 2)
+        assert p2.grad.shape == (3,)
+
+
+class TestCorrelationPenalty:
+    def test_penalty_value_bounds(self):
+        params = [Parameter(RNG.standard_normal((4, 4)))]
+        penalty = CorrelationPenalty(params, RNG.random(16) * 255, rate=5.0)
+        value = penalty().item()
+        assert -5.0 <= value <= 0.0
+
+    def test_truncates_to_min_length(self):
+        params = [Parameter(RNG.standard_normal(10))]
+        penalty = CorrelationPenalty(params, RNG.random(100), rate=1.0)
+        assert penalty.length == 10
+
+    def test_secret_shorter_than_params(self):
+        params = [Parameter(RNG.standard_normal(100))]
+        penalty = CorrelationPenalty(params, RNG.random(10), rate=1.0)
+        assert penalty.length == 10
+
+    def test_empty_secret_raises(self):
+        with pytest.raises(CapacityError):
+            CorrelationPenalty([Parameter(np.ones(4))], np.array([]), rate=1.0)
+
+    def test_optimisation_increases_correlation(self):
+        # Gradient descent on the penalty alone must push |corr| -> 1.
+        params = [Parameter(RNG.standard_normal((8, 8)))]
+        secret = RNG.random(64) * 255
+        penalty = CorrelationPenalty(params, secret, rate=1.0)
+        start = abs(penalty.correlation_value())
+        from repro.nn import SGD
+        opt = SGD(params, lr=0.5, momentum=0.9)
+        for _ in range(150):
+            loss = penalty()
+            params[0].grad = None
+            loss.backward()
+            opt.step()
+        end = abs(penalty.correlation_value())
+        assert end > 0.95
+        assert end > start
+
+    def test_correlation_value_matches_numpy(self):
+        params = [Parameter(RNG.standard_normal(40))]
+        secret = RNG.random(40)
+        penalty = CorrelationPenalty(params, secret, rate=1.0)
+        expected = np.corrcoef(params[0].data, secret)[0, 1]
+        assert np.isclose(penalty.correlation_value(), expected, atol=1e-9)
+
+    def test_rate_scales_penalty(self):
+        params = [Parameter(RNG.standard_normal(30))]
+        secret = RNG.random(30)
+        p1 = CorrelationPenalty(params, secret, rate=1.0)().item()
+        p5 = CorrelationPenalty(params, secret, rate=5.0)().item()
+        assert np.isclose(p5, 5.0 * p1, atol=1e-9)
+
+    def test_gradient_spans_multiple_params(self):
+        params = [Parameter(RNG.standard_normal((3, 3))),
+                  Parameter(RNG.standard_normal(7))]
+        penalty = CorrelationPenalty(params, RNG.random(16), rate=2.0)
+        penalty().backward()
+        assert params[0].grad is not None
+        assert params[1].grad is not None

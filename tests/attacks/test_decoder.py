@@ -1,0 +1,142 @@
+"""Decoding: min-max remap, polarity handling, group decoding."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SecretPayload, decode_images, decode_slice, total_variation
+from repro.attacks.decoder import decode_groups
+from repro.errors import CapacityError
+
+
+def payload_from(images):
+    return SecretPayload(images, np.zeros(len(images), dtype=np.int64))
+
+
+class TestDecodeSlice:
+    def test_perfect_positive_encoding(self):
+        # Min-max decoding is exact only when the image spans [0, 255],
+        # so pin those extremes (otherwise decode stretches the range).
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, size=(4, 4, 1), dtype=np.uint8)
+        image.reshape(-1)[0], image.reshape(-1)[1] = 0, 255
+        # Weights are an affine image of the pixels.
+        weights = image.reshape(-1).astype(float) * 0.01 - 0.5
+        decoded = decode_slice(weights, (4, 4, 1), polarity="pos")
+        assert np.abs(decoded.astype(float) - image.astype(float)).max() <= 1
+
+    def test_negative_polarity(self):
+        rng = np.random.default_rng(1)
+        image = rng.integers(0, 256, size=(4, 4, 1), dtype=np.uint8)
+        image.reshape(-1)[0], image.reshape(-1)[1] = 0, 255
+        weights = -image.reshape(-1).astype(float)
+        decoded = decode_slice(weights, (4, 4, 1), polarity="neg")
+        assert np.abs(decoded.astype(float) - image.astype(float)).max() <= 1
+
+    def test_reference_polarity_picks_better(self):
+        rng = np.random.default_rng(2)
+        image = rng.integers(0, 256, size=(4, 4, 1), dtype=np.uint8)
+        weights = -image.reshape(-1).astype(float)  # inverted encoding
+        decoded = decode_slice(weights, (4, 4, 1), polarity="reference", reference=image)
+        assert np.abs(decoded.astype(float) - image.astype(float)).mean() < 3
+
+    def test_reference_needs_reference(self):
+        with pytest.raises(CapacityError):
+            decode_slice(np.zeros(16), (4, 4, 1), polarity="reference")
+
+    def test_unknown_polarity(self):
+        with pytest.raises(CapacityError):
+            decode_slice(np.zeros(16), (4, 4, 1), polarity="banana")
+
+    def test_wrong_size(self):
+        with pytest.raises(CapacityError):
+            decode_slice(np.zeros(10), (4, 4, 1))
+
+    def test_constant_slice_decodes_to_gray(self):
+        decoded = decode_slice(np.ones(16), (4, 4, 1), polarity="pos")
+        assert np.all(decoded == 128)
+
+    def test_output_dtype_and_range(self):
+        decoded = decode_slice(np.random.default_rng(0).standard_normal(48), (4, 4, 3),
+                               polarity="pos")
+        assert decoded.dtype == np.uint8
+
+    def test_auto_polarity_on_smooth_image(self):
+        # A smooth gradient image encoded positively: auto must not invert it.
+        ys, xs = np.mgrid[0:8, 0:8]
+        image = ((xs + ys) * 255 / 14).astype(np.uint8)[..., None]
+        weights = image.reshape(-1).astype(float) + np.random.default_rng(0).normal(0, 5, 64)
+        decoded = decode_slice(weights, (8, 8, 1), polarity="auto")
+        err_direct = np.abs(decoded.astype(float) - image.astype(float)).mean()
+        err_inverted = np.abs((255 - decoded.astype(float)) - image.astype(float)).mean()
+        assert err_direct < err_inverted
+
+
+class TestTotalVariation:
+    def test_constant_image_zero(self):
+        assert total_variation(np.full((5, 5), 9.0)) == 0.0
+
+    def test_noise_rougher_than_gradient(self):
+        rng = np.random.default_rng(0)
+        noise = rng.integers(0, 256, size=(8, 8)).astype(float)
+        gradient = np.tile(np.linspace(0, 255, 8), (8, 1))
+        assert total_variation(noise) > total_variation(gradient)
+
+    def test_handles_channel_axis(self):
+        assert total_variation(np.zeros((4, 4, 3))) == 0.0
+
+
+class TestDecodeImages:
+    def test_roundtrip_multiple_images(self):
+        rng = np.random.default_rng(3)
+        images = rng.integers(0, 256, size=(3, 4, 4, 1), dtype=np.uint8)
+        images[:, 0, 0, 0], images[:, 0, 1, 0] = 0, 255  # span full range
+        p = payload_from(images)
+        weights = p.secret_vector() * 0.004 - 0.5  # affine encode
+        decoded = decode_images(weights, p, polarity="pos")
+        assert decoded.shape == images.shape
+        assert np.abs(decoded.astype(float) - images.astype(float)).max() <= 1
+
+    def test_too_short_weight_vector(self):
+        p = payload_from(np.zeros((2, 4, 4, 1), dtype=np.uint8))
+        with pytest.raises(CapacityError):
+            decode_images(np.zeros(10), p)
+
+    def test_extra_weights_ignored(self):
+        rng = np.random.default_rng(4)
+        images = rng.integers(0, 256, size=(1, 4, 4, 1), dtype=np.uint8)
+        images[0, 0, 0, 0], images[0, 0, 1, 0] = 0, 255
+        p = payload_from(images)
+        weights = np.concatenate([p.secret_vector(), rng.standard_normal(100)])
+        decoded = decode_images(weights, p, polarity="pos")
+        assert np.abs(decoded.astype(float) - images.astype(float)).max() <= 1
+
+
+class TestDecodeGroups:
+    def test_no_payload_raises(self):
+        from repro.attacks import group_by_layer_ranges
+        from repro.models.mlp import MLP
+        groups = group_by_layer_ranges(MLP([8, 8], rng=np.random.default_rng(0)),
+                                       ((1, -1),), (1.0,))
+        with pytest.raises(CapacityError):
+            decode_groups(groups)
+
+    def test_decodes_from_group_weights(self):
+        from repro.attacks import group_by_layer_ranges
+        from repro.attacks.layerwise import assign_payload
+        from repro.models.mlp import MLP
+        rng = np.random.default_rng(5)
+        mlp = MLP([16, 16], rng=rng)
+        groups = group_by_layer_ranges(mlp, ((1, -1),), (1.0,))
+        images = rng.integers(0, 256, size=(4, 4, 4, 1), dtype=np.uint8)
+        images[:, 0, 0, 0], images[:, 0, 1, 0] = 0, 255  # span full range
+        assign_payload(groups, payload_from(images))
+        # Force the weights to encode the payload perfectly.
+        count = groups[0].payload.total_pixels
+        flat = groups[0].weight_vector()
+        flat[:count] = groups[0].payload.secret_vector() / 255.0
+        from repro.models import set_parameter_vector
+        set_parameter_vector(mlp, flat, groups[0].param_names)
+        recon, orig, names = decode_groups(groups, polarity="pos")
+        assert recon.shape == orig.shape
+        assert np.abs(recon.astype(float) - orig.astype(float)).max() <= 2
+        assert len(names) == len(recon)

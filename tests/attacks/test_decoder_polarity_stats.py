@@ -1,0 +1,98 @@
+"""Polarity resolution: what is and is not recoverable.
+
+Most single-image statistics are negation-invariant (TV(255-x) == TV(x)),
+so polarity cannot be read off one decoded slice; these tests pin that
+fact and verify the two working resolutions: the reference oracle and
+training with ``sign_mode="positive"``.
+"""
+
+import numpy as np
+
+from repro.attacks import CorrelationPenalty, decode_images
+from repro.attacks.decoder import total_variation
+from repro.attacks.secret import SecretPayload
+from repro.datasets import SyntheticFacesConfig, make_synthetic_faces
+from repro.metrics import batch_mape
+from repro.nn.module import Parameter
+
+
+class TestPolaritySymmetry:
+    def test_total_variation_is_negation_invariant(self):
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, (12, 12, 1)).astype(float)
+        assert np.isclose(total_variation(image), total_variation(255.0 - image))
+
+    def test_reference_oracle_resolves_any_sign(self):
+        faces = make_synthetic_faces(SyntheticFacesConfig(
+            num_identities=4, images_per_identity=3, image_size=24, seed=11))
+        payload = SecretPayload(faces.images, faces.labels)
+        rng = np.random.default_rng(0)
+        secret = payload.secret_vector()
+        for sign in (+1.0, -1.0):
+            weights = sign * secret / 255.0 + rng.normal(0, 0.05, secret.size)
+            decoded = decode_images(weights, payload, polarity="reference")
+            assert batch_mape(payload.images, decoded).mean() < 35.0
+
+    def test_auto_never_beats_reference(self):
+        """Reference polarity is the per-image oracle; auto can only tie."""
+        faces = make_synthetic_faces(SyntheticFacesConfig(
+            num_identities=4, images_per_identity=3, image_size=24, seed=12))
+        payload = SecretPayload(faces.images, faces.labels)
+        rng = np.random.default_rng(1)
+        weights = payload.secret_vector() / 255.0 + rng.normal(
+            0, 0.08, payload.total_pixels)
+        auto_mape = batch_mape(payload.images,
+                               decode_images(weights, payload, polarity="auto"))
+        ref_mape = batch_mape(payload.images,
+                              decode_images(weights, payload, polarity="reference"))
+        assert np.all(ref_mape <= auto_mape + 1e-9)
+
+
+class TestPositiveSignMode:
+    def test_positive_mode_locks_positive_correlation(self):
+        """sign_mode='positive' removes the ambiguity entirely: training
+        always converges to corr > 0, so 'pos' decoding just works."""
+        rng = np.random.default_rng(31)
+        from repro.nn import SGD
+        params = [Parameter(rng.standard_normal(256))]
+        secret = rng.random(256) * 255
+        penalty = CorrelationPenalty(params, secret, rate=1.0, sign_mode="positive")
+        opt = SGD(params, lr=0.5, momentum=0.9)
+        for _ in range(150):
+            loss = penalty()
+            params[0].grad = None
+            loss.backward()
+            opt.step()
+        assert penalty.correlation_value() > 0.9  # positive, not just |.|>0.9
+
+    def test_positive_mode_gradient_pushes_through_zero(self):
+        """Even anti-correlated initialisation converges positive."""
+        rng = np.random.default_rng(32)
+        from repro.nn import SGD
+        secret = rng.random(128) * 255
+        start = -(secret - secret.mean()) / 255.0  # corr == -1 at init
+        params = [Parameter(start)]
+        penalty = CorrelationPenalty(params, secret, rate=1.0, sign_mode="positive")
+        opt = SGD(params, lr=0.5, momentum=0.9)
+        for _ in range(300):
+            loss = penalty()
+            params[0].grad = None
+            loss.backward()
+            opt.step()
+        assert penalty.correlation_value() > 0.5
+
+    def test_invalid_sign_mode(self):
+        import pytest
+        from repro.errors import CapacityError
+        with pytest.raises(CapacityError):
+            CorrelationPenalty([Parameter(np.ones(8))], np.ones(8), 1.0,
+                               sign_mode="negative")
+
+    def test_abs_mode_unchanged_by_default(self):
+        rng = np.random.default_rng(33)
+        params = [Parameter(rng.standard_normal(64))]
+        secret = rng.random(64)
+        default = CorrelationPenalty(params, secret, rate=2.0)
+        explicit = CorrelationPenalty(params, secret, rate=2.0, sign_mode="abs")
+        assert np.isclose(default().item(), explicit().item())
+        assert default().item() <= 0.0

@@ -1,0 +1,78 @@
+"""Histogram flip detection for Algorithm 1 under negative correlation."""
+
+import numpy as np
+
+from repro.quantization import TargetCorrelatedQuantizer, detect_flip
+
+RNG = np.random.default_rng(67)
+
+
+class TestDetectFlip:
+    def test_positive_correlation(self):
+        secret = RNG.random(500) * 255
+        weights = secret * 0.01 + RNG.normal(0, 0.05, 500)
+        assert detect_flip(weights, secret) is False
+
+    def test_negative_correlation(self):
+        secret = RNG.random(500) * 255
+        weights = -secret * 0.01 + RNG.normal(0, 0.05, 500)
+        assert detect_flip(weights, secret) is True
+
+    def test_uncorrelated_defaults_to_no_flip(self):
+        # Sign is meaningless at |corr| ~ 0, either answer is fine; the
+        # implementation just must not crash and must return a bool.
+        result = detect_flip(RNG.standard_normal(100), RNG.random(100))
+        assert isinstance(result, bool)
+
+    def test_constant_weights(self):
+        assert detect_flip(np.ones(50), RNG.random(50)) is False
+
+    def test_too_short(self):
+        assert detect_flip(np.array([1.0]), np.array([2.0])) is False
+
+    def test_alignment_uses_prefix(self):
+        # Only the first len(secret) weights are encoder-aligned.
+        secret = RNG.random(100) * 255
+        weights = np.concatenate([-secret, RNG.standard_normal(1000)])
+        assert detect_flip(weights, secret) is True
+
+
+class TestFlippedQuantizer:
+    def test_flip_reverses_histogram(self):
+        images = np.zeros((1, 8, 8, 1), dtype=np.uint8)
+        images[0, :2] = 255  # 25% bright pixels
+        plain = TargetCorrelatedQuantizer(images, levels=4, flip=False)
+        flipped = TargetCorrelatedQuantizer(images, levels=4, flip=True)
+        assert np.allclose(plain.histogram[::-1], flipped.histogram)
+
+    def test_flipped_boundaries_match_negated_weights(self):
+        # Quantizing -w with the flipped histogram must produce the same
+        # cluster *sizes* as quantizing w with the plain one.
+        rng = np.random.default_rng(3)
+        images = rng.integers(0, 256, size=(4, 8, 8, 1), dtype=np.uint8)
+        weights = rng.standard_normal(2000)
+        plain = TargetCorrelatedQuantizer(images, levels=8, flip=False)
+        flipped = TargetCorrelatedQuantizer(images, levels=8, flip=True)
+        _, assign_plain = plain.quantize_vector(weights)
+        _, assign_flipped = flipped.quantize_vector(-weights)
+        sizes_plain = np.bincount(assign_plain, minlength=8)
+        sizes_flipped = np.bincount(assign_flipped, minlength=8)[::-1]
+        assert np.array_equal(sizes_plain, sizes_flipped)
+
+    def test_flip_improves_reconstruction_under_negative_corr(self):
+        # Anti-correlated weights + skewed histogram: the flipped
+        # quantizer must preserve the weight distribution better.
+        from repro.metrics import histogram_overlap
+        rng = np.random.default_rng(4)
+        images = np.zeros((2, 8, 8, 1), dtype=np.uint8)
+        images[:, :6] = 230  # bright-heavy, like the face backgrounds
+        images[:, 6:] = 40
+        pixels = images.reshape(-1).astype(float)
+        weights = -pixels / 255.0 + rng.normal(0, 0.02, pixels.size)
+        plain = TargetCorrelatedQuantizer(images, levels=8, flip=False)
+        flipped = TargetCorrelatedQuantizer(images, levels=8, flip=True)
+        cb_p, a_p = plain.quantize_vector(weights)
+        cb_f, a_f = flipped.quantize_vector(weights)
+        overlap_plain = histogram_overlap(cb_p[a_p], weights, bins=16)
+        overlap_flipped = histogram_overlap(cb_f[a_f], weights, bins=16)
+        assert overlap_flipped > overlap_plain

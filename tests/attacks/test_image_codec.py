@@ -1,0 +1,78 @@
+"""Image <-> bit packing for the baseline attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    bit_error_rate,
+    bits_to_images,
+    images_to_bits,
+    lsb_image_capacity,
+    sign_image_capacity,
+)
+from repro.errors import CapacityError
+
+RNG = np.random.default_rng(73)
+
+
+class TestRoundtrip:
+    def test_single_image(self):
+        image = RNG.integers(0, 256, (8, 8, 1), dtype=np.uint8)
+        bits = images_to_bits(image)
+        assert bits.size == 8 * 8 * 8
+        assert np.array_equal(bits_to_images(bits, image.shape), image)
+
+    def test_batch(self):
+        images = RNG.integers(0, 256, (3, 4, 4, 3), dtype=np.uint8)
+        recovered = bits_to_images(images_to_bits(images), images.shape)
+        assert np.array_equal(recovered, images)
+
+    def test_extra_bits_ignored(self):
+        image = RNG.integers(0, 256, (4, 4, 1), dtype=np.uint8)
+        bits = np.concatenate([images_to_bits(image), np.ones(64, dtype=np.uint8)])
+        assert np.array_equal(bits_to_images(bits, image.shape), image)
+
+    def test_too_few_bits_raises(self):
+        with pytest.raises(CapacityError):
+            bits_to_images(np.zeros(10, dtype=np.uint8), (4, 4, 1))
+
+
+class TestBitErrorRate:
+    def test_identical_zero(self):
+        bits = RNG.integers(0, 2, 100)
+        assert bit_error_rate(bits, bits) == 0.0
+
+    def test_all_flipped_one(self):
+        bits = RNG.integers(0, 2, 100)
+        assert bit_error_rate(bits, 1 - bits) == 1.0
+
+    def test_half(self):
+        a = np.zeros(10, dtype=np.uint8)
+        b = np.array([0, 1] * 5, dtype=np.uint8)
+        assert bit_error_rate(a, b) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(CapacityError):
+            bit_error_rate(np.zeros(4), np.zeros(5))
+
+    def test_empty(self):
+        assert bit_error_rate(np.zeros(0), np.zeros(0)) == 0.0
+
+
+class TestCapacities:
+    def test_lsb(self):
+        # 1000 weights x 8 bits = 8000 bits; 64-px image needs 512 bits.
+        assert lsb_image_capacity(1000, 64, 8) == 15
+
+    def test_sign(self):
+        # 1000 weights x 1 bit; 64-px image needs 512 bits.
+        assert sign_image_capacity(1000, 64) == 1
+
+    def test_correlation_beats_both(self):
+        # The paper's efficiency ordering: correlation (1 px/weight)
+        # > LSB at 8 bits/weight (1 px/weight too, but float32 only)
+        # > sign (1/8 px per weight).
+        weights, pixels = 10_000, 256
+        correlation_capacity = weights // pixels
+        assert correlation_capacity >= lsb_image_capacity(weights, pixels, 8)
+        assert lsb_image_capacity(weights, pixels, 8) > sign_image_capacity(weights, pixels)

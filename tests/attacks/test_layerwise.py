@@ -1,0 +1,149 @@
+"""Eq. 2 layer-wise penalty: grouping, payload assignment, P_k weighting."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import LayerwiseCorrelationPenalty, SecretPayload, group_by_layer_ranges
+from repro.attacks.layerwise import assign_payload
+from repro.errors import CapacityError, ConfigError
+from repro.models import resnet8_tiny
+from repro.models.mlp import MLP
+
+
+def model():
+    return resnet8_tiny(num_classes=4, width=4, rng=np.random.default_rng(0))
+
+
+def make_payload(n, size=4, channels=1, seed=0):
+    rng = np.random.default_rng(seed)
+    return SecretPayload(
+        rng.integers(0, 256, size=(n, size, size, channels), dtype=np.uint8),
+        np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestGrouping:
+    def test_covers_all_layers(self):
+        groups = group_by_layer_ranges(model(), ((1, 3), (4, -1)), (0.0, 5.0))
+        from repro.models import encodable_parameters
+        total = len(encodable_parameters(model()))
+        assert sum(len(g.param_names) for g in groups) == total
+
+    def test_paper_grouping_on_deep_model(self):
+        from repro.models import resnet18_cifar
+        deep = resnet18_cifar(rng=np.random.default_rng(0))
+        groups = group_by_layer_ranges(deep, ((1, 6), (7, 10), (11, -1)), (0.0, 0.0, 3.0))
+        assert len(groups) == 3
+        assert len(groups[0].param_names) == 6
+        assert len(groups[1].param_names) == 4
+
+    def test_group_names_default(self):
+        groups = group_by_layer_ranges(model(), ((1, 2), (3, -1)), (1.0, 2.0))
+        assert [g.name for g in groups] == ["group1", "group2"]
+
+    def test_custom_names(self):
+        groups = group_by_layer_ranges(model(), ((1, 2), (3, -1)), (1.0, 2.0),
+                                       names=["early", "late"])
+        assert [g.name for g in groups] == ["early", "late"]
+
+    def test_non_contiguous_raises(self):
+        with pytest.raises(ConfigError):
+            group_by_layer_ranges(model(), ((1, 2), (4, -1)), (1.0, 2.0))
+
+    def test_not_starting_at_one_raises(self):
+        with pytest.raises(ConfigError):
+            group_by_layer_ranges(model(), ((2, -1),), (1.0,))
+
+    def test_incomplete_coverage_raises(self):
+        with pytest.raises(ConfigError):
+            group_by_layer_ranges(model(), ((1, 2),), (1.0,))
+
+    def test_rate_length_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            group_by_layer_ranges(model(), ((1, -1),), (1.0, 2.0))
+
+    def test_group_weight_counts(self):
+        groups = group_by_layer_ranges(model(), ((1, -1),), (1.0,))
+        assert groups[0].num_weights == sum(p.size for p in groups[0].params)
+
+    def test_capacity(self):
+        groups = group_by_layer_ranges(model(), ((1, -1),), (1.0,))
+        assert groups[0].capacity(100) == groups[0].num_weights // 100
+
+
+class TestAssignPayload:
+    def test_zero_rate_groups_skipped(self):
+        groups = group_by_layer_ranges(model(), ((1, 3), (4, -1)), (0.0, 5.0))
+        payload = make_payload(10)
+        assigned = assign_payload(groups, payload)
+        assert groups[0].payload is None
+        assert groups[1].payload is not None
+        assert assigned == len(groups[1].payload)
+
+    def test_respects_capacity(self):
+        groups = group_by_layer_ranges(model(), ((1, -1),), (5.0,))
+        big = make_payload(10_000, size=8)
+        assigned = assign_payload(groups, big)
+        assert assigned == groups[0].capacity(big.pixels_per_image)
+
+    def test_sequential_fill(self):
+        mlp = MLP([64, 64, 64], rng=np.random.default_rng(0))
+        groups = group_by_layer_ranges(mlp, ((1, 1), (2, -1)), (1.0, 1.0))
+        payload = make_payload(300, size=4)  # 16 px/image; each layer holds 256
+        assign_payload(groups, payload)
+        first = len(groups[0].payload)
+        assert first == 64 * 64 // 16  # group 1 filled to capacity
+        assert np.array_equal(groups[1].payload.images[0], payload.images[first])
+
+    def test_small_payload_leaves_later_groups_empty(self):
+        mlp = MLP([64, 64, 64], rng=np.random.default_rng(0))
+        groups = group_by_layer_ranges(mlp, ((1, 1), (2, -1)), (1.0, 1.0))
+        assign_payload(groups, make_payload(3, size=4))
+        assert len(groups[0].payload) == 3
+        assert groups[1].payload is None
+
+
+class TestPenalty:
+    def test_requires_active_group(self):
+        groups = group_by_layer_ranges(model(), ((1, -1),), (0.0,))
+        # rate 0 everywhere -> validation happens at AttackConfig level,
+        # grouping allows it, but the penalty must refuse.
+        with pytest.raises(CapacityError):
+            LayerwiseCorrelationPenalty(groups)
+
+    def test_penalty_is_negative(self):
+        groups = group_by_layer_ranges(model(), ((1, 3), (4, -1)), (0.0, 5.0))
+        assign_payload(groups, make_payload(5))
+        penalty = LayerwiseCorrelationPenalty(groups)
+        assert penalty().item() <= 0.0
+
+    def test_zero_rate_groups_get_no_gradient(self):
+        groups = group_by_layer_ranges(model(), ((1, 3), (4, -1)), (0.0, 5.0))
+        assign_payload(groups, make_payload(5))
+        penalty = LayerwiseCorrelationPenalty(groups)
+        penalty().backward()
+        assert all(p.grad is None for p in groups[0].params)
+        assert any(p.grad is not None for p in groups[1].params)
+
+    def test_p_k_weighting(self):
+        # Two active groups: the penalty must be the P_k-weighted sum.
+        mlp = MLP([32, 32, 32], rng=np.random.default_rng(1))
+        groups = group_by_layer_ranges(mlp, ((1, 1), (2, -1)), (2.0, 2.0))
+        assign_payload(groups, make_payload(100, size=4, seed=2))
+        penalty = LayerwiseCorrelationPenalty(groups)
+        from repro.attacks import CorrelationPenalty
+        expected = 0.0
+        total = sum(g.num_weights for g in groups)
+        for group in groups:
+            term = CorrelationPenalty(group.params, group.payload.secret_vector(), group.rate)
+            expected += term().item() * group.num_weights / total
+        assert np.isclose(penalty().item(), expected, atol=1e-9)
+
+    def test_correlations_reported_per_group(self):
+        mlp = MLP([32, 32, 32], rng=np.random.default_rng(1))
+        groups = group_by_layer_ranges(mlp, ((1, 1), (2, -1)), (2.0, 2.0))
+        assign_payload(groups, make_payload(100, size=4))
+        penalty = LayerwiseCorrelationPenalty(groups)
+        values = penalty.correlations()
+        assert len(values) == 2
+        assert all(-1.0 <= v <= 1.0 for v in values)

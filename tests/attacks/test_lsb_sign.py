@@ -1,0 +1,127 @@
+"""LSB and sign encoding baseline attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    SignEncodingPenalty,
+    lsb_capacity_bits,
+    lsb_decode,
+    lsb_encode,
+    sign_decode_bits,
+)
+from repro.attacks.lsb import bits_to_bytes, bytes_to_bits
+from repro.errors import CapacityError
+from repro.nn.module import Parameter
+
+RNG = np.random.default_rng(37)
+
+
+class TestBitHelpers:
+    def test_roundtrip(self):
+        data = b"secret data!"
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bits_are_binary(self):
+        bits = bytes_to_bits(b"\xff\x00")
+        assert bits[:8].tolist() == [1] * 8
+        assert bits[8:].tolist() == [0] * 8
+
+    def test_non_byte_aligned_raises(self):
+        with pytest.raises(CapacityError):
+            bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+
+class TestLSB:
+    def test_capacity(self):
+        params = [Parameter(RNG.standard_normal((4, 4)))]
+        assert lsb_capacity_bits(params, 8) == 16 * 8
+
+    def test_invalid_bits_per_weight(self):
+        params = [Parameter(RNG.standard_normal(4))]
+        with pytest.raises(CapacityError):
+            lsb_capacity_bits(params, 0)
+        with pytest.raises(CapacityError):
+            lsb_capacity_bits(params, 24)
+
+    def test_encode_decode_roundtrip(self):
+        params = [Parameter(RNG.standard_normal((8, 8)))]
+        secret = RNG.integers(0, 2, size=256).astype(np.uint8)
+        embedded = lsb_encode(params, secret, bits_per_weight=8)
+        assert embedded == 256
+        decoded = lsb_decode(params, 256, bits_per_weight=8)
+        assert np.array_equal(decoded, secret)
+
+    def test_roundtrip_across_params(self):
+        params = [Parameter(RNG.standard_normal(10)), Parameter(RNG.standard_normal(10))]
+        secret = RNG.integers(0, 2, size=10 * 4 * 2).astype(np.uint8)
+        lsb_encode(params, secret, bits_per_weight=4)
+        assert np.array_equal(lsb_decode(params, secret.size, 4), secret)
+
+    def test_low_bit_encoding_barely_changes_weights(self):
+        params = [Parameter(RNG.standard_normal(100))]
+        before = params[0].data.copy()
+        secret = RNG.integers(0, 2, size=400).astype(np.uint8)
+        lsb_encode(params, secret, bits_per_weight=4)
+        assert np.abs(params[0].data - before).max() < 1e-4
+
+    def test_decode_too_many_bits_raises(self):
+        params = [Parameter(RNG.standard_normal(4))]
+        with pytest.raises(CapacityError):
+            lsb_decode(params, 1000, bits_per_weight=2)
+
+    def test_quantization_destroys_lsb_payload(self):
+        # The paper's point: any re-discretisation wipes the hidden bits.
+        from repro.quantization import UniformQuantizer
+        from repro.models.mlp import MLP
+        model = MLP([16, 16], rng=np.random.default_rng(0))
+        params = [model.fc0.weight]
+        secret = RNG.integers(0, 2, size=16 * 16 * 8).astype(np.uint8)
+        lsb_encode(params, secret, bits_per_weight=8)
+        result = UniformQuantizer(levels=16).quantize_model(model, names=["fc0.weight"])
+        from repro.quantization import apply_quantization
+        apply_quantization(model, result)
+        decoded = lsb_decode(params, secret.size, bits_per_weight=8)
+        error_rate = (decoded != secret).mean()
+        assert error_rate > 0.25  # payload effectively random
+
+
+class TestSignEncoding:
+    def test_bits_must_be_binary(self):
+        with pytest.raises(CapacityError):
+            SignEncodingPenalty([Parameter(np.ones(4))], np.array([0, 2, 1, 1]), 1.0)
+
+    def test_penalty_zero_when_aligned(self):
+        params = [Parameter(np.array([1.0, -1.0, 2.0]))]
+        penalty = SignEncodingPenalty(params, np.array([1, 0, 1]), rate=1.0)
+        assert penalty().item() == 0.0
+        assert penalty.bit_accuracy() == 1.0
+
+    def test_penalty_positive_when_misaligned(self):
+        params = [Parameter(np.array([1.0, 1.0]))]
+        penalty = SignEncodingPenalty(params, np.array([0, 0]), rate=1.0)
+        assert penalty().item() > 0.0
+
+    def test_training_aligns_signs(self):
+        params = [Parameter(RNG.standard_normal(64))]
+        bits = RNG.integers(0, 2, size=64).astype(np.uint8)
+        penalty = SignEncodingPenalty(params, bits, rate=1.0)
+        from repro.nn import SGD
+        opt = SGD(params, lr=0.5, momentum=0.9)
+        for _ in range(400):
+            loss = penalty()
+            params[0].grad = None
+            loss.backward()
+            opt.step()
+        assert penalty.bit_accuracy() > 0.95
+        decoded = sign_decode_bits(params, 64)
+        assert (decoded == bits).mean() > 0.95
+
+    def test_decode_too_many_raises(self):
+        with pytest.raises(CapacityError):
+            sign_decode_bits([Parameter(np.ones(4))], 10)
+
+    def test_capacity_one_bit_per_param(self):
+        params = [Parameter(RNG.standard_normal(50))]
+        penalty = SignEncodingPenalty(params, np.ones(100, dtype=np.uint8), rate=1.0)
+        assert penalty.length == 50

@@ -1,0 +1,151 @@
+"""Model inversion and membership inference baselines."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    InversionConfig,
+    MembershipResult,
+    invert_class,
+    inversion_quality_vs_class,
+    membership_inference,
+    per_sample_loss,
+)
+from repro.errors import ConfigError, ShapeError
+
+RNG = np.random.default_rng(103)
+
+
+@pytest.fixture(scope="module")
+def trained_classifier():
+    """A small trained CNN + its train/test splits (module scope).
+
+    The dataset is deliberately noisy and small so the model *overfits*
+    -- membership inference needs a generalisation gap to have signal.
+    """
+    from repro.datasets import SyntheticCifarConfig, make_synthetic_cifar, train_test_split
+    from repro.datasets.transforms import images_to_batch, normalize_batch
+    from repro.models import resnet8_tiny
+    from repro.pipeline import Trainer, TrainingConfig
+
+    data = make_synthetic_cifar(
+        SyntheticCifarConfig(num_images=100, num_classes=4, image_size=16,
+                             seed=13, noise_sigma=45.0)
+    )
+    train, test = train_test_split(data, test_fraction=0.3, seed=0)
+    train_batch = images_to_batch(train.images)
+    train_batch, mean, std = normalize_batch(train_batch)
+    test_batch = images_to_batch(test.images)
+    test_batch, _, _ = normalize_batch(test_batch, mean, std)
+    model = resnet8_tiny(num_classes=4, width=8, rng=np.random.default_rng(0))
+    Trainer(model, train_batch, train.labels,
+            TrainingConfig(epochs=25, batch_size=32, lr=0.08)).train()
+    return {
+        "model": model, "train": train, "test": test,
+        "train_batch": train_batch, "test_batch": test_batch,
+        "mean": mean, "std": std,
+    }
+
+
+class TestModelInversion:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            InversionConfig(steps=0).validate()
+        with pytest.raises(ConfigError):
+            InversionConfig(lr=0.0).validate()
+
+    def test_prototype_shape_and_dtype(self, trained_classifier):
+        setup = trained_classifier
+        prototype = invert_class(
+            setup["model"], 0, (3, 16, 16),
+            InversionConfig(steps=30), setup["mean"], setup["std"],
+        )
+        assert prototype.shape == (16, 16, 3)
+        assert prototype.dtype == np.uint8
+
+    def test_prototype_classified_as_target(self, trained_classifier):
+        setup = trained_classifier
+        from repro.datasets.transforms import images_to_batch, normalize_batch
+        from repro.metrics import predict_classes
+        prototype = invert_class(
+            setup["model"], 1, (3, 16, 16),
+            InversionConfig(steps=120, lr=0.1), setup["mean"], setup["std"],
+        )
+        batch = images_to_batch(prototype[None])
+        batch, _, _ = normalize_batch(batch, setup["mean"], setup["std"])
+        assert predict_classes(setup["model"], batch)[0] == 1
+
+    def test_deterministic_given_seed(self, trained_classifier):
+        setup = trained_classifier
+        config = InversionConfig(steps=20, seed=3)
+        a = invert_class(setup["model"], 0, (3, 16, 16), config,
+                         setup["mean"], setup["std"])
+        b = invert_class(setup["model"], 0, (3, 16, 16), config,
+                         setup["mean"], setup["std"])
+        assert np.array_equal(a, b)
+
+    def test_quality_vs_class_uses_best_match(self):
+        prototype = np.full((4, 4, 1), 100, dtype=np.uint8)
+        class_images = np.stack([
+            np.full((4, 4, 1), 100, dtype=np.uint8),   # perfect match
+            np.zeros((4, 4, 1), dtype=np.uint8),
+        ])
+        assert inversion_quality_vs_class(prototype, class_images) == 0.0
+
+
+class TestMembershipInference:
+    def test_per_sample_loss_shape(self, trained_classifier):
+        setup = trained_classifier
+        losses = per_sample_loss(setup["model"], setup["test_batch"],
+                                 setup["test"].labels)
+        assert losses.shape == (len(setup["test"]),)
+        assert np.all(losses >= 0)
+
+    def test_length_mismatch_raises(self, trained_classifier):
+        setup = trained_classifier
+        with pytest.raises(ShapeError):
+            per_sample_loss(setup["model"], setup["test_batch"], np.zeros(3))
+
+    def test_members_have_lower_loss(self, trained_classifier):
+        setup = trained_classifier
+        result = membership_inference(
+            setup["model"],
+            setup["train_batch"], setup["train"].labels,
+            setup["test_batch"], setup["test"].labels,
+        )
+        assert result.member_losses.mean() <= result.non_member_losses.mean()
+        assert result.auc >= 0.5
+
+    def test_auc_perfect_separation(self):
+        result = MembershipResult(
+            member_losses=np.array([0.1, 0.2, 0.3]),
+            non_member_losses=np.array([1.0, 2.0, 3.0]),
+        )
+        assert result.auc == 1.0
+
+    def test_auc_no_information(self):
+        same = np.array([1.0, 1.0, 1.0])
+        result = MembershipResult(member_losses=same, non_member_losses=same)
+        assert np.isclose(result.auc, 0.5)
+
+    def test_auc_inverted(self):
+        result = MembershipResult(
+            member_losses=np.array([5.0, 6.0]),
+            non_member_losses=np.array([0.1, 0.2]),
+        )
+        assert result.auc == 0.0
+
+    def test_advantage_bounds(self):
+        result = MembershipResult(
+            member_losses=np.array([0.1, 0.2, 0.9]),
+            non_member_losses=np.array([0.15, 1.0, 2.0]),
+        )
+        advantage = result.advantage()
+        assert 0.0 <= advantage <= 1.0
+
+    def test_advantage_explicit_threshold(self):
+        result = MembershipResult(
+            member_losses=np.array([0.1, 0.2]),
+            non_member_losses=np.array([1.0, 2.0]),
+        )
+        assert result.advantage(0.5) == 1.0

@@ -1,0 +1,85 @@
+"""SecretPayload: vector layout, slicing, splitting."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SecretPayload
+from repro.datasets import ImageDataset
+from repro.errors import CapacityError
+
+
+def payload(n=4, size=4, channels=3, seed=0):
+    rng = np.random.default_rng(seed)
+    images = rng.integers(0, 256, size=(n, size, size, channels), dtype=np.uint8)
+    return SecretPayload(images, np.arange(n))
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = payload()
+        assert len(p) == 4
+        assert p.image_shape == (4, 4, 3)
+        assert p.pixels_per_image == 48
+        assert p.total_pixels == 192
+
+    def test_bad_shape(self):
+        with pytest.raises(CapacityError):
+            SecretPayload(np.zeros((3, 4, 4), dtype=np.uint8), np.zeros(3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(CapacityError):
+            SecretPayload(np.zeros((3, 4, 4, 1), dtype=np.uint8), np.zeros(2))
+
+    def test_from_dataset(self):
+        rng = np.random.default_rng(0)
+        ds = ImageDataset(rng.integers(0, 256, (10, 4, 4, 1), dtype=np.uint8),
+                          np.arange(10))
+        p = SecretPayload.from_dataset(ds, [2, 5, 7])
+        assert len(p) == 3
+        assert p.labels.tolist() == [2, 5, 7]
+        assert np.array_equal(p.images[1], ds.images[5])
+
+
+class TestSecretVector:
+    def test_layout_image_major(self):
+        p = payload(n=2, size=2, channels=1)
+        vec = p.secret_vector()
+        assert vec.shape == (8,)
+        assert np.allclose(vec[:4], p.images[0].reshape(-1))
+        assert np.allclose(vec[4:], p.images[1].reshape(-1))
+
+    def test_values_are_raw_pixels(self):
+        p = payload()
+        vec = p.secret_vector()
+        assert vec.min() >= 0 and vec.max() <= 255
+
+    def test_image_slices_partition_vector(self):
+        p = payload(n=3)
+        slices = p.image_slices()
+        assert len(slices) == 3
+        covered = sum(s.stop - s.start for s in slices)
+        assert covered == p.total_pixels
+        assert slices[0].start == 0
+        assert slices[-1].stop == p.total_pixels
+
+
+class TestTakeSplit:
+    def test_take(self):
+        p = payload(n=5)
+        sub = p.take(2)
+        assert len(sub) == 2
+        assert np.array_equal(sub.images, p.images[:2])
+
+    def test_take_too_many(self):
+        with pytest.raises(CapacityError):
+            payload(n=3).take(4)
+
+    def test_split(self):
+        p = payload(n=6)
+        parts = p.split([2, 3])
+        assert [len(part) for part in parts] == [2, 3]
+        assert np.array_equal(parts[1].images, p.images[2:5])
+
+    def test_split_overflow(self):
+        with pytest.raises(CapacityError):
+            payload(n=3).split([2, 2])

@@ -1,0 +1,92 @@
+"""Gradient and value checks for reduction ops."""
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F, grad_check
+
+RNG = np.random.default_rng(7)
+
+
+def randn(*shape):
+    return RNG.standard_normal(shape)
+
+
+class TestSum:
+    def test_full_reduction(self):
+        grad_check(lambda a: F.sum(a), [randn(3, 4)])
+
+    def test_axis_reduction(self):
+        grad_check(lambda a: F.sum(F.sum(a, axis=0)), [randn(3, 4)])
+
+    def test_axis_keepdims(self):
+        grad_check(lambda a: F.sum(F.sum(a, axis=1, keepdims=True)), [randn(3, 4)])
+
+    def test_tuple_axis(self):
+        grad_check(lambda a: F.sum(F.sum(a, axis=(0, 2))), [randn(2, 3, 4)])
+
+    def test_negative_axis(self):
+        a = randn(2, 3)
+        out = F.sum(Tensor(a), axis=-1)
+        assert np.allclose(out.data, a.sum(axis=-1))
+
+    def test_values(self):
+        a = randn(2, 3, 4)
+        assert np.allclose(F.sum(Tensor(a), axis=1).data, a.sum(axis=1))
+
+
+class TestMean:
+    def test_full_reduction(self):
+        grad_check(lambda a: F.mean(a), [randn(3, 4)])
+
+    def test_axis(self):
+        grad_check(lambda a: F.sum(F.mean(a, axis=0)), [randn(3, 4)])
+
+    def test_keepdims(self):
+        grad_check(lambda a: F.sum(F.mean(a, axis=1, keepdims=True)), [randn(3, 4)])
+
+    def test_tuple_axis_values(self):
+        a = randn(2, 3, 4)
+        out = F.mean(Tensor(a), axis=(0, 2))
+        assert np.allclose(out.data, a.mean(axis=(0, 2)))
+
+    def test_mean_gradient_is_uniform(self):
+        x = Tensor(randn(4), requires_grad=True)
+        F.mean(x).backward()
+        assert np.allclose(x.grad, 0.25)
+
+
+class TestMaxMin:
+    def test_max_full(self):
+        grad_check(lambda a: F.max(a), [np.array([1.0, 3.0, 2.0])])
+
+    def test_max_axis(self):
+        grad_check(lambda a: F.sum(F.max(a, axis=1)), [randn(4, 5)])
+
+    def test_max_keepdims_shape(self):
+        out = F.max(Tensor(randn(3, 4)), axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_min_axis(self):
+        grad_check(lambda a: F.sum(F.min(a, axis=0)), [randn(4, 5)])
+
+    def test_max_values(self):
+        a = randn(3, 5)
+        assert np.allclose(F.max(Tensor(a), axis=0).data, a.max(axis=0))
+        assert np.allclose(F.min(Tensor(a)).data, a.min())
+
+    def test_tied_maxima_split_gradient(self):
+        x = Tensor(np.array([2.0, 2.0, 1.0]), requires_grad=True)
+        F.max(x).backward()
+        assert np.allclose(x.grad, [0.5, 0.5, 0.0])
+
+
+class TestVar:
+    def test_var_full(self):
+        grad_check(lambda a: F.var(a), [randn(6)])
+
+    def test_var_axis(self):
+        grad_check(lambda a: F.sum(F.var(a, axis=0)), [randn(5, 3)])
+
+    def test_var_matches_numpy(self):
+        a = randn(4, 6)
+        assert np.allclose(F.var(Tensor(a), axis=1).data, a.var(axis=1))

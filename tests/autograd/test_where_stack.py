@@ -1,0 +1,84 @@
+"""where / stack ops and the RMSProp optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, grad_check
+
+RNG = np.random.default_rng(107)
+
+
+class TestWhere:
+    def test_values(self):
+        condition = np.array([True, False, True])
+        out = F.where(condition, Tensor([1.0, 1.0, 1.0]), Tensor([9.0, 9.0, 9.0]))
+        assert np.allclose(out.data, [1.0, 9.0, 1.0])
+
+    def test_gradient_routes_by_mask(self):
+        condition = np.array([True, False])
+        a = Tensor(np.zeros(2), requires_grad=True)
+        b = Tensor(np.zeros(2), requires_grad=True)
+        F.sum(F.where(condition, a, b)).backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_grad_check(self):
+        condition = RNG.random(6) > 0.5
+        grad_check(lambda a, b: F.sum(F.where(condition, a, b)),
+                   [RNG.standard_normal(6), RNG.standard_normal(6)])
+
+    def test_tensor_condition_accepted(self):
+        condition = Tensor(np.array([1.0, 0.0]))
+        out = F.where(condition, Tensor([5.0, 5.0]), Tensor([7.0, 7.0]))
+        assert np.allclose(out.data, [5.0, 7.0])
+
+
+class TestStack:
+    def test_shapes(self):
+        parts = [Tensor(RNG.standard_normal((2, 3))) for _ in range(4)]
+        assert F.stack(parts, axis=0).shape == (4, 2, 3)
+        assert F.stack(parts, axis=1).shape == (2, 4, 3)
+
+    def test_values(self):
+        arrays = [RNG.standard_normal(3) for _ in range(2)]
+        out = F.stack([Tensor(a) for a in arrays], axis=0)
+        assert np.allclose(out.data, np.stack(arrays))
+
+    def test_gradient(self):
+        grad_check(lambda a, b: F.sum(F.stack([a, b], axis=0)),
+                   [RNG.standard_normal((2, 2)), RNG.standard_normal((2, 2))])
+
+    def test_gradient_axis1(self):
+        grad_check(lambda a, b: F.sum(F.mul(F.stack([a, b], axis=1),
+                                            F.stack([a, b], axis=1))),
+                   [RNG.standard_normal(3), RNG.standard_normal(3)])
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        from repro.nn import RMSProp
+        from repro.nn.module import Parameter
+        p = Parameter(np.array([5.0, -7.0]))
+        opt = RMSProp([p], lr=0.1)
+        for _ in range(400):
+            diff = F.sub(p, Tensor(3.0))
+            loss = F.sum(F.mul(diff, diff))
+            p.grad = None
+            loss.backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=0.05)
+
+    def test_skips_gradless(self):
+        from repro.nn import RMSProp
+        from repro.nn.module import Parameter
+        p = Parameter(np.ones(2))
+        RMSProp([p], lr=0.1).step()
+        assert np.allclose(p.data, 1.0)
+
+    def test_weight_decay(self):
+        from repro.nn import RMSProp
+        from repro.nn.module import Parameter
+        p = Parameter(np.array([100.0]))
+        p.grad = np.zeros(1)
+        RMSProp([p], lr=0.1, weight_decay=1.0).step()
+        assert p.data[0] < 100.0

@@ -1,0 +1,88 @@
+"""ImageDataset container: validation, subsetting, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ImageDataset
+from repro.errors import DatasetError
+
+
+def make_images(n=6, size=8, channels=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(n, size, size, channels), dtype=np.uint8)
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        ds = ImageDataset(make_images(), np.arange(6) % 3)
+        assert len(ds) == 6
+        assert ds.image_shape == (8, 8, 3)
+
+    def test_wrong_ndim(self):
+        with pytest.raises(DatasetError):
+            ImageDataset(np.zeros((4, 8, 8), dtype=np.uint8), np.zeros(4))
+
+    def test_wrong_dtype(self):
+        with pytest.raises(DatasetError):
+            ImageDataset(np.zeros((4, 8, 8, 3)), np.zeros(4))
+
+    def test_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            ImageDataset(make_images(4), np.zeros(5))
+
+    def test_labels_beyond_class_names(self):
+        with pytest.raises(DatasetError):
+            ImageDataset(make_images(3), np.array([0, 1, 5]), class_names=["a", "b"])
+
+
+class TestAccess:
+    def test_getitem(self):
+        ds = ImageDataset(make_images(), np.arange(6))
+        image, label = ds[2]
+        assert image.shape == (8, 8, 3)
+        assert label == 2
+
+    def test_num_classes_from_labels(self):
+        ds = ImageDataset(make_images(), np.array([0, 0, 1, 1, 2, 2]))
+        assert ds.num_classes == 3
+
+    def test_num_classes_from_names(self):
+        ds = ImageDataset(make_images(), np.zeros(6, dtype=int),
+                          class_names=["a", "b", "c", "d"])
+        assert ds.num_classes == 4
+
+    def test_pixels_per_image(self):
+        ds = ImageDataset(make_images(size=8, channels=3), np.zeros(6, dtype=int))
+        assert ds.pixels_per_image == 8 * 8 * 3
+
+    def test_subset(self):
+        ds = ImageDataset(make_images(), np.arange(6))
+        sub = ds.subset([1, 3])
+        assert len(sub) == 2
+        assert sub.labels.tolist() == [1, 3]
+        assert np.array_equal(sub.images[0], ds.images[1])
+
+    def test_subset_is_copy(self):
+        ds = ImageDataset(make_images(), np.arange(6))
+        sub = ds.subset([0])
+        sub.images[0, 0, 0, 0] = 255
+        # fancy indexing copies, so the parent must be untouched unless equal already
+        assert ds.images[0, 0, 0, 0] == make_images()[0, 0, 0, 0]
+
+
+class TestStatistics:
+    def test_per_image_std_shape(self):
+        ds = ImageDataset(make_images(), np.zeros(6, dtype=int))
+        assert ds.per_image_std().shape == (6,)
+
+    def test_per_image_std_value(self):
+        flat = np.zeros((1, 4, 4, 1), dtype=np.uint8)
+        flat[0, :2] = 100
+        ds = ImageDataset(flat, np.zeros(1, dtype=int))
+        expected = np.array([100] * 8 + [0] * 8, dtype=float).std()
+        assert np.isclose(ds.per_image_std()[0], expected)
+
+    def test_constant_image_zero_std(self):
+        images = np.full((1, 4, 4, 1), 7, dtype=np.uint8)
+        ds = ImageDataset(images, np.zeros(1, dtype=int))
+        assert ds.per_image_std()[0] == 0.0

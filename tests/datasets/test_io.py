@@ -1,0 +1,39 @@
+"""Dataset npz persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ImageDataset,
+    SyntheticCifarConfig,
+    load_dataset,
+    make_synthetic_cifar,
+    save_dataset,
+)
+from repro.errors import DatasetError
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        ds = make_synthetic_cifar(SyntheticCifarConfig(num_images=20, image_size=12, seed=0))
+        path = tmp_path / "data.npz"
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.images, ds.images)
+        assert np.array_equal(loaded.labels, ds.labels)
+        assert loaded.class_names == ds.class_names
+
+    def test_roundtrip_without_class_names(self, tmp_path):
+        images = np.zeros((3, 4, 4, 1), dtype=np.uint8)
+        ds = ImageDataset(images, np.arange(3))
+        path = tmp_path / "data.npz"
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        assert loaded.class_names is None
+        assert len(loaded) == 3
+
+    def test_invalid_archive_raises(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(DatasetError):
+            load_dataset(path)

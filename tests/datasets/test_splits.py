@@ -1,0 +1,52 @@
+"""Stratified train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ImageDataset, train_test_split
+from repro.errors import DatasetError
+
+
+def dataset(n=40, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return ImageDataset(
+        rng.integers(0, 256, size=(n, 6, 6, 1), dtype=np.uint8),
+        np.arange(n) % classes,
+    )
+
+
+class TestSplit:
+    def test_sizes(self):
+        # 10 images per class, 20% -> 2 test images per class.
+        train, test = train_test_split(dataset(40), test_fraction=0.2, seed=0)
+        assert len(train) == 32
+        assert len(test) == 8
+
+    def test_disjoint_and_complete(self):
+        ds = dataset(20)
+        # Tag each image uniquely through its first pixel.
+        ds.images[:, 0, 0, 0] = np.arange(20)
+        train, test = train_test_split(ds, test_fraction=0.3, seed=1)
+        tags = sorted(np.concatenate([train.images[:, 0, 0, 0], test.images[:, 0, 0, 0]]))
+        assert tags == list(range(20))
+
+    def test_stratified(self):
+        train, test = train_test_split(dataset(40, classes=4), test_fraction=0.25, seed=2)
+        for split in (train, test):
+            assert set(split.labels.tolist()) == {0, 1, 2, 3}
+
+    def test_deterministic(self):
+        a_train, _ = train_test_split(dataset(30), seed=7)
+        b_train, _ = train_test_split(dataset(30), seed=7)
+        assert np.array_equal(a_train.images, b_train.images)
+
+    def test_each_class_keeps_at_least_one_train_sample(self):
+        train, test = train_test_split(dataset(8, classes=4), test_fraction=0.5, seed=0)
+        for label in range(4):
+            assert (train.labels == label).sum() >= 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DatasetError):
+            train_test_split(dataset(), test_fraction=0.0)
+        with pytest.raises(DatasetError):
+            train_test_split(dataset(), test_fraction=1.0)

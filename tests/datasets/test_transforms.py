@@ -1,0 +1,96 @@
+"""Transforms: grayscale, batching, normalization, augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ImageDataset, images_to_batch, normalize_batch, to_grayscale
+from repro.datasets.transforms import random_flip_horizontal
+from repro.errors import DatasetError
+
+
+def rgb_dataset(n=4, size=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return ImageDataset(
+        rng.integers(0, 256, size=(n, size, size, 3), dtype=np.uint8),
+        np.arange(n),
+    )
+
+
+class TestGrayscale:
+    def test_output_single_channel(self):
+        gray = to_grayscale(rgb_dataset())
+        assert gray.image_shape == (8, 8, 1)
+        assert gray.images.dtype == np.uint8
+
+    def test_luma_weights(self):
+        images = np.zeros((1, 2, 2, 3), dtype=np.uint8)
+        images[..., 0] = 255  # pure red
+        gray = to_grayscale(ImageDataset(images, np.zeros(1, dtype=int)))
+        assert np.allclose(gray.images, round(0.299 * 255))
+
+    def test_already_gray_is_noop(self):
+        images = np.zeros((2, 4, 4, 1), dtype=np.uint8)
+        ds = ImageDataset(images, np.zeros(2, dtype=int))
+        assert to_grayscale(ds) is ds
+
+    def test_preserves_labels(self):
+        ds = rgb_dataset()
+        assert np.array_equal(to_grayscale(ds).labels, ds.labels)
+
+
+class TestBatching:
+    def test_images_to_batch_layout(self):
+        ds = rgb_dataset()
+        batch = images_to_batch(ds.images)
+        assert batch.shape == (4, 3, 8, 8)
+        assert batch.max() <= 1.0 and batch.min() >= 0.0
+
+    def test_single_image_gets_batch_axis(self):
+        batch = images_to_batch(rgb_dataset().images[0])
+        assert batch.shape == (1, 3, 8, 8)
+
+    def test_values_transposed_correctly(self):
+        images = np.zeros((1, 2, 2, 3), dtype=np.uint8)
+        images[0, 0, 1, 2] = 255
+        batch = images_to_batch(images)
+        assert batch[0, 2, 0, 1] == 1.0
+
+
+class TestNormalize:
+    def test_self_normalization(self):
+        batch = images_to_batch(rgb_dataset(n=16).images)
+        normalized, mean, std = normalize_batch(batch)
+        assert np.allclose(normalized.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        assert np.allclose(normalized.std(axis=(0, 2, 3)), 1.0, atol=1e-10)
+
+    def test_reuse_statistics(self):
+        batch = images_to_batch(rgb_dataset(n=8).images)
+        _, mean, std = normalize_batch(batch)
+        other = images_to_batch(rgb_dataset(n=4, seed=3).images)
+        normalized, mean2, std2 = normalize_batch(other, mean, std)
+        assert np.array_equal(mean, mean2)
+        assert np.array_equal(std, std2)
+
+    def test_constant_channel_guard(self):
+        batch = np.zeros((2, 1, 4, 4))
+        normalized, _, std = normalize_batch(batch)
+        assert np.all(np.isfinite(normalized))
+        assert std[0] == 1.0
+
+
+class TestAugmentation:
+    def test_flip_probability_one_flips_all(self):
+        batch = images_to_batch(rgb_dataset().images)
+        flipped = random_flip_horizontal(batch, np.random.default_rng(0), probability=1.0)
+        assert np.allclose(flipped, batch[:, :, :, ::-1])
+
+    def test_flip_probability_zero_is_identity(self):
+        batch = images_to_batch(rgb_dataset().images)
+        out = random_flip_horizontal(batch, np.random.default_rng(0), probability=0.0)
+        assert np.allclose(out, batch)
+
+    def test_flip_does_not_modify_input(self):
+        batch = images_to_batch(rgb_dataset().images)
+        copy = batch.copy()
+        random_flip_horizontal(batch, np.random.default_rng(0), probability=1.0)
+        assert np.allclose(batch, copy)

@@ -1,0 +1,126 @@
+"""Defender audits: anomaly testing and correlation scanning."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ImageDataset
+from repro.defenses import (
+    correlation_scan,
+    detect_attack,
+    weight_distribution_anomaly,
+)
+from repro.models import set_parameter_vector
+from repro.models.mlp import MLP
+
+
+def planted_model(dataset, seed=0, offset=0, negate=False):
+    """MLP whose weight vector contains the dataset's pixels at ``offset``."""
+    model = MLP([64, 64, 32], rng=np.random.default_rng(seed))
+    from repro.models import parameter_vector
+    vector = parameter_vector(model)
+    pixels = dataset.images.reshape(-1).astype(float) / 255.0 - 0.5
+    pixels = -pixels if negate else pixels
+    end = min(offset + pixels.size, vector.size)
+    vector[offset:end] = pixels[: end - offset]
+    set_parameter_vector(model, vector)
+    return model
+
+
+def small_dataset(n=4, size=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return ImageDataset(
+        rng.integers(0, 256, size=(n, size, size, 1), dtype=np.uint8),
+        np.arange(n) % 2,
+    )
+
+
+class TestCorrelationScan:
+    def test_detects_planted_images(self):
+        ds = small_dataset()
+        model = planted_model(ds)
+        max_abs, offsets = correlation_scan(model, ds)
+        assert np.all(max_abs > 0.9)
+
+    def test_detects_negated_plant(self):
+        ds = small_dataset(seed=1)
+        model = planted_model(ds, negate=True)
+        max_abs, _ = correlation_scan(model, ds)
+        assert np.all(max_abs > 0.9)
+
+    def test_detects_offset_plant(self):
+        ds = small_dataset(seed=2)
+        model = planted_model(ds, offset=128)
+        max_abs, offsets = correlation_scan(model, ds, stride_fraction=0.25)
+        assert np.all(max_abs > 0.8)
+
+    def test_benign_model_low_correlation(self):
+        ds = small_dataset(seed=3)
+        model = MLP([64, 64, 32], rng=np.random.default_rng(9))
+        max_abs, _ = correlation_scan(model, ds)
+        assert np.all(max_abs < 0.5)
+
+    def test_tiny_model_returns_zeros(self):
+        ds = small_dataset()
+        model = MLP([4, 2], rng=np.random.default_rng(0))
+        max_abs, offsets = correlation_scan(model, ds)
+        assert np.all(max_abs == 0.0)
+
+
+class TestAnomaly:
+    def test_same_model_zero(self):
+        model = MLP([32, 16], rng=np.random.default_rng(0))
+        assert weight_distribution_anomaly(model, model) < 1e-9
+
+    def test_two_benign_inits_similar(self):
+        a = MLP([64, 64], rng=np.random.default_rng(1))
+        b = MLP([64, 64], rng=np.random.default_rng(2))
+        assert weight_distribution_anomaly(a, b) < 0.1
+
+    def test_planted_model_anomalous(self):
+        # Realistic payloads are far from the init distribution: build a
+        # skewed (bimodal, bright-heavy) image set and fill most of the
+        # weight vector with it -- like the attack's Fig. 2a reshaping.
+        rng = np.random.default_rng(4)
+        images = np.where(rng.random((90, 8, 8, 1)) < 0.7, 210, 35).astype(np.uint8)
+        ds = ImageDataset(images, np.zeros(90, dtype=np.int64))
+        reference = MLP([64, 64, 32], rng=np.random.default_rng(5))
+        attacked = planted_model(ds, seed=5)
+        assert weight_distribution_anomaly(attacked, reference) > 0.1
+
+
+class TestDetectAttack:
+    def test_flags_planted_model(self):
+        ds = small_dataset(n=6, seed=6)
+        model = planted_model(ds, seed=6)
+        report = detect_attack(model, ds)
+        assert report.flagged
+        assert report.suspicious_images > 0
+        assert "ATTACK SUSPECTED" in str(report)
+
+    def test_clears_benign_model(self):
+        ds = small_dataset(n=6, seed=7)
+        model = MLP([64, 64, 32], rng=np.random.default_rng(8))
+        report = detect_attack(model, ds)
+        assert not report.flagged
+        assert "clean" in str(report)
+
+    def test_subsampling_cap(self):
+        ds = small_dataset(n=6, seed=8)
+        model = planted_model(ds, seed=9)
+        report = detect_attack(model, ds, max_images=3)
+        assert report.suspicious_images <= 3
+
+    def test_reference_adds_ks(self):
+        ds = small_dataset(n=4, seed=9)
+        model = MLP([64, 64, 32], rng=np.random.default_rng(10))
+        reference = MLP([64, 64, 32], rng=np.random.default_rng(11))
+        report = detect_attack(model, ds, reference=reference)
+        assert report.ks_statistic is not None
+
+    def test_detects_real_trained_attack(self, trained_attack):
+        """End-to-end: the audit catches the paper's actual attack."""
+        result = trained_attack["result"]
+        train = trained_attack["train"]
+        report = detect_attack(result.model, train, max_images=48)
+        assert report.flagged
+        assert report.max_abs_correlation > 0.5

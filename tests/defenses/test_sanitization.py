@@ -1,0 +1,92 @@
+"""Sanitization defenses: noise injection and weight clipping."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import clip_weights, inject_noise
+from repro.errors import ConfigError
+from repro.models import parameter_vector
+from repro.models.mlp import MLP
+
+
+class TestInjectNoise:
+    def test_zero_fraction_is_noop(self):
+        model = MLP([16, 8], rng=np.random.default_rng(0))
+        before = parameter_vector(model).copy()
+        inject_noise(model, 0.0)
+        assert np.array_equal(parameter_vector(model), before)
+
+    def test_noise_scale_proportional(self):
+        model = MLP([64, 64], rng=np.random.default_rng(1))
+        before = parameter_vector(model).copy()
+        inject_noise(model, 0.1, seed=0)
+        delta = parameter_vector(model) - before
+        # Noise std should be ~10% of the weight std.
+        assert 0.05 * before.std() < delta.std() < 0.2 * before.std()
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            model = MLP([16, 8], rng=np.random.default_rng(2))
+            inject_noise(model, 0.2, seed=5)
+            results.append(parameter_vector(model))
+        assert np.array_equal(results[0], results[1])
+
+    def test_negative_fraction_raises(self):
+        with pytest.raises(ConfigError):
+            inject_noise(MLP([4, 2]), -0.1)
+
+    def test_names_subset(self):
+        model = MLP([16, 16, 8], rng=np.random.default_rng(3))
+        before_fc1 = model.fc1.weight.data.copy()
+        before_fc0 = model.fc0.weight.data.copy()
+        inject_noise(model, 0.2, names=["fc0.weight"], seed=0)
+        assert np.array_equal(model.fc1.weight.data, before_fc1)
+        assert not np.array_equal(model.fc0.weight.data, before_fc0)
+
+    def test_degrades_embedded_payload(self):
+        """Noise directly corrupts a planted image payload."""
+        from repro.attacks import SecretPayload, decode_images
+        from repro.metrics import batch_mape
+        from repro.models import set_parameter_vector
+        rng = np.random.default_rng(4)
+        images = rng.integers(0, 256, size=(2, 8, 8, 1), dtype=np.uint8)
+        images[:, 0, 0, 0], images[:, 0, 1, 0] = 0, 255
+        payload = SecretPayload(images, np.zeros(2, dtype=np.int64))
+        model = MLP([16, 16], rng=np.random.default_rng(5))
+        vector = parameter_vector(model)
+        vector[:payload.total_pixels] = payload.secret_vector() / 255.0
+        set_parameter_vector(model, vector)
+        clean_mape = batch_mape(images, decode_images(parameter_vector(model),
+                                                      payload, "pos")).mean()
+        inject_noise(model, 0.5, seed=0)
+        noisy_mape = batch_mape(images, decode_images(parameter_vector(model),
+                                                      payload, "pos")).mean()
+        assert noisy_mape > clean_mape + 5.0
+
+
+class TestClipWeights:
+    def test_invalid_percentile(self):
+        with pytest.raises(ConfigError):
+            clip_weights(MLP([4, 2]), percentile=40.0)
+
+    def test_clips_tails(self):
+        model = MLP([64, 64], rng=np.random.default_rng(6))
+        model.fc0.weight.data[0, 0] = 100.0  # plant an outlier
+        clip_weights(model, percentile=99.0)
+        limit = np.abs(model.fc0.weight.data).max()
+        assert limit < 100.0
+
+    def test_bulk_unchanged(self):
+        model = MLP([64, 64], rng=np.random.default_rng(7))
+        before = model.fc0.weight.data.copy()
+        clip_weights(model, percentile=99.0)
+        after = model.fc0.weight.data
+        changed = (before != after).mean()
+        assert changed < 0.03  # only ~1% clipped per tail definition
+
+    def test_percentile_100_noop(self):
+        model = MLP([16, 8], rng=np.random.default_rng(8))
+        before = parameter_vector(model).copy()
+        clip_weights(model, percentile=100.0)
+        assert np.allclose(parameter_vector(model), before)

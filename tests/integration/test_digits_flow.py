@@ -1,0 +1,51 @@
+"""End-to-end attack on the digits dataset (third data family)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticDigitsConfig, make_synthetic_digits, train_test_split
+from repro.models import SimpleCNN
+from repro.pipeline import (
+    AttackConfig,
+    QuantizationConfig,
+    TrainingConfig,
+    run_quantized_correlation_attack,
+)
+
+
+class TestDigitsAttackFlow:
+    @pytest.fixture(scope="class")
+    def digits_attack(self):
+        data = make_synthetic_digits(
+            SyntheticDigitsConfig(num_images=250, image_size=20, seed=0)
+        )
+        train, test = train_test_split(data, test_fraction=0.2, seed=0)
+        return run_quantized_correlation_attack(
+            train, test,
+            lambda: SimpleCNN(in_channels=1, num_classes=10, image_size=20,
+                              width=8, rng=np.random.default_rng(2)),
+            TrainingConfig(epochs=12, batch_size=32, lr=0.05),
+            # Encode only into fc1 (the wide hidden layer): the conv
+            # stem is accuracy-critical and the classifier head (fc2)
+            # must stay clean for the model to pass validation.
+            AttackConfig(layer_ranges=((1, 2), (3, 3), (4, -1)),
+                         rates=(0.0, 20.0, 0.0), std_window=8.0),
+            QuantizationConfig(bits=4, method="target_correlated"),
+        )
+
+    def test_digits_encode_and_survive_quantization(self, digits_attack):
+        quantized = digits_attack.quantized
+        assert digits_attack.encoded_images >= 3
+        assert quantized.accuracy > 0.6
+        assert quantized.mean_mape < 60.0
+
+    def test_reconstructed_digit_recognizable_by_eye_proxy(self, digits_attack):
+        # SSIM proxy for "you can read the digit": the best reconstruction
+        # must retain substantial stroke structure.
+        quantized = digits_attack.quantized
+        assert quantized.ssim_per_image.max() > 0.3
+
+    def test_simple_cnn_supports_layer_grouping(self, digits_attack):
+        groups = digits_attack.groups
+        assert groups[0].payload is None      # zero-rate early group
+        assert groups[1].payload is not None  # encoding group

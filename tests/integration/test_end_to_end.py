@@ -1,0 +1,125 @@
+"""Integration tests: the paper's core claims at miniature scale.
+
+These reuse the session-scoped trained attack where possible; the
+quantization comparisons reload its state so that training happens once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import QuantizationConfig, TrainingConfig
+from repro.pipeline.baselines import quantize_and_finetune
+from repro.pipeline.evaluation import evaluate_attack
+from repro.datasets.transforms import images_to_batch, normalize_batch
+
+
+COMPARISON_BITS = 3  # the paper's 4-bit point maps to 3-bit at this scale
+
+
+@pytest.fixture(scope="module")
+def quantization_comparison(trained_attack):
+    """Quantize the same trained attack model with both quantizers at the
+    low bit width where the defense effect appears on this substrate."""
+    result = trained_attack["result"]
+    train, test = trained_attack["train"], trained_attack["test"]
+    state = result.model.state_dict()
+    test_batch = images_to_batch(test.images)
+    test_batch, _, _ = normalize_batch(test_batch, result.mean, result.std)
+
+    outcomes = {}
+    for method in ("target_correlated", "weighted_entropy"):
+        result.model.load_state_dict(state)
+        quantize_and_finetune(
+            result.model,
+            QuantizationConfig(bits=COMPARISON_BITS, method=method, finetune_epochs=1),
+            train, TrainingConfig(epochs=1, batch_size=32, lr=0.08),
+            result.mean, result.std, target_images=result.payload.images,
+        )
+        outcomes[method] = evaluate_attack(
+            result.model, test_batch, test.labels, groups=result.groups,
+            mean=result.mean, std=result.std,
+        )
+    result.model.load_state_dict(state)
+    return outcomes
+
+
+class TestPaperClaims:
+    def test_weq_defense_degrades_attack(self, trained_attack, quantization_comparison):
+        """Table I's claim: WEQ at low bits degrades the attack."""
+        uncompressed = trained_attack["result"].uncompressed
+        weq = quantization_comparison["weighted_entropy"]
+        degraded_accuracy = weq.accuracy < uncompressed.accuracy - 0.05
+        degraded_recognition = weq.recognized_count < uncompressed.recognized_count
+        assert degraded_accuracy or degraded_recognition
+
+    def test_target_correlated_beats_weq(self, quantization_comparison):
+        """Fig. 4 / Table III: the adversary's quantizer wins on both axes."""
+        ours = quantization_comparison["target_correlated"]
+        weq = quantization_comparison["weighted_entropy"]
+        assert ours.accuracy >= weq.accuracy
+        assert ours.recognized_count >= weq.recognized_count
+
+    def test_target_correlated_close_to_uncompressed(
+        self, trained_attack, quantization_comparison
+    ):
+        """Table III: our 4-bit model stays near the uncompressed attack."""
+        uncompressed = trained_attack["result"].uncompressed
+        ours = quantization_comparison["target_correlated"]
+        assert ours.accuracy > uncompressed.accuracy - 0.1
+        assert ours.mean_mape < uncompressed.mean_mape + 8.0
+
+    def test_distribution_shape_preserved(self, trained_attack, quantization_comparison):
+        """Fig. 3: Algorithm 1 keeps the attacked weight distribution."""
+        from repro.metrics import histogram_overlap
+        result = trained_attack["result"]
+        group = result.groups[1]
+        weights = group.weight_vector()
+        pixels = group.payload.secret_vector()
+        # The trained (uncompressed) weights already mirror the pixels.
+        assert histogram_overlap(weights, pixels, bins=24) > 0.5
+
+
+class TestBenignVsAttack:
+    def test_attack_reshapes_weight_distribution(self, trained_attack, cifar_splits):
+        """Fig. 2a: the attack pushes weights towards the pixel distribution."""
+        from repro.metrics import histogram_overlap
+        from repro.pipeline.baselines import train_benign
+        from tests.conftest import tiny_model_builder
+
+        train, test = cifar_splits
+        benign = train_benign(train, test, tiny_model_builder(),
+                              TrainingConfig(epochs=3, batch_size=32))
+        result = trained_attack["result"]
+        group = result.groups[1]
+        pixels = group.payload.secret_vector()
+
+        from repro.models import parameter_vector
+        benign_weights = parameter_vector(benign.model, group.param_names)
+        attacked_weights = group.weight_vector()
+        assert histogram_overlap(attacked_weights, pixels, bins=24) > \
+            histogram_overlap(benign_weights, pixels, bins=24)
+
+
+class TestFaceFlow:
+    def test_face_attack_end_to_end(self, faces_small):
+        """Miniature Table IV: faces encode and decode with texture."""
+        from repro.datasets import train_test_split
+        from repro.models import face_net_mini
+        from repro.pipeline import AttackConfig, run_quantized_correlation_attack
+
+        train, test = train_test_split(faces_small, test_fraction=0.25, seed=0)
+        result = run_quantized_correlation_attack(
+            train, test,
+            lambda: face_net_mini(num_identities=8, width=8,
+                                  rng=np.random.default_rng(3)),
+            TrainingConfig(epochs=10, batch_size=16, lr=0.05),
+            AttackConfig(layer_ranges=((1, 2), (3, -1)), rates=(0.0, 20.0),
+                         std_window=10.0),
+            QuantizationConfig(bits=3, method="target_correlated", finetune_epochs=1),
+        )
+        assert result.encoded_images >= 1
+        assert result.quantized.mean_ssim > 0.1
+        # 3-bit weights: at most 8 distinct values per quantized tensor.
+        from repro.models import encodable_parameters
+        for name, param in encodable_parameters(result.model):
+            assert len(np.unique(param.data)) <= 8

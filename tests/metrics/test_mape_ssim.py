@@ -1,0 +1,108 @@
+"""MAPE and SSIM metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics import (
+    batch_mape,
+    batch_ssim,
+    count_above_threshold,
+    count_below_threshold,
+    mape,
+    ssim,
+)
+
+RNG = np.random.default_rng(47)
+
+
+def random_image(size=16, channels=1, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, (size, size, channels)).astype(np.uint8)
+
+
+class TestMape:
+    def test_identical_images_zero(self):
+        image = random_image()
+        assert mape(image, image) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2, 1))
+        b = np.full((2, 2, 1), 10.0)
+        assert mape(a, b) == 10.0
+
+    def test_symmetry(self):
+        a, b = random_image(seed=1), random_image(seed=2)
+        assert np.isclose(mape(a, b), mape(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mape(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_batch(self):
+        originals = np.stack([random_image(seed=i) for i in range(3)])
+        offset = np.clip(originals.astype(int) + 5, 0, 255).astype(np.uint8)
+        values = batch_mape(originals, offset)
+        assert values.shape == (3,)
+        assert np.all(values <= 5.0)
+
+    def test_count_below_threshold(self):
+        originals = np.stack([random_image(seed=i) for i in range(4)])
+        recon = originals.copy()
+        recon[0] = 255 - recon[0]  # ruin one
+        assert count_below_threshold(originals, recon, threshold=20.0) >= 3
+
+    def test_max_value(self):
+        assert mape(np.zeros((2, 2)), np.full((2, 2), 255.0)) == 255.0
+
+
+class TestSsim:
+    def test_identical_images_one(self):
+        image = random_image()
+        assert np.isclose(ssim(image, image), 1.0, atol=1e-9)
+
+    def test_range_bounds(self):
+        a, b = random_image(seed=3), random_image(seed=4)
+        value = ssim(a, b)
+        assert -1.0 <= value <= 1.0
+
+    def test_inverted_image_strongly_negative_or_low(self):
+        image = random_image(seed=5)
+        assert ssim(image, 255 - image) < 0.2
+
+    def test_noise_degrades_ssim_monotonically(self):
+        rng = np.random.default_rng(6)
+        base = random_image(seed=6).astype(float)
+        low_noise = np.clip(base + rng.normal(0, 10, base.shape), 0, 255)
+        high_noise = np.clip(base + rng.normal(0, 80, base.shape), 0, 255)
+        assert ssim(base, low_noise) > ssim(base, high_noise)
+
+    def test_2d_and_3d_agree_for_gray(self):
+        a, b = random_image(seed=7), random_image(seed=8)
+        assert np.isclose(ssim(a[..., 0], b[..., 0]), ssim(a, b))
+
+    def test_multichannel_averages(self):
+        a = random_image(channels=3, seed=9)
+        assert np.isclose(ssim(a, a), 1.0, atol=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ssim(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_bad_ndim(self):
+        with pytest.raises(ShapeError):
+            ssim(np.zeros(4), np.zeros(4))
+
+    def test_batch_and_count(self):
+        originals = np.stack([random_image(seed=i, size=12) for i in range(3)])
+        recon = originals.copy()
+        recon[2] = 255 - recon[2]
+        values = batch_ssim(originals, recon)
+        assert values.shape == (3,)
+        assert count_above_threshold(originals, recon, threshold=0.5) == 2
+
+    def test_smooth_images_more_forgiving_than_noise(self):
+        # A small constant shift barely hurts SSIM on smooth images.
+        ys, xs = np.mgrid[0:16, 0:16]
+        smooth = ((xs + ys) * 255 / 30).astype(float)
+        shifted = np.clip(smooth + 8, 0, 255)
+        assert ssim(smooth, shifted) > 0.9

@@ -1,0 +1,123 @@
+"""Accuracy, recognizability and distribution metrics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.metrics import (
+    evaluate_accuracy,
+    histogram_overlap,
+    ks_distance,
+    predict_classes,
+    recognizable_count,
+    recognizable_mask,
+)
+from repro.nn.module import Module
+
+RNG = np.random.default_rng(53)
+
+
+class FirstPixelClassifier(Module):
+    """Predicts class by thresholding the first pixel -- fully predictable."""
+
+    def __init__(self, num_classes=4):
+        super().__init__()
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        # x is NCHW in [0,1]; bucket the first pixel into num_classes bins.
+        first = x.data[:, 0, 0, 0]
+        buckets = np.clip((first * self.num_classes).astype(int), 0, self.num_classes - 1)
+        logits = np.zeros((len(buckets), self.num_classes))
+        logits[np.arange(len(buckets)), buckets] = 10.0
+        return Tensor(logits)
+
+
+class TestAccuracy:
+    def test_perfect_predictions(self):
+        model = FirstPixelClassifier(4)
+        inputs = np.zeros((8, 1, 2, 2))
+        inputs[:, 0, 0, 0] = (np.arange(8) % 4) / 4 + 0.1
+        labels = np.arange(8) % 4
+        assert evaluate_accuracy(model, inputs, labels) == 1.0
+
+    def test_wrong_labels(self):
+        model = FirstPixelClassifier(2)
+        inputs = np.zeros((4, 1, 2, 2))
+        labels = np.ones(4, dtype=int)  # model will predict class 0
+        assert evaluate_accuracy(model, inputs, labels) == 0.0
+
+    def test_batched_prediction_consistent(self):
+        model = FirstPixelClassifier(4)
+        inputs = RNG.random((10, 1, 2, 2))
+        assert np.array_equal(
+            predict_classes(model, inputs, batch_size=3),
+            predict_classes(model, inputs, batch_size=100),
+        )
+
+    def test_restores_training_mode(self):
+        model = FirstPixelClassifier(2)
+        model.train()
+        predict_classes(model, np.zeros((2, 1, 2, 2)))
+        assert model.training
+
+
+class TestRecognizability:
+    def test_mask_true_for_matching_class(self):
+        model = FirstPixelClassifier(4)
+        images = np.zeros((4, 2, 2, 1), dtype=np.uint8)
+        # first pixel encodes the class: class k -> pixel ~ k*64 + 32
+        labels = np.arange(4)
+        images[:, 0, 0, 0] = labels * 64 + 32
+        mask = recognizable_mask(model, images, labels)
+        assert mask.all()
+
+    def test_count(self):
+        model = FirstPixelClassifier(4)
+        images = np.zeros((4, 2, 2, 1), dtype=np.uint8)
+        images[:, 0, 0, 0] = np.arange(4) * 64 + 32
+        labels = np.array([0, 1, 0, 0])  # two wrong labels
+        assert recognizable_count(model, images, labels) == 2
+
+    def test_normalization_applied(self):
+        model = FirstPixelClassifier(2)
+        images = np.zeros((2, 2, 2, 1), dtype=np.uint8)
+        images[:, 0, 0, 0] = [32, 224]
+        # With mean 0.5/std 1 normalization the first pixels become
+        # negative/positive -> clip to classes 0/1 still works.
+        mask = recognizable_mask(model, images, np.array([0, 1]),
+                                 mean=np.array([0.0]), std=np.array([1.0]))
+        assert mask.tolist() == [True, True]
+
+
+class TestDistributionDistances:
+    def test_overlap_identical_samples(self):
+        sample = RNG.standard_normal(5000)
+        assert histogram_overlap(sample, sample) == pytest.approx(1.0)
+
+    def test_overlap_scale_invariant(self):
+        sample = RNG.standard_normal(5000)
+        assert histogram_overlap(sample, sample * 7 + 3) == pytest.approx(1.0)
+
+    def test_overlap_disjoint_shapes(self):
+        uniform = RNG.random(5000)
+        spiky = np.concatenate([np.zeros(4900), np.ones(100)])
+        assert histogram_overlap(uniform, spiky) < 0.3
+
+    def test_overlap_symmetry(self):
+        a, b = RNG.standard_normal(2000), RNG.random(2000)
+        assert np.isclose(histogram_overlap(a, b), histogram_overlap(b, a))
+
+    def test_ks_identical_zero(self):
+        sample = RNG.standard_normal(2000)
+        assert ks_distance(sample, sample) == pytest.approx(0.0, abs=1e-12)
+
+    def test_ks_different_distributions(self):
+        gauss = RNG.standard_normal(2000)
+        bimodal = np.concatenate([RNG.normal(-3, 0.1, 1000), RNG.normal(3, 0.1, 1000)])
+        assert ks_distance(gauss, bimodal) > 0.2
+
+    def test_overlap_empty_raises(self):
+        from repro.errors import ShapeError
+        with pytest.raises(ShapeError):
+            histogram_overlap(np.array([]), np.ones(4))

@@ -1,0 +1,49 @@
+"""PSNR metric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics import batch_psnr, psnr
+
+RNG = np.random.default_rng(71)
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self):
+        image = RNG.integers(0, 256, (8, 8)).astype(float)
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        # MSE = 100 -> PSNR = 20 log10(255) - 10 log10(100) ~ 28.13 dB.
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 10.0)
+        assert np.isclose(psnr(a, b), 20 * np.log10(255) - 20, atol=1e-9)
+
+    def test_monotone_in_noise(self):
+        base = RNG.integers(0, 256, (16, 16)).astype(float)
+        small = np.clip(base + RNG.normal(0, 2, base.shape), 0, 255)
+        large = np.clip(base + RNG.normal(0, 30, base.shape), 0, 255)
+        assert psnr(base, small) > psnr(base, large)
+
+    def test_symmetry(self):
+        a = RNG.integers(0, 256, (8, 8)).astype(float)
+        b = RNG.integers(0, 256, (8, 8)).astype(float)
+        assert np.isclose(psnr(a, b), psnr(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_batch(self):
+        originals = RNG.integers(0, 256, (3, 8, 8, 1)).astype(np.uint8)
+        recon = originals.copy()
+        recon[1] = 255 - recon[1]
+        values = batch_psnr(originals, recon)
+        assert values.shape == (3,)
+        assert values[0] == float("inf")
+        assert values[1] < 15.0
+
+    def test_batch_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            batch_psnr(np.zeros((2, 4, 4, 1)), np.zeros((3, 4, 4, 1)))

@@ -1,0 +1,60 @@
+"""encodable_parameters / parameter_vector round trips."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    encodable_parameters,
+    parameter_vector,
+    resnet8_tiny,
+    set_parameter_vector,
+)
+from repro.models.mlp import MLP
+
+
+class TestEncodableParameters:
+    def test_excludes_biases_and_bn(self):
+        model = resnet8_tiny(width=4, rng=np.random.default_rng(0))
+        names = [n for n, _ in encodable_parameters(model)]
+        assert all(name.endswith(".weight") for name in names)
+        assert not any("bn" in name or "bias" in name for name in names)
+
+    def test_layer_order_is_input_to_output(self):
+        model = resnet8_tiny(width=4, rng=np.random.default_rng(0))
+        names = [n for n, _ in encodable_parameters(model)]
+        assert names[0].startswith("stem")
+        assert names[-1].startswith("fc")
+
+    def test_mlp_layers(self):
+        model = MLP([4, 3, 2], rng=np.random.default_rng(0))
+        names = [n for n, _ in encodable_parameters(model)]
+        assert names == ["fc0.weight", "fc1.weight"]
+
+
+class TestParameterVector:
+    def test_roundtrip(self):
+        model = resnet8_tiny(width=4, rng=np.random.default_rng(0))
+        vec = parameter_vector(model)
+        set_parameter_vector(model, vec * 2.0)
+        assert np.allclose(parameter_vector(model), vec * 2.0)
+
+    def test_subset_by_name(self):
+        model = MLP([4, 3, 2], rng=np.random.default_rng(0))
+        vec = parameter_vector(model, ["fc1.weight"])
+        assert vec.size == 3 * 2
+
+    def test_wrong_length_raises(self):
+        model = MLP([4, 3, 2], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            set_parameter_vector(model, np.zeros(5))
+
+    def test_empty_selection(self):
+        model = MLP([4, 2], rng=np.random.default_rng(0))
+        assert parameter_vector(model, []).size == 0
+
+    def test_vector_matches_concatenation(self):
+        model = MLP([4, 3, 2], rng=np.random.default_rng(0))
+        expected = np.concatenate([
+            model.fc0.weight.data.reshape(-1), model.fc1.weight.data.reshape(-1)
+        ])
+        assert np.allclose(parameter_vector(model), expected)

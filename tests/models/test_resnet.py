@@ -1,0 +1,80 @@
+"""ResNet family: shapes, layer counts, determinism, trainability."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.models import ResNet, resnet8_tiny, resnet10, resnet18_cifar, resnet34_cifar
+
+RNG = np.random.default_rng(17)
+
+
+class TestConstruction:
+    def test_resnet34_conv_layer_count(self):
+        # ResNet-34: 1 stem + 2 * (3+4+6+3) = 33 main-path convs + FC = 34 layers.
+        model = resnet34_cifar(rng=np.random.default_rng(0))
+        assert model.num_conv_layers == 33
+
+    def test_resnet34_parameter_scale(self):
+        model = resnet34_cifar(rng=np.random.default_rng(0))
+        assert model.num_parameters() > 20_000_000  # the paper's full model
+
+    def test_resnet18_blocks(self):
+        model = resnet18_cifar(rng=np.random.default_rng(0))
+        assert model.block_counts == (2, 2, 2, 2)
+
+    def test_mismatched_config_raises(self):
+        with pytest.raises(ValueError):
+            ResNet([1, 1], [8], num_classes=2)
+
+    def test_deterministic_init(self):
+        a = resnet8_tiny(rng=np.random.default_rng(4))
+        b = resnet8_tiny(rng=np.random.default_rng(4))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+
+class TestForward:
+    def test_tiny_output_shape(self):
+        model = resnet8_tiny(num_classes=7, width=8, rng=np.random.default_rng(0))
+        with no_grad():
+            out = model(Tensor(RNG.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 7)
+
+    def test_resnet10_downsampling(self):
+        model = resnet10(num_classes=4, width=4, rng=np.random.default_rng(0))
+        with no_grad():
+            out = model(Tensor(RNG.standard_normal((1, 3, 32, 32))))
+        assert out.shape == (1, 4)
+
+    def test_grayscale_input(self):
+        model = resnet8_tiny(num_classes=3, in_channels=1, width=4,
+                             rng=np.random.default_rng(0))
+        with no_grad():
+            out = model(Tensor(RNG.standard_normal((2, 1, 16, 16))))
+        assert out.shape == (2, 3)
+
+    def test_all_params_get_gradients(self):
+        from repro.autograd import functional as F
+        model = resnet8_tiny(num_classes=3, width=4, rng=np.random.default_rng(0))
+        logits = model(Tensor(RNG.standard_normal((4, 3, 16, 16))))
+        loss = F.softmax_cross_entropy(logits, np.array([0, 1, 2, 0]))
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+
+class TestTrainability:
+    def test_overfits_tiny_batch(self):
+        from repro.autograd import functional as F
+        from repro.nn import SGD
+        model = resnet8_tiny(num_classes=2, width=4, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((8, 3, 12, 12))
+        y = np.array([0, 1] * 4)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        for _ in range(30):
+            loss = F.softmax_cross_entropy(model(Tensor(x)), y)
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.1

@@ -1,0 +1,61 @@
+"""VGG-style plain conv stacks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.models import VGG, build_model, vgg_small, vgg_tiny
+
+RNG = np.random.default_rng(79)
+
+
+class TestVGG:
+    def test_tiny_output_shape(self):
+        model = vgg_tiny(num_classes=5, image_size=16, rng=np.random.default_rng(0))
+        with no_grad():
+            out = model(Tensor(RNG.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 5)
+
+    def test_small_output_shape(self):
+        model = vgg_small(num_classes=4, image_size=16, rng=np.random.default_rng(0))
+        with no_grad():
+            out = model(Tensor(RNG.standard_normal((1, 3, 16, 16))))
+        assert out.shape == (1, 4)
+
+    def test_grayscale(self):
+        model = vgg_tiny(num_classes=3, in_channels=1, image_size=16,
+                         rng=np.random.default_rng(0))
+        with no_grad():
+            out = model(Tensor(RNG.standard_normal((1, 1, 16, 16))))
+        assert out.shape == (1, 3)
+
+    def test_too_many_pools_raises(self):
+        with pytest.raises(ValueError):
+            VGG(("M",) * 5, image_size=16)
+
+    def test_registered(self):
+        model = build_model("vgg_tiny", num_classes=3, image_size=16,
+                            rng=np.random.default_rng(0))
+        with no_grad():
+            assert model(Tensor(RNG.standard_normal((1, 3, 16, 16)))).shape == (1, 3)
+
+    def test_encodable_layers_ordered(self):
+        from repro.models import encodable_parameters
+        model = vgg_small(rng=np.random.default_rng(0))
+        names = [n for n, _ in encodable_parameters(model)]
+        assert names[0].startswith("features.0")
+        assert names[-1].startswith("classifier")
+
+    def test_trainable(self):
+        from repro.autograd import functional as F
+        from repro.nn import SGD
+        model = vgg_tiny(num_classes=2, image_size=8, rng=np.random.default_rng(1))
+        x = RNG.standard_normal((8, 3, 8, 8))
+        y = np.array([0, 1] * 4)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        for _ in range(25):
+            loss = F.softmax_cross_entropy(model(Tensor(x)), y)
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.2

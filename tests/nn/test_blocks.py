@@ -1,0 +1,60 @@
+"""Residual blocks and conv-bn-relu stems."""
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+from repro.nn import BasicBlock, ConvBnRelu, Identity
+
+RNG = np.random.default_rng(13)
+
+
+class TestConvBnRelu:
+    def test_output_shape(self):
+        block = ConvBnRelu(3, 8, rng=np.random.default_rng(0))
+        out = block(Tensor(RNG.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_output_nonnegative(self):
+        block = ConvBnRelu(2, 4, rng=np.random.default_rng(0))
+        out = block(Tensor(RNG.standard_normal((2, 2, 6, 6))))
+        assert np.all(out.data >= 0)
+
+    def test_strided(self):
+        block = ConvBnRelu(3, 8, stride=2, rng=np.random.default_rng(0))
+        out = block(Tensor(RNG.standard_normal((1, 3, 8, 8))))
+        assert out.shape == (1, 8, 4, 4)
+
+
+class TestBasicBlock:
+    def test_identity_shortcut_when_same_shape(self):
+        block = BasicBlock(8, 8, stride=1, rng=np.random.default_rng(0))
+        assert isinstance(block.shortcut, Identity)
+
+    def test_projection_shortcut_on_stride(self):
+        block = BasicBlock(8, 8, stride=2, rng=np.random.default_rng(0))
+        assert not isinstance(block.shortcut, Identity)
+
+    def test_projection_shortcut_on_channel_change(self):
+        block = BasicBlock(8, 16, stride=1, rng=np.random.default_rng(0))
+        assert not isinstance(block.shortcut, Identity)
+
+    def test_output_shape_stride2(self):
+        block = BasicBlock(4, 8, stride=2, rng=np.random.default_rng(0))
+        out = block(Tensor(RNG.standard_normal((2, 4, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_gradient_flows_through_shortcut(self):
+        block = BasicBlock(4, 4, rng=np.random.default_rng(0))
+        x = Tensor(RNG.standard_normal((2, 4, 6, 6)), requires_grad=True)
+        F.sum(block(x)).backward()
+        assert x.grad is not None
+        # Identity shortcut guarantees a non-vanishing path.
+        assert np.abs(x.grad).max() > 0
+
+    def test_all_parameters_receive_gradients(self):
+        block = BasicBlock(4, 8, stride=2, rng=np.random.default_rng(0))
+        out = F.sum(F.mul(block(Tensor(RNG.standard_normal((2, 4, 6, 6)))),
+                          Tensor(RNG.standard_normal((2, 8, 3, 3)))))
+        out.backward()
+        missing = [n for n, p in block.named_parameters() if p.grad is None]
+        assert missing == []

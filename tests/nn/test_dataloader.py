@@ -1,0 +1,75 @@
+"""DataLoader: batching, shuffling, determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.nn import DataLoader
+
+
+def make_data(n=10):
+    return np.arange(n, dtype=float).reshape(n, 1), np.arange(n)
+
+
+class TestBatching:
+    def test_batch_count(self):
+        x, y = make_data(10)
+        assert len(DataLoader(x, y, batch_size=3, shuffle=False)) == 4
+
+    def test_drop_last(self):
+        x, y = make_data(10)
+        loader = DataLoader(x, y, batch_size=3, shuffle=False, drop_last=True)
+        assert len(loader) == 3
+        batches = list(loader)
+        assert all(len(b[0]) == 3 for b in batches)
+
+    def test_exact_division(self):
+        x, y = make_data(9)
+        assert len(DataLoader(x, y, batch_size=3)) == 3
+
+    def test_covers_all_samples(self):
+        x, y = make_data(10)
+        loader = DataLoader(x, y, batch_size=4, shuffle=True, seed=0)
+        seen = np.concatenate([labels for _, labels in loader])
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_unshuffled_order(self):
+        x, y = make_data(6)
+        loader = DataLoader(x, y, batch_size=2, shuffle=False)
+        first_inputs, first_labels = next(iter(loader))
+        assert np.allclose(first_labels, [0, 1])
+
+    def test_inputs_match_labels(self):
+        x, y = make_data(20)
+        loader = DataLoader(x, y, batch_size=7, shuffle=True, seed=1)
+        for inputs, labels in loader:
+            assert np.allclose(inputs.reshape(-1), labels)
+
+
+class TestDeterminism:
+    def test_same_seed_same_order(self):
+        x, y = make_data(12)
+        a = [lbl.tolist() for _, lbl in DataLoader(x, y, batch_size=4, seed=5)]
+        b = [lbl.tolist() for _, lbl in DataLoader(x, y, batch_size=4, seed=5)]
+        assert a == b
+
+    def test_epochs_differ_within_loader(self):
+        x, y = make_data(32)
+        loader = DataLoader(x, y, batch_size=32, seed=5)
+        first = next(iter(loader))[1].tolist()
+        second = next(iter(loader))[1].tolist()
+        assert first != second  # reshuffled between epochs
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            DataLoader(np.zeros((3, 1)), np.zeros(4))
+
+    def test_empty_dataset(self):
+        with pytest.raises(DatasetError):
+            DataLoader(np.zeros((0, 1)), np.zeros(0))
+
+    def test_bad_batch_size(self):
+        with pytest.raises(DatasetError):
+            DataLoader(np.zeros((3, 1)), np.zeros(3), batch_size=0)

@@ -1,0 +1,114 @@
+"""Module system: registration, traversal, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.errors import ReproError
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 3, rng=np.random.default_rng(0))
+        self.fc2 = Linear(3, 2, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.ones(1))
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return F.mul(self.fc2(F.relu(self.fc1(x))), self.scale)
+
+
+class TestRegistration:
+    def test_parameters_registered_in_order(self):
+        names = [n for n, _ in Toy().named_parameters()]
+        assert names == ["scale", "fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 1 + (4 * 3 + 3) + (3 * 2 + 2)
+
+    def test_named_modules_includes_self(self):
+        names = [n for n, _ in Toy().named_modules()]
+        assert "" in names and "fc1" in names and "fc2" in names
+
+    def test_buffers(self):
+        toy = Toy()
+        assert [n for n, _ in toy.named_buffers()] == ["counter"]
+        toy.update_buffer("counter", np.array([5.0]))
+        assert toy.counter[0] == 5.0
+
+    def test_update_unknown_buffer_raises(self):
+        with pytest.raises(ReproError):
+            Toy().update_buffer("missing", np.zeros(1))
+
+    def test_nested_parameter_names(self):
+        seq = Sequential(Linear(2, 2), Sequential(Linear(2, 2)))
+        names = [n for n, _ in seq.named_parameters()]
+        assert "0.weight" in names
+        assert "1.0.weight" in names
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.fc1.training
+        toy.train()
+        assert toy.fc2.training
+
+    def test_zero_grad(self):
+        toy = Toy()
+        out = F.sum(toy(Tensor(np.ones((2, 4)))))
+        out.backward()
+        assert toy.fc1.weight.grad is not None
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.fc1.weight.data = b.fc1.weight.data + 1.0
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.fc1.weight.data, b.fc1.weight.data)
+
+    def test_state_dict_copies(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["fc1.weight"][:] = 99.0
+        assert not np.allclose(toy.fc1.weight.data, 99.0)
+
+    def test_buffers_in_state_dict(self):
+        toy = Toy()
+        toy.update_buffer("counter", np.array([7.0]))
+        other = Toy()
+        other.load_state_dict(toy.state_dict())
+        assert other.counter[0] == 7.0
+
+    def test_unknown_parameter_raises(self):
+        toy = Toy()
+        with pytest.raises(ReproError):
+            toy.load_state_dict({"nope": np.zeros(1)})
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ReproError):
+            toy.load_state_dict(state)
+
+
+class TestSequential:
+    def test_forward_chains(self):
+        seq = Sequential(Linear(3, 3, rng=np.random.default_rng(0)), ReLU())
+        out = seq(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 3)
+        assert np.all(out.data >= 0)
+
+    def test_len_iter_getitem(self):
+        seq = Sequential(ReLU(), ReLU(), ReLU())
+        assert len(seq) == 3
+        assert len(list(seq)) == 3
+        assert isinstance(seq[1], ReLU)

@@ -1,0 +1,73 @@
+"""LayerNorm and GroupNorm."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.errors import ConfigError
+from repro.nn import GroupNorm, LayerNorm
+
+RNG = np.random.default_rng(97)
+
+
+class TestLayerNorm:
+    def test_rows_normalized(self):
+        norm = LayerNorm(8)
+        x = RNG.standard_normal((5, 8)) * 4 + 2
+        out = norm(Tensor(x)).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta(self):
+        norm = LayerNorm(4)
+        norm.gamma.data = np.full(4, 3.0)
+        norm.beta.data = np.full(4, -1.0)
+        out = norm(Tensor(RNG.standard_normal((2, 4)))).data
+        assert np.allclose(out.mean(axis=-1), -1.0, atol=1e-7)
+
+    def test_batch_independent(self):
+        norm = LayerNorm(6)
+        x = RNG.standard_normal((1, 6))
+        single = norm(Tensor(x)).data
+        stacked = norm(Tensor(np.concatenate([x, RNG.standard_normal((3, 6))]))).data
+        assert np.allclose(single[0], stacked[0])
+
+    def test_gradients_flow(self):
+        norm = LayerNorm(4)
+        x = Tensor(RNG.standard_normal((3, 4)), requires_grad=True)
+        F.sum(F.mul(norm(x), norm(x))).backward()
+        assert x.grad is not None
+        assert norm.gamma.grad is not None
+
+
+class TestGroupNorm:
+    def test_group_statistics(self):
+        norm = GroupNorm(2, 4)
+        x = RNG.standard_normal((3, 4, 5, 5)) * 3 + 1
+        out = norm(Tensor(x)).data
+        grouped = out.reshape(3, 2, -1)
+        assert np.allclose(grouped.mean(axis=2), 0.0, atol=1e-7)
+        assert np.allclose(grouped.std(axis=2), 1.0, atol=1e-3)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ConfigError):
+            GroupNorm(3, 4)
+
+    def test_channel_mismatch_raises(self):
+        norm = GroupNorm(2, 4)
+        with pytest.raises(ConfigError):
+            norm(Tensor(RNG.standard_normal((1, 6, 3, 3))))
+
+    def test_single_group_is_instance_wide(self):
+        norm = GroupNorm(1, 4)
+        x = RNG.standard_normal((2, 4, 3, 3))
+        out = norm(Tensor(x)).data
+        flat = out.reshape(2, -1)
+        assert np.allclose(flat.mean(axis=1), 0.0, atol=1e-7)
+
+    def test_gradients_flow(self):
+        norm = GroupNorm(2, 4)
+        x = Tensor(RNG.standard_normal((2, 4, 3, 3)), requires_grad=True)
+        F.sum(F.mul(norm(x), norm(x))).backward()
+        assert x.grad is not None
+        assert norm.beta.grad is not None

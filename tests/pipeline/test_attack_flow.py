@@ -1,0 +1,134 @@
+"""The end-to-end attack flow (uses the session-scoped trained attack)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import AttackConfig, QuantizationConfig, TrainingConfig
+
+
+class TestUncompressedFlow:
+    def test_result_structure(self, trained_attack):
+        result = trained_attack["result"]
+        assert result.quantized is None
+        assert result.quantization is None
+        assert result.encoded_images > 0
+        assert result.history.epochs == 10
+
+    def test_zero_rate_groups_hold_no_payload(self, trained_attack):
+        groups = trained_attack["result"].groups
+        assert groups[0].rate == 0.0
+        assert groups[0].payload is None
+        assert groups[1].payload is not None
+
+    def test_selection_respects_std_window(self, trained_attack):
+        result = trained_attack["result"]
+        train = trained_attack["train"]
+        stds = train.per_image_std()[result.selection.target_indices]
+        low, high = result.selection.std_range
+        assert np.all((stds > low) & (stds < high))
+
+    def test_attack_achieves_high_correlation(self, trained_attack):
+        from repro.attacks import LayerwiseCorrelationPenalty
+        penalty = LayerwiseCorrelationPenalty(trained_attack["result"].groups)
+        assert abs(penalty.correlations()[0]) > 0.8
+
+    def test_model_accuracy_reasonable(self, trained_attack):
+        # Evasiveness: the attacked model must still classify well.
+        assert trained_attack["result"].uncompressed.accuracy > 0.6
+
+    def test_encoding_quality(self, trained_attack):
+        evaluation = trained_attack["result"].uncompressed
+        assert evaluation.mean_mape < 35.0
+        assert evaluation.recognized_count > evaluation.encoded_images * 0.4
+
+    def test_reconstruction_shapes(self, trained_attack):
+        evaluation = trained_attack["result"].uncompressed
+        assert evaluation.reconstructions.shape == evaluation.originals.shape
+        assert evaluation.reconstructions.dtype == np.uint8
+
+    def test_payload_matches_groups(self, trained_attack):
+        result = trained_attack["result"]
+        total_in_groups = sum(
+            len(g.payload) for g in result.groups if g.payload is not None
+        )
+        assert total_in_groups == len(result.payload)
+
+
+class TestQuantizedFlow:
+    @pytest.fixture(scope="class")
+    def quantized_run(self, trained_attack):
+        """Quantize a copy of the trained attack model at 4 bits."""
+        from repro.pipeline.baselines import quantize_and_finetune
+        from repro.pipeline.evaluation import evaluate_attack
+        from repro.datasets.transforms import images_to_batch, normalize_batch
+
+        result = trained_attack["result"]
+        train, test = trained_attack["train"], trained_attack["test"]
+        state = result.model.state_dict()
+        quant = quantize_and_finetune(
+            result.model,
+            QuantizationConfig(bits=4, method="target_correlated", finetune_epochs=1),
+            train, TrainingConfig(epochs=1, batch_size=32),
+            result.mean, result.std, target_images=result.payload.images,
+        )
+        test_batch = images_to_batch(test.images)
+        test_batch, _, _ = normalize_batch(test_batch, result.mean, result.std)
+        evaluation = evaluate_attack(
+            result.model, test_batch, test.labels, groups=result.groups,
+            mean=result.mean, std=result.std,
+        )
+        yield {"quant": quant, "evaluation": evaluation}
+        result.model.load_state_dict(state)  # restore for other tests
+
+    def test_weights_quantized_to_levels(self, trained_attack, quantized_run):
+        result = trained_attack["result"]
+        from repro.models import encodable_parameters
+        for name, param in encodable_parameters(result.model):
+            if name in quantized_run["quant"].assignments:
+                assert len(np.unique(param.data)) <= 16
+
+    def test_accuracy_survives(self, quantized_run, trained_attack):
+        before = trained_attack["result"].uncompressed.accuracy
+        after = quantized_run["evaluation"].accuracy
+        assert after > before - 0.15
+
+    def test_encoding_survives(self, quantized_run, trained_attack):
+        before = trained_attack["result"].uncompressed
+        after = quantized_run["evaluation"]
+        assert after.mean_mape < before.mean_mape + 10.0
+        assert after.recognized_count >= before.recognized_count * 0.5
+
+
+class TestFlowValidation:
+    def test_capacity_error_when_model_too_small(self, cifar_splits):
+        from repro.errors import CapacityError
+        from repro.models.mlp import MLP
+        from repro.pipeline import run_quantized_correlation_attack
+        train, test = cifar_splits
+        # 16x16x3 = 768 px/image; this tiny MLP holds < 768 weights, so
+        # the capacity check must fail before training starts.
+        with pytest.raises(CapacityError):
+            run_quantized_correlation_attack(
+                train, test, lambda: MLP([100, 2, 6], rng=np.random.default_rng(0)),
+                TrainingConfig(epochs=1),
+                AttackConfig(layer_ranges=((1, -1),), rates=(5.0,)),
+                quantization=None,
+            )
+
+    def test_progress_stages_reported(self, cifar_splits):
+        from repro.models import resnet8_tiny
+        from repro.pipeline import run_quantized_correlation_attack
+        train, test = cifar_splits
+        stages = []
+        run_quantized_correlation_attack(
+            train, test,
+            lambda: resnet8_tiny(num_classes=6, width=8, rng=np.random.default_rng(0)),
+            TrainingConfig(epochs=1, batch_size=64),
+            AttackConfig(layer_ranges=((1, 3), (4, -1)), rates=(0.0, 5.0), std_window=8.0),
+            QuantizationConfig(bits=6, finetune_epochs=0),
+            progress=stages.append,
+        )
+        assert stages == [
+            "pre-processing", "training", "evaluating uncompressed",
+            "quantizing", "evaluating quantized",
+        ]

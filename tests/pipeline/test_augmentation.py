@@ -1,0 +1,54 @@
+"""Trainer augmentation and its interaction with the attack."""
+
+import numpy as np
+
+from repro.models.mlp import MLP
+from repro.models.simple_cnn import SimpleCNN
+from repro.pipeline import Trainer, TrainingConfig
+
+RNG = np.random.default_rng(83)
+
+
+def image_problem(n=60, size=8, classes=2, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((classes, 3, size, size))
+    labels = np.arange(n) % classes
+    inputs = base[labels] + 0.3 * rng.standard_normal((n, 3, size, size))
+    return inputs, labels
+
+
+class TestAugmentation:
+    def test_augmented_training_still_learns(self):
+        inputs, labels = image_problem()
+        model = SimpleCNN(in_channels=3, num_classes=2, image_size=8, width=4,
+                          rng=np.random.default_rng(0))
+        trainer = Trainer(model, inputs, labels,
+                          TrainingConfig(epochs=6, batch_size=20, lr=0.05),
+                          augment=True)
+        history = trainer.train()
+        assert history.task_loss[-1] < history.task_loss[0]
+
+    def test_augment_changes_trajectory(self):
+        inputs, labels = image_problem(seed=1)
+        weights = []
+        for augment in (False, True):
+            model = SimpleCNN(in_channels=3, num_classes=2, image_size=8, width=4,
+                              rng=np.random.default_rng(2))
+            Trainer(model, inputs, labels,
+                    TrainingConfig(epochs=2, batch_size=20, lr=0.05, seed=3),
+                    augment=augment).train()
+            weights.append(model.fc1.weight.data.copy())
+        assert not np.allclose(weights[0], weights[1])
+
+    def test_attack_survives_augmentation(self):
+        """The penalty correlates weights with a fixed secret, so flips
+        on the task inputs do not break the encoding."""
+        from repro.attacks import CorrelationPenalty
+        inputs, labels = image_problem(seed=4)
+        model = MLP([3 * 8 * 8, 32, 2], rng=np.random.default_rng(5))
+        secret = np.random.default_rng(6).random(3 * 8 * 8 * 32) * 255
+        penalty = CorrelationPenalty([model.fc0.weight], secret, rate=30.0)
+        Trainer(model, inputs, labels,
+                TrainingConfig(epochs=10, batch_size=20, lr=0.05),
+                penalty=penalty, augment=True).train()
+        assert abs(penalty.correlation_value()) > 0.7

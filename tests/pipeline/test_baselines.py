@@ -1,0 +1,96 @@
+"""Benign training, the original uniform attack, quantizer factory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline import (
+    QuantizationConfig,
+    TrainingConfig,
+    make_quantizer,
+    original_correlation_attack,
+    train_benign,
+)
+from repro.quantization import (
+    KMeansQuantizer,
+    TargetCorrelatedQuantizer,
+    UniformQuantizer,
+    WeightedEntropyQuantizer,
+)
+from tests.conftest import tiny_model_builder
+
+
+class TestMakeQuantizer:
+    def test_builds_each_method(self):
+        images = np.zeros((1, 4, 4, 1), dtype=np.uint8)
+        cases = {
+            "uniform": UniformQuantizer,
+            "kmeans": KMeansQuantizer,
+            "weighted_entropy": WeightedEntropyQuantizer,
+            "target_correlated": TargetCorrelatedQuantizer,
+        }
+        for method, cls in cases.items():
+            quantizer = make_quantizer(
+                QuantizationConfig(bits=4, method=method), target_images=images
+            )
+            assert isinstance(quantizer, cls)
+            assert quantizer.levels == 16
+
+    def test_target_correlated_requires_images(self):
+        with pytest.raises(ConfigError):
+            make_quantizer(QuantizationConfig(method="target_correlated"))
+
+
+class TestTrainBenign:
+    def test_learns(self, cifar_splits):
+        train, test = cifar_splits
+        result = train_benign(train, test, tiny_model_builder(),
+                              TrainingConfig(epochs=8, lr=0.08, batch_size=32))
+        assert result.accuracy > 0.55
+        assert result.history.task_loss[-1] < result.history.task_loss[0]
+
+    def test_returns_normalization(self, cifar_splits):
+        train, test = cifar_splits
+        result = train_benign(train, test, tiny_model_builder(),
+                              TrainingConfig(epochs=1))
+        assert result.mean.shape == (3,)
+        assert result.std.shape == (3,)
+
+
+class TestOriginalAttack:
+    @pytest.fixture(scope="class")
+    def attack(self, cifar_splits):
+        train, test = cifar_splits
+        return original_correlation_attack(
+            train, test, tiny_model_builder(),
+            TrainingConfig(epochs=8, lr=0.08, batch_size=32), rate=20.0,
+        )
+
+    def test_payload_fills_capacity(self, attack, cifar_splits):
+        train, _ = cifar_splits
+        from repro.models import encodable_parameters
+        total = sum(p.size for _, p in encodable_parameters(attack.model))
+        expected = min(total // train.pixels_per_image, len(train))
+        assert len(attack.payload) == expected
+
+    def test_correlation_established(self, attack):
+        assert abs(attack.penalty.correlation_value()) > 0.6
+
+    def test_evaluation_populated(self, attack):
+        evaluation = attack.evaluation
+        assert evaluation.encoded_images == len(attack.payload)
+        assert 0.0 <= evaluation.accuracy <= 1.0
+        assert evaluation.mape_per_image.shape == (evaluation.encoded_images,)
+
+    def test_weight_vector_length(self, attack):
+        from repro.models import encodable_parameters
+        total = sum(p.size for _, p in encodable_parameters(attack.model))
+        assert attack.weight_vector().size == total
+
+    def test_explicit_image_count(self, cifar_splits):
+        train, test = cifar_splits
+        result = original_correlation_attack(
+            train, test, tiny_model_builder(),
+            TrainingConfig(epochs=1, batch_size=64), rate=5.0, num_images=3,
+        )
+        assert len(result.payload) == 3

@@ -1,0 +1,68 @@
+"""CLI: argument parsing and a fast end-to-end smoke run."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.dataset == "cifar"
+        assert args.bits == 4
+        assert args.method == "target_correlated"
+        assert args.rate == 20.0
+
+    def test_attack_overrides(self):
+        args = build_parser().parse_args([
+            "attack", "--dataset", "faces", "--bits", "3",
+            "--method", "weighted_entropy", "--rate", "5", "--epochs", "2",
+        ])
+        assert args.dataset == "faces"
+        assert args.bits == 3
+        assert args.method == "weighted_entropy"
+        assert args.rate == 5.0
+        assert args.epochs == 2
+
+    def test_benign_subcommand(self):
+        args = build_parser().parse_args(["benign", "--epochs", "3"])
+        assert args.command == "benign"
+        assert args.epochs == 3
+
+    def test_audit_subcommand(self):
+        args = build_parser().parse_args(["audit", "--rate", "10"])
+        assert args.command == "audit"
+        assert args.rate == 10.0
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--dataset", "imagenet"])
+
+    def test_bad_method_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--method", "magic"])
+
+
+class TestEndToEnd:
+    def test_benign_smoke(self, capsys):
+        code = main(["benign", "--epochs", "1", "--batch-size", "64"])
+        assert code == 0
+        assert "benign accuracy" in capsys.readouterr().out
+
+    def test_attack_smoke_with_json(self, tmp_path, capsys):
+        out = tmp_path / "res.json"
+        code = main(["attack", "--epochs", "2", "--batch-size", "64",
+                     "--bits", "6", "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "uncompressed" in captured
+        assert "released" in captured
+        assert out.exists()
+        from repro.pipeline import load_result
+        data = load_result(out)
+        assert data["quantized"] is not None

@@ -1,0 +1,28 @@
+"""CLI audit subcommand end-to-end (trains two small models)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCliAudit:
+    def test_audit_flags_attack(self, capsys):
+        # Short training still establishes enough correlation to flag.
+        code = main(["audit", "--epochs", "4", "--batch-size", "64",
+                     "--rate", "30"])
+        out = capsys.readouterr().out
+        assert "DetectionReport" in out
+        assert code == 0  # flagged => exit 0 per the CLI contract
+        assert "ATTACK SUSPECTED" in out
+
+    def test_attack_on_digits_dataset(self, capsys, tmp_path):
+        out_path = tmp_path / "digits.json"
+        code = main(["attack", "--dataset", "digits", "--epochs", "2",
+                     "--batch-size", "64", "--bits", "6",
+                     "--out", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        from repro.pipeline import load_result
+        data = load_result(out_path)
+        assert data["encoded_images"] >= 1

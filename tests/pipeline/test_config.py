@@ -1,0 +1,72 @@
+"""Pipeline configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline import AttackConfig, QuantizationConfig, TrainingConfig
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        TrainingConfig().validate()
+
+    def test_bad_epochs(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(epochs=0).validate()
+
+    def test_bad_lr(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(lr=0.0).validate()
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(batch_size=0).validate()
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TrainingConfig().epochs = 5
+
+
+class TestAttackConfig:
+    def test_defaults_valid(self):
+        AttackConfig().validate()
+
+    def test_paper_grouping_default(self):
+        config = AttackConfig()
+        assert config.layer_ranges == ((1, 12), (13, 16), (17, -1))
+        assert config.rates[0] == 0.0 and config.rates[1] == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            AttackConfig(layer_ranges=((1, -1),), rates=(1.0, 2.0)).validate()
+
+    def test_all_zero_rates(self):
+        with pytest.raises(ConfigError):
+            AttackConfig(layer_ranges=((1, -1),), rates=(0.0,)).validate()
+
+    def test_negative_rate(self):
+        with pytest.raises(ConfigError):
+            AttackConfig(layer_ranges=((1, -1),), rates=(-1.0,)).validate()
+
+
+class TestQuantizationConfig:
+    def test_defaults_valid(self):
+        QuantizationConfig().validate()
+
+    def test_levels(self):
+        assert QuantizationConfig(bits=4).levels == 16
+        assert QuantizationConfig(bits=3).levels == 8
+
+    def test_bad_bits(self):
+        with pytest.raises(ConfigError):
+            QuantizationConfig(bits=0).validate()
+        with pytest.raises(ConfigError):
+            QuantizationConfig(bits=20).validate()
+
+    def test_bad_method(self):
+        with pytest.raises(ConfigError):
+            QuantizationConfig(method="magic").validate()
+
+    def test_negative_finetune(self):
+        with pytest.raises(ConfigError):
+            QuantizationConfig(finetune_epochs=-1).validate()

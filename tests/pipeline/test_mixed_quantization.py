@@ -1,0 +1,84 @@
+"""Mixed per-layer quantization (Algorithm 1 on encoding layers only)."""
+
+import numpy as np
+import pytest
+
+from repro.models.mlp import MLP
+from repro.pipeline import QuantizationConfig
+from repro.pipeline.baselines import quantize_model_for_attack
+
+RNG = np.random.default_rng(109)
+
+
+def model():
+    return MLP([32, 32, 32, 8], rng=np.random.default_rng(0))
+
+
+def target_images(skewed=True):
+    images = np.zeros((2, 4, 4, 1), dtype=np.uint8)
+    if skewed:
+        images[:, :1] = 255  # 25% bright / 75% black -- a skewed histogram
+    else:
+        images[:] = RNG.integers(0, 256, images.shape)
+    return images
+
+
+class TestMixedQuantization:
+    def test_covers_every_encodable_layer(self):
+        m = model()
+        result = quantize_model_for_attack(
+            m, QuantizationConfig(bits=4), target_images=target_images(),
+            encoding_names=["fc1.weight"],
+        )
+        from repro.models import encodable_parameters
+        assert set(result.assignments) == {n for n, _ in encodable_parameters(m)}
+
+    def test_encoding_layer_gets_target_histogram(self):
+        m = model()
+        result = quantize_model_for_attack(
+            m, QuantizationConfig(bits=3), target_images=target_images(),
+            encoding_names=["fc1.weight"],
+        )
+        # The skewed 75/25 histogram forces a large bottom cluster in the
+        # encoding layer's assignment.
+        assignment = result.assignments["fc1.weight"].reshape(-1)
+        occupancy = np.bincount(assignment, minlength=8) / assignment.size
+        assert occupancy.max() > 0.5
+
+    def test_non_encoding_layers_use_benign_clusters(self):
+        m = model()
+        result = quantize_model_for_attack(
+            m, QuantizationConfig(bits=3), target_images=target_images(),
+            encoding_names=["fc1.weight"],
+        )
+        # k-means on Gaussian weights spreads occupancy far more evenly.
+        assignment = result.assignments["fc0.weight"].reshape(-1)
+        occupancy = np.bincount(assignment, minlength=8) / assignment.size
+        assert occupancy.max() < 0.5
+
+    def test_without_encoding_names_falls_back_to_uniform_method(self):
+        m = model()
+        result = quantize_model_for_attack(
+            m, QuantizationConfig(bits=4), target_images=target_images(),
+            encoding_names=None,
+        )
+        from repro.models import encodable_parameters
+        assert set(result.assignments) == {n for n, _ in encodable_parameters(m)}
+
+    def test_non_target_methods_ignore_encoding_names(self):
+        m = model()
+        result = quantize_model_for_attack(
+            m, QuantizationConfig(bits=4, method="weighted_entropy"),
+            encoding_names=["fc1.weight"],
+        )
+        from repro.models import encodable_parameters
+        assert set(result.assignments) == {n for n, _ in encodable_parameters(m)}
+
+    def test_levels_respected_everywhere(self):
+        m = model()
+        result = quantize_model_for_attack(
+            m, QuantizationConfig(bits=3), target_images=target_images(),
+            encoding_names=["fc1.weight", "fc2.weight"],
+        )
+        for name in result.assignments:
+            assert len(np.unique(result.dequantized(name))) <= 8

@@ -1,0 +1,78 @@
+"""Table rendering and AttackEvaluation summary arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import format_table
+from repro.pipeline.evaluation import AttackEvaluation
+from repro.pipeline.reporting import percent
+
+
+def make_evaluation():
+    return AttackEvaluation(
+        accuracy=0.875,
+        reconstructions=np.zeros((4, 2, 2, 1), dtype=np.uint8),
+        originals=np.zeros((4, 2, 2, 1), dtype=np.uint8),
+        mape_per_image=np.array([5.0, 15.0, 25.0, 35.0]),
+        ssim_per_image=np.array([0.9, 0.6, 0.4, 0.1]),
+        recognizable=np.array([True, True, False, True]),
+    )
+
+
+class TestAttackEvaluation:
+    def test_counts(self):
+        ev = make_evaluation()
+        assert ev.encoded_images == 4
+        assert ev.recognized_count == 3
+        assert ev.recognized_percent == 75.0
+
+    def test_means(self):
+        ev = make_evaluation()
+        assert np.isclose(ev.mean_mape, 20.0)
+        assert np.isclose(ev.mean_ssim, 0.5)
+
+    def test_thresholds(self):
+        ev = make_evaluation()
+        assert ev.mape_above(20.0) == 2
+        assert ev.mape_below(20.0) == 2
+        assert ev.ssim_above(0.5) == 2
+
+    def test_empty_payload_nan_means(self):
+        ev = AttackEvaluation(
+            accuracy=1.0,
+            reconstructions=np.zeros((0, 2, 2, 1), dtype=np.uint8),
+            originals=np.zeros((0, 2, 2, 1), dtype=np.uint8),
+            mape_per_image=np.zeros(0),
+            ssim_per_image=np.zeros(0),
+            recognizable=np.zeros(0, dtype=bool),
+        )
+        assert np.isnan(ev.mean_mape)
+        assert ev.recognized_percent == 0.0
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # all same width
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="Table I")
+        assert table.splitlines()[0] == "Table I"
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[3.14159]])
+        assert "3.14" in table
+        assert "3.14159" not in table
+
+    def test_percent_helper(self):
+        assert percent(0.8831) == "88.31%"
+        assert percent(1.0) == "100.00%"
+
+    def test_evaluation_requires_source(self):
+        from repro.pipeline.evaluation import evaluate_attack
+        from repro.models.mlp import MLP
+        model = MLP([4, 2], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            evaluate_attack(model, np.zeros((2, 1, 2, 2)), np.zeros(2, dtype=int))

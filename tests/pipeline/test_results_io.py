@@ -1,0 +1,49 @@
+"""JSON serialization of experiment results."""
+
+import numpy as np
+
+from repro.pipeline import evaluation_to_dict, load_result, save_result
+from repro.pipeline.evaluation import AttackEvaluation
+
+
+def make_evaluation():
+    return AttackEvaluation(
+        accuracy=0.9,
+        reconstructions=np.zeros((2, 4, 4, 1), dtype=np.uint8),
+        originals=np.zeros((2, 4, 4, 1), dtype=np.uint8),
+        mape_per_image=np.array([10.0, 30.0]),
+        ssim_per_image=np.array([0.8, 0.3]),
+        recognizable=np.array([True, False]),
+    )
+
+
+class TestEvaluationToDict:
+    def test_fields(self):
+        data = evaluation_to_dict(make_evaluation())
+        assert data["accuracy"] == 0.9
+        assert data["encoded_images"] == 2
+        assert data["mean_mape"] == 20.0
+        assert data["recognized_count"] == 1
+        assert data["recognizable"] == [True, False]
+
+    def test_json_serializable(self):
+        import json
+        json.dumps(evaluation_to_dict(make_evaluation()))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        data = evaluation_to_dict(make_evaluation())
+        path = tmp_path / "result.json"
+        save_result(data, path)
+        assert load_result(path) == data
+
+    def test_attack_result_roundtrip(self, trained_attack, tmp_path):
+        from repro.pipeline import attack_result_to_dict
+        data = attack_result_to_dict(trained_attack["result"])
+        path = tmp_path / "attack.json"
+        save_result(data, path)
+        loaded = load_result(path)
+        assert loaded["encoded_images"] == trained_attack["result"].encoded_images
+        assert loaded["quantized"] is None
+        assert len(loaded["history"]["task_loss"]) == 10

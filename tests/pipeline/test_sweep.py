@@ -1,0 +1,83 @@
+"""Parameter sweep runner."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline.sweep import Sweep, SweepResult, expand_grid
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        points = list(expand_grid({"a": [1, 2], "b": ["x", "y"]}))
+        assert len(points) == 4
+        assert {"a": 1, "b": "y"} in points
+
+    def test_empty_grid(self):
+        assert list(expand_grid({})) == [{}]
+
+    def test_single_axis(self):
+        points = list(expand_grid({"bits": [8, 4, 2]}))
+        assert [p["bits"] for p in points] == [8, 4, 2]
+
+
+class TestSweep:
+    def test_runs_every_point(self):
+        calls = []
+
+        def experiment(a, b):
+            calls.append((a, b))
+            return {"sum": a + b}
+
+        sweep = Sweep({"a": [1, 2], "b": [10, 20]}, experiment)
+        assert len(sweep) == 4
+        result = sweep.run()
+        assert len(result) == 4
+        assert len(calls) == 4
+        assert {"a": 2, "b": 20, "sum": 22} in result.records
+
+    def test_progress_callback(self):
+        seen = []
+        Sweep({"x": [1, 2]}, lambda x: {"y": x}).run(progress=seen.append)
+        assert seen == [{"x": 1}, {"x": 2}]
+
+    def test_non_callable_raises(self):
+        with pytest.raises(ConfigError):
+            Sweep({"a": [1]}, experiment="not callable")
+
+
+class TestSweepResult:
+    def make(self):
+        return SweepResult(records=[
+            {"bits": 8, "acc": 0.9},
+            {"bits": 4, "acc": 0.8},
+            {"bits": 2, "acc": 0.3},
+        ])
+
+    def test_filter(self):
+        assert len(self.make().filter(bits=4)) == 1
+
+    def test_best_maximize(self):
+        assert self.make().best("acc")["bits"] == 8
+
+    def test_best_minimize(self):
+        assert self.make().best("acc", maximize=False)["bits"] == 2
+
+    def test_best_missing_metric_raises(self):
+        with pytest.raises(ConfigError):
+            self.make().best("mape")
+
+    def test_columns_union(self):
+        result = SweepResult(records=[{"a": 1}, {"b": 2}])
+        assert result.columns() == ["a", "b"]
+
+    def test_to_table(self):
+        table = self.make().to_table(title="sweep")
+        assert "bits" in table and "acc" in table
+        assert table.splitlines()[0] == "sweep"
+
+    def test_to_csv(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        self.make().to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "bits,acc"
+        assert len(lines) == 4

@@ -1,0 +1,81 @@
+"""Trainer: loss decreases, penalty hooks fire, history recorded."""
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.models.mlp import MLP
+from repro.pipeline import Trainer, TrainingConfig
+
+
+def toy_problem(n=90, features=6, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((classes, features)) * 3
+    labels = np.arange(n) % classes
+    inputs = centers[labels] + rng.standard_normal((n, features)) * 0.3
+    return inputs, labels
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        inputs, labels = toy_problem()
+        model = MLP([6, 16, 3], rng=np.random.default_rng(0))
+        trainer = Trainer(model, inputs, labels, TrainingConfig(epochs=10, lr=0.1))
+        history = trainer.train()
+        assert history.task_loss[-1] < history.task_loss[0]
+        assert history.epochs == 10
+
+    def test_model_in_eval_mode_after_training(self):
+        inputs, labels = toy_problem()
+        model = MLP([6, 8, 3], rng=np.random.default_rng(0))
+        Trainer(model, inputs, labels, TrainingConfig(epochs=1)).train()
+        assert not model.training
+
+    def test_penalty_included_in_history(self):
+        inputs, labels = toy_problem()
+        model = MLP([6, 8, 3], rng=np.random.default_rng(0))
+        calls = []
+
+        def penalty():
+            calls.append(1)
+            return Tensor(0.25)
+
+        trainer = Trainer(model, inputs, labels,
+                          TrainingConfig(epochs=2, batch_size=30), penalty=penalty)
+        history = trainer.train()
+        assert len(calls) == 2 * 3  # epochs * batches
+        assert np.allclose(history.penalty, 0.25)
+
+    def test_penalty_affects_updates(self):
+        inputs, labels = toy_problem()
+        from repro.attacks import CorrelationPenalty
+        model_a = MLP([6, 8, 3], rng=np.random.default_rng(1))
+        model_b = MLP([6, 8, 3], rng=np.random.default_rng(1))
+        secret = np.random.default_rng(2).random(48)
+        penalty = CorrelationPenalty([model_b.fc0.weight], secret, rate=50.0)
+        Trainer(model_a, inputs, labels, TrainingConfig(epochs=3, seed=4)).train()
+        Trainer(model_b, inputs, labels, TrainingConfig(epochs=3, seed=4),
+                penalty=penalty).train()
+        assert not np.allclose(model_a.fc0.weight.data, model_b.fc0.weight.data)
+
+    def test_progress_callback(self):
+        inputs, labels = toy_problem()
+        model = MLP([6, 8, 3], rng=np.random.default_rng(0))
+        seen = []
+        Trainer(model, inputs, labels, TrainingConfig(epochs=3)).train(
+            progress=lambda e, l: seen.append(e))
+        assert seen == [0, 1, 2]
+
+    def test_explicit_epoch_override(self):
+        inputs, labels = toy_problem()
+        model = MLP([6, 8, 3], rng=np.random.default_rng(0))
+        history = Trainer(model, inputs, labels, TrainingConfig(epochs=10)).train(epochs=2)
+        assert history.epochs == 2
+
+    def test_deterministic_given_seed(self):
+        inputs, labels = toy_problem()
+        results = []
+        for _ in range(2):
+            model = MLP([6, 8, 3], rng=np.random.default_rng(5))
+            Trainer(model, inputs, labels, TrainingConfig(epochs=3, seed=9)).train()
+            results.append(model.fc0.weight.data.copy())
+        assert np.allclose(results[0], results[1])

@@ -1,0 +1,121 @@
+"""Sec. IV-A std-based candidate selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import ImageDataset
+from repro.errors import CapacityError
+from repro.preprocessing import (
+    dataset_std_summary,
+    pixel_value_histogram,
+    select_by_std_range,
+    select_encoding_targets,
+    weight_histogram,
+)
+
+
+def dataset_with_stds(stds, size=16, seed=0):
+    """Build images whose per-image std approximately matches ``stds``."""
+    rng = np.random.default_rng(seed)
+    images = []
+    for target in stds:
+        # Half the pixels at 128-target, half at 128+target -> std == target.
+        flat = np.full(size * size, 128.0)
+        flat[: size * size // 2] = 128.0 - target
+        flat[size * size // 2:] = 128.0 + target
+        rng.shuffle(flat)
+        images.append(flat.reshape(size, size, 1))
+    images = np.clip(np.array(images), 0, 255).astype(np.uint8)
+    return ImageDataset(images, np.zeros(len(stds), dtype=np.int64))
+
+
+class TestSelectByRange:
+    def test_strict_window(self):
+        ds = dataset_with_stds([10, 20, 30, 40, 50])
+        indices = select_by_std_range(ds, 15, 45)
+        assert indices.tolist() == [1, 2, 3]
+
+    def test_exclusive_bounds(self):
+        ds = dataset_with_stds([20.0])
+        assert select_by_std_range(ds, 20.0, 30.0).size == 0
+
+
+class TestSelectEncodingTargets:
+    def test_window_around_mean(self):
+        ds = dataset_with_stds([30, 49, 50, 51, 52, 70])
+        result = select_encoding_targets(ds, capacity=3, window=5.0, widen_if_short=False)
+        expected_min = math.floor(ds.per_image_std().mean())
+        assert result.std_range[0] == expected_min
+        assert result.std_range[1] == expected_min + 5.0
+
+    def test_targets_within_window(self):
+        ds = dataset_with_stds(np.linspace(20, 80, 40))
+        result = select_encoding_targets(ds, capacity=5, window=6.0)
+        stds = ds.per_image_std()[result.target_indices]
+        low, high = result.std_range
+        assert np.all((stds > low) & (stds < high))
+
+    def test_capacity_respected(self):
+        ds = dataset_with_stds(np.linspace(20, 80, 40))
+        result = select_encoding_targets(ds, capacity=5, window=20.0)
+        assert len(result) == 5
+
+    def test_short_candidates_without_widening(self):
+        ds = dataset_with_stds(np.linspace(20, 80, 20))
+        result = select_encoding_targets(ds, capacity=15, window=4.0,
+                                         widen_if_short=False)
+        assert len(result) < 15
+        assert len(result) == len(result.candidate_indices)
+
+    def test_widening_finds_more(self):
+        ds = dataset_with_stds(np.linspace(20, 80, 20))
+        narrow = select_encoding_targets(ds, capacity=15, window=4.0,
+                                         widen_if_short=False)
+        widened = select_encoding_targets(ds, capacity=15, window=4.0,
+                                          widen_if_short=True)
+        assert len(widened) >= len(narrow)
+
+    def test_explicit_std_range(self):
+        ds = dataset_with_stds([30, 50, 52, 54, 70])
+        result = select_encoding_targets(ds, capacity=3, std_range=(50, 55),
+                                         widen_if_short=False)
+        assert result.std_range == (50.0, 55.0)
+        stds = ds.per_image_std()[result.target_indices]
+        assert np.all((stds > 50) & (stds < 55))
+
+    def test_deterministic_draw(self):
+        ds = dataset_with_stds(np.linspace(40, 60, 30))
+        a = select_encoding_targets(ds, capacity=5, window=10.0, seed=3)
+        b = select_encoding_targets(ds, capacity=5, window=10.0, seed=3)
+        assert np.array_equal(a.target_indices, b.target_indices)
+
+    def test_invalid_capacity(self):
+        ds = dataset_with_stds([50, 51])
+        with pytest.raises(CapacityError):
+            select_encoding_targets(ds, capacity=0)
+
+    def test_no_candidates_raises(self):
+        ds = dataset_with_stds([10.0, 10.0])
+        with pytest.raises(CapacityError):
+            select_encoding_targets(ds, capacity=1, std_range=(200, 210),
+                                    widen_if_short=False)
+
+
+class TestStats:
+    def test_pixel_histogram_normalised(self):
+        ds = dataset_with_stds([30, 40])
+        density, edges = pixel_value_histogram(ds.images, bins=32)
+        assert np.isclose(density.sum(), 1.0)
+        assert len(edges) == 33
+        assert edges[0] == 0.0 and edges[-1] == 255.0
+
+    def test_weight_histogram_normalised(self):
+        density, _ = weight_histogram(np.random.default_rng(0).standard_normal(1000))
+        assert np.isclose(density.sum(), 1.0)
+
+    def test_std_summary_keys(self):
+        summary = dataset_std_summary(dataset_with_stds([30, 40, 50]))
+        assert set(summary) == {"mean", "min", "max", "median"}
+        assert summary["min"] <= summary["median"] <= summary["max"]

@@ -1,0 +1,69 @@
+"""Property-based tests: dataset generators and selection invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    ImageDataset,
+    SyntheticCifarConfig,
+    SyntheticDigitsConfig,
+    make_synthetic_cifar,
+    make_synthetic_digits,
+    to_grayscale,
+    train_test_split,
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=10, max_value=60), st.integers(min_value=0, max_value=5))
+def test_cifar_generator_invariants(num_images, seed):
+    ds = make_synthetic_cifar(SyntheticCifarConfig(
+        num_images=num_images, num_classes=5, image_size=12, seed=seed))
+    assert len(ds) == num_images
+    assert ds.images.dtype == np.uint8
+    assert ds.labels.min() >= 0 and ds.labels.max() < 5
+    # Per-image std is always within the representable bound.
+    stds = ds.per_image_std()
+    assert np.all(stds >= 0) and np.all(stds <= 127.5)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=10, max_value=50), st.integers(min_value=0, max_value=5))
+def test_digits_generator_invariants(num_images, seed):
+    ds = make_synthetic_digits(SyntheticDigitsConfig(
+        num_images=num_images, image_size=14, seed=seed))
+    assert len(ds) == num_images
+    assert ds.image_shape == (14, 14, 1)
+    assert set(np.unique(ds.labels)).issubset(set(range(10)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=20, max_value=80),
+       st.floats(min_value=0.1, max_value=0.5),
+       st.integers(min_value=0, max_value=9))
+def test_split_partition_property(n, fraction, seed):
+    rng = np.random.default_rng(seed)
+    ds = ImageDataset(
+        rng.integers(0, 256, (n, 6, 6, 1), dtype=np.uint8), np.arange(n) % 4)
+    train, test = train_test_split(ds, test_fraction=fraction, seed=seed)
+    assert len(train) + len(test) == n
+    assert len(train) > 0 and len(test) > 0
+    # Stratification: every class present in the train split.
+    assert set(train.labels.tolist()) == set(range(4))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=5, max_value=30), st.integers(min_value=0, max_value=5))
+def test_grayscale_preserves_count_and_brightness_order(n, seed):
+    ds = make_synthetic_cifar(SyntheticCifarConfig(
+        num_images=n, num_classes=5, image_size=12, seed=seed))
+    gray = to_grayscale(ds)
+    assert len(gray) == len(ds)
+    # Luma is a convex combination of the channels, so every gray pixel
+    # lies between that pixel's channel min and max (within rounding).
+    channel_min = ds.images.min(axis=3).astype(float)
+    channel_max = ds.images.max(axis=3).astype(float)
+    gray_values = gray.images[..., 0].astype(float)
+    assert np.all(gray_values >= channel_min - 1.0)
+    assert np.all(gray_values <= channel_max + 1.0)

@@ -1,0 +1,93 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quantization import MagnitudePruner, build_huffman
+from repro.quantization.sensitivity import LayerSensitivity, suggest_groups
+
+weight_vectors = arrays(
+    np.float64, st.integers(min_value=32, max_value=300),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False,
+                       allow_infinity=False, width=64),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(weight_vectors, st.floats(min_value=0.0, max_value=0.95))
+def test_pruning_mask_sparsity(weights, sparsity):
+    pruner = MagnitudePruner(sparsity, scope="per_layer")
+    mask = pruner._mask_for(weights)
+    kept = mask.mean()
+    # Kept fraction is close to 1 - sparsity (ties can shift it slightly).
+    assert kept <= 1.0
+    if len(np.unique(np.abs(weights))) == len(weights):
+        assert abs(kept - (1.0 - sparsity)) < 0.05 + 2.0 / len(weights)
+
+
+@settings(max_examples=30, deadline=None)
+@given(weight_vectors, st.floats(min_value=0.1, max_value=0.9))
+def test_pruning_keeps_largest(weights, sparsity):
+    pruner = MagnitudePruner(sparsity, scope="per_layer")
+    mask = pruner._mask_for(weights)
+    if mask.any() and (~mask).any():
+        assert np.abs(weights[mask]).min() >= np.abs(weights[~mask]).max() - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(st.integers(min_value=0, max_value=63),
+                       st.integers(min_value=1, max_value=10_000),
+                       min_size=1, max_size=32))
+def test_huffman_kraft_inequality(counts):
+    code = build_huffman(counts)
+    kraft = sum(2.0 ** -len(word) for word in code.codes.values())
+    assert kraft <= 1.0 + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(st.integers(min_value=0, max_value=63),
+                       st.integers(min_value=1, max_value=10_000),
+                       min_size=2, max_size=32))
+def test_huffman_within_entropy_plus_one(counts):
+    code = build_huffman(counts)
+    assert code.entropy_bits_per_symbol() <= code.average_bits_per_symbol() + 1e-9
+    assert code.average_bits_per_symbol() < code.entropy_bits_per_symbol() + 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+                min_size=1, max_size=40),
+       st.integers(min_value=1, max_value=6))
+def test_suggest_groups_partition_invariants(drops, num_groups):
+    profile = [LayerSensitivity(f"l{i}", 1.0, 1.0 - d) for i, d in enumerate(drops)]
+    ranges = suggest_groups(profile, num_groups)
+    # Contiguous cover of 1..n with non-empty groups.
+    assert ranges[0][0] == 1
+    assert ranges[-1][1] == len(drops)
+    for (start, end) in ranges:
+        assert end >= start
+    for (_, end), (start, _) in zip(ranges, ranges[1:]):
+        assert start == end + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(weight_vectors)
+def test_noise_injection_scales_with_std(weights):
+    from repro.models import set_parameter_vector
+    from repro.models.mlp import MLP
+    from repro.defenses import inject_noise
+    size = 8 * 8 + 8 * 4  # fc0 + fc1 weights of MLP([8, 8, 4])
+    if weights.size < 4:
+        return
+    model = MLP([8, 8, 4], rng=np.random.default_rng(0))
+    before = np.concatenate([model.fc0.weight.data.reshape(-1),
+                             model.fc1.weight.data.reshape(-1)])
+    inject_noise(model, 0.2, seed=1)
+    after = np.concatenate([model.fc0.weight.data.reshape(-1),
+                            model.fc1.weight.data.reshape(-1)])
+    delta = np.abs(after - before)
+    # Noise is bounded: nothing moves more than ~6 sigma of 20% weight std.
+    assert delta.max() < 6 * 0.2 * max(model.fc0.weight.data.std(),
+                                       model.fc1.weight.data.std(), 1e-9) + 1e-6

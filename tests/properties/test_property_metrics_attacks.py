@@ -1,0 +1,105 @@
+"""Property-based tests: metric bounds and encode/decode invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attacks import SecretPayload, decode_slice, total_variation
+from repro.attacks.correlated import pearson_correlation
+from repro.autograd import Tensor
+from repro.metrics import histogram_overlap, mape, ssim
+
+images_uint8 = arrays(
+    np.uint8,
+    st.tuples(st.integers(8, 16), st.integers(8, 16), st.just(1)),
+    elements=st.integers(min_value=0, max_value=255),
+)
+
+vectors = arrays(
+    np.float64, st.integers(min_value=8, max_value=200),
+    elements=st.floats(min_value=-50, max_value=50, allow_nan=False,
+                       allow_infinity=False, width=64),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(images_uint8, images_uint8)
+def test_mape_bounds(a, b):
+    if a.shape != b.shape:
+        return
+    value = mape(a, b)
+    assert 0.0 <= value <= 255.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(images_uint8)
+def test_mape_identity_is_zero(image):
+    assert mape(image, image) == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(images_uint8)
+def test_ssim_self_is_one(image):
+    assert np.isclose(ssim(image, image), 1.0, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(images_uint8, images_uint8)
+def test_ssim_bounds_and_symmetry(a, b):
+    if a.shape != b.shape:
+        return
+    forward = ssim(a, b)
+    backward = ssim(b, a)
+    assert -1.0 - 1e-9 <= forward <= 1.0 + 1e-9
+    assert np.isclose(forward, backward, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(vectors)
+def test_pearson_bounds(data):
+    rng = np.random.default_rng(1)
+    other = rng.standard_normal(data.size)
+    if data.std() < 1e-9:
+        return
+    corr = pearson_correlation(Tensor(data), Tensor(other)).item()
+    assert -1.0 - 1e-9 <= corr <= 1.0 + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(vectors)
+def test_histogram_overlap_bounds(data):
+    rng = np.random.default_rng(2)
+    other = rng.standard_normal(data.size)
+    value = histogram_overlap(data, other)
+    assert 0.0 <= value <= 1.0 + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(images_uint8)
+def test_decode_slice_polarity_involution(image):
+    """pos and neg decodes must be exact mirrors of each other."""
+    weights = image.reshape(-1).astype(np.float64)
+    if weights.max() - weights.min() < 1e-9:
+        return
+    shape = (image.shape[0], image.shape[1], 1)
+    pos = decode_slice(weights, shape, polarity="pos").astype(int)
+    neg = decode_slice(weights, shape, polarity="neg").astype(int)
+    assert np.all(np.abs((255 - pos) - neg) <= 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(images_uint8)
+def test_total_variation_nonnegative(image):
+    assert total_variation(image) >= 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=4, max_value=8))
+def test_secret_vector_length_invariant(n, size):
+    rng = np.random.default_rng(n)
+    images = rng.integers(0, 256, (n, size, size, 1), dtype=np.uint8)
+    payload = SecretPayload(images, np.zeros(n, dtype=np.int64))
+    assert payload.secret_vector().size == n * size * size
+    slices = payload.image_slices()
+    assert slices[-1].stop == payload.total_pixels

@@ -1,0 +1,92 @@
+"""Property-based tests: quantizer invariants over random weight vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quantization import (
+    KMeansQuantizer,
+    TargetCorrelatedQuantizer,
+    UniformQuantizer,
+    WeightedEntropyQuantizer,
+)
+
+weight_vectors = arrays(
+    np.float64,
+    st.integers(min_value=64, max_value=400),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False,
+                       allow_infinity=False, width=64),
+)
+
+
+def quantizers(levels=8):
+    target = np.random.default_rng(0).integers(0, 256, (4, 8, 8, 1), dtype=np.uint8)
+    return [
+        UniformQuantizer(levels),
+        KMeansQuantizer(levels),
+        WeightedEntropyQuantizer(levels),
+        TargetCorrelatedQuantizer(target, levels),
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(weight_vectors)
+def test_assignments_in_range(weights):
+    for quantizer in quantizers():
+        codebook, assignment = quantizer.quantize_vector(weights)
+        assert assignment.min() >= 0
+        assert assignment.max() < len(codebook)
+        assert len(codebook) <= quantizer.levels
+
+
+@settings(max_examples=25, deadline=None)
+@given(weight_vectors)
+def test_reconstruction_in_weight_hull(weights):
+    for quantizer in quantizers():
+        codebook, assignment = quantizer.quantize_vector(weights)
+        recon = codebook[assignment]
+        assert recon.min() >= weights.min() - 1e-9
+        assert recon.max() <= weights.max() + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(weight_vectors)
+def test_distinct_values_bounded_by_levels(weights):
+    for quantizer in quantizers(levels=4):
+        codebook, assignment = quantizer.quantize_vector(weights)
+        assert len(np.unique(codebook[assignment])) <= 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(weight_vectors)
+def test_shape_preserved(weights):
+    for quantizer in quantizers():
+        _, assignment = quantizer.quantize_vector(weights)
+        assert assignment.shape == weights.shape
+
+
+@settings(max_examples=25, deadline=None)
+@given(weight_vectors, st.integers(min_value=2, max_value=7))
+def test_uniform_worst_case_error_shrinks_with_levels(weights, bits):
+    # Note: per-instance MSE is NOT monotone in levels (a coarse grid can
+    # align exactly with the data), but the worst-case bound span/(2(l-1))
+    # is -- that is the property a uniform quantizer guarantees.
+    levels = 1 << bits
+    codebook, assignment = UniformQuantizer(levels=levels).quantize_vector(weights)
+    span = weights.max() - weights.min()
+    if span > 0:
+        bound = span / (2 * (levels - 1))
+        assert np.abs(codebook[assignment] - weights).max() <= bound + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(weight_vectors)
+def test_uniform_error_bound(weights):
+    quantizer = UniformQuantizer(levels=16)
+    codebook, assignment = quantizer.quantize_vector(weights)
+    span = weights.max() - weights.min()
+    if span > 0:
+        step = span / 15
+        assert np.abs(codebook[assignment] - weights).max() <= step / 2 + 1e-9

@@ -1,0 +1,120 @@
+"""Quantizer base: result representation, model application, scopes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.models.mlp import MLP
+from repro.quantization import UniformQuantizer, apply_quantization
+from repro.quantization.base import QuantizationResult, Quantizer, assign_to_boundaries
+
+
+class TestQuantizationResult:
+    def test_dequantized(self):
+        result = QuantizationResult(levels=4)
+        result.codebooks["w"] = np.array([0.0, 1.0])
+        result.assignments["w"] = np.array([[0, 1], [1, 0]])
+        assert np.allclose(result.dequantized("w"), [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_bits(self):
+        assert QuantizationResult(levels=16).bits == 4
+        assert QuantizationResult(levels=8).bits == 3
+
+    def test_unique_values_bounded_by_levels(self):
+        model = MLP([8, 8], rng=np.random.default_rng(0))
+        result = UniformQuantizer(levels=4).quantize_model(model)
+        assert len(result.unique_values("fc0.weight")) <= 4
+
+    def test_validate_missing_codebook(self):
+        result = QuantizationResult(levels=4)
+        result.assignments["w"] = np.zeros(3, dtype=np.int64)
+        with pytest.raises(QuantizationError):
+            result.validate()
+
+    def test_validate_out_of_range_assignment(self):
+        result = QuantizationResult(levels=4)
+        result.codebooks["w"] = np.array([0.0, 1.0])
+        result.assignments["w"] = np.array([0, 5])
+        with pytest.raises(QuantizationError):
+            result.validate()
+
+    def test_validate_oversized_codebook(self):
+        result = QuantizationResult(levels=2)
+        result.codebooks["w"] = np.zeros(5)
+        result.assignments["w"] = np.zeros(3, dtype=np.int64)
+        with pytest.raises(QuantizationError):
+            result.validate()
+
+
+class TestQuantizerInterface:
+    def test_invalid_levels(self):
+        with pytest.raises(QuantizationError):
+            UniformQuantizer(levels=1)
+
+    def test_invalid_scope(self):
+        with pytest.raises(QuantizationError):
+            UniformQuantizer(levels=4, scope="weird")
+
+    def test_abstract_quantize_vector(self):
+        with pytest.raises(NotImplementedError):
+            Quantizer(levels=4).quantize_vector(np.zeros(8))
+
+    def test_global_scope_shares_codebook(self):
+        model = MLP([8, 8, 8], rng=np.random.default_rng(0))
+        result = UniformQuantizer(levels=4, scope="global").quantize_model(model)
+        assert result.codebooks["fc0.weight"] is result.codebooks["fc1.weight"]
+
+    def test_per_layer_scope_separate_codebooks(self):
+        model = MLP([8, 8, 8], rng=np.random.default_rng(0))
+        result = UniformQuantizer(levels=4, scope="per_layer").quantize_model(model)
+        assert result.codebooks["fc0.weight"] is not result.codebooks["fc1.weight"]
+
+    def test_names_subset(self):
+        model = MLP([8, 8, 8], rng=np.random.default_rng(0))
+        result = UniformQuantizer(levels=4).quantize_model(model, names=["fc1.weight"])
+        assert set(result.assignments) == {"fc1.weight"}
+
+    def test_empty_selection_raises(self):
+        model = MLP([8, 8], rng=np.random.default_rng(0))
+        with pytest.raises(QuantizationError):
+            UniformQuantizer(levels=4).quantize_model(model, names=["nope"])
+
+    def test_assignment_shapes_match_params(self):
+        model = MLP([8, 4], rng=np.random.default_rng(0))
+        result = UniformQuantizer(levels=4).quantize_model(model)
+        assert result.assignments["fc0.weight"].shape == (4, 8)
+
+
+class TestApply:
+    def test_apply_overwrites_weights(self):
+        model = MLP([8, 8], rng=np.random.default_rng(0))
+        result = UniformQuantizer(levels=4).quantize_model(model)
+        apply_quantization(model, result)
+        assert len(np.unique(model.fc0.weight.data)) <= 4
+
+    def test_apply_unknown_name_raises(self):
+        model = MLP([8, 8], rng=np.random.default_rng(0))
+        result = QuantizationResult(levels=2)
+        result.codebooks["ghost"] = np.zeros(2)
+        result.assignments["ghost"] = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(QuantizationError):
+            apply_quantization(model, result)
+
+    def test_biases_untouched(self):
+        model = MLP([8, 8], rng=np.random.default_rng(0))
+        model.fc0.bias.data = np.arange(8.0)
+        result = UniformQuantizer(levels=4).quantize_model(model)
+        apply_quantization(model, result)
+        assert np.allclose(model.fc0.bias.data, np.arange(8.0))
+
+
+class TestAssignToBoundaries:
+    def test_interval_semantics(self):
+        boundaries = np.array([-np.inf, 0.0, 1.0, np.inf])
+        weights = np.array([-5.0, -0.001, 0.0, 0.5, 1.0, 9.0])
+        assignment = assign_to_boundaries(weights, boundaries)
+        assert assignment.tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_all_below_first_boundary_clamp(self):
+        boundaries = np.array([-np.inf, 5.0, np.inf])
+        assert assign_to_boundaries(np.array([-10.0]), boundaries).tolist() == [0]

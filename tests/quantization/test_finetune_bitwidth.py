@@ -1,0 +1,135 @@
+"""Cluster-shared fine-tuning and bit-width accounting."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.errors import QuantizationError
+from repro.models.mlp import MLP
+from repro.nn import DataLoader
+from repro.quantization import (
+    UniformQuantizer,
+    apply_quantization,
+    bits_for_levels,
+    finetune_quantized,
+    levels_for_bits,
+    quantized_model_bytes,
+)
+from repro.quantization.bitwidth import compression_ratio
+
+RNG = np.random.default_rng(43)
+
+
+def toy_problem(n=120, features=8, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((classes, features)) * 3
+    labels = np.arange(n) % classes
+    inputs = centers[labels] + rng.standard_normal((n, features)) * 0.5
+    return inputs, labels
+
+
+class TestBitwidth:
+    def test_levels_for_bits(self):
+        assert levels_for_bits(4) == 16
+        assert levels_for_bits(1) == 2
+
+    def test_bits_for_levels(self):
+        assert bits_for_levels(16) == 4
+        assert bits_for_levels(17) == 5
+        assert bits_for_levels(1) == 1
+
+    def test_invalid(self):
+        with pytest.raises(QuantizationError):
+            levels_for_bits(0)
+        with pytest.raises(QuantizationError):
+            bits_for_levels(0)
+
+    def test_model_bytes_smaller_after_quantization(self):
+        model = MLP([64, 64, 8], rng=np.random.default_rng(0))
+        result = UniformQuantizer(levels=16).quantize_model(model)
+        full = sum(p.size for p in model.parameters()) * 4
+        quantized = quantized_model_bytes(model, result)
+        assert quantized < full
+
+    def test_compression_ratio_increases_at_lower_bits(self):
+        model = MLP([64, 64, 8], rng=np.random.default_rng(0))
+        r8 = compression_ratio(model, UniformQuantizer(levels=256).quantize_model(model))
+        r4 = compression_ratio(model, UniformQuantizer(levels=16).quantize_model(model))
+        assert r4 > r8 > 1.0
+
+
+class TestFinetune:
+    def _accuracy(self, model, inputs, labels):
+        with no_grad():
+            return float((model(Tensor(inputs)).data.argmax(1) == labels).mean())
+
+    def test_accuracy_recovers(self):
+        inputs, labels = toy_problem()
+        model = MLP([8, 32, 3], rng=np.random.default_rng(1))
+        # Train full precision first.
+        from repro.nn import SGD, CrossEntropyLoss
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        loss_fn = CrossEntropyLoss()
+        loader = DataLoader(inputs, labels, batch_size=30, seed=0)
+        for _ in range(20):
+            for xb, yb in loader:
+                loss = loss_fn(model(Tensor(xb)), yb)
+                model.zero_grad(); loss.backward(); opt.step()
+        full_acc = self._accuracy(model, inputs, labels)
+
+        result = UniformQuantizer(levels=4).quantize_model(model)
+        apply_quantization(model, result)
+        quant_acc = self._accuracy(model, inputs, labels)
+
+        finetune_quantized(model, result, loader, epochs=10, lr=0.02)
+        tuned_acc = self._accuracy(model, inputs, labels)
+        assert tuned_acc >= quant_acc
+        assert full_acc > 0.9  # sanity: the task is learnable
+
+    def test_weights_stay_in_codebook(self):
+        inputs, labels = toy_problem()
+        model = MLP([8, 16, 3], rng=np.random.default_rng(2))
+        result = UniformQuantizer(levels=8).quantize_model(model)
+        loader = DataLoader(inputs, labels, batch_size=40, seed=0)
+        finetune_quantized(model, result, loader, epochs=2, lr=0.01)
+        for name in result.assignments:
+            values = np.unique(dict(model.named_parameters())[name].data)
+            assert len(values) <= 8
+
+    def test_assignments_never_change(self):
+        inputs, labels = toy_problem()
+        model = MLP([8, 16, 3], rng=np.random.default_rng(3))
+        result = UniformQuantizer(levels=8).quantize_model(model)
+        before = {k: v.copy() for k, v in result.assignments.items()}
+        loader = DataLoader(inputs, labels, batch_size=40, seed=0)
+        finetune_quantized(model, result, loader, epochs=2, lr=0.01)
+        for key in before:
+            assert np.array_equal(before[key], result.assignments[key])
+
+    def test_codebook_moves(self):
+        inputs, labels = toy_problem()
+        model = MLP([8, 16, 3], rng=np.random.default_rng(4))
+        result = UniformQuantizer(levels=8).quantize_model(model)
+        before = result.codebooks["fc0.weight"].copy()
+        loader = DataLoader(inputs, labels, batch_size=40, seed=0)
+        finetune_quantized(model, result, loader, epochs=1, lr=0.05)
+        assert not np.allclose(before, result.codebooks["fc0.weight"])
+
+    def test_biases_trained(self):
+        inputs, labels = toy_problem()
+        model = MLP([8, 16, 3], rng=np.random.default_rng(5))
+        before = model.fc0.bias.data.copy()
+        result = UniformQuantizer(levels=8).quantize_model(model)
+        loader = DataLoader(inputs, labels, batch_size=40, seed=0)
+        finetune_quantized(model, result, loader, epochs=1, lr=0.05)
+        assert not np.allclose(before, model.fc0.bias.data)
+
+    def test_progress_callback(self):
+        inputs, labels = toy_problem()
+        model = MLP([8, 16, 3], rng=np.random.default_rng(6))
+        result = UniformQuantizer(levels=8).quantize_model(model)
+        loader = DataLoader(inputs, labels, batch_size=40, seed=0)
+        seen = []
+        finetune_quantized(model, result, loader, epochs=3, lr=0.01,
+                           progress=lambda e, l: seen.append((e, l)))
+        assert [e for e, _ in seen] == [0, 1, 2]

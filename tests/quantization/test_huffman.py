@@ -1,0 +1,87 @@
+"""Huffman coding over quantization assignments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.models.mlp import MLP
+from repro.quantization import (
+    TargetCorrelatedQuantizer,
+    UniformQuantizer,
+    build_huffman,
+    huffman_for_result,
+    huffman_model_bytes,
+    quantized_model_bytes,
+)
+
+RNG = np.random.default_rng(61)
+
+
+class TestBuildHuffman:
+    def test_empty_raises(self):
+        with pytest.raises(QuantizationError):
+            build_huffman({})
+
+    def test_single_symbol(self):
+        code = build_huffman({3: 10})
+        assert code.codes == {3: "0"}
+        assert code.encoded_bits() == 10
+
+    def test_prefix_property(self):
+        code = build_huffman({0: 5, 1: 9, 2: 12, 3: 13, 4: 16, 5: 45})
+        words = list(code.codes.values())
+        for a in words:
+            for b in words:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_classic_example_lengths(self):
+        # Standard textbook frequencies: 45 gets a 1-bit code.
+        code = build_huffman({0: 5, 1: 9, 2: 12, 3: 13, 4: 16, 5: 45})
+        assert len(code.codes[5]) == 1
+        assert max(len(c) for c in code.codes.values()) == 4
+
+    def test_average_length_within_entropy_plus_one(self):
+        counts = {i: int(c) for i, c in enumerate(RNG.integers(1, 1000, size=16))}
+        code = build_huffman(counts)
+        entropy = code.entropy_bits_per_symbol()
+        average = code.average_bits_per_symbol()
+        assert entropy <= average + 1e-9
+        assert average < entropy + 1.0
+
+    def test_uniform_counts_give_fixed_length(self):
+        code = build_huffman({i: 10 for i in range(8)})
+        assert all(len(c) == 3 for c in code.codes.values())
+
+    def test_deterministic(self):
+        counts = {0: 3, 1: 3, 2: 5, 3: 7}
+        assert build_huffman(counts).codes == build_huffman(counts).codes
+
+
+class TestModelHuffman:
+    def test_for_result(self):
+        model = MLP([32, 32], rng=np.random.default_rng(0))
+        result = UniformQuantizer(levels=8).quantize_model(model)
+        code = huffman_for_result(result, "fc0.weight")
+        assert code.total_symbols == 32 * 32
+
+    def test_skewed_assignments_compress_below_fixed_width(self):
+        # Target-correlated clusters follow the (skewed) pixel histogram,
+        # so Huffman beats the fixed per-weight bit width.
+        images = np.zeros((1, 16, 16, 1), dtype=np.uint8)
+        images[0, :3] = 255  # heavily skewed pixel histogram
+        model = MLP([64, 64], rng=np.random.default_rng(1))
+        result = TargetCorrelatedQuantizer(images, levels=16).quantize_model(model)
+        code = huffman_for_result(result, "fc0.weight")
+        assert code.average_bits_per_symbol() < 4.0  # fixed width would be 4
+
+    def test_model_bytes_at_most_fixed_width(self):
+        model = MLP([64, 64, 8], rng=np.random.default_rng(2))
+        result = UniformQuantizer(levels=16).quantize_model(model)
+        huffman_bytes = huffman_model_bytes(result)
+        # quantized_model_bytes includes float params too; compare only
+        # the coded part: assignments * 4 bits + codebook.
+        assignments_bits = sum(a.size for a in result.assignments.values()) * 4
+        codebooks_bits = 32 * sum({id(c): c.size for c in result.codebooks.values()}.values())
+        fixed_bytes = (assignments_bits + codebooks_bits + 7) // 8
+        assert huffman_bytes <= fixed_bytes + 8

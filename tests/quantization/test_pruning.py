@@ -1,0 +1,143 @@
+"""Magnitude pruning: masks, sparsity accounting, masked fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.models.mlp import MLP
+from repro.nn import DataLoader
+from repro.quantization import (
+    MagnitudePruner,
+    apply_pruning,
+    finetune_pruned,
+    pruned_model_bytes,
+)
+
+RNG = np.random.default_rng(59)
+
+
+def model(seed=0):
+    return MLP([8, 32, 3], rng=np.random.default_rng(seed))
+
+
+class TestPruner:
+    def test_invalid_sparsity(self):
+        with pytest.raises(QuantizationError):
+            MagnitudePruner(1.0)
+        with pytest.raises(QuantizationError):
+            MagnitudePruner(-0.1)
+
+    def test_invalid_scope(self):
+        with pytest.raises(QuantizationError):
+            MagnitudePruner(0.5, scope="weird")
+
+    def test_global_sparsity_achieved(self):
+        m = model()
+        result = MagnitudePruner(0.5, scope="global").prune_model(m)
+        assert abs(result.total_kept_fraction() - 0.5) < 0.02
+
+    def test_per_layer_sparsity_achieved(self):
+        m = model()
+        result = MagnitudePruner(0.75, scope="per_layer").prune_model(m)
+        for name in result.masks:
+            assert abs(result.kept_fraction(name) - 0.25) < 0.05
+
+    def test_zero_sparsity_keeps_all(self):
+        m = model()
+        result = MagnitudePruner(0.0).prune_model(m)
+        assert result.total_kept_fraction() == 1.0
+
+    def test_smallest_magnitudes_removed(self):
+        m = model()
+        result = MagnitudePruner(0.5, scope="per_layer").prune_model(m)
+        for name, mask in result.masks.items():
+            weights = dict(m.named_parameters())[name].data
+            kept = np.abs(weights[mask])
+            removed = np.abs(weights[~mask])
+            if kept.size and removed.size:
+                assert kept.min() >= removed.max() - 1e-12
+
+    def test_empty_selection_raises(self):
+        with pytest.raises(QuantizationError):
+            MagnitudePruner(0.5).prune_model(model(), names=["nope"])
+
+
+class TestApply:
+    def test_pruned_positions_zero(self):
+        m = model()
+        result = MagnitudePruner(0.6).prune_model(m)
+        apply_pruning(m, result)
+        for name, mask in result.masks.items():
+            weights = dict(m.named_parameters())[name].data
+            assert np.all(weights[~mask] == 0.0)
+
+    def test_kept_positions_unchanged(self):
+        m = model()
+        before = {n: p.data.copy() for n, p in m.named_parameters()}
+        result = MagnitudePruner(0.6).prune_model(m)
+        apply_pruning(m, result)
+        for name, mask in result.masks.items():
+            assert np.allclose(dict(m.named_parameters())[name].data[mask],
+                               before[name][mask])
+
+    def test_unknown_name_raises(self):
+        from repro.quantization.pruning import PruningResult
+        result = PruningResult(sparsity=0.5, masks={"ghost": np.ones((2, 2), dtype=bool)})
+        with pytest.raises(QuantizationError):
+            apply_pruning(model(), result)
+
+
+class TestFinetune:
+    def _problem(self, n=120, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = rng.standard_normal((3, 8)) * 3
+        labels = np.arange(n) % 3
+        return centers[labels] + rng.standard_normal((n, 8)) * 0.4, labels
+
+    def test_pruned_positions_stay_zero(self):
+        inputs, labels = self._problem()
+        m = model(1)
+        result = MagnitudePruner(0.5).prune_model(m)
+        loader = DataLoader(inputs, labels, batch_size=40, seed=0)
+        finetune_pruned(m, result, loader, epochs=3, lr=0.05)
+        for name, mask in result.masks.items():
+            weights = dict(m.named_parameters())[name].data
+            assert np.all(weights[~mask] == 0.0)
+
+    def test_accuracy_recovers(self):
+        from repro.autograd import Tensor, no_grad
+        from repro.nn import SGD, CrossEntropyLoss
+        inputs, labels = self._problem()
+        m = model(2)
+        opt = SGD(m.parameters(), lr=0.1, momentum=0.9)
+        loss_fn = CrossEntropyLoss()
+        loader = DataLoader(inputs, labels, batch_size=40, seed=0)
+        for _ in range(15):
+            for xb, yb in loader:
+                loss = loss_fn(m(Tensor(xb)), yb)
+                m.zero_grad(); loss.backward(); opt.step()
+
+        def accuracy():
+            with no_grad():
+                return float((m(Tensor(inputs)).data.argmax(1) == labels).mean())
+
+        result = MagnitudePruner(0.7).prune_model(m)
+        apply_pruning(m, result)
+        pruned_acc = accuracy()
+        finetune_pruned(m, result, loader, epochs=10, lr=0.02)
+        assert accuracy() >= pruned_acc
+
+
+class TestSize:
+    def test_sparse_storage_smaller_at_high_sparsity(self):
+        m = MLP([64, 64, 8], rng=np.random.default_rng(0))
+        dense = sum(p.size for p in m.parameters()) * 4
+        result = MagnitudePruner(0.9).prune_model(m)
+        assert pruned_model_bytes(m, result) < dense
+
+    def test_low_sparsity_not_smaller(self):
+        # At 10% sparsity the 16-bit indices outweigh the savings.
+        m = MLP([64, 64, 8], rng=np.random.default_rng(0))
+        dense = sum(p.size for p in m.parameters()) * 4
+        result = MagnitudePruner(0.1).prune_model(m)
+        assert pruned_model_bytes(m, result) > dense * 0.9

@@ -1,0 +1,198 @@
+"""Uniform, k-means, weighted-entropy and target-correlated quantizers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quantization import (
+    KMeansQuantizer,
+    TargetCorrelatedQuantizer,
+    UniformQuantizer,
+    WeightedEntropyQuantizer,
+)
+from repro.quantization.target_correlated import pixel_histogram
+from repro.quantization.weighted_entropy import weight_importance, weighted_entropy
+
+RNG = np.random.default_rng(41)
+
+
+def reconstruction(quantizer, weights):
+    codebook, assignment = quantizer.quantize_vector(weights)
+    return codebook[assignment]
+
+
+class TestUniform:
+    def test_representatives_evenly_spaced(self):
+        weights = RNG.standard_normal(1000)
+        codebook, _ = UniformQuantizer(levels=8).quantize_vector(weights)
+        gaps = np.diff(codebook)
+        assert np.allclose(gaps, gaps[0])
+
+    def test_nearest_assignment(self):
+        weights = np.array([0.0, 0.24, 0.26, 1.0])
+        codebook, assignment = UniformQuantizer(levels=3).quantize_vector(weights)
+        # codebook = [0, 0.5, 1]; 0.24 -> 0, 0.26 -> 0.5
+        assert assignment.tolist() == [0, 0, 1, 2]
+
+    def test_constant_vector(self):
+        codebook, assignment = UniformQuantizer(levels=4).quantize_vector(np.full(10, 3.0))
+        assert codebook.tolist() == [3.0]
+        assert np.all(assignment == 0)
+
+    def test_error_bounded_by_half_step(self):
+        weights = RNG.standard_normal(500)
+        recon = reconstruction(UniformQuantizer(levels=16), weights)
+        step = (weights.max() - weights.min()) / 15
+        assert np.abs(recon - weights).max() <= step / 2 + 1e-12
+
+
+class TestKMeans:
+    def test_lower_mse_than_uniform(self):
+        # Gaussian weights: k-means adapts to density and must beat uniform.
+        weights = RNG.standard_normal(5000)
+        mse_uniform = np.mean((reconstruction(UniformQuantizer(levels=8), weights) - weights) ** 2)
+        mse_kmeans = np.mean((reconstruction(KMeansQuantizer(levels=8), weights) - weights) ** 2)
+        assert mse_kmeans < mse_uniform
+
+    def test_centroids_are_cluster_means(self):
+        weights = np.concatenate([np.full(50, -1.0), np.full(50, 1.0)])
+        codebook, assignment = KMeansQuantizer(levels=2).quantize_vector(weights)
+        recon = codebook[assignment]
+        assert np.allclose(recon, weights)
+
+    def test_constant_vector(self):
+        codebook, _ = KMeansQuantizer(levels=4).quantize_vector(np.zeros(10))
+        assert codebook.tolist() == [0.0]
+
+
+class TestWeightedEntropy:
+    def test_importance_is_squared_weight(self):
+        weights = np.array([-2.0, 3.0])
+        assert np.allclose(weight_importance(weights), [4.0, 9.0])
+
+    def test_weighted_entropy_max_at_uniform(self):
+        uniform = weighted_entropy(np.ones(8))
+        skewed = weighted_entropy(np.array([100.0, 1, 1, 1, 1, 1, 1, 1]))
+        assert uniform > skewed
+
+    def test_clusters_have_roughly_equal_importance(self):
+        weights = RNG.standard_normal(20_000)
+        quantizer = WeightedEntropyQuantizer(levels=8)
+        codebook, assignment = quantizer.quantize_vector(weights)
+        masses = np.array([
+            weight_importance(weights[assignment == k]).sum() for k in range(8)
+        ])
+        total = masses.sum()
+        # Entropy-maximising partition: every cluster within 2x of the mean mass.
+        assert masses.max() < 2.0 * total / 8
+        assert masses.min() > 0.3 * total / 8
+
+    def test_representative_inside_cluster_range(self):
+        weights = RNG.standard_normal(2000)
+        codebook, assignment = WeightedEntropyQuantizer(levels=4).quantize_vector(weights)
+        for k in range(4):
+            members = weights[assignment == k]
+            if len(members):
+                assert members.min() - 1e-9 <= codebook[k] <= members.max() + 1e-9
+
+    def test_all_zero_weights(self):
+        codebook, assignment = WeightedEntropyQuantizer(levels=4).quantize_vector(np.zeros(10))
+        assert codebook.tolist() == [0.0]
+
+    def test_reshapes_bimodal_distribution(self):
+        # WEQ puts boundaries by importance mass, so near-zero weights are
+        # lumped together -- exactly why it destroys pixel-correlated weights.
+        weights = np.concatenate([RNG.normal(0, 0.01, 5000), RNG.normal(1.0, 0.1, 100)])
+        codebook, assignment = WeightedEntropyQuantizer(levels=4).quantize_vector(weights)
+        # The large-magnitude mode grabs most clusters despite being 2% of mass.
+        large_clusters = (codebook > 0.5).sum()
+        assert large_clusters >= 2
+
+
+class TestTargetCorrelated:
+    def test_histogram_normalised(self):
+        images = RNG.integers(0, 256, size=(5, 4, 4, 1), dtype=np.uint8)
+        hist = pixel_histogram(images, 16)
+        assert np.isclose(hist.sum(), 1.0)
+        assert len(hist) == 16
+
+    def test_empty_target_raises(self):
+        with pytest.raises(QuantizationError):
+            pixel_histogram(np.zeros((0, 4, 4, 1)), 8)
+
+    def test_cluster_sizes_follow_pixel_histogram(self):
+        # A target with 75% dark / 25% bright pixels must produce cluster
+        # occupancies in (roughly) the same proportions over the weights.
+        images = np.zeros((1, 16, 16, 1), dtype=np.uint8)
+        images[0, :4] = 255  # 25% bright
+        quantizer = TargetCorrelatedQuantizer(images, levels=2)
+        weights = np.sort(RNG.standard_normal(1000))
+        _, assignment = quantizer.quantize_vector(weights)
+        fraction_low = (assignment == 0).mean()
+        assert 0.70 < fraction_low < 0.80
+
+    def test_preserves_correlated_weight_distribution(self):
+        # Weights that mirror the pixel distribution must survive with a
+        # high histogram overlap (the Fig. 3b claim).
+        from repro.metrics import histogram_overlap
+        images = RNG.integers(0, 256, size=(10, 8, 8, 1), dtype=np.uint8)
+        pixels = images.reshape(-1).astype(float)
+        weights = (pixels - pixels.mean()) / 255.0 + RNG.normal(0, 0.02, pixels.size)
+        quantizer = TargetCorrelatedQuantizer(images, levels=32)
+        codebook, assignment = quantizer.quantize_vector(weights)
+        recon = codebook[assignment]
+        assert histogram_overlap(recon, weights, bins=16) > 0.85
+
+    def test_too_few_weights_raises(self):
+        images = RNG.integers(0, 256, size=(1, 4, 4, 1), dtype=np.uint8)
+        with pytest.raises(QuantizationError):
+            TargetCorrelatedQuantizer(images, levels=16).quantize_vector(np.zeros(4))
+
+    def test_accepts_secret_payload(self):
+        from repro.attacks import SecretPayload
+        images = RNG.integers(0, 256, size=(2, 4, 4, 1), dtype=np.uint8)
+        payload = SecretPayload(images, np.zeros(2, dtype=np.int64))
+        quantizer = TargetCorrelatedQuantizer(payload, levels=4)
+        assert np.isclose(quantizer.histogram.sum(), 1.0)
+
+    def test_monotone_codebook(self):
+        images = RNG.integers(0, 256, size=(4, 8, 8, 1), dtype=np.uint8)
+        quantizer = TargetCorrelatedQuantizer(images, levels=8)
+        codebook, _ = quantizer.quantize_vector(RNG.standard_normal(500))
+        assert np.all(np.diff(codebook) >= -1e-12)
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("make", [
+        lambda: UniformQuantizer(levels=8),
+        lambda: KMeansQuantizer(levels=8),
+        lambda: WeightedEntropyQuantizer(levels=8),
+        lambda: TargetCorrelatedQuantizer(
+            np.random.default_rng(0).integers(0, 256, (4, 8, 8, 1), dtype=np.uint8), 8
+        ),
+    ])
+    def test_reconstruction_within_weight_range(self, make):
+        weights = RNG.standard_normal(500)
+        recon = reconstruction(make(), weights)
+        assert recon.min() >= weights.min() - 1e-9
+        assert recon.max() <= weights.max() + 1e-9
+
+    @pytest.mark.parametrize("make", [
+        lambda: UniformQuantizer(levels=4),
+        lambda: KMeansQuantizer(levels=4),
+    ])
+    def test_idempotent(self, make):
+        weights = RNG.standard_normal(300)
+        quantizer = make()
+        once = reconstruction(quantizer, weights)
+        twice = reconstruction(make(), once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+    def test_weighted_entropy_second_pass_does_not_expand(self):
+        # Equal-importance-mass boundaries can land mid-run of duplicated
+        # values, so WEQ is not bit-exact idempotent; but a second pass
+        # must never *increase* the number of distinct values.
+        weights = RNG.standard_normal(300)
+        once = reconstruction(WeightedEntropyQuantizer(levels=4), weights)
+        twice = reconstruction(WeightedEntropyQuantizer(levels=4), once)
+        assert len(np.unique(twice)) <= len(np.unique(once))

@@ -1,0 +1,119 @@
+"""Layer sensitivity analysis and group suggestion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quantization.sensitivity import (
+    LayerSensitivity,
+    perturbation_sensitivity,
+    quantization_sensitivity,
+    suggest_groups,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A small trained CNN + its training data for sensitivity probing."""
+    from repro.datasets import SyntheticCifarConfig, make_synthetic_cifar
+    from repro.datasets.transforms import images_to_batch, normalize_batch
+    from repro.models import resnet8_tiny
+    from repro.pipeline import Trainer, TrainingConfig
+
+    data = make_synthetic_cifar(
+        SyntheticCifarConfig(num_images=120, num_classes=4, image_size=16, seed=9)
+    )
+    batch = images_to_batch(data.images)
+    batch, _, _ = normalize_batch(batch)
+    model = resnet8_tiny(num_classes=4, width=8, rng=np.random.default_rng(0))
+    Trainer(model, batch, data.labels,
+            TrainingConfig(epochs=8, batch_size=32, lr=0.08)).train()
+    return model, batch, data.labels
+
+
+class TestQuantizationSensitivity:
+    def test_one_entry_per_layer(self, trained_setup):
+        model, inputs, labels = trained_setup
+        results = quantization_sensitivity(model, inputs, labels, bits=2)
+        from repro.models import encodable_parameters
+        assert len(results) == len(encodable_parameters(model))
+
+    def test_model_restored_after_analysis(self, trained_setup):
+        model, inputs, labels = trained_setup
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        quantization_sensitivity(model, inputs, labels, bits=2)
+        for name, param in model.named_parameters():
+            assert np.array_equal(param.data, before[name]), name
+
+    def test_drops_nonnegative_mostly(self, trained_setup):
+        model, inputs, labels = trained_setup
+        results = quantization_sensitivity(model, inputs, labels, bits=1)
+        # 1-bit quantization of some layer must hurt somewhere.
+        assert max(s.accuracy_drop for s in results) > 0.0
+
+    def test_bad_selection_raises(self, trained_setup):
+        model, inputs, labels = trained_setup
+        with pytest.raises(QuantizationError):
+            quantization_sensitivity(model, inputs, labels, names=["nope"])
+
+
+class TestPerturbationSensitivity:
+    def test_runs_and_restores(self, trained_setup):
+        model, inputs, labels = trained_setup
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        results = perturbation_sensitivity(model, inputs, labels,
+                                           noise_fraction=1.0, trials=2)
+        assert len(results) > 0
+        for name, param in model.named_parameters():
+            assert np.array_equal(param.data, before[name])
+
+    def test_heavy_noise_hurts_somewhere(self, trained_setup):
+        model, inputs, labels = trained_setup
+        results = perturbation_sensitivity(model, inputs, labels,
+                                           noise_fraction=3.0, trials=2)
+        assert max(s.accuracy_drop for s in results) > 0.0
+
+
+class TestSuggestGroups:
+    def make(self, drops):
+        return [LayerSensitivity(f"layer{i}", 1.0, 1.0 - d)
+                for i, d in enumerate(drops)]
+
+    def test_covers_all_layers_contiguously(self):
+        ranges = suggest_groups(self.make([0.5, 0.3, 0.1, 0.05, 0.05]), 3)
+        assert ranges[0][0] == 1
+        assert ranges[-1][1] == 5
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert start == end + 1
+
+    def test_sensitive_prefix_gets_small_group(self):
+        # One hugely sensitive first layer -> it should sit alone.
+        ranges = suggest_groups(self.make([0.9, 0.01, 0.01, 0.01, 0.01, 0.01]), 3)
+        assert ranges[0] == (1, 1)
+
+    def test_uniform_sensitivity_splits_evenly(self):
+        ranges = suggest_groups(self.make([0.1] * 6), 3)
+        sizes = [end - start + 1 for start, end in ranges]
+        assert sizes == [2, 2, 2]
+
+    def test_zero_sensitivity_splits_evenly(self):
+        ranges = suggest_groups(self.make([0.0] * 6), 2)
+        assert ranges == [(1, 3), (4, 6)]
+
+    def test_more_groups_than_layers(self):
+        ranges = suggest_groups(self.make([0.1, 0.2]), 5)
+        assert ranges == [(1, 1), (2, 2)]
+
+    def test_single_group(self):
+        ranges = suggest_groups(self.make([0.1, 0.2, 0.3]), 1)
+        assert ranges == [(1, 3)]
+
+    def test_invalid_group_count(self):
+        with pytest.raises(QuantizationError):
+            suggest_groups(self.make([0.1]), 0)
+
+    def test_every_group_nonempty(self):
+        for drops in ([0.9, 0, 0, 0], [0, 0, 0, 0.9], [0.5, 0.5, 0, 0]):
+            ranges = suggest_groups(self.make(drops), 3)
+            assert all(end >= start for start, end in ranges)
+            assert ranges[-1][1] == len(drops)

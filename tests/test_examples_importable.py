@@ -1,0 +1,29 @@
+"""Every example script must at least import cleanly (cheap CI guard).
+
+The examples guard their work behind ``if __name__ == "__main__"``, so
+importing them executes only definitions -- catching syntax errors,
+broken imports and renamed APIs without paying for training runs.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+
+
+def test_expected_examples_exist():
+    names = {p.stem for p in EXAMPLE_FILES}
+    for expected in ("quickstart", "cifar_attack_comparison", "face_attack_flow",
+                     "quantization_defense_study", "defense_audit", "sweep_study"):
+        assert expected in names

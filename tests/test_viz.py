@@ -1,0 +1,67 @@
+"""ASCII visualization helpers."""
+
+import numpy as np
+
+from repro.viz import ascii_histogram, ascii_image, side_by_side
+
+
+class TestAsciiImage:
+    def test_gray_2d(self):
+        art = ascii_image(np.zeros((4, 4)))
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert all(line == "  " * 4 for line in lines)  # all-dark = spaces
+
+    def test_bright_is_dense(self):
+        art = ascii_image(np.full((2, 2), 255.0))
+        assert set(art.replace("\n", "")) == {"@"}
+
+    def test_channel_image(self):
+        art = ascii_image(np.zeros((3, 3, 1), dtype=np.uint8))
+        assert len(art.splitlines()) == 3
+
+    def test_rgb_uses_luma(self):
+        red = np.zeros((1, 1, 3), dtype=np.uint8)
+        red[..., 0] = 255
+        green = np.zeros((1, 1, 3), dtype=np.uint8)
+        green[..., 1] = 255
+        # Green is brighter than red in luma.
+        ramp = " .:-=+*#%@"
+        assert ramp.index(ascii_image(green)[0]) > ramp.index(ascii_image(red)[0])
+
+    def test_wide_images_subsampled(self):
+        art = ascii_image(np.zeros((4, 200)), max_width=40)
+        assert max(len(line) for line in art.splitlines()) <= 2 * 40
+
+
+class TestSideBySide:
+    def test_joined_width(self):
+        joined = side_by_side("ab\ncd", "xy\nzw", gap=2)
+        lines = joined.splitlines()
+        assert lines[0] == "ab  xy"
+        assert lines[1] == "cd  zw"
+
+    def test_uneven_heights_padded(self):
+        joined = side_by_side("ab", "xy\nzw")
+        assert len(joined.splitlines()) == 2
+
+    def test_titles(self):
+        joined = side_by_side("ab", "xy", titles=["left", "right"])
+        assert joined.splitlines()[0].startswith("left")
+        assert "right" in joined.splitlines()[0]
+
+
+class TestAsciiHistogram:
+    def test_bin_count(self):
+        art = ascii_histogram(np.random.default_rng(0).standard_normal(100), bins=10)
+        assert len(art.splitlines()) == 10
+
+    def test_title(self):
+        art = ascii_histogram(np.ones(10), bins=4, title="weights")
+        assert art.splitlines()[0] == "weights"
+
+    def test_peak_bin_longest(self):
+        values = np.concatenate([np.zeros(90), np.ones(10)])
+        art = ascii_histogram(values, bins=2, width=20)
+        bars = [line.split("|")[1] for line in art.splitlines()]
+        assert len(bars[0].strip()) > len(bars[1].strip())
