@@ -14,6 +14,8 @@ Public API tour:
 * :mod:`repro.metrics` -- MAPE, SSIM, accuracy, recognizability.
 * :mod:`repro.pipeline` -- the end-to-end Fig. 1 attack flow plus the
   benign and original-attack baselines.
+* :mod:`repro.telemetry` -- metrics registry, span tracing, structured
+  run logging and the autograd op profiler.
 
 Quickstart::
 
@@ -37,5 +39,6 @@ Quickstart::
 
 from repro.version import __version__
 from repro import errors
+from repro import telemetry
 
-__all__ = ["__version__", "errors"]
+__all__ = ["__version__", "errors", "telemetry"]

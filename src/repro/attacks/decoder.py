@@ -109,17 +109,22 @@ def decode_images(
     Returns:
         uint8 array (n, H, W, C) of reconstructions.
     """
+    from repro.telemetry.metrics import default_registry
+    from repro.telemetry.trace import timed_stage
+
     needed = payload.total_pixels
     if weights.size < needed:
         raise CapacityError(
             f"weight vector has {weights.size} entries, payload needs {needed}"
         )
     out = np.empty_like(payload.images)
-    for index, slc in enumerate(payload.image_slices()):
-        reference = payload.images[index] if polarity == "reference" else None
-        out[index] = decode_slice(
-            weights[slc], payload.image_shape, polarity=polarity, reference=reference
-        )
+    with timed_stage("attack.decode", images=len(payload), polarity=polarity):
+        for index, slc in enumerate(payload.image_slices()):
+            reference = payload.images[index] if polarity == "reference" else None
+            out[index] = decode_slice(
+                weights[slc], payload.image_shape, polarity=polarity, reference=reference
+            )
+    default_registry().counter("attack.decode.images").inc(len(payload))
     return out
 
 

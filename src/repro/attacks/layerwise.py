@@ -140,10 +140,15 @@ class LayerwiseCorrelationPenalty:
             self._terms.append((penalty, share))
 
     def __call__(self) -> Tensor:
-        total: Optional[Tensor] = None
-        for penalty, share in self._terms:
-            term = F.mul(penalty(), Tensor(share))
-            total = term if total is None else F.add(total, term)
+        from repro.telemetry.metrics import default_registry
+        from repro.telemetry.trace import span
+
+        with span("attack.encode.penalty", groups=len(self._terms)):
+            total: Optional[Tensor] = None
+            for penalty, share in self._terms:
+                term = F.mul(penalty(), Tensor(share))
+                total = term if total is None else F.add(total, term)
+        default_registry().counter("attack.encode.penalty_calls").inc()
         return total
 
     def correlations(self) -> List[float]:

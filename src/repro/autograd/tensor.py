@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from typing import Iterator, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from repro.autograd import function as _function
 from repro.errors import GradientError
 
 Scalar = Union[int, float]
@@ -119,6 +121,9 @@ class Tensor:
 
         order = self._topological_order()
         grads = {id(self): grad}
+        # One hook read per backward pass; the profiled branch times each
+        # op's backward and reports the gradient bytes it produced.
+        hook = _function._op_hook
         for tensor in order:
             fn = tensor._creator
             tensor_grad = grads.pop(id(tensor), None)
@@ -126,7 +131,16 @@ class Tensor:
                 tensor.grad = tensor_grad if tensor.grad is None else tensor.grad + tensor_grad
             if fn is None or tensor_grad is None:
                 continue
-            input_grads = fn.backward(tensor_grad)
+            if hook is None:
+                input_grads = fn.backward(tensor_grad)
+            else:
+                start = time.perf_counter()
+                input_grads = fn.backward(tensor_grad)
+                elapsed = time.perf_counter() - start
+                nbytes = tensor_grad.nbytes + sum(
+                    g.nbytes for g in input_grads if g is not None
+                )
+                hook(type(fn).__name__, "backward", elapsed, nbytes)
             if len(input_grads) != len(fn.inputs):
                 raise GradientError(
                     f"{type(fn).__name__}.backward returned {len(input_grads)} "

@@ -5,13 +5,20 @@ Subcommands:
 * ``attack``  -- run the full quantized correlation attack flow.
 * ``benign``  -- train the benign reference model.
 * ``audit``   -- run the defender's pre-release audit on an attack run.
+* ``profile`` -- per-autograd-op cost table for a small training run.
+* ``info``    -- versions, platform and registered metrics (bug reports).
+
+Global flags (before the subcommand): ``--trace-out PATH`` exports a
+Chrome-trace file of the run's spans, ``--log-level LEVEL`` controls the
+structured JSONL event log (optionally to ``--log-out PATH``).
 
 Examples::
 
     python -m repro.cli attack --bits 4 --rate 20 --epochs 15
     python -m repro.cli attack --dataset faces --bits 3 --out result.json
-    python -m repro.cli benign --epochs 15
+    python -m repro.cli --trace-out trace.json benign --epochs 15
     python -m repro.cli audit --rate 20
+    python -m repro.cli profile quickstart --top 12
 """
 
 from __future__ import annotations
@@ -41,6 +48,14 @@ from repro.pipeline import (
 )
 from repro.pipeline.reporting import percent
 from repro.pipeline.results_io import attack_result_to_dict, save_result
+from repro.telemetry import (
+    RunManifest,
+    TraceRecorder,
+    configure_logging,
+    default_registry,
+    profile,
+    set_recorder,
+)
 
 
 def _build_dataset(name: str, seed: int):
@@ -109,8 +124,12 @@ def _cmd_attack(args) -> int:
               f"MAPE {ev.mean_mape:.2f}, SSIM {ev.mean_ssim:.3f}, "
               f"recognizable {ev.recognized_count}/{ev.encoded_images}")
     if args.out:
-        save_result(attack_result_to_dict(result), args.out)
-        print(f"result written to {args.out}")
+        manifest = RunManifest.create(
+            seed=args.seed, config=(training, attack, quantization),
+            dataset=args.dataset,
+        )
+        save_result(attack_result_to_dict(result), args.out, manifest=manifest)
+        print(f"result written to {args.out} (run {manifest.run_id})")
     return 0
 
 
@@ -140,10 +159,63 @@ def _cmd_audit(args) -> int:
     return 0 if report.flagged else 1
 
 
+def _cmd_info(args) -> int:
+    import platform
+
+    from repro.version import __version__
+
+    print(f"repro      {__version__}")
+    print(f"numpy      {np.__version__}")
+    print(f"python     {platform.python_version()}")
+    print(f"platform   {platform.platform()}")
+    names = default_registry().names()
+    print(f"metrics    {len(names)} registered"
+          + (": " + ", ".join(names) if names else ""))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Profile autograd ops over a short training run of an example model."""
+    dataset_by_example = {"quickstart": "cifar", "faces": "faces",
+                          "digits": "digits"}
+    train, _ = _build_dataset(dataset_by_example[args.example], args.data_seed)
+    builder = _build_model_builder(dataset_by_example[args.example], train, args.seed)
+    from repro.datasets.transforms import images_to_batch, normalize_batch
+    from repro.pipeline.trainer import Trainer
+
+    batch = images_to_batch(train.images)
+    batch, _, _ = normalize_batch(batch)
+    labels = train.labels
+    if args.steps is not None:
+        limit = max(1, args.steps) * args.batch_size
+        batch, labels = batch[:limit], labels[:limit]
+    training = TrainingConfig(epochs=1, batch_size=args.batch_size,
+                              lr=args.lr, seed=args.seed)
+    trainer = Trainer(builder(), batch, labels, training)
+    trainer.train_epoch()  # warm-up: first-touch allocations stay unprofiled
+    with profile() as prof:
+        trainer.train_epoch()
+    print(prof.table(top_k=args.top,
+                     title=f"autograd ops: 1 epoch of {args.example} "
+                           f"({len(labels)} images, batch {args.batch_size})"))
+    print(f"\nop time {prof.total_op_time * 1e3:.1f} ms over {prof.total_calls} "
+          f"calls covers {prof.coverage():.1%} of the "
+          f"{prof.wall_time * 1e3:.1f} ms training step")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC'20 compressed-model data-stealing reproduction"
     )
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome-trace JSON of the run's spans")
+    parser.add_argument("--log-level", default="warning",
+                        choices=["debug", "info", "warning", "error"],
+                        help="structured JSONL event-log threshold")
+    parser.add_argument("--log-out", metavar="PATH", default=None,
+                        help="append JSONL events to PATH (default: stderr "
+                             "when --log-level is raised)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def _common(p: argparse.ArgumentParser) -> None:
@@ -177,13 +249,63 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--bits", type=int, default=4)
     audit.add_argument("--method", default="target_correlated")
     audit.set_defaults(func=_cmd_audit)
+
+    prof = sub.add_parser("profile",
+                          help="per-autograd-op cost table for a training run")
+    prof.add_argument("example", nargs="?", default="quickstart",
+                      choices=["quickstart", "faces", "digits"],
+                      help="which example's dataset/model to profile")
+    prof.add_argument("--steps", type=int, default=None,
+                      help="limit the profiled epoch to this many batches")
+    prof.add_argument("--batch-size", type=int, default=32)
+    prof.add_argument("--lr", type=float, default=0.08)
+    prof.add_argument("--seed", type=int, default=7)
+    prof.add_argument("--data-seed", type=int, default=3)
+    prof.add_argument("--top", type=int, default=12,
+                      help="rows in the op table")
+    prof.set_defaults(func=_cmd_profile)
+
+    info = sub.add_parser("info", help="print versions/platform for bug reports")
+    info.set_defaults(func=_cmd_info)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+
+    stream = None
+    if args.log_out is None and args.log_level in ("debug", "info"):
+        stream = sys.stderr
+    logger = configure_logging(path=args.log_out, stream=stream,
+                               level=args.log_level)
+    recorder = None
+    if args.trace_out:
+        recorder = TraceRecorder()
+        set_recorder(recorder)
+    logger.info("cli.start", command=args.command, argv=list(argv or sys.argv[1:]))
+    trace_error = None
+    try:
+        code = args.func(args)
+    except Exception as exc:
+        logger.error("cli.error", command=args.command, error=repr(exc))
+        raise
+    finally:
+        if recorder is not None:
+            set_recorder(None)
+            try:
+                recorder.to_chrome_trace(args.trace_out)
+            except OSError as exc:
+                trace_error = exc
+                print(f"repro: error: could not write trace to "
+                      f"{args.trace_out}: {exc}", file=sys.stderr)
+            else:
+                print(f"trace written to {args.trace_out} "
+                      f"({len(recorder)} spans)", file=sys.stderr)
+    if trace_error is not None:
+        code = 1
+    logger.info("cli.done", command=args.command, exit_code=code)
+    return code
 
 
 if __name__ == "__main__":

@@ -20,11 +20,14 @@ from repro.pipeline.baselines import (
     train_benign,
 )
 from repro.pipeline.evaluation import AttackEvaluation, evaluate_attack
-from repro.pipeline.reporting import format_table
+from repro.pipeline.reporting import format_records, format_table
 from repro.pipeline.results_io import (
     attack_result_to_dict,
     evaluation_to_dict,
+    load_manifest,
     load_result,
+    manifest_path,
+    save_manifest,
     save_result,
 )
 from repro.pipeline.sweep import Sweep, SweepResult, expand_grid
@@ -35,6 +38,8 @@ __all__ = [
     "AttackFlowResult", "run_quantized_correlation_attack",
     "train_benign", "original_correlation_attack", "quantize_and_finetune",
     "make_quantizer", "AttackEvaluation", "evaluate_attack", "format_table",
+    "format_records",
     "evaluation_to_dict", "attack_result_to_dict", "save_result", "load_result",
+    "save_manifest", "load_manifest", "manifest_path",
     "Sweep", "SweepResult", "expand_grid",
 ]

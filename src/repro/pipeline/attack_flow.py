@@ -40,6 +40,8 @@ from repro.pipeline.trainer import Trainer, TrainHistory
 from repro.preprocessing.selection import SelectionResult, select_encoding_targets
 from repro.quantization.base import QuantizationResult, apply_quantization
 from repro.quantization.finetune import finetune_quantized
+from repro.telemetry.events import get_logger
+from repro.telemetry.trace import timed_stage
 
 
 @dataclass
@@ -89,91 +91,104 @@ def run_quantized_correlation_attack(
     if quantization is not None:
         quantization.validate()
 
+    logger = get_logger()
+
     def _report(stage: str) -> None:
+        logger.debug("attack.stage", stage=stage)
         if progress is not None:
             progress(stage)
 
     # ------------------------------------------------------- data setup
-    train_batch = images_to_batch(train_dataset.images)
-    train_batch, mean, std = normalize_batch(train_batch)
-    test_batch = images_to_batch(test_dataset.images)
-    test_batch, _, _ = normalize_batch(test_batch, mean, std)
+    with timed_stage("attack.setup"):
+        train_batch = images_to_batch(train_dataset.images)
+        train_batch, mean, std = normalize_batch(train_batch)
+        test_batch = images_to_batch(test_dataset.images)
+        test_batch, _, _ = normalize_batch(test_batch, mean, std)
 
-    model = model_builder()
+        model = model_builder()
 
     # ------------------------------------------- stage 1: pre-processing
     _report("pre-processing")
-    groups = group_by_layer_ranges(model, attack.layer_ranges, attack.rates)
-    pixels = train_dataset.pixels_per_image
-    capacity = sum(g.capacity(pixels) for g in groups if g.rate > 0.0)
-    capacity = max(1, int(capacity * attack.capacity_fraction)) if capacity else 0
-    if capacity == 0:
-        raise CapacityError(
-            "active groups cannot hold a single image; use a larger model "
-            "or smaller images"
+    with timed_stage("attack.pre_processing"):
+        groups = group_by_layer_ranges(model, attack.layer_ranges, attack.rates)
+        pixels = train_dataset.pixels_per_image
+        capacity = sum(g.capacity(pixels) for g in groups if g.rate > 0.0)
+        capacity = max(1, int(capacity * attack.capacity_fraction)) if capacity else 0
+        if capacity == 0:
+            raise CapacityError(
+                "active groups cannot hold a single image; use a larger model "
+                "or smaller images"
+            )
+        selection = select_encoding_targets(
+            train_dataset, capacity,
+            window=attack.std_window,
+            seed=attack.selection_seed,
+            std_range=attack.std_range,
         )
-    selection = select_encoding_targets(
-        train_dataset, capacity,
-        window=attack.std_window,
-        seed=attack.selection_seed,
-        std_range=attack.std_range,
-    )
-    full_payload = SecretPayload.from_dataset(train_dataset, selection.target_indices)
-    assigned = assign_payload(groups, full_payload)
-    payload = full_payload.take(assigned)
+        full_payload = SecretPayload.from_dataset(train_dataset, selection.target_indices)
+        assigned = assign_payload(groups, full_payload)
+        payload = full_payload.take(assigned)
 
     # --------------------------------- stage 2: correlation training
     _report("training")
-    penalty = LayerwiseCorrelationPenalty(groups)
-    trainer = Trainer(model, train_batch, train_dataset.labels, training, penalty=penalty)
-    history = trainer.train()
+    with timed_stage("attack.training", epochs=training.epochs):
+        penalty = LayerwiseCorrelationPenalty(groups)
+        trainer = Trainer(model, train_batch, train_dataset.labels, training,
+                          penalty=penalty)
+        history = trainer.train()
 
     _report("evaluating uncompressed")
-    uncompressed = evaluate_attack(
-        model, test_batch, test_dataset.labels, groups=groups,
-        polarity=attack.polarity, mean=mean, std=std,
-    )
+    with timed_stage("attack.evaluate", which="uncompressed"):
+        uncompressed = evaluate_attack(
+            model, test_batch, test_dataset.labels, groups=groups,
+            polarity=attack.polarity, mean=mean, std=std,
+        )
 
     # ------------------------------------------ stage 3: quantization
     quantized_eval: Optional[AttackEvaluation] = None
     quant_result: Optional[QuantizationResult] = None
     if quantization is not None:
         _report("quantizing")
-        # Algorithm 1 assumes the weights mirror the pixel distribution;
-        # under Eq. 1's |corr| the mirror may be negative, so detect the
-        # sign on the first active group and flip the histogram if needed.
-        from repro.quantization.target_correlated import detect_flip
-        flip = False
-        encoding_names: List[str] = []
-        for group in groups:
-            if group.payload is not None:
-                if not encoding_names:
-                    flip = detect_flip(group.weight_vector(),
-                                       group.payload.secret_vector())
-                encoding_names.extend(group.param_names)
-        from repro.pipeline.baselines import quantize_model_for_attack
-        quant_result = quantize_model_for_attack(
-            model, quantization, target_images=payload.images, flip=flip,
-            encoding_names=encoding_names,
-        )
-        apply_quantization(model, quant_result)
+        with timed_stage("attack.quantize", bits=quantization.bits,
+                         method=quantization.method):
+            # Algorithm 1 assumes the weights mirror the pixel distribution;
+            # under Eq. 1's |corr| the mirror may be negative, so detect the
+            # sign on the first active group and flip the histogram if needed.
+            from repro.quantization.target_correlated import detect_flip
+            flip = False
+            encoding_names: List[str] = []
+            for group in groups:
+                if group.payload is not None:
+                    if not encoding_names:
+                        flip = detect_flip(group.weight_vector(),
+                                           group.payload.secret_vector())
+                    encoding_names.extend(group.param_names)
+            from repro.pipeline.baselines import quantize_model_for_attack
+            quant_result = quantize_model_for_attack(
+                model, quantization, target_images=payload.images, flip=flip,
+                encoding_names=encoding_names,
+            )
+            apply_quantization(model, quant_result)
         if quantization.finetune_epochs > 0:
-            loader = DataLoader(
-                train_batch, train_dataset.labels,
-                batch_size=training.batch_size, seed=training.seed + 1,
-            )
-            finetune_quantized(
-                model, quant_result, loader,
-                epochs=quantization.finetune_epochs,
-                lr=quantization.finetune_lr,
-                momentum=training.momentum,
-                penalty=penalty,
-            )
+            with timed_stage("attack.finetune",
+                             epochs=quantization.finetune_epochs):
+                loader = DataLoader(
+                    train_batch, train_dataset.labels,
+                    batch_size=training.batch_size, seed=training.seed + 1,
+                )
+                finetune_quantized(
+                    model, quant_result, loader,
+                    epochs=quantization.finetune_epochs,
+                    lr=quantization.finetune_lr,
+                    momentum=training.momentum,
+                    penalty=penalty,
+                )
         _report("evaluating quantized")
-        quantized_eval = evaluate_attack(
-            model, test_batch, test_dataset.labels, groups=groups,
-            polarity=attack.polarity, mean=mean, std=std,
-        )
+        with timed_stage("attack.evaluate", which="quantized"):
+            quantized_eval = evaluate_attack(
+                model, test_batch, test_dataset.labels, groups=groups,
+                polarity=attack.polarity, mean=mean, std=std,
+            )
 
     return AttackFlowResult(
         model=model,

@@ -11,6 +11,9 @@ import os
 from typing import Dict, Optional, Union
 
 from repro.pipeline.evaluation import AttackEvaluation
+from repro.telemetry.events import RunManifest
+
+PathLike = Union[str, os.PathLike]
 
 
 def evaluation_to_dict(evaluation: AttackEvaluation) -> Dict:
@@ -54,14 +57,43 @@ def attack_result_to_dict(result) -> Dict:
     return out
 
 
-def save_result(data: Dict, path: Union[str, os.PathLike]) -> None:
-    """Write a result dict as pretty-printed JSON."""
+def save_result(data: Dict, path: PathLike,
+                manifest: Optional[RunManifest] = None) -> None:
+    """Write a result dict as pretty-printed JSON.
+
+    When ``manifest`` is given, it is written alongside the result (see
+    :func:`save_manifest`), tying the record to its run id, seed, config
+    fingerprint and telemetry snapshot.
+    """
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    if manifest is not None:
+        save_manifest(manifest, path)
 
 
-def load_result(path: Union[str, os.PathLike]) -> Dict:
+def load_result(path: PathLike) -> Dict:
     """Read back a result written by :func:`save_result`."""
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def manifest_path(result_path: PathLike) -> str:
+    """The sidecar manifest path for a result file (``x.json`` -> ``x.manifest.json``)."""
+    root, _ = os.path.splitext(os.fspath(result_path))
+    return root + ".manifest.json"
+
+
+def save_manifest(manifest: RunManifest, result_path: PathLike) -> str:
+    """Write a :class:`RunManifest` next to its result file; returns the path."""
+    path = manifest_path(result_path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_manifest(result_path: PathLike) -> RunManifest:
+    """Read the manifest written next to ``result_path``."""
+    with open(manifest_path(result_path), "r", encoding="utf-8") as handle:
+        return RunManifest.from_dict(json.load(handle))

@@ -11,11 +11,14 @@ from __future__ import annotations
 import csv
 import itertools
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Union
 
 from repro.errors import ConfigError
-from repro.pipeline.reporting import format_table
+from repro.pipeline.reporting import format_records
+from repro.telemetry.metrics import default_registry
+from repro.telemetry.trace import span
 
 
 def expand_grid(grid: Mapping[str, Sequence[Any]]) -> Iterator[Dict[str, Any]]:
@@ -62,9 +65,7 @@ class SweepResult:
         return chooser(scored, key=lambda r: r[metric])
 
     def to_table(self, title: str = "") -> str:
-        columns = self.columns()
-        rows = [[record.get(col, "") for col in columns] for record in self.records]
-        return format_table(columns, rows, title=title)
+        return format_records(self.records, title=title, columns=self.columns())
 
     def to_csv(self, path: Union[str, os.PathLike]) -> None:
         columns = self.columns()
@@ -79,14 +80,22 @@ class Sweep:
 
     The experiment callable returns a dict of metrics; each record in
     the result is ``{**params, **metrics}``.
+
+    With ``telemetry=True`` each record additionally carries its
+    wall-clock ``duration_s`` and the default registry's flattened
+    snapshot under ``tm.*`` keys (snapshotted after the point ran), so a
+    sweep export doubles as a per-point cost trace.  Each point also
+    runs inside a ``sweep.point`` span for Chrome-trace export.
     """
 
     def __init__(self, grid: Mapping[str, Sequence[Any]],
-                 experiment: Callable[..., Mapping[str, Any]]) -> None:
+                 experiment: Callable[..., Mapping[str, Any]],
+                 telemetry: bool = False) -> None:
         if not callable(experiment):
             raise ConfigError("experiment must be callable")
         self.grid = dict(grid)
         self.experiment = experiment
+        self.telemetry = bool(telemetry)
 
     def __len__(self) -> int:
         count = 1
@@ -96,11 +105,19 @@ class Sweep:
 
     def run(self, progress: Callable[[Dict[str, Any]], None] = None) -> SweepResult:
         result = SweepResult()
-        for params in expand_grid(self.grid):
+        for index, params in enumerate(expand_grid(self.grid)):
             if progress is not None:
                 progress(params)
-            metrics = self.experiment(**params)
+            with span("sweep.point", index=index,
+                      **{k: repr(v) for k, v in params.items()}):
+                start = time.perf_counter()
+                metrics = self.experiment(**params)
+                duration = time.perf_counter() - start
             record = dict(params)
             record.update(metrics)
+            if self.telemetry:
+                record["duration_s"] = duration
+                for name, value in default_registry().flat_snapshot().items():
+                    record[f"tm.{name}"] = value
             result.records.append(record)
         return result

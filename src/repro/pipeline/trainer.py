@@ -7,6 +7,7 @@ the encoding attacks hide inside it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -19,6 +20,8 @@ from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.nn.optim import SGD
 from repro.pipeline.config import TrainingConfig
+from repro.telemetry.metrics import default_registry
+from repro.telemetry.trace import span
 
 
 @dataclass
@@ -110,29 +113,45 @@ class Trainer:
     def train_epoch(self) -> float:
         """One epoch; returns mean task loss."""
         self.model.train()
-        total_task, total_penalty, count = 0.0, 0.0, 0
-        for inputs, labels in self.loader:
-            if self.augment:
-                from repro.datasets.transforms import random_flip_horizontal
-                inputs = random_flip_horizontal(inputs, self._augment_rng)
-            logits = self.model(Tensor(inputs))
-            task_loss = self.loss_fn(logits, labels)
-            loss = task_loss
-            penalty_value = 0.0
-            if self.penalty is not None:
-                penalty_term = self.penalty()
-                penalty_value = penalty_term.item()
-                loss = F.add(loss, penalty_term)
-            self.model.zero_grad()
-            loss.backward()
-            if self.grad_clip is not None:
-                self._clip_gradients()
-            self.optimizer.step()
-            batch = len(labels)
-            total_task += task_loss.item() * batch
-            total_penalty += penalty_value * batch
-            count += batch
+        registry = default_registry()
+        batch_times = registry.histogram("trainer.batch_s")
+        total_task, total_penalty, count, batches = 0.0, 0.0, 0, 0
+        epoch_start = time.perf_counter()
+        with span("trainer.epoch", epoch=self.history.epochs):
+            for inputs, labels in self.loader:
+                batch_start = time.perf_counter()
+                with span("trainer.batch"):
+                    if self.augment:
+                        from repro.datasets.transforms import random_flip_horizontal
+                        inputs = random_flip_horizontal(inputs, self._augment_rng)
+                    logits = self.model(Tensor(inputs))
+                    task_loss = self.loss_fn(logits, labels)
+                    loss = task_loss
+                    penalty_value = 0.0
+                    if self.penalty is not None:
+                        penalty_term = self.penalty()
+                        penalty_value = penalty_term.item()
+                        loss = F.add(loss, penalty_term)
+                    self.model.zero_grad()
+                    loss.backward()
+                    if self.grad_clip is not None:
+                        self._clip_gradients()
+                    self.optimizer.step()
+                batch = len(labels)
+                total_task += task_loss.item() * batch
+                total_penalty += penalty_value * batch
+                count += batch
+                batches += 1
+                batch_times.observe(time.perf_counter() - batch_start)
+        elapsed = time.perf_counter() - epoch_start
+        registry.timer("trainer.epoch_s").update(elapsed)
+        registry.counter("trainer.batches").inc(batches)
+        registry.counter("trainer.images").inc(count)
+        if elapsed > 0:
+            registry.gauge("trainer.images_per_s").set(count / elapsed)
         mean_task = total_task / count
+        registry.gauge("trainer.task_loss").set(mean_task)
+        registry.gauge("trainer.penalty").set(total_penalty / count)
         if not np.isfinite(mean_task):
             from repro.errors import GradientError
             raise GradientError(
@@ -158,9 +177,18 @@ class Trainer:
     ) -> TrainHistory:
         """Run the configured number of epochs."""
         epochs = epochs if epochs is not None else self.config.epochs
-        for epoch in range(epochs):
-            mean_loss = self.train_epoch()
-            if progress is not None:
-                progress(epoch, mean_loss)
+        from repro.telemetry.events import get_logger
+        logger = get_logger()
+        logger.debug("trainer.start", epochs=epochs, lr=self.config.lr,
+                     batch_size=self.config.batch_size, seed=self.config.seed)
+        with span("trainer.train", epochs=epochs):
+            for epoch in range(epochs):
+                mean_loss = self.train_epoch()
+                logger.debug("trainer.epoch", epoch=epoch, task_loss=mean_loss,
+                             penalty=self.history.penalty[-1])
+                if progress is not None:
+                    progress(epoch, mean_loss)
+        logger.debug("trainer.done", epochs=epochs,
+                     final_task_loss=self.history.task_loss[-1] if epochs else None)
         self.model.eval()
         return self.history

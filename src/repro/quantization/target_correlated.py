@@ -25,6 +25,7 @@ import numpy as np
 from repro.attacks.secret import SecretPayload
 from repro.errors import QuantizationError
 from repro.quantization.base import Quantizer, assign_to_boundaries
+from repro.telemetry.trace import timed_stage
 
 
 def pixel_histogram(target_images: np.ndarray, levels: int) -> np.ndarray:
@@ -68,33 +69,35 @@ class TargetCorrelatedQuantizer(Quantizer):
             raise QuantizationError(
                 f"cannot form {self.levels} clusters from {count} weights"
             )
-        # Lines 4-7: cumulative histogram mass -> boundary indices into
-        # the sorted weight list.
-        boundaries_idx = np.concatenate(
-            ([0], np.round(np.cumsum(self.histogram) * count).astype(np.int64))
-        )
-        boundaries_idx[-1] = count  # guard against rounding drift
-        boundaries_idx = np.maximum.accumulate(boundaries_idx)
+        with timed_stage("quant.target_correlated.cluster", weights=count):
+            # Lines 4-7: cumulative histogram mass -> boundary indices into
+            # the sorted weight list.
+            boundaries_idx = np.concatenate(
+                ([0], np.round(np.cumsum(self.histogram) * count).astype(np.int64))
+            )
+            boundaries_idx[-1] = count  # guard against rounding drift
+            boundaries_idx = np.maximum.accumulate(boundaries_idx)
 
-        sorted_weights = np.sort(weights)  # line 8
+            sorted_weights = np.sort(weights)  # line 8
 
-        codebook = np.empty(self.levels)
-        boundary_values = np.empty(self.levels + 1)
-        previous = float(sorted_weights[0])
-        for k in range(self.levels):  # lines 9-12
-            start, stop = boundaries_idx[k], boundaries_idx[k + 1]
-            if stop > start:
-                codebook[k] = float(sorted_weights[start:stop].mean())
-                boundary_values[k] = sorted_weights[start]
-                previous = codebook[k]
-            else:  # empty histogram bin -> empty cluster
-                codebook[k] = previous
-                boundary_values[k] = sorted_weights[min(start, count - 1)]
-        boundary_values[0] = -np.inf
-        boundary_values[-1] = np.inf  # line 13
-        boundary_values[1:-1] = np.maximum.accumulate(boundary_values[1:-1])
+            codebook = np.empty(self.levels)
+            boundary_values = np.empty(self.levels + 1)
+            previous = float(sorted_weights[0])
+            for k in range(self.levels):  # lines 9-12
+                start, stop = boundaries_idx[k], boundaries_idx[k + 1]
+                if stop > start:
+                    codebook[k] = float(sorted_weights[start:stop].mean())
+                    boundary_values[k] = sorted_weights[start]
+                    previous = codebook[k]
+                else:  # empty histogram bin -> empty cluster
+                    codebook[k] = previous
+                    boundary_values[k] = sorted_weights[min(start, count - 1)]
+            boundary_values[0] = -np.inf
+            boundary_values[-1] = np.inf  # line 13
+            boundary_values[1:-1] = np.maximum.accumulate(boundary_values[1:-1])
 
-        assignment = assign_to_boundaries(weights, boundary_values)  # lines 14-16
+        with timed_stage("quant.target_correlated.assign", weights=count):
+            assignment = assign_to_boundaries(weights, boundary_values)  # lines 14-16
         return codebook, assignment
 
 

@@ -24,6 +24,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.quantization.base import Quantizer, assign_to_boundaries
+from repro.telemetry.trace import timed_stage
 
 
 def weight_importance(weights: np.ndarray) -> np.ndarray:
@@ -44,42 +45,44 @@ class WeightedEntropyQuantizer(Quantizer):
     """Equal-importance-mass clustering over the sorted weight list."""
 
     def quantize_vector(self, weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        order = np.argsort(weights, kind="stable")
-        sorted_weights = weights[order]
-        importance = weight_importance(sorted_weights)
-        cumulative = np.cumsum(importance)
-        total = cumulative[-1]
-        if total <= 0:  # all-zero weights
-            return np.array([0.0]), np.zeros(weights.size, dtype=np.int64)
+        with timed_stage("quant.weighted_entropy.cluster", weights=weights.size):
+            order = np.argsort(weights, kind="stable")
+            sorted_weights = weights[order]
+            importance = weight_importance(sorted_weights)
+            cumulative = np.cumsum(importance)
+            total = cumulative[-1]
+            if total <= 0:  # all-zero weights
+                return np.array([0.0]), np.zeros(weights.size, dtype=np.int64)
 
-        # Boundary indices at equal cumulative-importance quantiles.
-        targets = total * np.arange(1, self.levels) / self.levels
-        cut_indices = np.searchsorted(cumulative, targets, side="left") + 1
-        boundaries_idx = np.concatenate(([0], cut_indices, [weights.size]))
-        boundaries_idx = np.maximum.accumulate(boundaries_idx)  # monotone
+            # Boundary indices at equal cumulative-importance quantiles.
+            targets = total * np.arange(1, self.levels) / self.levels
+            cut_indices = np.searchsorted(cumulative, targets, side="left") + 1
+            boundaries_idx = np.concatenate(([0], cut_indices, [weights.size]))
+            boundaries_idx = np.maximum.accumulate(boundaries_idx)  # monotone
 
-        codebook = np.empty(self.levels)
-        boundary_values = np.empty(self.levels + 1)
-        previous = sorted_weights[0]
-        for k in range(self.levels):
-            start, stop = boundaries_idx[k], boundaries_idx[k + 1]
-            if stop > start:
-                cluster = sorted_weights[start:stop]
-                mass = importance[start:stop]
-                mass_sum = mass.sum()
-                if mass_sum > 0:
-                    codebook[k] = float((cluster * mass).sum() / mass_sum)
-                else:  # a cluster of exact zeros
-                    codebook[k] = float(cluster.mean())
-                boundary_values[k] = cluster[0]
-                previous = codebook[k]
-            else:  # empty cluster: collapse onto the previous representative
-                codebook[k] = previous
-                boundary_values[k] = sorted_weights[min(start, weights.size - 1)]
-        boundary_values[0] = -np.inf
-        boundary_values[-1] = np.inf
-        # Boundaries must be non-decreasing for searchsorted assignment.
-        boundary_values[1:-1] = np.maximum.accumulate(boundary_values[1:-1])
+            codebook = np.empty(self.levels)
+            boundary_values = np.empty(self.levels + 1)
+            previous = sorted_weights[0]
+            for k in range(self.levels):
+                start, stop = boundaries_idx[k], boundaries_idx[k + 1]
+                if stop > start:
+                    cluster = sorted_weights[start:stop]
+                    mass = importance[start:stop]
+                    mass_sum = mass.sum()
+                    if mass_sum > 0:
+                        codebook[k] = float((cluster * mass).sum() / mass_sum)
+                    else:  # a cluster of exact zeros
+                        codebook[k] = float(cluster.mean())
+                    boundary_values[k] = cluster[0]
+                    previous = codebook[k]
+                else:  # empty cluster: collapse onto the previous representative
+                    codebook[k] = previous
+                    boundary_values[k] = sorted_weights[min(start, weights.size - 1)]
+            boundary_values[0] = -np.inf
+            boundary_values[-1] = np.inf
+            # Boundaries must be non-decreasing for searchsorted assignment.
+            boundary_values[1:-1] = np.maximum.accumulate(boundary_values[1:-1])
 
-        assignment = assign_to_boundaries(weights, boundary_values)
+        with timed_stage("quant.weighted_entropy.assign", weights=weights.size):
+            assignment = assign_to_boundaries(weights, boundary_values)
         return codebook, assignment

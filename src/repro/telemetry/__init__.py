@@ -1,0 +1,56 @@
+"""Observability layer: metrics, tracing, structured logging, profiling.
+
+Four pieces, designed to stay permanently wired into the library's hot
+paths at near-zero disabled cost:
+
+* :mod:`repro.telemetry.metrics` -- counters / gauges / histograms /
+  EWMA timers in a process-global :func:`default_registry`.
+* :mod:`repro.telemetry.trace` -- nested wall-time spans via
+  ``with span(name):``, exported as JSONL or Chrome trace format.
+* :mod:`repro.telemetry.events` -- leveled JSONL event log plus the
+  :class:`RunManifest` written next to experiment results.
+* :mod:`repro.telemetry.profiler` -- per-op forward/backward timing of
+  the autograd dispatch (``with profile() as prof:``).
+
+Quick look at everything after a run::
+
+    from repro.telemetry import default_registry
+    print(default_registry().render_table())
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    EwmaTimer,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.telemetry.trace import (
+    SpanRecord,
+    TraceRecorder,
+    get_recorder,
+    recording,
+    set_recorder,
+    span,
+    timed_stage,
+)
+from repro.telemetry.events import (
+    EventLogger,
+    RunManifest,
+    config_fingerprint,
+    configure_logging,
+    get_logger,
+    new_run_id,
+)
+from repro.telemetry.profiler import OpProfile, OpStat, profile
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "EwmaTimer", "MetricsRegistry",
+    "default_registry",
+    "SpanRecord", "TraceRecorder", "span", "recording", "get_recorder",
+    "set_recorder", "timed_stage",
+    "EventLogger", "RunManifest", "config_fingerprint", "configure_logging",
+    "get_logger", "new_run_id",
+    "OpProfile", "OpStat", "profile",
+]

@@ -1,0 +1,300 @@
+"""Process-local metrics registry: counters, gauges, histograms, timers.
+
+The registry is the numeric half of the observability layer (spans and
+events are the other half, see :mod:`repro.telemetry.trace` and
+:mod:`repro.telemetry.events`).  Everything here is zero-dependency and
+cheap enough to leave permanently wired into hot paths: a counter
+increment is one attribute add, a histogram observation one deque
+append.
+
+A process-global default registry (:func:`default_registry`) collects
+the library's built-in instrumentation (``trainer.*``, ``attack.*``,
+``quant.*`` metric names); user code may create private
+:class:`MetricsRegistry` instances for isolated experiments.
+``snapshot()`` returns plain JSON-ready data so results can be stored
+next to experiment records without this library.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+class Counter:
+    """Monotonically increasing count (batches seen, ops dispatched)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """Last-written value (current loss, images/sec of the last epoch)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = float("nan")
+
+
+class Histogram:
+    """Streaming distribution with count/sum/min/max and quantiles.
+
+    Keeps the most recent ``window`` observations for quantile queries;
+    count/sum/min/max cover the full stream.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_window")
+
+    def __init__(self, name: str, window: int = 4096) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._window: deque = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._window.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile over the retained window (nearest rank)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if not self._window:
+            return float("nan")
+        ordered = sorted(self._window)
+        rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._window.clear()
+
+
+class EwmaTimer:
+    """Duration tracker with an exponentially weighted moving average.
+
+    ``update(seconds)`` records one duration; :meth:`time` is a context
+    manager measuring a ``with`` block.  The EWMA smooths per-call noise
+    while still following drift (alpha 0.2 by default: ~5-call memory).
+    """
+
+    __slots__ = ("name", "alpha", "count", "total", "last", "ewma")
+
+    def __init__(self, name: str, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"timer alpha must be in (0, 1], got {alpha}")
+        self.name = name
+        self.alpha = alpha
+        self.count = 0
+        self.total = 0.0
+        self.last = float("nan")
+        self.ewma = float("nan")
+
+    def update(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        self.last = seconds
+        if self.count == 1:
+            self.ewma = seconds
+        else:
+            self.ewma = self.alpha * seconds + (1.0 - self.alpha) * self.ewma
+
+    class _Timing:
+        __slots__ = ("timer", "start")
+
+        def __init__(self, timer: "EwmaTimer") -> None:
+            self.timer = timer
+            self.start = 0.0
+
+        def __enter__(self) -> "EwmaTimer._Timing":
+            self.start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc: Any) -> None:
+            self.timer.update(time.perf_counter() - self.start)
+
+    def time(self) -> "EwmaTimer._Timing":
+        return EwmaTimer._Timing(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "last": self.last,
+            "ewma": self.ewma,
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.last = float("nan")
+        self.ewma = float("nan")
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and a plain snapshot."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type, *args: Any) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ConfigError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, window: int = 4096) -> Histogram:
+        return self._get_or_create(name, Histogram, window)
+
+    def timer(self, name: str, alpha: float = 0.2) -> EwmaTimer:
+        return self._get_or_create(name, EwmaTimer, alpha)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All metrics as JSON-ready data (scalars or flat dicts)."""
+        with self._lock:
+            return {name: metric.snapshot()
+                    for name, metric in sorted(self._metrics.items())}
+
+    def flat_snapshot(self) -> Dict[str, float]:
+        """Snapshot with compound metrics flattened to dotted scalar keys."""
+        flat: Dict[str, float] = {}
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                for field, scalar in value.items():
+                    flat[f"{name}.{field}"] = scalar
+            else:
+                flat[name] = value
+        return flat
+
+    def reset(self) -> None:
+        """Zero every metric (names stay registered)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    def clear(self) -> None:
+        """Drop every metric entirely."""
+        with self._lock:
+            self._metrics.clear()
+
+    def render_table(self, title: str = "metrics") -> str:
+        """Aligned plain-text table of the current snapshot."""
+        from repro.pipeline.reporting import format_table
+
+        rows: List[Sequence[Any]] = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                detail = "  ".join(
+                    f"{k}={_compact(v)}" for k, v in value.items()
+                    if k in ("count", "mean", "p50", "p90", "ewma", "sum")
+                    and not (isinstance(v, float) and math.isnan(v))
+                )
+                rows.append([name, detail])
+            else:
+                rows.append([name, _compact(value)])
+        return format_table(["metric", "value"], rows, title=title)
+
+
+def _compact(value: Any) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value != 0 and abs(value) < 1e-3:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry used by the library's instrumentation."""
+    return _default_registry

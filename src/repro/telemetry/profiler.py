@@ -1,0 +1,155 @@
+"""Autograd op-level profiler.
+
+Hooks the op dispatch in :mod:`repro.autograd.function` (forward, via
+``Function.apply``) and :mod:`repro.autograd.tensor` (backward, via the
+graph walk in ``Tensor.backward``) to attribute wall time, call counts
+and tensor bytes moved to each op class (``Conv2d``, ``MatMul``,
+``BatchNormOp``, ...).  The hook is a single module-global checked per
+dispatch, so un-profiled runs pay one is-None test per op.
+
+Usage::
+
+    from repro.telemetry import profile
+
+    with profile() as prof:
+        trainer.train_epoch()
+    print(prof.table(top_k=10))
+    print(f"op coverage: {prof.coverage():.0%} of wall time")
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.autograd import function as _function
+
+
+@dataclass
+class OpStat:
+    """Accumulated cost of one op class across a profiled region."""
+
+    name: str
+    forward_calls: int = 0
+    backward_calls: int = 0
+    forward_time: float = 0.0
+    backward_time: float = 0.0
+    bytes_moved: int = 0
+
+    @property
+    def calls(self) -> int:
+        return self.forward_calls + self.backward_calls
+
+    @property
+    def total_time(self) -> float:
+        return self.forward_time + self.backward_time
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "forward_calls": self.forward_calls,
+            "backward_calls": self.backward_calls,
+            "forward_time": self.forward_time,
+            "backward_time": self.backward_time,
+            "total_time": self.total_time,
+            "bytes_moved": self.bytes_moved,
+        }
+
+
+class OpProfile:
+    """Per-op statistics collected by one :func:`profile` region."""
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, OpStat] = {}
+        self.wall_time: float = 0.0
+
+    # Hook signature expected by repro.autograd.function.set_op_hook.
+    def _record(self, name: str, phase: str, seconds: float, nbytes: int) -> None:
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = OpStat(name)
+        if phase == "forward":
+            stat.forward_calls += 1
+            stat.forward_time += seconds
+        else:
+            stat.backward_calls += 1
+            stat.backward_time += seconds
+        stat.bytes_moved += nbytes
+
+    # ------------------------------------------------------------- queries
+    def __contains__(self, name: str) -> bool:
+        return name in self.stats
+
+    @property
+    def total_op_time(self) -> float:
+        return sum(s.total_time for s in self.stats.values())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(s.calls for s in self.stats.values())
+
+    def coverage(self, wall_time: Optional[float] = None) -> float:
+        """Fraction of wall time attributed to autograd ops."""
+        wall = self.wall_time if wall_time is None else wall_time
+        if wall <= 0.0:
+            return float("nan")
+        return self.total_op_time / wall
+
+    def top(self, k: int = 10) -> List[OpStat]:
+        """The ``k`` most expensive ops by total (fwd+bwd) time."""
+        ranked = sorted(self.stats.values(),
+                        key=lambda s: s.total_time, reverse=True)
+        return ranked[:k]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "wall_time": self.wall_time,
+            "total_op_time": self.total_op_time,
+            "ops": {name: stat.to_dict()
+                    for name, stat in sorted(self.stats.items())},
+        }
+
+    def table(self, top_k: int = 10, title: str = "autograd ops") -> str:
+        """Top-K table: call counts, fwd/bwd ms, time share, MB moved."""
+        from repro.pipeline.reporting import format_table
+
+        total = self.total_op_time
+        rows = []
+        for stat in self.top(top_k):
+            share = 100.0 * stat.total_time / total if total > 0 else 0.0
+            rows.append([
+                stat.name,
+                stat.forward_calls,
+                stat.backward_calls,
+                stat.forward_time * 1e3,
+                stat.backward_time * 1e3,
+                stat.total_time * 1e3,
+                share,
+                stat.bytes_moved / 1e6,
+            ])
+        return format_table(
+            ["op", "fwd calls", "bwd calls", "fwd ms", "bwd ms",
+             "total ms", "share %", "MB moved"],
+            rows, title=title,
+        )
+
+
+@contextlib.contextmanager
+def profile(profile_obj: Optional[OpProfile] = None) -> Iterator[OpProfile]:
+    """Profile autograd ops executed inside the ``with`` block.
+
+    Installs the op hook on entry and restores the previous hook on
+    exit; the yielded :class:`OpProfile` accumulates per-op statistics
+    and the region's wall time (so ``coverage()`` works out of the box).
+    Re-entering with the same ``profile_obj`` accumulates.
+    """
+    prof = profile_obj if profile_obj is not None else OpProfile()
+    previous = _function.set_op_hook(prof._record)
+    start = time.perf_counter()
+    try:
+        yield prof
+    finally:
+        prof.wall_time += time.perf_counter() - start
+        _function.set_op_hook(previous)

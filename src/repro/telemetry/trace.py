@@ -1,0 +1,227 @@
+"""Span-based wall-time tracing with JSONL and Chrome-trace export.
+
+A *span* is one named, timed region of execution; spans nest, forming
+the run's call-tree skeleton (epoch > batch, attack > quantize >
+cluster).  Instrumented library code wraps its stages in
+``with span("attack.training"):`` unconditionally -- when no
+:class:`TraceRecorder` is installed the context manager is a shared
+no-op object, so the disabled fast path costs one global read and two
+trivial method calls.
+
+Enable tracing with :func:`recording`::
+
+    with recording() as recorder:
+        run_quantized_correlation_attack(...)
+    recorder.to_chrome_trace("trace.json")   # open in chrome://tracing
+    recorder.to_jsonl("trace.jsonl")
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: [start, start+duration) seconds from the epoch."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    thread_id: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "thread_id": self.thread_id,
+            "attrs": self.attrs,
+        }
+
+
+class TraceRecorder:
+    """Collects finished spans; timestamps are relative to construction."""
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+        self._origin = time.perf_counter()
+        self._lock = threading.Lock()
+        self._depth = threading.local()
+
+    # -------------------------------------------------------------- record
+    def _current_depth(self) -> int:
+        return getattr(self._depth, "value", 0)
+
+    def _push(self) -> int:
+        depth = self._current_depth()
+        self._depth.value = depth + 1
+        return depth
+
+    def _pop(self) -> None:
+        self._depth.value = self._current_depth() - 1
+
+    def add(self, name: str, start: float, duration: float, depth: int,
+            attrs: Dict[str, Any]) -> None:
+        record = SpanRecord(
+            name=name, start=start, duration=duration, depth=depth,
+            thread_id=threading.get_ident(), attrs=attrs,
+        )
+        with self._lock:
+            self.spans.append(record)
+
+    # ------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_name(self, name: str) -> List[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+    def total_time(self, name: str) -> float:
+        """Summed wall time of every span with ``name``."""
+        return sum(s.duration for s in self.by_name(name))
+
+    def roots(self) -> List[SpanRecord]:
+        return [s for s in self.spans if s.depth == 0]
+
+    # -------------------------------------------------------------- export
+    def to_jsonl(self, path: os.PathLike) -> None:
+        """One JSON object per line, in completion order."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.spans:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True))
+                handle.write("\n")
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome trace-event JSON object (``ph: "X"`` complete events)."""
+        pid = os.getpid()
+        events = [
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": record.start * 1e6,
+                "dur": record.duration * 1e6,
+                "pid": pid,
+                "tid": record.thread_id,
+                "args": {str(k): v for k, v in record.attrs.items()},
+            }
+            for record in self.spans
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_chrome_trace(self, path: os.PathLike) -> None:
+        """Write a file loadable by chrome://tracing / Perfetto."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle, indent=1)
+            handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# The active recorder and the span() entry point
+# ---------------------------------------------------------------------------
+
+_active: Optional[TraceRecorder] = None
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager: the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    __slots__ = ("recorder", "name", "attrs", "start", "depth")
+
+    def __init__(self, recorder: TraceRecorder, name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self.recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        self.depth = self.recorder._push()
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        end = time.perf_counter()
+        recorder = self.recorder
+        recorder._pop()
+        recorder.add(self.name, self.start - recorder._origin,
+                     end - self.start, self.depth, self.attrs)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Context manager timing a named region under the active recorder.
+
+    With no recorder installed this returns a shared no-op object, so
+    it is safe (and intended) to leave in hot paths.
+    """
+    recorder = _active
+    if recorder is None:
+        return _NOOP
+    return _LiveSpan(recorder, name, attrs)
+
+
+def get_recorder() -> Optional[TraceRecorder]:
+    return _active
+
+
+def set_recorder(recorder: Optional[TraceRecorder]) -> Optional[TraceRecorder]:
+    """Install (or with None, remove) the active recorder; returns the old one."""
+    global _active
+    previous = _active
+    _active = recorder
+    return previous
+
+
+@contextlib.contextmanager
+def recording(recorder: Optional[TraceRecorder] = None) -> Iterator[TraceRecorder]:
+    """Activate a recorder for the duration of the ``with`` block."""
+    recorder = recorder if recorder is not None else TraceRecorder()
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+@contextlib.contextmanager
+def timed_stage(name: str, registry=None, **attrs: Any) -> Iterator[None]:
+    """Span + EWMA timer in one: the standard stage instrumentation.
+
+    Emits a span named ``name`` (when tracing is active) and always
+    updates the ``<name>_s`` timer in ``registry`` (the default metrics
+    registry when omitted).
+    """
+    from repro.telemetry.metrics import default_registry
+
+    registry = registry if registry is not None else default_registry()
+    start = time.perf_counter()
+    with span(name, **attrs):
+        yield
+    registry.timer(name + "_s").update(time.perf_counter() - start)

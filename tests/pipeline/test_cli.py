@@ -66,3 +66,55 @@ class TestEndToEnd:
         from repro.pipeline import load_result
         data = load_result(out)
         assert data["quantized"] is not None
+
+
+class TestTelemetryCli:
+    def test_global_flags_default(self):
+        args = build_parser().parse_args(["info"])
+        assert args.trace_out is None
+        assert args.log_level == "warning"
+
+    def test_global_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--trace-out", "t.json", "--log-level", "debug", "benign"])
+        assert args.trace_out == "t.json"
+        assert args.log_level == "debug"
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.example == "quickstart"
+        assert args.top == 12
+
+    def test_profile_bad_example_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "mnist"])
+
+    def test_info_smoke(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "numpy" in out and "metrics" in out
+
+    def test_profile_smoke(self, capsys):
+        code = main(["profile", "quickstart", "--steps", "1",
+                     "--batch-size", "64", "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "autograd ops" in out
+        assert "Conv2dFn" in out
+        assert "covers" in out
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "trace.json"
+        code = main(["--trace-out", str(trace), "profile", "quickstart",
+                     "--steps", "1", "--batch-size", "64"])
+        assert code == 0
+        data = json.loads(trace.read_text())
+        assert any(e["name"] == "trainer.epoch" for e in data["traceEvents"])
+
+    def test_trace_out_unwritable_path_errors_cleanly(self, tmp_path, capsys):
+        trace = tmp_path / "no-such-dir" / "trace.json"
+        code = main(["--trace-out", str(trace), "info"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "could not write trace" in err

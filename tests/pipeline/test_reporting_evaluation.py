@@ -76,3 +76,37 @@ class TestFormatTable:
         model = MLP([4, 2], rng=np.random.default_rng(0))
         with pytest.raises(ValueError):
             evaluate_attack(model, np.zeros((2, 1, 2, 2)), np.zeros(2, dtype=int))
+
+
+class TestFormatTableRobustness:
+    def test_empty_rows_render_header_only(self):
+        table = format_table(["a", "b"], [])
+        lines = table.splitlines()
+        assert len(lines) == 2
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_no_columns_at_all(self):
+        assert format_table([], []) == "(empty table)"
+        assert format_table([], [], title="t").splitlines()[0] == "t"
+
+    def test_ragged_rows_do_not_raise(self):
+        table = format_table(["a"], [["x", "extra"], ["y"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "extra" in lines[2]
+
+    def test_format_records_union_of_keys(self):
+        from repro.pipeline import format_records
+        table = format_records([{"a": 1}, {"b": 2.5}])
+        lines = table.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4
+
+    def test_format_records_empty(self):
+        from repro.pipeline import format_records
+        assert format_records([]) == "(empty table)"
+
+    def test_format_records_pinned_columns(self):
+        from repro.pipeline import format_records
+        table = format_records([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in table.splitlines()[0]

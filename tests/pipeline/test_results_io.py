@@ -47,3 +47,44 @@ class TestSaveLoad:
         assert loaded["encoded_images"] == trained_attack["result"].encoded_images
         assert loaded["quantized"] is None
         assert len(loaded["history"]["task_loss"]) == 10
+
+
+class TestRunManifest:
+    def make_manifest(self):
+        from repro.pipeline.config import TrainingConfig
+        from repro.telemetry import RunManifest
+        return RunManifest.create(
+            seed=7, config=TrainingConfig(epochs=2),
+            telemetry={"trainer.images": 192.0}, dataset="cifar",
+        )
+
+    def test_manifest_path_sidecar(self):
+        from repro.pipeline import manifest_path
+        assert manifest_path("runs/res.json") == "runs/res.manifest.json"
+
+    def test_manifest_roundtrip(self, tmp_path):
+        from repro.pipeline import load_manifest, save_manifest
+        manifest = self.make_manifest()
+        result_path = tmp_path / "res.json"
+        save_manifest(manifest, result_path)
+        loaded = load_manifest(result_path)
+        assert loaded == manifest
+        assert loaded.telemetry["trainer.images"] == 192.0
+        assert loaded.extra == {"dataset": "cifar"}
+
+    def test_save_result_writes_sidecar(self, tmp_path):
+        from repro.pipeline import load_manifest, load_result, manifest_path
+        import os
+        manifest = self.make_manifest()
+        path = tmp_path / "res.json"
+        save_result({"accuracy": 0.9}, path, manifest=manifest)
+        assert load_result(path) == {"accuracy": 0.9}
+        assert os.path.exists(manifest_path(path))
+        assert load_manifest(path).run_id == manifest.run_id
+
+    def test_save_result_without_manifest_writes_no_sidecar(self, tmp_path):
+        import os
+        from repro.pipeline import manifest_path
+        path = tmp_path / "res.json"
+        save_result({"a": 1}, path)
+        assert not os.path.exists(manifest_path(path))

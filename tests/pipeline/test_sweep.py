@@ -81,3 +81,23 @@ class TestSweepResult:
         lines = path.read_text().strip().splitlines()
         assert lines[0] == "bits,acc"
         assert len(lines) == 4
+
+
+class TestSweepTelemetry:
+    def test_records_unchanged_by_default(self):
+        result = Sweep({"x": [1]}, lambda x: {"y": x}).run()
+        assert result.records == [{"x": 1, "y": 1}]
+
+    def test_telemetry_adds_duration_and_snapshot(self):
+        from repro.telemetry import default_registry
+        default_registry().counter("sweep.test.counter").inc(3)
+        result = Sweep({"x": [1, 2]}, lambda x: {"y": x}, telemetry=True).run()
+        for record in result.records:
+            assert record["duration_s"] >= 0.0
+            assert record["tm.sweep.test.counter"] >= 3.0
+
+    def test_points_emit_spans(self):
+        from repro.telemetry import recording
+        with recording() as recorder:
+            Sweep({"x": [1, 2, 3]}, lambda x: {"y": x}).run()
+        assert len(recorder.by_name("sweep.point")) == 3

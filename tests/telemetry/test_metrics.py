@@ -1,0 +1,162 @@
+"""Metrics registry: counter/gauge/histogram/timer semantics."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.metrics import (
+    Counter,
+    EwmaTimer,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        assert c.snapshot() == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.snapshot() == 5.0
+
+    def test_negative_increment_raises(self):
+        with pytest.raises(ConfigError):
+            Counter("c").inc(-1)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(3)
+        c.reset()
+        assert c.snapshot() == 0.0
+
+
+class TestGauge:
+    def test_nan_until_set(self):
+        g = Gauge("g")
+        assert math.isnan(g.snapshot())
+        g.set(2.5)
+        assert g.snapshot() == 2.5
+
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(1.0)
+        g.set(-7.0)
+        assert g.snapshot() == -7.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        h = Histogram("h")
+        for v in [3.0, 1.0, 2.0]:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 6.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["mean"] == 2.0
+
+    def test_quantiles(self):
+        h = Histogram("h")
+        for v in range(101):
+            h.observe(float(v))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 50.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantile_window_is_bounded(self):
+        h = Histogram("h", window=10)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100           # full-stream count survives
+        assert h.quantile(0.0) == 90.0  # window keeps only the newest 10
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram("h").quantile(0.5))
+
+    def test_bad_quantile_raises(self):
+        with pytest.raises(ConfigError):
+            Histogram("h").quantile(1.5)
+
+
+class TestEwmaTimer:
+    def test_first_update_seeds_ewma(self):
+        t = EwmaTimer("t")
+        t.update(2.0)
+        assert t.ewma == 2.0
+        assert t.last == 2.0
+        assert t.count == 1
+
+    def test_ewma_tracks_drift(self):
+        t = EwmaTimer("t", alpha=0.5)
+        t.update(0.0)
+        t.update(1.0)
+        assert t.ewma == 0.5
+        assert t.total == 1.0
+        assert t.mean == 0.5
+
+    def test_time_context_manager(self):
+        t = EwmaTimer("t")
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.last >= 0.0
+
+    def test_bad_alpha_raises(self):
+        with pytest.raises(ConfigError):
+            EwmaTimer("t", alpha=0.0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(1.5)
+        reg.histogram("c").observe(3.0)
+        reg.timer("d").update(0.1)
+        data = reg.snapshot()
+        json.dumps(data)
+        assert data["a"] == 2.0
+        assert data["c"]["count"] == 1
+
+    def test_flat_snapshot_dotted_keys(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("h").observe(1.0)
+        flat = reg.flat_snapshot()
+        assert flat["a"] == 1.0
+        assert flat["h.count"] == 1
+
+    def test_reset_keeps_names(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.reset()
+        assert reg.names() == ["a"]
+        assert reg.counter("a").snapshot() == 0.0
+
+    def test_render_table(self):
+        reg = MetricsRegistry()
+        reg.counter("calls").inc(3)
+        reg.timer("step_s").update(0.25)
+        table = reg.render_table()
+        assert "calls" in table
+        assert "step_s" in table
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()
