@@ -3,18 +3,24 @@
 Subcommands:
 
 * ``attack``  -- run the full quantized correlation attack flow.
+* ``sweep``   -- grid of attack runs over bitwidths x rates.
 * ``benign``  -- train the benign reference model.
 * ``audit``   -- run the defender's pre-release audit on an attack run.
 * ``profile`` -- per-autograd-op cost table for a small training run.
 * ``info``    -- versions, platform and registered metrics (bug reports).
 
-Global flags (before the subcommand): ``--trace-out PATH`` exports a
-Chrome-trace file of the run's spans, ``--log-level LEVEL`` controls the
-structured JSONL event log (optionally to ``--log-out PATH``).
+Global flags (before the subcommand): ``--workers N`` fans sweep points
+and multi-bitwidth attack arms across worker processes
+(``repro.parallel``; results are identical to a serial run),
+``--trace-out PATH`` exports a Chrome-trace file of the run's spans,
+``--log-level LEVEL`` controls the structured JSONL event log
+(optionally to ``--log-out PATH``).
 
 Examples::
 
     python -m repro.cli attack --bits 4 --rate 20 --epochs 15
+    python -m repro.cli --workers 4 attack --bits 4 3 2 --epochs 15
+    python -m repro.cli --workers 4 sweep --bits 4 3 --rates 5 20 --epochs 5
     python -m repro.cli attack --dataset faces --bits 3 --out result.json
     python -m repro.cli --trace-out trace.json benign --epochs 15
     python -m repro.cli audit --rate 20
@@ -24,6 +30,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import Optional, Sequence
 
@@ -110,7 +117,42 @@ def _attack_configs(args) -> tuple:
     return training, attack, quantization
 
 
+def _attack_experiment(bits: int, rate: float, dataset: str = "cifar",
+                       data_seed: int = 3, seed: int = 7, epochs: int = 15,
+                       batch_size: int = 32, lr: float = 0.08,
+                       method: str = "target_correlated",
+                       rng=None) -> dict:
+    """One full attack run reduced to a flat metrics record.
+
+    Module-level (and partial-friendly) so ``repro sweep`` and the
+    multi-bitwidth ``repro attack`` can run it inside spawn-started
+    worker processes.  ``rng`` is accepted for ``Sweep(seed=...)``
+    compatibility but unused: every stage is already seeded explicitly,
+    which is what makes parallel and serial records identical.
+    """
+    ns = argparse.Namespace(dataset=dataset, rate=rate, epochs=epochs,
+                            batch_size=batch_size, lr=lr, seed=seed,
+                            bits=bits, method=method)
+    train, test = _build_dataset(dataset, data_seed)
+    builder = _build_model_builder(dataset, train, seed)
+    training, attack, quantization = _attack_configs(ns)
+    result = run_quantized_correlation_attack(
+        train, test, builder, training, attack, quantization)
+    quant = result.quantized
+    return {
+        "accuracy": round(result.uncompressed.accuracy, 6),
+        "q_accuracy": round(quant.accuracy, 6),
+        "q_mape": round(quant.mean_mape, 4),
+        "q_ssim": round(quant.mean_ssim, 4),
+        "recognized": quant.recognized_count,
+        "encoded": quant.encoded_images,
+    }
+
+
 def _cmd_attack(args) -> int:
+    if len(args.bits) > 1:
+        return _cmd_attack_multi(args)
+    args.bits = args.bits[0]
     train, test = _build_dataset(args.dataset, args.data_seed)
     builder = _build_model_builder(args.dataset, train, args.seed)
     training, attack, quantization = _attack_configs(args)
@@ -131,6 +173,60 @@ def _cmd_attack(args) -> int:
         save_result(attack_result_to_dict(result), args.out, manifest=manifest)
         print(f"result written to {args.out} (run {manifest.run_id})")
     return 0
+
+
+def _cmd_attack_multi(args) -> int:
+    """Several bitwidths in one invocation: independent arms, optionally
+    fanned across ``--workers`` processes."""
+    from repro.pipeline import run_baseline_suite
+
+    arms = {
+        f"{bits}-bit": functools.partial(
+            _attack_experiment, bits, args.rate, dataset=args.dataset,
+            data_seed=args.data_seed, seed=args.seed, epochs=args.epochs,
+            batch_size=args.batch_size, lr=args.lr, method=args.method,
+        )
+        for bits in args.bits
+    }
+    suite = run_baseline_suite(arms, parallel=args.workers)
+    print(suite.to_table(title=f"attack arms ({args.dataset}, "
+                               f"rate {args.rate:g})"))
+    failed = suite.failures()
+    for record in failed.records:
+        print(f"arm {record['arm']} failed "
+              f"({record['error_kind']}): {record['error']}", file=sys.stderr)
+    return 1 if len(failed) else 0
+
+
+def _cmd_sweep(args) -> int:
+    """Cartesian bits x rate grid of attack runs via pipeline.sweep."""
+    from repro.pipeline.sweep import Sweep
+
+    experiment = functools.partial(
+        _attack_experiment, dataset=args.dataset, data_seed=args.data_seed,
+        seed=args.seed, epochs=args.epochs, batch_size=args.batch_size,
+        lr=args.lr, method=args.method,
+    )
+    sweep = Sweep({"bits": args.bits, "rate": args.rates}, experiment)
+    total = len(sweep)
+    result = sweep.run(
+        progress=lambda params: print(f"[point {params}]", file=sys.stderr),
+        parallel=args.workers or 1,
+        timeout=args.point_timeout,
+    )
+    print(result.to_table(title=f"{total}-point sweep ({args.dataset})"))
+    failed = result.failures()
+    if len(result.ok()):
+        best = result.best("q_ssim")
+        print(f"best SSIM: bits={best['bits']} rate={best['rate']:g} "
+              f"(ssim {best['q_ssim']:.3f}, accuracy {percent(best['q_accuracy'])})")
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"records written to {args.csv}")
+    for record in failed.records:
+        print(f"point bits={record['bits']} rate={record['rate']:g} failed "
+              f"({record['error_kind']}): {record['error']}", file=sys.stderr)
+    return 1 if len(failed) else 0
 
 
 def _cmd_benign(args) -> int:
@@ -208,6 +304,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC'20 compressed-model data-stealing reproduction"
     )
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for sweep points / attack "
+                             "arms (default: serial; results are identical)")
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome-trace JSON of the run's spans")
     parser.add_argument("--log-level", default="warning",
@@ -232,12 +331,29 @@ def build_parser() -> argparse.ArgumentParser:
     _common(attack)
     attack.add_argument("--rate", type=float, default=20.0,
                         help="correlation rate for the deep layer group")
-    attack.add_argument("--bits", type=int, default=4)
+    attack.add_argument("--bits", type=int, nargs="+", default=[4],
+                        help="bitwidth(s); several values run as "
+                             "independent arms (see --workers)")
     attack.add_argument("--method", default="target_correlated",
                         choices=["target_correlated", "weighted_entropy",
                                  "uniform", "kmeans"])
-    attack.add_argument("--out", help="write the result summary as JSON")
+    attack.add_argument("--out", help="write the result summary as JSON "
+                                      "(single --bits only)")
     attack.set_defaults(func=_cmd_attack)
+
+    sweep = sub.add_parser("sweep",
+                           help="bits x rate grid of attack runs")
+    _common(sweep)
+    sweep.add_argument("--bits", type=int, nargs="+", default=[4, 3, 2])
+    sweep.add_argument("--rates", type=float, nargs="+", default=[20.0])
+    sweep.add_argument("--method", default="target_correlated",
+                       choices=["target_correlated", "weighted_entropy",
+                                "uniform", "kmeans"])
+    sweep.add_argument("--csv", metavar="PATH", default=None,
+                       help="export the records as CSV")
+    sweep.add_argument("--point-timeout", type=float, default=None,
+                       help="per-point timeout in seconds (parallel runs)")
+    sweep.set_defaults(func=_cmd_sweep)
 
     benign = sub.add_parser("benign", help="train the benign reference")
     _common(benign)

@@ -1,0 +1,29 @@
+"""Process-pool experiment execution with deterministic seeding.
+
+Two pieces:
+
+* :mod:`repro.parallel.pool` -- :class:`WorkerPool`: chunked
+  multi-process task scheduling with per-task timeouts, bounded retry
+  of crashed workers, structured :class:`TaskOutcome` failure records
+  (never pool-wide aborts), per-worker telemetry snapshot ship-back,
+  and a transparent in-process serial fallback.
+* :mod:`repro.parallel.seeding` -- ``SeedSequence``-based per-task seed
+  derivation so parallel and serial runs produce identical records.
+
+Consumers: ``pipeline.sweep`` (``Sweep.run(parallel=N)``),
+``pipeline.baselines`` (:func:`run_baseline_suite`),
+``autograd.grad_check`` (parallel finite-difference probes), and the
+CLI's global ``--workers`` flag.
+"""
+
+from repro.parallel.pool import Task, TaskOutcome, WorkerPool, cpu_workers
+from repro.parallel.seeding import (
+    rng_for_index,
+    sequence_for_index,
+    spawn_sequences,
+)
+
+__all__ = [
+    "Task", "TaskOutcome", "WorkerPool", "cpu_workers",
+    "rng_for_index", "sequence_for_index", "spawn_sequences",
+]

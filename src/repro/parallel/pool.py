@@ -1,0 +1,344 @@
+"""Process-pool task execution with structured failure records.
+
+:class:`WorkerPool` runs a list of :class:`Task`\\ s across worker
+processes and returns one :class:`TaskOutcome` per task, in task order.
+It is built for experiment fan-out (sweep points, baseline arms,
+finite-difference probes), so its failure model is per-task, never
+pool-wide:
+
+* a task that **raises** produces an ``error_kind="exception"`` outcome
+  and its siblings keep running;
+* a worker that **crashes** (segfault, ``os._exit``) loses only its
+  current task, which is retried up to ``retries`` times before an
+  ``error_kind="crash"`` outcome is recorded;
+* a task that exceeds the per-task **timeout** gets its worker killed
+  and is retried / recorded as ``error_kind="timeout"``.
+
+Workers are spawn-safe: the worker entrypoint is a module-level
+function and tasks are pickled when the start method requires it.  When
+``max_workers <= 1``, the platform has no usable start method, or the
+tasks cannot be pickled under a non-fork start method, the pool
+transparently falls back to in-process serial execution with identical
+outcome semantics (timeouts cannot preempt in-process and are ignored
+there).
+
+Each worker resets its process-local :func:`repro.telemetry.metrics
+.default_registry` before a task and ships the task's typed metrics
+snapshot back with the result; the parent merges it into its own
+registry (see :meth:`MetricsRegistry.merge_typed`) and attaches it to
+the outcome.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import multiprocessing.connection
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.telemetry.metrics import default_registry
+
+
+@dataclass
+class Task:
+    """One unit of work: ``fn(*args, **kwargs)`` returning any picklable value."""
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Optional[Mapping[str, Any]] = None
+
+
+@dataclass
+class TaskOutcome:
+    """Structured result of one task attempt chain.
+
+    ``ok`` outcomes carry ``value``; failures carry ``error`` (a repr of
+    the exception, or a timeout/crash description) and ``error_kind``
+    (``"exception"`` | ``"timeout"`` | ``"crash"``).  ``attempts``
+    counts executions including retries; ``telemetry`` is the worker's
+    typed metrics snapshot for the task (empty in serial fallback,
+    where metrics flow directly into the parent registry).
+    """
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: str = ""
+    error_kind: str = ""
+    attempts: int = 1
+    duration_s: float = 0.0
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+
+
+def cpu_workers() -> int:
+    """Worker count auto-detected from the CPU count (always >= 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute(fn: Callable[..., Any], args: Tuple[Any, ...],
+             kwargs: Optional[Mapping[str, Any]]) -> Tuple[str, Any, str, float]:
+    """Run one task, catching exceptions: (status, value, kind, duration)."""
+    start = time.perf_counter()
+    try:
+        value = fn(*args, **dict(kwargs or {}))
+    except Exception as exc:
+        return "err", repr(exc), "exception", time.perf_counter() - start
+    return "ok", value, "", time.perf_counter() - start
+
+
+def _worker_main(chunk: List[Tuple[int, Task]], conn) -> None:
+    """Worker entrypoint: run a chunk of tasks, send one message each.
+
+    Module-level so the pool stays importable under the ``spawn`` start
+    method.  The process-local metrics registry is reset per task so the
+    shipped snapshot covers exactly that task (under ``fork`` the child
+    inherits a copy of the parent registry; resetting the copy leaves
+    the parent untouched).
+    """
+    registry = default_registry()
+    for index, task in chunk:
+        registry.reset()
+        status, value, kind, duration = _execute(task.fn, task.args, task.kwargs)
+        snapshot = registry.typed_snapshot()
+        try:
+            conn.send((status, index, value, kind, duration, snapshot))
+        except Exception as exc:  # unpicklable task result
+            conn.send(("err", index, f"unpicklable result: {exc!r}",
+                       "exception", duration, snapshot))
+    conn.send(("bye", -1, None, "", 0.0, None))
+    conn.close()
+
+
+class _ActiveWorker:
+    """Parent-side bookkeeping for one live worker process."""
+
+    __slots__ = ("process", "conn", "chunk", "position", "last_event")
+
+    def __init__(self, process, conn, chunk: List[Tuple[int, Task]]) -> None:
+        self.process = process
+        self.conn = conn
+        self.chunk = chunk
+        self.position = 0  # index into chunk of the task now executing
+        self.last_event = time.perf_counter()
+
+    def current_index(self) -> int:
+        return self.chunk[self.position][0]
+
+    def remaining(self) -> List[Tuple[int, Task]]:
+        return self.chunk[self.position + 1:]
+
+
+class WorkerPool:
+    """Chunked multi-process task runner with bounded retries.
+
+    Args:
+        max_workers: concurrent worker processes; ``None`` auto-detects
+            from the CPU count; ``<= 1`` forces in-process serial
+            execution.
+        timeout: per-task wall-clock budget in seconds (``None`` = no
+            limit).  A worker's startup time counts against its first
+            task.  Ignored in the serial fallback.
+        retries: how many times a crashed or timed-out task is re-run
+            before a failure outcome is recorded (exceptions are never
+            retried -- they are deterministic).
+        chunk_size: tasks handed to a worker per process spawn; defaults
+            to ``ceil(n / (workers * 4))`` for load balancing.
+        start_method: multiprocessing start method override; defaults to
+            ``fork`` when available (no pickling of task functions),
+            else the platform default.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 1,
+                 chunk_size: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.max_workers = cpu_workers() if max_workers is None else int(max_workers)
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.chunk_size = chunk_size
+        available = multiprocessing.get_all_start_methods()
+        if start_method is not None and start_method not in available:
+            raise ConfigError(
+                f"start method {start_method!r} not in {available}")
+        if start_method is None:
+            start_method = "fork" if "fork" in available else (
+                available[0] if available else None)
+        self.start_method = start_method
+
+    # ------------------------------------------------------------- API
+    def map(self, fn: Callable[..., Any],
+            kwargs_list: Sequence[Mapping[str, Any]]) -> List[TaskOutcome]:
+        """Run ``fn(**kwargs)`` for each kwargs mapping."""
+        return self.run([Task(fn, kwargs=kw) for kw in kwargs_list])
+
+    def run(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
+        """Execute every task; outcomes are returned in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.max_workers <= 1 or self.start_method is None or not self._picklable(tasks):
+            return self._run_serial(tasks)
+        return self._run_pooled(tasks)
+
+    # ---------------------------------------------------- serial path
+    def _picklable(self, tasks: Sequence[Task]) -> bool:
+        """Under fork, task payloads travel by memory inheritance; any
+        other start method pickles them into the child."""
+        if self.start_method == "fork":
+            return True
+        try:
+            pickle.dumps([(t.fn, t.args, dict(t.kwargs or {})) for t in tasks])
+        except Exception:
+            return False
+        return True
+
+    def _run_serial(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        for index, task in enumerate(tasks):
+            status, value, kind, duration = _execute(task.fn, task.args, task.kwargs)
+            if status == "ok":
+                outcomes.append(TaskOutcome(index, True, value=value,
+                                            duration_s=duration))
+            else:
+                outcomes.append(TaskOutcome(index, False, error=value,
+                                            error_kind=kind, duration_s=duration))
+        return outcomes
+
+    # ---------------------------------------------------- pooled path
+    def _chunks(self, indexed: List[Tuple[int, Task]]) -> List[List[Tuple[int, Task]]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(indexed) / (self.max_workers * 4)))
+        return [indexed[i:i + size] for i in range(0, len(indexed), size)]
+
+    def _spawn(self, ctx, chunk: List[Tuple[int, Task]]) -> _ActiveWorker:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_worker_main, args=(chunk, child_conn),
+                              daemon=True)
+        process.start()
+        child_conn.close()
+        return _ActiveWorker(process, parent_conn, chunk)
+
+    def _reap(self, worker: _ActiveWorker) -> None:
+        worker.conn.close()
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(0.5)
+            if worker.process.is_alive():
+                worker.process.kill()
+        worker.process.join()
+
+    def _run_pooled(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
+        ctx = multiprocessing.get_context(self.start_method)
+        pending = self._chunks(list(enumerate(tasks)))
+        outcomes: Dict[int, TaskOutcome] = {}
+        failures: Dict[int, int] = {}   # crash/timeout count per task index
+        attempts: Dict[int, int] = {}   # executions started per task index
+        active: List[_ActiveWorker] = []
+        registry = default_registry()
+
+        def start_task(worker: _ActiveWorker) -> None:
+            index = worker.current_index()
+            attempts[index] = attempts.get(index, 0) + 1
+
+        def fail_current(worker: _ActiveWorker, kind: str, message: str) -> None:
+            """Attribute a crash/timeout to the in-flight task and
+            reschedule it (bounded) plus the chunk's untouched tail."""
+            index = worker.current_index()
+            failures[index] = failures.get(index, 0) + 1
+            retry = failures[index] <= self.retries
+            tail = worker.remaining()
+            requeue = ([worker.chunk[worker.position]] if retry else []) + tail
+            if not retry:
+                outcomes[index] = TaskOutcome(
+                    index, False, error=message, error_kind=kind,
+                    attempts=attempts.get(index, 1),
+                    duration_s=time.perf_counter() - worker.last_event,
+                )
+            if requeue:
+                pending.append(requeue)
+            self._reap(worker)
+            active.remove(worker)
+
+        while pending or active:
+            while pending and len(active) < self.max_workers:
+                worker = self._spawn(ctx, pending.pop(0))
+                active.append(worker)
+                start_task(worker)
+
+            now = time.perf_counter()
+            wait_for = 0.1
+            if self.timeout is not None:
+                deadlines = [w.last_event + self.timeout for w in active]
+                wait_for = max(0.0, min(min(deadlines) - now, wait_for))
+            ready = multiprocessing.connection.wait(
+                [w.conn for w in active], timeout=wait_for)
+
+            for worker in list(active):
+                if worker.conn not in ready:
+                    continue
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    fail_current(worker, "crash",
+                                 f"worker died (exitcode "
+                                 f"{worker.process.exitcode})")
+                    continue
+                status, index, value, kind, duration, snapshot = message
+                if status == "bye":
+                    self._reap(worker)
+                    active.remove(worker)
+                    continue
+                if snapshot:
+                    registry.merge_typed(snapshot)
+                if status == "ok":
+                    outcomes[index] = TaskOutcome(
+                        index, True, value=value,
+                        attempts=attempts.get(index, 1), duration_s=duration,
+                        telemetry=snapshot or {},
+                    )
+                else:
+                    outcomes[index] = TaskOutcome(
+                        index, False, error=value, error_kind=kind,
+                        attempts=attempts.get(index, 1), duration_s=duration,
+                        telemetry=snapshot or {},
+                    )
+                worker.last_event = time.perf_counter()
+                worker.position += 1
+                if worker.position < len(worker.chunk):
+                    start_task(worker)
+
+            if self.timeout is not None:
+                now = time.perf_counter()
+                for worker in list(active):
+                    if (worker.position < len(worker.chunk)
+                            and now - worker.last_event > self.timeout):
+                        fail_current(
+                            worker, "timeout",
+                            f"task exceeded {self.timeout:.3g}s timeout")
+
+            # a worker that exited without a farewell (e.g. os._exit
+            # right after its last send) still needs collecting
+            for worker in list(active):
+                if not worker.process.is_alive() and not worker.conn.poll():
+                    if worker.position < len(worker.chunk):
+                        fail_current(worker, "crash",
+                                     f"worker died (exitcode "
+                                     f"{worker.process.exitcode})")
+                    else:
+                        self._reap(worker)
+                        active.remove(worker)
+
+        return [outcomes[i] for i in sorted(outcomes)]

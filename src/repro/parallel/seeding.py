@@ -1,0 +1,38 @@
+"""Deterministic per-task seed derivation for parallel experiments.
+
+Parallel and serial runs must produce identical records, so per-point
+randomness cannot depend on scheduling.  The scheme here derives one
+:class:`numpy.random.SeedSequence` child per task *index* via
+``SeedSequence.spawn`` -- child ``i`` depends only on the base seed and
+``i`` (its spawn key), never on how many siblings exist or which worker
+runs it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.SeedSequence]
+
+
+def spawn_sequences(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
+    """``count`` independent child sequences of ``seed``, in index order."""
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return root.spawn(count)
+
+
+def sequence_for_index(seed: int, index: int) -> np.random.SeedSequence:
+    """Child sequence ``index`` of ``SeedSequence(seed)``.
+
+    Equals ``spawn_sequences(seed, n)[index]`` for any ``n > index`` --
+    spawn keys encode only the child's position, so a single task can be
+    re-derived without materialising the whole batch.
+    """
+    return np.random.SeedSequence(seed, spawn_key=(index,))
+
+
+def rng_for_index(seed: int, index: int) -> np.random.Generator:
+    """A Generator seeded from :func:`sequence_for_index`."""
+    return np.random.default_rng(sequence_for_index(seed, index))

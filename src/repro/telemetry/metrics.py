@@ -21,7 +21,7 @@ import math
 import threading
 import time
 from collections import deque
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 
@@ -98,11 +98,17 @@ class Histogram:
         return self.total / self.count if self.count else float("nan")
 
     def quantile(self, q: float) -> float:
-        """Empirical quantile over the retained window (nearest rank)."""
+        """Empirical quantile over the retained window (nearest rank).
+
+        When every sample arrived via :meth:`merge_snapshot` (worker
+        ship-back) the window is empty; the stream mean is the only
+        available point estimate, so quantiles degrade to it rather
+        than to NaN, keeping snapshots JSON-roundtrip safe.
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigError(f"quantile must be in [0, 1], got {q}")
         if not self._window:
-            return float("nan")
+            return self.mean if self.count else float("nan")
         ordered = sorted(self._window)
         rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
         return ordered[rank]
@@ -118,6 +124,22 @@ class Histogram:
             "p90": self.quantile(0.9),
             "p99": self.quantile(0.99),
         }
+
+    def merge_snapshot(self, other: Mapping[str, float]) -> None:
+        """Fold another histogram's snapshot into this one.
+
+        count/sum/min/max merge exactly; the quantile window stays
+        process-local (quantiles describe only locally observed values).
+        """
+        count = int(other.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(other.get("sum", 0.0))
+        for key, fold in (("min", min), ("max", max)):
+            value = float(other.get(key, float("nan")))
+            if not math.isnan(value):
+                setattr(self, key, fold(getattr(self, key), value))
 
     def reset(self) -> None:
         self.count = 0
@@ -187,6 +209,24 @@ class EwmaTimer:
             "ewma": self.ewma,
         }
 
+    def merge_snapshot(self, other: Mapping[str, float]) -> None:
+        """Fold another timer's snapshot into this one.
+
+        count/sum merge exactly; ``last`` takes the other's value when
+        present and the EWMA stays process-local (it is an
+        order-dependent smoothing, not a mergeable statistic).
+        """
+        count = int(other.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(other.get("sum", 0.0))
+        last = float(other.get("last", float("nan")))
+        if not math.isnan(last):
+            self.last = last
+        if math.isnan(self.ewma):
+            self.ewma = float(other.get("ewma", float("nan")))
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
@@ -241,6 +281,49 @@ class MetricsRegistry:
         with self._lock:
             return {name: metric.snapshot()
                     for name, metric in sorted(self._metrics.items())}
+
+    def typed_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot keyed by metric kind, suitable for cross-process merge.
+
+        The plain :meth:`snapshot` loses the counter/gauge distinction
+        (both are bare scalars); this variant groups values as
+        ``{"counters": {...}, "gauges": {...}, "histograms": {...},
+        "timers": {...}}`` so :meth:`merge_typed` can apply the right
+        fold per kind.  Used by ``repro.parallel`` workers to ship their
+        process-local metrics back to the parent.
+        """
+        kinds = {Counter: "counters", Gauge: "gauges",
+                 Histogram: "histograms", EwmaTimer: "timers"}
+        typed: Dict[str, Dict[str, Any]] = {
+            "counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
+        with self._lock:
+            for name, metric in sorted(self._metrics.items()):
+                typed[kinds[type(metric)]][name] = metric.snapshot()
+        return typed
+
+    def merge_typed(self, typed: Mapping[str, Mapping[str, Any]]) -> None:
+        """Merge a :meth:`typed_snapshot` from another process.
+
+        Counters add, gauges take the incoming value (NaN skipped,
+        meaning the gauge was never set over there), histograms and
+        timers fold count/sum/min/max via their ``merge_snapshot``;
+        order-dependent pieces (quantile windows, EWMA) stay local.
+        """
+        for name, value in typed.get("counters", {}).items():
+            if float(value) != 0.0:
+                self.counter(name).inc(float(value))
+        for name, value in typed.get("gauges", {}).items():
+            if not (isinstance(value, float) and math.isnan(value)):
+                self.gauge(name).set(value)
+        # zero-count snapshots are skipped *before* the accessor call:
+        # merging would be a no-op, but the accessor would still create
+        # an empty metric here whose NaN fields pollute later snapshots
+        for name, value in typed.get("histograms", {}).items():
+            if int(value.get("count", 0)) > 0:
+                self.histogram(name).merge_snapshot(value)
+        for name, value in typed.get("timers", {}).items():
+            if int(value.get("count", 0)) > 0:
+                self.timer(name).merge_snapshot(value)
 
     def flat_snapshot(self) -> Dict[str, float]:
         """Snapshot with compound metrics flattened to dotted scalar keys."""

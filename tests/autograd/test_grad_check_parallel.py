@@ -1,0 +1,56 @@
+"""Parallel finite-difference probes: identical verdicts and values."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, grad_check
+from repro.autograd.function import Function
+from repro.autograd.grad_check import numerical_gradient
+
+
+def randn(*shape):
+    return np.random.default_rng(0).standard_normal(shape)
+
+
+def scalar_fn(a, b):
+    return F.sum(F.mul(a, b))
+
+
+def softmax_loss(a):
+    from repro.autograd.ops_nn import softmax
+    s = softmax(a)
+    return F.sum(F.mul(s, s))
+
+
+class BadDouble(Function):  # module-level so fork/spawn workers see it
+    def forward(self, a):
+        return a * 2.0
+
+    def backward(self, grad):
+        return (grad * 3.0,)  # wrong on purpose
+
+
+def bad_double(a):
+    return BadDouble.apply(a)
+
+
+class TestParallelProbes:
+    def test_numeric_gradient_identical_to_serial(self):
+        inputs = [randn(4, 5), randn(4, 5)]
+        serial = numerical_gradient(scalar_fn, inputs, 0)
+        pooled = numerical_gradient(scalar_fn, inputs, 0, workers=4)
+        assert np.array_equal(serial, pooled)
+
+    def test_grad_check_passes_with_workers(self):
+        assert grad_check(scalar_fn, [randn(3, 4), randn(3, 4)], workers=3)
+        assert grad_check(softmax_loss, [randn(2, 6)], workers=2)
+
+    def test_grad_check_still_catches_wrong_gradients(self):
+        with pytest.raises(AssertionError):
+            grad_check(lambda a: F.sum(bad_double(a)), [randn(2, 3)],
+                       workers=2)
+
+    def test_scalar_input_stays_serial(self):
+        # size-1 inputs skip the pool (not worth a process spawn)
+        assert grad_check(lambda a: F.sum(F.mul(a, a)),
+                          [np.array([1.5])], workers=4)

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.datasets import SyntheticDigitsConfig, make_synthetic_digits, train_test_split
 from repro.models import SimpleCNN
 from repro.pipeline import (

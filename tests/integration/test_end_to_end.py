@@ -7,6 +7,8 @@ quantization comparisons reload its state so that training happens once.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.pipeline import QuantizationConfig, TrainingConfig
 from repro.pipeline.baselines import quantize_and_finetune
 from repro.pipeline.evaluation import evaluate_attack

@@ -60,6 +60,19 @@ class TestDeterminism:
         second = next(iter(loader))[1].tolist()
         assert first != second  # reshuffled between epochs
 
+    def test_same_seed_identical_batches_across_epochs(self):
+        """Two loaders with one seed replay the same multi-epoch batch
+        sequence -- inputs and labels both, epoch by epoch."""
+        x, y = make_data(23)
+        a = DataLoader(x, y, batch_size=5, seed=11)
+        b = DataLoader(x, y, batch_size=5, seed=11)
+        for _ in range(3):  # each epoch advances the loader's own rng
+            batches_a, batches_b = list(a), list(b)
+            assert len(batches_a) == len(batches_b)
+            for (xa, ya), (xb, yb) in zip(batches_a, batches_b):
+                assert np.array_equal(xa, xb)
+                assert np.array_equal(ya, yb)
+
 
 class TestValidation:
     def test_length_mismatch(self):

@@ -1,0 +1,43 @@
+"""run_baseline_suite: named arms, failure isolation, parallel parity."""
+
+import pytest
+
+from repro.pipeline import run_baseline_suite
+
+
+def arm_ok():
+    return {"accuracy": 0.8, "mape": 12.0}
+
+
+def arm_better():
+    return {"accuracy": 0.9, "mape": 8.0}
+
+
+def arm_broken():
+    raise RuntimeError("training diverged")
+
+
+ARMS = {"benign": arm_ok, "ours": arm_better, "broken": arm_broken}
+
+
+class TestBaselineSuite:
+    def test_records_in_arm_order(self):
+        suite = run_baseline_suite({"benign": arm_ok, "ours": arm_better})
+        assert [r["arm"] for r in suite.records] == ["benign", "ours"]
+        assert suite.best("accuracy")["arm"] == "ours"
+
+    def test_failed_arm_recorded_not_fatal(self):
+        suite = run_baseline_suite(ARMS)
+        assert len(suite) == 3
+        failed = suite.failures().records[0]
+        assert failed["arm"] == "broken"
+        assert "training diverged" in failed["error"]
+        assert suite.best("accuracy")["arm"] == "ours"
+
+    def test_parallel_matches_serial(self):
+        serial = run_baseline_suite(ARMS, parallel=1)
+        pooled = run_baseline_suite(ARMS, parallel=3)
+        assert serial.records == pooled.records
+
+    def test_empty_suite(self):
+        assert len(run_baseline_suite({})) == 0

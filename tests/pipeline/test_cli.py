@@ -10,7 +10,7 @@ class TestParser:
     def test_attack_defaults(self):
         args = build_parser().parse_args(["attack"])
         assert args.dataset == "cifar"
-        assert args.bits == 4
+        assert args.bits == [4]
         assert args.method == "target_correlated"
         assert args.rate == 20.0
 
@@ -20,7 +20,7 @@ class TestParser:
             "--method", "weighted_entropy", "--rate", "5", "--epochs", "2",
         ])
         assert args.dataset == "faces"
-        assert args.bits == 3
+        assert args.bits == [3]
         assert args.method == "weighted_entropy"
         assert args.rate == 5.0
         assert args.epochs == 2

@@ -1,0 +1,61 @@
+"""CLI sweep subcommand and the global --workers flag."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.bits == [4, 3, 2]
+        assert args.rates == [20.0]
+        assert args.csv is None
+        assert args.point_timeout is None
+
+    def test_sweep_overrides(self):
+        args = build_parser().parse_args([
+            "sweep", "--bits", "4", "3", "--rates", "5", "20",
+            "--dataset", "digits", "--point-timeout", "30",
+        ])
+        assert args.bits == [4, 3]
+        assert args.rates == [5.0, 20.0]
+        assert args.point_timeout == 30.0
+
+    def test_workers_is_global(self):
+        args = build_parser().parse_args(["--workers", "4", "sweep"])
+        assert args.workers == 4
+        args = build_parser().parse_args(["--workers", "2", "attack"])
+        assert args.workers == 2
+
+    def test_workers_default_serial(self):
+        assert build_parser().parse_args(["sweep"]).workers is None
+
+    def test_attack_multiple_bits(self):
+        args = build_parser().parse_args(["attack", "--bits", "4", "3", "2"])
+        assert args.bits == [4, 3, 2]
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_sweep_smoke_parallel(self, tmp_path, capsys):
+        csv = tmp_path / "sweep.csv"
+        code = main(["--workers", "2", "sweep", "--bits", "4", "3",
+                     "--rates", "20", "--epochs", "1", "--batch-size", "64",
+                     "--csv", str(csv)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2-point sweep" in out
+        assert "best SSIM" in out
+        assert csv.exists()
+        lines = csv.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + one record per point
+
+    def test_attack_multi_bits_smoke(self, capsys):
+        code = main(["--workers", "2", "attack", "--bits", "4", "3",
+                     "--epochs", "1", "--batch-size", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "attack arms" in out
+        assert "4-bit" in out and "3-bit" in out

@@ -83,6 +83,57 @@ class TestSweepResult:
         assert len(lines) == 4
 
 
+class TestSweepResultWithFailures:
+    """Failure records (missing/None/NaN metrics) must not break queries."""
+
+    def make(self):
+        return SweepResult(records=[
+            {"bits": 8, "acc": 0.9},
+            {"bits": 4, "error": "RuntimeError('diverged')",
+             "error_kind": "exception"},
+            {"bits": 2, "acc": None},
+            {"bits": 1, "acc": float("nan")},
+        ])
+
+    def test_best_skips_missing_and_unorderable(self):
+        assert self.make().best("acc")["bits"] == 8
+
+    def test_best_minimize_skips_failures(self):
+        result = SweepResult(records=[
+            {"bits": 8, "acc": 0.9},
+            {"bits": 4, "error": "boom"},
+            {"bits": 2, "acc": 0.3},
+        ])
+        assert result.best("acc", maximize=False)["bits"] == 2
+
+    def test_best_all_failed_raises(self):
+        result = SweepResult(records=[{"bits": 4, "error": "boom"}])
+        with pytest.raises(ConfigError):
+            result.best("acc")
+
+    def test_filter_ignores_missing_keys(self):
+        assert len(self.make().filter(acc=0.9)) == 1
+        assert len(self.make().filter(missing_key=1)) == 0
+
+    def test_filter_selects_failures_by_params(self):
+        assert self.make().filter(bits=4).records[0]["error_kind"] == "exception"
+
+    def test_failures_and_ok_split(self):
+        result = self.make()
+        assert len(result.failures()) == 1
+        assert len(result.ok()) == 3
+        assert len(result.failures()) + len(result.ok()) == len(result)
+
+    def test_to_csv_pads_missing_columns(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        self.make().to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 5
+
+    def test_to_table_renders(self):
+        assert "error" in self.make().to_table()
+
+
 class TestSweepTelemetry:
     def test_records_unchanged_by_default(self):
         result = Sweep({"x": [1]}, lambda x: {"y": x}).run()

@@ -160,3 +160,61 @@ class TestRegistry:
 
     def test_default_registry_is_a_singleton(self):
         assert default_registry() is default_registry()
+
+
+class TestCrossProcessMerge:
+    """typed_snapshot/merge_typed: the worker ship-back contract."""
+
+    def make_source(self):
+        src = MetricsRegistry()
+        src.counter("jobs").inc(3)
+        src.gauge("loss").set(0.5)
+        for v in (1.0, 2.0, 3.0):
+            src.histogram("sizes").observe(v)
+        src.timer("step_s").update(0.25)
+        src.timer("step_s").update(0.35)
+        return src
+
+    def test_counters_add_gauges_overwrite(self):
+        dst = MetricsRegistry()
+        dst.counter("jobs").inc(1)
+        dst.gauge("loss").set(9.0)
+        dst.merge_typed(self.make_source().typed_snapshot())
+        assert dst.counter("jobs").snapshot() == 4.0
+        assert dst.gauge("loss").snapshot() == 0.5
+
+    def test_histogram_and_timer_fold(self):
+        dst = MetricsRegistry()
+        dst.histogram("sizes").observe(10.0)
+        dst.merge_typed(self.make_source().typed_snapshot())
+        snap = dst.histogram("sizes").snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 1.0 and snap["max"] == 10.0
+        timer = dst.timer("step_s").snapshot()
+        assert timer["count"] == 2
+        assert timer["sum"] == pytest.approx(0.6)
+
+    def test_zero_count_snapshots_do_not_create_metrics(self):
+        # a worker that registered names but observed nothing (e.g. a
+        # forked child after reset()) must not leave NaN-valued ghosts
+        src = MetricsRegistry()
+        src.histogram("ghost_h")
+        src.timer("ghost_t")
+        src.gauge("ghost_g")
+        src.counter("ghost_c")
+        dst = MetricsRegistry()
+        dst.merge_typed(src.typed_snapshot())
+        assert dst.snapshot() == {}
+
+    def test_merged_registry_roundtrips_through_json(self):
+        dst = MetricsRegistry()
+        dst.merge_typed(self.make_source().typed_snapshot())
+        flat = dst.flat_snapshot()
+        assert flat == json.loads(json.dumps(flat))  # no NaN anywhere
+
+    def test_merge_only_histogram_quantiles_fall_back_to_mean(self):
+        dst = MetricsRegistry()
+        dst.merge_typed(self.make_source().typed_snapshot())
+        snap = dst.histogram("sizes").snapshot()
+        assert snap["p50"] == pytest.approx(snap["mean"])
+        assert not any(math.isnan(v) for v in snap.values())
