@@ -13,6 +13,8 @@ from typing import Any, Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import backend as _backend
+
 # Op-level profiling hook.  ``None`` keeps dispatch on a no-hook fast
 # path (one global read + is-None test per op); repro.telemetry.profiler
 # installs a callable ``hook(op_name, phase, seconds, nbytes)`` while a
@@ -44,14 +46,15 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """
     if grad.shape == shape:
         return grad
+    K = _backend.active()
     # Sum over leading axes that were added by broadcasting.
     extra = grad.ndim - len(shape)
     if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
+        grad = K.reduce_sum(grad, tuple(range(extra)), False)
     # Sum over axes that were size-1 in the original shape.
     axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
+        grad = K.reduce_sum(grad, axes, True)
     return grad.reshape(shape)
 
 

@@ -11,19 +11,20 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import backend as _backend
 from repro.autograd.function import Function, unbroadcast
 from repro.autograd.tensor import Tensor
 from repro.errors import ShapeError
 
 # ---------------------------------------------------------------------------
-# Elementwise binary ops
+# Elementwise binary ops (dispatched through repro.backend kernels)
 # ---------------------------------------------------------------------------
 
 
 class Add(Function):
     def forward(self, a, b):
         self._shapes = (a.shape, b.shape)
-        return a + b
+        return _backend.active().add(a, b)
 
     def backward(self, grad):
         sa, sb = self._shapes
@@ -33,32 +34,35 @@ class Add(Function):
 class Sub(Function):
     def forward(self, a, b):
         self._shapes = (a.shape, b.shape)
-        return a - b
+        return _backend.active().sub(a, b)
 
     def backward(self, grad):
         sa, sb = self._shapes
-        return unbroadcast(grad, sa), unbroadcast(-grad, sb)
+        K = _backend.active()
+        return unbroadcast(grad, sa), unbroadcast(K.neg(grad), sb)
 
 
 class Mul(Function):
     def forward(self, a, b):
         self.save_for_backward(a, b)
-        return a * b
+        return _backend.active().mul(a, b)
 
     def backward(self, grad):
         a, b = self.saved
-        return unbroadcast(grad * b, a.shape), unbroadcast(grad * a, b.shape)
+        K = _backend.active()
+        return unbroadcast(K.mul(grad, b), a.shape), unbroadcast(K.mul(grad, a), b.shape)
 
 
 class Div(Function):
     def forward(self, a, b):
         self.save_for_backward(a, b)
-        return a / b
+        return _backend.active().div(a, b)
 
     def backward(self, grad):
         a, b = self.saved
-        grad_a = unbroadcast(grad / b, a.shape)
-        grad_b = unbroadcast(-grad * a / (b * b), b.shape)
+        K = _backend.active()
+        grad_a = unbroadcast(K.div(grad, b), a.shape)
+        grad_b = unbroadcast(-K.div(K.mul(grad, a), K.mul(b, b)), b.shape)
         return grad_a, grad_b
 
 
@@ -78,11 +82,12 @@ class MatMul(Function):
         if a.ndim != 2 or b.ndim != 2:
             raise ShapeError(f"matmul expects 2-D operands, got {a.shape} @ {b.shape}")
         self.save_for_backward(a, b)
-        return a @ b
+        return _backend.active().matmul(a, b)
 
     def backward(self, grad):
         a, b = self.saved
-        return grad @ b.T, a.T @ grad
+        K = _backend.active()
+        return K.matmul(grad, b.T), K.matmul(a.T, grad)
 
 
 # ---------------------------------------------------------------------------
@@ -92,10 +97,10 @@ class MatMul(Function):
 
 class Neg(Function):
     def forward(self, a):
-        return -a
+        return _backend.active().neg(a)
 
     def backward(self, grad):
-        return (-grad,)
+        return (_backend.active().neg(grad),)
 
 
 class Pow(Function):
@@ -178,13 +183,13 @@ class Sigmoid(Function):
 
 class ReLU(Function):
     def forward(self, a):
-        mask = a > 0
+        out, mask = _backend.active().relu(a)
         self.save_for_backward(mask)
-        return a * mask
+        return out
 
     def backward(self, grad):
         (mask,) = self.saved
-        return (grad * mask,)
+        return (_backend.active().mul(grad, mask),)
 
 
 class LeakyReLU(Function):
@@ -277,7 +282,7 @@ class Sum(Function):
 
     def forward(self, a):
         self._shape = a.shape
-        return a.sum(axis=self.axis, keepdims=self.keepdims)
+        return _backend.active().reduce_sum(a, self.axis, self.keepdims)
 
     def backward(self, grad):
         grad = np.asarray(grad)
@@ -285,7 +290,7 @@ class Sum(Function):
         if axis is not None and not self.keepdims:
             for ax in sorted(axis):
                 grad = np.expand_dims(grad, ax)
-        return (np.broadcast_to(grad, self._shape).copy(),)
+        return (_backend.active().broadcast_copy(grad, self._shape),)
 
 
 class Mean(Function):
@@ -295,7 +300,7 @@ class Mean(Function):
 
     def forward(self, a):
         self._shape = a.shape
-        out = a.mean(axis=self.axis, keepdims=self.keepdims)
+        out = _backend.active().reduce_mean(a, self.axis, self.keepdims)
         self._count = a.size / out.size if out.size else 1.0
         return out
 
@@ -305,7 +310,7 @@ class Mean(Function):
         if axis is not None and not self.keepdims:
             for ax in sorted(axis):
                 grad = np.expand_dims(grad, ax)
-        return (np.broadcast_to(grad, self._shape).copy(),)
+        return (_backend.active().broadcast_copy(grad, self._shape),)
 
 
 class MaxReduce(Function):

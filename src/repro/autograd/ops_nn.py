@@ -4,6 +4,13 @@ Convolution is implemented with the standard im2col lowering: each local
 receptive field becomes a column, so the convolution is one large matrix
 multiply.  This is the usual way to get acceptable conv performance out
 of pure numpy.
+
+The numerical kernels themselves live behind the dispatch layer in
+:mod:`repro.backend` -- ops here validate shapes, build graph nodes and
+call ``backend.active().<kernel>(...)`` for the math.  The free
+functions (``conv2d``, ``max_pool2d``, ``avg_pool2d``) additionally
+take a no-grad fast path when gradients are disabled, dispatching to
+the fused ``*_infer`` kernels and skipping all backward bookkeeping.
 """
 
 from __future__ import annotations
@@ -12,51 +19,31 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import backend as _backend
 from repro.autograd.function import Function
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_grad_enabled
+from repro.backend import reference as _reference
 from repro.errors import ShapeError
 
 # ---------------------------------------------------------------------------
-# im2col machinery
+# im2col machinery (public API; dispatches to the active backend)
 # ---------------------------------------------------------------------------
 
 
 def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    out = (size + 2 * padding - kernel) // stride + 1
-    if out <= 0:
-        raise ShapeError(
-            f"convolution output size is non-positive: input={size}, "
-            f"kernel={kernel}, stride={stride}, padding={padding}"
-        )
-    return out
+    return _reference.conv_output_size(size, kernel, stride, padding)
 
 
 def _im2col_indices(
     shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int, padding: int
 ):
     """Index arrays that gather conv patches into columns (CS231n style)."""
-    _, channels, height, width = shape
-    out_h = _conv_output_size(height, kh, stride, padding)
-    out_w = _conv_output_size(width, kw, stride, padding)
-
-    i0 = np.repeat(np.arange(kh), kw)
-    i0 = np.tile(i0, channels)
-    i1 = stride * np.repeat(np.arange(out_h), out_w)
-    j0 = np.tile(np.arange(kw), kh * channels)
-    j1 = stride * np.tile(np.arange(out_w), out_h)
-    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
-    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
-    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
-    return k, i, j, out_h, out_w
+    return _reference.im2col_indices(shape, kh, kw, stride, padding)
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
     """Lower NCHW input to a (C*kh*kw, N*out_h*out_w) patch matrix."""
-    p = padding
-    x_padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p))) if p > 0 else x
-    k, i, j, _, _ = _im2col_indices(x.shape, kh, kw, stride, padding)
-    cols = x_padded[:, k, i, j]
-    return cols.transpose(1, 2, 0).reshape(kh * kw * x.shape[1], -1)
+    return _backend.active().im2col(x, kh, kw, stride, padding)
 
 
 def col2im(
@@ -67,21 +54,30 @@ def col2im(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Scatter-add a patch matrix back into an NCHW array (inverse of im2col)."""
-    batch, channels, height, width = shape
-    p = padding
-    padded = np.zeros((batch, channels, height + 2 * p, width + 2 * p), dtype=cols.dtype)
-    k, i, j, _, _ = _im2col_indices(shape, kh, kw, stride, padding)
-    cols_reshaped = cols.reshape(channels * kh * kw, -1, batch).transpose(2, 0, 1)
-    np.add.at(padded, (slice(None), k, i, j), cols_reshaped)
-    if p == 0:
-        return padded
-    return padded[:, :, p:-p, p:-p]
+    """Scatter-add a patch matrix back into an NCHW array (inverse of im2col).
+
+    All backends honor the same contract: the output dtype equals
+    ``cols.dtype`` (float32 gradients never upcast) and the result is
+    C-contiguous.
+    """
+    return _backend.active().col2im(cols, shape, kh, kw, stride, padding)
 
 
 # ---------------------------------------------------------------------------
 # Convolution
 # ---------------------------------------------------------------------------
+
+
+def _validate_conv(x_shape, weight_shape) -> None:
+    if len(x_shape) != 4 or len(weight_shape) != 4:
+        raise ShapeError(
+            f"conv2d expects NCHW input and OIHW weight, got {x_shape}, {weight_shape}"
+        )
+    if x_shape[1] != weight_shape[1]:
+        raise ShapeError(
+            f"conv2d channel mismatch: input has {x_shape[1]}, "
+            f"weight expects {weight_shape[1]}"
+        )
 
 
 class Conv2dFn(Function):
@@ -90,38 +86,83 @@ class Conv2dFn(Function):
         self.stride, self.padding = int(stride), int(padding)
 
     def forward(self, x, weight):
-        if x.ndim != 4 or weight.ndim != 4:
-            raise ShapeError(f"conv2d expects NCHW input and OIHW weight, got {x.shape}, {weight.shape}")
-        out_channels, in_channels, kh, kw = weight.shape
-        if x.shape[1] != in_channels:
-            raise ShapeError(
-                f"conv2d channel mismatch: input has {x.shape[1]}, weight expects {in_channels}"
-            )
-        cols = im2col(x, kh, kw, self.stride, self.padding)
-        out = weight.reshape(out_channels, -1) @ cols
-        _, _, _, out_h, out_w = _im2col_indices(x.shape, kh, kw, self.stride, self.padding)
-        out = out.reshape(out_channels, out_h, out_w, x.shape[0]).transpose(3, 0, 1, 2)
+        _validate_conv(x.shape, weight.shape)
+        # the kernel computes the im2col indices exactly once and
+        # returns cols for reuse in backward
+        out, cols = _backend.active().conv2d_forward(
+            x, weight, self.stride, self.padding
+        )
         self.save_for_backward(cols, weight)
         self._x_shape = x.shape
-        return np.ascontiguousarray(out)
+        return out
 
     def backward(self, grad):
         cols, weight = self.saved
-        out_channels, _, kh, kw = weight.shape
-        grad_flat = grad.transpose(1, 2, 3, 0).reshape(out_channels, -1)
-        grad_weight = (grad_flat @ cols.T).reshape(weight.shape)
-        grad_cols = weight.reshape(out_channels, -1).T @ grad_flat
-        grad_x = col2im(grad_cols, self._x_shape, kh, kw, self.stride, self.padding)
-        return grad_x, grad_weight
+        # the backend may skip the input-gradient matmul + scatter when
+        # x is a graph leaf that does not require grad (needs_grad is
+        # only populated when the graph edge was recorded)
+        need_input_grad = self.needs_grad[0] if self.needs_grad else True
+        return _backend.active().conv2d_backward(
+            grad, cols, weight, self._x_shape, self.stride, self.padding,
+            need_input_grad=need_input_grad,
+        )
 
 
 def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
     """2-D convolution over NCHW input with OIHW weights."""
+    if not is_grad_enabled():
+        x_data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        w_data = weight.data if isinstance(weight, Tensor) else np.asarray(weight)
+        b_data = None
+        if bias is not None:
+            b_data = bias.data if isinstance(bias, Tensor) else np.asarray(bias)
+        _validate_conv(x_data.shape, w_data.shape)
+        out = _backend.active().conv2d_infer(
+            x_data, w_data, b_data, int(stride), int(padding)
+        )
+        return Tensor(out)
     out = Conv2dFn.apply(x, weight, stride=stride, padding=padding)
     if bias is not None:
         from repro.autograd import functional as F
         out = F.add(out, F.reshape(bias, (1, -1, 1, 1)))
     return out
+
+
+# ---------------------------------------------------------------------------
+# Batch normalization (fused training path)
+# ---------------------------------------------------------------------------
+
+
+class BatchNormTrainFn(Function):
+    """Training-mode batch norm as one graph node.
+
+    Normalizes with precomputed batch statistics (``mean``/``var`` in
+    keepdims shapes, from ``batchnorm_stats``) and scales/shifts in a
+    single fused forward kernel; the backward is the analytic batch-norm
+    gradient -- mathematically the exact derivative of the composed
+    mean/sub/mul/div graph, collapsed to one kernel call.  Backends that
+    advertise ``fused_batchnorm`` (fast) route batch-norm layers through
+    this node; reference keeps the composed graph bit-identical.
+    """
+
+    def __init__(self, mean: np.ndarray, var: np.ndarray,
+                 axes: Tuple[int, ...], eps: float) -> None:
+        super().__init__()
+        self.mean, self.var = mean, var
+        self.axes, self.eps = tuple(axes), float(eps)
+
+    def forward(self, x, gamma, beta):
+        out, xhat, inv_std = _backend.active().batchnorm_train_forward(
+            x, self.mean, self.var, gamma, beta, self.eps
+        )
+        self.save_for_backward(xhat, inv_std, gamma)
+        return out
+
+    def backward(self, grad):
+        xhat, inv_std, gamma = self.saved
+        return _backend.active().batchnorm_train_backward(
+            grad, xhat, inv_std, gamma, self.axes
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -136,30 +177,17 @@ class MaxPool2dFn(Function):
         self.stride = int(stride) if stride is not None else int(kernel)
 
     def forward(self, x):
-        batch, channels, _, _ = x.shape
-        reshaped = x.reshape(batch * channels, 1, *x.shape[2:])
-        cols = im2col(reshaped, self.kernel, self.kernel, self.stride, 0)
-        self._argmax = np.argmax(cols, axis=0)
-        out = cols[self._argmax, np.arange(cols.shape[1])]
-        _, _, _, out_h, out_w = _im2col_indices(
-            reshaped.shape, self.kernel, self.kernel, self.stride, 0
-        )
-        self._cols_shape = cols.shape
-        self._reshaped_shape = reshaped.shape
+        out, argmax = _backend.active().maxpool2d_forward(x, self.kernel, self.stride)
+        self._argmax = argmax
         self._x_shape = x.shape
-        return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
-            batch, channels, out_h, out_w
-        )
+        return out
 
     def backward(self, grad):
-        batch, channels, _, _ = self._x_shape
-        grad_flat = grad.reshape(batch * channels, -1).transpose(1, 0).reshape(-1)
-        grad_cols = np.zeros(self._cols_shape, dtype=grad.dtype)
-        grad_cols[self._argmax, np.arange(grad_cols.shape[1])] = grad_flat
-        grad_reshaped = col2im(
-            grad_cols, self._reshaped_shape, self.kernel, self.kernel, self.stride, 0
+        return (
+            _backend.active().maxpool2d_backward(
+                grad, self._argmax, self._x_shape, self.kernel, self.stride
+            ),
         )
-        return (grad_reshaped.reshape(self._x_shape),)
 
 
 class AvgPool2dFn(Function):
@@ -169,37 +197,33 @@ class AvgPool2dFn(Function):
         self.stride = int(stride) if stride is not None else int(kernel)
 
     def forward(self, x):
-        batch, channels, _, _ = x.shape
-        reshaped = x.reshape(batch * channels, 1, *x.shape[2:])
-        cols = im2col(reshaped, self.kernel, self.kernel, self.stride, 0)
-        out = cols.mean(axis=0)
-        _, _, _, out_h, out_w = _im2col_indices(
-            reshaped.shape, self.kernel, self.kernel, self.stride, 0
-        )
-        self._cols_shape = cols.shape
-        self._reshaped_shape = reshaped.shape
         self._x_shape = x.shape
-        return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
-            batch, channels, out_h, out_w
-        )
+        return _backend.active().avgpool2d_forward(x, self.kernel, self.stride)
 
     def backward(self, grad):
-        batch, channels, _, _ = self._x_shape
-        grad_flat = grad.reshape(batch * channels, -1).transpose(1, 0).reshape(-1)
-        grad_cols = np.broadcast_to(
-            grad_flat / (self.kernel * self.kernel), self._cols_shape
-        ).copy()
-        grad_reshaped = col2im(
-            grad_cols, self._reshaped_shape, self.kernel, self.kernel, self.stride, 0
+        return (
+            _backend.active().avgpool2d_backward(
+                grad, self._x_shape, self.kernel, self.stride
+            ),
         )
-        return (grad_reshaped.reshape(self._x_shape),)
+
+
+def _pool_args(x, kernel, stride):
+    x_data = x.data if isinstance(x, Tensor) else np.asarray(x)
+    return x_data, int(kernel), int(stride) if stride is not None else int(kernel)
 
 
 def max_pool2d(x, kernel: int, stride: Optional[int] = None) -> Tensor:
+    if not is_grad_enabled():
+        x_data, k, s = _pool_args(x, kernel, stride)
+        return Tensor(_backend.active().maxpool2d_infer(x_data, k, s))
     return MaxPool2dFn.apply(x, kernel=kernel, stride=stride)
 
 
 def avg_pool2d(x, kernel: int, stride: Optional[int] = None) -> Tensor:
+    if not is_grad_enabled():
+        x_data, k, s = _pool_args(x, kernel, stride)
+        return Tensor(_backend.active().avgpool2d_forward(x_data, k, s))
     return AvgPool2dFn.apply(x, kernel=kernel, stride=stride)
 
 
@@ -215,8 +239,7 @@ def global_avg_pool2d(x) -> Tensor:
 
 
 def _log_softmax_array(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max(axis=1, keepdims=True)
-    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    return _backend.active().log_softmax(logits)
 
 
 class LogSoftmax(Function):

@@ -119,6 +119,8 @@ class Tensor:
                     f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
                 )
 
+        from repro import backend as _backend
+        K = _backend.active()
         order = self._topological_order()
         grads = {id(self): grad}
         # One hook read per backward pass; the profiled branch times each
@@ -128,7 +130,8 @@ class Tensor:
             fn = tensor._creator
             tensor_grad = grads.pop(id(tensor), None)
             if tensor.requires_grad:
-                tensor.grad = tensor_grad if tensor.grad is None else tensor.grad + tensor_grad
+                tensor.grad = (tensor_grad if tensor.grad is None
+                               else K.add(tensor.grad, tensor_grad))
             if fn is None or tensor_grad is None:
                 continue
             if hook is None:
@@ -153,7 +156,7 @@ class Tensor:
                     continue
                 key = id(parent)
                 if key in grads:
-                    grads[key] = grads[key] + parent_grad
+                    grads[key] = K.add(grads[key], parent_grad)
                 else:
                     grads[key] = parent_grad
 

@@ -1,0 +1,395 @@
+"""Backend-equivalence harness: every kernel vs the reference oracle.
+
+Every kernel name registered on any backend has a *case generator*
+here that produces randomized-but-valid inputs.  ``check_kernel`` runs
+one kernel on two backends with identical inputs and compares outputs:
+float arrays must agree to ``allclose`` (default rtol 1e-6), integer
+arrays (argmax, cluster indices) must match exactly.
+
+This is the contract that lets the fast backend exist at all -- any
+new backend (or new kernel on an existing backend) is expected to pass
+``check_all`` against reference before it ships.  The test suite
+(tests/backend/test_equivalence.py) drives this module over many seeds
+and shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.backend.registry import Backend, get_backend
+
+RTOL = 1e-6
+ATOL = 1e-9
+
+CaseGen = Callable[[np.random.Generator], Tuple[tuple, dict]]
+
+# Kernel name -> generator of (args, kwargs).  Shapes are randomized
+# within ranges small enough to run hundreds of cases per second but
+# varied enough to cover stride/padding/kernel interactions.
+CASES: Dict[str, CaseGen] = {}
+
+
+def case(name: str) -> Callable[[CaseGen], CaseGen]:
+    def decorate(fn: CaseGen) -> CaseGen:
+        CASES[name] = fn
+        return fn
+    return decorate
+
+
+def _conv_geometry(rng: np.random.Generator):
+    """A random valid NCHW/OIHW conv configuration."""
+    batch = int(rng.integers(1, 4))
+    channels = int(rng.integers(1, 4))
+    kernel = int(rng.integers(1, 4))
+    stride = int(rng.integers(1, 3))
+    padding = int(rng.integers(0, 3))
+    min_size = max(kernel - 2 * padding, 1)
+    height = min_size + int(rng.integers(0, 6))
+    width = min_size + int(rng.integers(0, 6))
+    return batch, channels, height, width, kernel, stride, padding
+
+
+def _pool_geometry(rng: np.random.Generator):
+    """Pooling geometry including the stride != kernel case."""
+    batch = int(rng.integers(1, 4))
+    channels = int(rng.integers(1, 4))
+    kernel = int(rng.integers(1, 4))
+    stride = int(rng.integers(1, 4))
+    height = kernel + int(rng.integers(0, 6))
+    width = kernel + int(rng.integers(0, 6))
+    return batch, channels, height, width, kernel, stride
+
+
+@case("im2col")
+def _case_im2col(rng):
+    b, c, h, w, k, s, p = _conv_geometry(rng)
+    x = rng.normal(size=(b, c, h, w))
+    return (x, k, k, s, p), {}
+
+
+@case("col2im")
+def _case_col2im(rng):
+    b, c, h, w, k, s, p = _conv_geometry(rng)
+    from repro.backend.reference import im2col_indices
+
+    _, _, _, out_h, out_w = im2col_indices((b, c, h, w), k, k, s, p)
+    cols = rng.normal(size=(c * k * k, b * out_h * out_w))
+    return (cols, (b, c, h, w), k, k, s, p), {}
+
+
+@case("conv2d_forward")
+def _case_conv2d_forward(rng):
+    b, c, h, w, k, s, p = _conv_geometry(rng)
+    out_channels = int(rng.integers(1, 5))
+    x = rng.normal(size=(b, c, h, w))
+    weight = rng.normal(size=(out_channels, c, k, k))
+    return (x, weight, s, p), {}
+
+
+@case("conv2d_backward")
+def _case_conv2d_backward(rng):
+    b, c, h, w, k, s, p = _conv_geometry(rng)
+    out_channels = int(rng.integers(1, 5))
+    from repro.backend.reference import im2col_indices
+
+    _, _, _, out_h, out_w = im2col_indices((b, c, h, w), k, k, s, p)
+    grad = rng.normal(size=(b, out_channels, out_h, out_w))
+    cols = rng.normal(size=(c * k * k, b * out_h * out_w))
+    weight = rng.normal(size=(out_channels, c, k, k))
+    return (grad, cols, weight, (b, c, h, w), s, p), {}
+
+
+@case("conv2d_infer")
+def _case_conv2d_infer(rng):
+    b, c, h, w, k, s, p = _conv_geometry(rng)
+    out_channels = int(rng.integers(1, 5))
+    x = rng.normal(size=(b, c, h, w))
+    weight = rng.normal(size=(out_channels, c, k, k))
+    bias = rng.normal(size=out_channels) if rng.integers(0, 2) else None
+    relu = bool(rng.integers(0, 2))
+    return (x, weight, bias, s, p), {"relu": relu}
+
+
+@case("maxpool2d_forward")
+def _case_maxpool2d_forward(rng):
+    b, c, h, w, k, s = _pool_geometry(rng)
+    x = rng.normal(size=(b, c, h, w))
+    return (x, k, s), {}
+
+
+@case("maxpool2d_backward")
+def _case_maxpool2d_backward(rng):
+    from repro.backend.reference import maxpool2d_forward
+
+    b, c, h, w, k, s = _pool_geometry(rng)
+    x = rng.normal(size=(b, c, h, w))
+    out, argmax = maxpool2d_forward(x, k, s)
+    grad = rng.normal(size=out.shape)
+    return (grad, argmax, (b, c, h, w), k, s), {}
+
+
+@case("maxpool2d_infer")
+def _case_maxpool2d_infer(rng):
+    b, c, h, w, k, s = _pool_geometry(rng)
+    x = rng.normal(size=(b, c, h, w))
+    return (x, k, s), {}
+
+
+@case("avgpool2d_forward")
+def _case_avgpool2d_forward(rng):
+    b, c, h, w, k, s = _pool_geometry(rng)
+    x = rng.normal(size=(b, c, h, w))
+    return (x, k, s), {}
+
+
+@case("avgpool2d_backward")
+def _case_avgpool2d_backward(rng):
+    from repro.backend.reference import avgpool2d_forward
+
+    b, c, h, w, k, s = _pool_geometry(rng)
+    x = rng.normal(size=(b, c, h, w))
+    out = avgpool2d_forward(x, k, s)
+    grad = rng.normal(size=out.shape)
+    return (grad, (b, c, h, w), k, s), {}
+
+
+@case("matmul")
+def _case_matmul(rng):
+    m, k, n = (int(rng.integers(1, 12)) for _ in range(3))
+    return (rng.normal(size=(m, k)), rng.normal(size=(k, n))), {}
+
+
+def _broadcast_pair(rng):
+    shape = tuple(int(rng.integers(1, 5)) for _ in range(int(rng.integers(1, 4))))
+    a = rng.normal(size=shape)
+    # sometimes broadcast the second operand
+    if rng.integers(0, 2) and len(shape) > 1:
+        b = rng.normal(size=shape[-1:])
+    else:
+        b = rng.normal(size=shape)
+    return a, b
+
+
+@case("add")
+def _case_add(rng):
+    return _broadcast_pair(rng), {}
+
+
+@case("sub")
+def _case_sub(rng):
+    return _broadcast_pair(rng), {}
+
+
+@case("mul")
+def _case_mul(rng):
+    return _broadcast_pair(rng), {}
+
+
+@case("neg")
+def _case_neg(rng):
+    shape = tuple(int(rng.integers(1, 9)) for _ in range(int(rng.integers(1, 4))))
+    return (rng.normal(size=shape).astype(np.float32),), {}
+
+
+@case("div")
+def _case_div(rng):
+    a, b = _broadcast_pair(rng)
+    b = np.sign(b) * (np.abs(b) + 0.5)  # keep divisors away from zero
+    return (a, b), {}
+
+
+@case("relu")
+def _case_relu(rng):
+    shape = tuple(int(rng.integers(1, 6)) for _ in range(int(rng.integers(1, 4))))
+    return (rng.normal(size=shape),), {}
+
+
+@case("reduce_sum")
+def _case_reduce_sum(rng):
+    ndim = int(rng.integers(1, 4))
+    shape = tuple(int(rng.integers(1, 6)) for _ in range(ndim))
+    axis = int(rng.integers(0, ndim)) if rng.integers(0, 2) else None
+    return (rng.normal(size=shape), axis, bool(rng.integers(0, 2))), {}
+
+
+@case("reduce_mean")
+def _case_reduce_mean(rng):
+    ndim = int(rng.integers(1, 4))
+    shape = tuple(int(rng.integers(1, 6)) for _ in range(ndim))
+    axis = int(rng.integers(0, ndim)) if rng.integers(0, 2) else None
+    return (rng.normal(size=shape), axis, bool(rng.integers(0, 2))), {}
+
+
+@case("broadcast_copy")
+def _case_broadcast_copy(rng):
+    n = int(rng.integers(1, 6))
+    m = int(rng.integers(1, 6))
+    return (rng.normal(size=(1, m)), (n, m)), {}
+
+
+@case("log_softmax")
+def _case_log_softmax(rng):
+    batch = int(rng.integers(1, 8))
+    classes = int(rng.integers(2, 10))
+    return (rng.normal(size=(batch, classes)) * 5.0,), {}
+
+
+@case("batchnorm_stats")
+def _case_batchnorm_stats(rng):
+    b, c = int(rng.integers(2, 5)), int(rng.integers(1, 4))
+    if rng.integers(0, 2):
+        x = rng.normal(size=(b, c, int(rng.integers(2, 6)), int(rng.integers(2, 6))))
+        axes = (0, 2, 3)
+    else:
+        x = rng.normal(size=(b, c))
+        axes = (0,)
+    return (x, axes), {}
+
+
+@case("batchnorm_infer")
+def _case_batchnorm_infer(rng):
+    b, c, h, w = (int(rng.integers(1, 5)) for _ in range(4))
+    x = rng.normal(size=(b, c, h, w))
+    shape = (1, c, 1, 1)
+    mean = rng.normal(size=shape)
+    var = np.abs(rng.normal(size=shape)) + 0.1
+    gamma = rng.normal(size=shape)
+    beta = rng.normal(size=shape)
+    return (x, mean, var, gamma, beta, 1e-5), {}
+
+
+def _bn_train_setup(rng):
+    """Input, batch stats, and param tensors for the fused train kernels."""
+    if rng.integers(0, 2):
+        c = int(rng.integers(1, 4))
+        x = rng.normal(size=(int(rng.integers(2, 5)), c,
+                             int(rng.integers(2, 6)), int(rng.integers(2, 6))))
+        axes, shape = (0, 2, 3), (1, c, 1, 1)
+    else:
+        c = int(rng.integers(1, 6))
+        x = rng.normal(size=(int(rng.integers(2, 8)), c))
+        axes, shape = (0,), (1, c)
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    gamma = rng.normal(size=shape)
+    beta = rng.normal(size=shape)
+    return x, mean, var, gamma, beta, axes
+
+
+@case("batchnorm_train_forward")
+def _case_batchnorm_train_forward(rng):
+    x, mean, var, gamma, beta, _ = _bn_train_setup(rng)
+    return (x, mean, var, gamma, beta, 1e-5), {}
+
+
+@case("batchnorm_train_backward")
+def _case_batchnorm_train_backward(rng):
+    x, mean, var, gamma, _, axes = _bn_train_setup(rng)
+    inv_std = 1.0 / np.sqrt(var + 1e-5)
+    xhat = (x - mean) * inv_std
+    grad = rng.normal(size=x.shape)
+    return (grad, xhat, inv_std, gamma, axes), {}
+
+
+@case("assign_clusters")
+def _case_assign_clusters(rng):
+    boundaries = np.sort(rng.normal(size=int(rng.integers(3, 9))))
+    weights = rng.normal(size=int(rng.integers(1, 64)))
+    return (weights, boundaries), {}
+
+
+@case("sgd_update")
+def _case_sgd_update(rng):
+    shape = (int(rng.integers(2, 9)), int(rng.integers(2, 17)))
+    param = rng.normal(size=shape)
+    grad = rng.normal(size=shape)
+    momentum = float(rng.choice([0.0, 0.9]))
+    # Cover all three velocity states: disabled, first step, warm.
+    velocity = None
+    if momentum and rng.integers(0, 2):
+        velocity = rng.normal(size=shape)
+    weight_decay = float(rng.choice([0.0, 5e-4]))
+    return (param, grad, velocity, 0.05, momentum, weight_decay), {}
+
+
+# ---------------------------------------------------------------------------
+# Checking
+# ---------------------------------------------------------------------------
+
+
+def _as_tuple(out: Any) -> Tuple[Any, ...]:
+    return out if isinstance(out, tuple) else (out,)
+
+
+def compare_outputs(
+    kernel_name: str, expected: Any, got: Any, rtol: float = RTOL, atol: float = ATOL
+) -> None:
+    """Assert two kernel outputs agree (exact for ints, allclose for floats)."""
+    expected_t, got_t = _as_tuple(expected), _as_tuple(got)
+    assert len(expected_t) == len(got_t), (
+        f"{kernel_name}: output arity {len(got_t)} != {len(expected_t)}"
+    )
+    for idx, (ref_out, new_out) in enumerate(zip(expected_t, got_t)):
+        if ref_out is None or new_out is None:
+            assert ref_out is None and new_out is None, (
+                f"{kernel_name}[{idx}]: one output is None, the other is not"
+            )
+            continue
+        ref_arr, new_arr = np.asarray(ref_out), np.asarray(new_out)
+        assert ref_arr.shape == new_arr.shape, (
+            f"{kernel_name}[{idx}]: shape {new_arr.shape} != {ref_arr.shape}"
+        )
+        assert ref_arr.dtype == new_arr.dtype, (
+            f"{kernel_name}[{idx}]: dtype {new_arr.dtype} != {ref_arr.dtype}"
+        )
+        if np.issubdtype(ref_arr.dtype, np.integer) or ref_arr.dtype == bool:
+            assert np.array_equal(ref_arr, new_arr), (
+                f"{kernel_name}[{idx}]: integer outputs differ"
+            )
+        else:
+            np.testing.assert_allclose(
+                new_arr, ref_arr, rtol=rtol, atol=atol,
+                err_msg=f"{kernel_name}[{idx}]",
+            )
+
+
+def check_kernel(
+    kernel_name: str,
+    candidate,
+    oracle="reference",
+    seed: int = 0,
+    trials: int = 5,
+    rtol: float = RTOL,
+    atol: float = ATOL,
+) -> int:
+    """Run ``trials`` randomized cases of one kernel on both backends."""
+    if kernel_name not in CASES:
+        raise KeyError(f"no equivalence case registered for kernel {kernel_name!r}")
+    candidate_b: Backend = get_backend(candidate)
+    oracle_b: Backend = get_backend(oracle)
+    gen = CASES[kernel_name]
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        args, kwargs = gen(rng)
+        expected = oracle_b.kernel(kernel_name)(*args, **kwargs)
+        got = candidate_b.kernel(kernel_name)(*args, **kwargs)
+        compare_outputs(kernel_name, expected, got, rtol=rtol, atol=atol)
+    return trials
+
+
+def check_all(
+    candidate,
+    oracle="reference",
+    seed: int = 0,
+    trials: int = 5,
+) -> List[str]:
+    """check_kernel over every kernel the candidate can dispatch."""
+    candidate_b = get_backend(candidate)
+    checked = []
+    for name in candidate_b.kernels():
+        check_kernel(name, candidate_b, oracle=oracle, seed=seed, trials=trials)
+        checked.append(name)
+    return checked

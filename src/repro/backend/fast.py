@@ -1,0 +1,449 @@
+"""Fast backend: cached indices, slice-accumulation col2im, fused kernels.
+
+Overrides the hot kernels of :mod:`repro.backend.reference` with
+implementations that avoid repeated work, and falls back to reference
+for everything else.  All outputs must stay ``allclose`` (rtol <=
+1e-6) to reference on every registered kernel -- the equivalence suite
+(:mod:`repro.backend.equivalence`) enforces this on randomized shapes.
+
+What makes it fast:
+
+* **Shape-keyed index caches.**  ``im2col_indices`` builds the same
+  gather arrays for every (shape, kernel, stride, padding) combination;
+  a bounded LRU keyed on those parameters makes repeat calls (every
+  batch of every epoch) free.
+* **Slice-accumulation col2im.**  Reference ``col2im`` uses
+  ``np.add.at``, an order of magnitude slower than one vectorized
+  strided ``+=`` per kernel tap into a batch-last accumulator that
+  matches cols' memory order (see :func:`col2im`).
+* **Fused conv+bias+relu inference** (``conv2d_infer``) adds the bias
+  in-place on the matmul output and applies relu with ``out=``,
+  skipping two full-tensor allocations per call.
+* **Scratch-buffer pools.**  Padded inputs, matmul outputs, and the
+  flattened-gradient intermediates of ``conv2d_backward`` are recycled
+  through a small (shape, dtype)-keyed pool, avoiding repeated
+  multi-megabyte mmap/page-fault cycles.  Pools hold *internal*
+  scratch only -- anything a kernel returns or that an op saves for
+  backward (e.g. the ``cols`` patch matrix) is always freshly
+  allocated, because pooled memory is reused on the next call and
+  would corrupt saved state.
+* **Gradient skipping.**  ``conv2d_backward(need_input_grad=False)``
+  omits the input-gradient matmul and scatter entirely for graph
+  leaves (the data batch feeding the first layer never needs one).
+* **One-pass batchnorm statistics** (``E[x^2] - mean^2``), an
+  inference batchnorm with precomputed scale/shift, and a fused
+  batch-norm training step (forward and analytic backward as single
+  kernels instead of ~20 composed elementwise graph ops).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backend import reference
+from repro.backend.registry import Backend
+
+BACKEND = Backend("fast", fallback=reference.BACKEND)
+
+_CACHE_SIZE = 64
+
+
+class _LRU(OrderedDict):
+    """Tiny bounded mapping: oldest entry is evicted past _CACHE_SIZE."""
+
+    def put(self, key, value):
+        self[key] = value
+        if len(self) > _CACHE_SIZE:
+            self.popitem(last=False)
+
+
+_indices_cache: "_LRU" = _LRU()
+
+
+def cached_im2col_indices(
+    shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int, padding: int
+):
+    """Reference ``im2col_indices`` memoized on everything but batch size."""
+    _, channels, height, width = shape
+    key = (channels, height, width, kh, kw, stride, padding)
+    hit = _indices_cache.get(key)
+    if hit is None:
+        k, i, j, out_h, out_w = reference.im2col_indices(
+            shape, kh, kw, stride, padding
+        )
+        hit = (k, i, j, out_h, out_w)
+        _indices_cache.put(key, hit)
+    return hit
+
+
+def clear_caches() -> None:
+    """Drop all cached index arrays and pooled buffers (tests, memory)."""
+    _indices_cache.clear()
+    _pool.clear()
+
+
+# ---------------------------------------------------------------------------
+# Scratch-buffer pool (internal scratch ONLY -- never for returned arrays)
+# ---------------------------------------------------------------------------
+
+
+class BufferPool:
+    """Recycles fixed-shape scratch arrays keyed by (shape, dtype).
+
+    ``take`` hands out an uninitialized (or stale) buffer; ``give``
+    returns it for reuse.  Callers must never ``give`` an array that
+    escapes the kernel -- pooled memory is overwritten by the next
+    ``take`` of the same shape.
+    """
+
+    def __init__(self, max_per_key: int = 4) -> None:
+        self.max_per_key = max_per_key
+        self._free: Dict[Tuple[Tuple[int, ...], np.dtype], List[np.ndarray]] = {}
+
+    def take(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype))
+        stack = self._free.get(key)
+        if stack:
+            return stack.pop()
+        return np.empty(shape, dtype=dtype)
+
+    def give(self, array: np.ndarray) -> None:
+        key = (array.shape, array.dtype)
+        stack = self._free.setdefault(key, [])
+        if len(stack) < self.max_per_key:
+            stack.append(array)
+
+    def clear(self) -> None:
+        self._free.clear()
+
+
+_pool = BufferPool()
+
+
+def _pad_input(x: np.ndarray, padding: int) -> Tuple[np.ndarray, bool]:
+    """Zero-padded copy of x from the pool; (array, pooled) pair."""
+    if padding <= 0:
+        return x, False
+    batch, channels, height, width = x.shape
+    buf = _pool.take(
+        (batch, channels, height + 2 * padding, width + 2 * padding), x.dtype
+    )
+    buf.fill(0.0)
+    buf[:, :, padding:-padding, padding:-padding] = x
+    return buf, True
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im
+# ---------------------------------------------------------------------------
+
+
+@BACKEND.register()
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    k, i, j, _, _ = cached_im2col_indices(x.shape, kh, kw, stride, padding)
+    x_padded, pooled = _pad_input(x, padding)
+    cols = x_padded[:, k, i, j]
+    if pooled:
+        _pool.give(x_padded)
+    return cols.transpose(1, 2, 0).reshape(kh * kw * x.shape[1], -1)
+
+
+@BACKEND.register()
+def col2im(
+    cols: np.ndarray,
+    shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Strided slice-accumulation; same dtype/contiguity contract as reference.
+
+    One vectorized ``+=`` per kernel tap (kh*kw of them) into a
+    channels-first/batch-last accumulator whose memory order matches
+    cols' own ``(C, kh, kw, L, batch)`` layout, so every add is a
+    locality-friendly strided pass.  This touches each cols element
+    exactly once with no index arrays at all -- faster than both
+    ``np.add.at`` (reference) and a bincount scatter, which must stream
+    an equally large int64 index array through memory.
+    """
+    batch, channels, height, width = shape
+    p = padding
+    padded_h, padded_w = height + 2 * p, width + 2 * p
+    _, _, _, out_h, out_w = cached_im2col_indices(shape, kh, kw, stride, padding)
+    patches = cols.reshape(channels, kh, kw, out_h, out_w, batch)
+    # accumulate in (C, H, W, batch) so slice adds match cols' memory
+    # order; the dtype follows cols (the float32 contract holds by
+    # construction -- no float64 round trip)
+    padded = np.zeros((channels, padded_h, padded_w, batch), dtype=cols.dtype)
+    s = stride
+    for tap_r in range(kh):
+        for tap_c in range(kw):
+            padded[:, tap_r:tap_r + s * out_h:s, tap_c:tap_c + s * out_w:s, :] += (
+                patches[:, tap_r, tap_c]
+            )
+    core = padded if p == 0 else padded[:, p:padded_h - p, p:padded_w - p, :]
+    return np.ascontiguousarray(core.transpose(3, 0, 1, 2))
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+
+
+@BACKEND.register()
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, stride: int, padding: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    out_channels, _, kh, kw = weight.shape
+    k, i, j, out_h, out_w = cached_im2col_indices(x.shape, kh, kw, stride, padding)
+    x_padded, pooled = _pad_input(x, padding)
+    # cols is saved for backward by the op -- it must own fresh memory,
+    # so it is never drawn from the pool
+    cols = x_padded[:, k, i, j].transpose(1, 2, 0).reshape(kh * kw * x.shape[1], -1)
+    if pooled:
+        _pool.give(x_padded)
+    scratch = _pool.take((out_channels, cols.shape[1]), cols.dtype)
+    np.matmul(weight.reshape(out_channels, -1), cols, out=scratch)
+    out = np.ascontiguousarray(
+        scratch.reshape(out_channels, out_h, out_w, x.shape[0]).transpose(3, 0, 1, 2)
+    )
+    _pool.give(scratch)
+    return out, cols
+
+
+@BACKEND.register()
+def conv2d_backward(
+    grad: np.ndarray,
+    cols: np.ndarray,
+    weight: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    stride: int,
+    padding: int,
+    need_input_grad: bool = True,
+) -> Tuple[Optional[np.ndarray], np.ndarray]:
+    """Weight/input gradients; ``need_input_grad=False`` skips the input half.
+
+    The skip saves the grad_cols matmul and the col2im scatter for graph
+    leaves that do not require grad (e.g. the data batch feeding the
+    first conv layer).  Large intermediates live in pooled scratch.
+    """
+    out_channels, _, kh, kw = weight.shape
+    batch, out_h, out_w = grad.shape[0], grad.shape[2], grad.shape[3]
+    grad_flat = _pool.take((out_channels, batch * out_h * out_w), grad.dtype)
+    np.copyto(
+        grad_flat.reshape(out_channels, out_h, out_w, batch),
+        grad.transpose(1, 2, 3, 0),
+    )
+    grad_weight = (grad_flat @ cols.T).reshape(weight.shape)
+    grad_x = None
+    if need_input_grad:
+        grad_cols = _pool.take(cols.shape, grad.dtype)
+        np.matmul(weight.reshape(out_channels, -1).T, grad_flat, out=grad_cols)
+        grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding)
+        _pool.give(grad_cols)
+    _pool.give(grad_flat)
+    return grad_x, grad_weight
+
+
+@BACKEND.register()
+def conv2d_infer(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+    relu: bool = False,
+) -> np.ndarray:
+    """Fused conv+bias+relu: epilogue applied in place on the matmul output."""
+    out_channels, _, kh, kw = weight.shape
+    k, i, j, out_h, out_w = cached_im2col_indices(x.shape, kh, kw, stride, padding)
+    x_padded, pooled = _pad_input(x, padding)
+    cols = x_padded[:, k, i, j].transpose(1, 2, 0).reshape(kh * kw * x.shape[1], -1)
+    if pooled:
+        _pool.give(x_padded)
+    scratch = _pool.take((out_channels, cols.shape[1]), cols.dtype)
+    out = np.matmul(weight.reshape(out_channels, -1), cols, out=scratch)
+    if bias is not None:
+        out += bias.reshape(-1, 1)
+    if relu:
+        np.maximum(out, 0.0, out=out)
+    result = np.ascontiguousarray(
+        out.reshape(out_channels, out_h, out_w, x.shape[0]).transpose(3, 0, 1, 2)
+    )
+    _pool.give(scratch)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+
+@BACKEND.register()
+def maxpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    batch, channels, _, _ = x.shape
+    reshaped = x.reshape(batch * channels, 1, *x.shape[2:])
+    k, i, j, out_h, out_w = cached_im2col_indices(
+        reshaped.shape, kernel, kernel, stride, 0
+    )
+    cols = reshaped[:, k, i, j].transpose(1, 2, 0).reshape(kernel * kernel, -1)
+    argmax = np.argmax(cols, axis=0)
+    out = cols[argmax, np.arange(cols.shape[1])]
+    out = out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
+        batch, channels, out_h, out_w
+    )
+    return out, argmax
+
+
+@BACKEND.register()
+def maxpool2d_infer(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    batch, channels, _, _ = x.shape
+    reshaped = x.reshape(batch * channels, 1, *x.shape[2:])
+    k, i, j, out_h, out_w = cached_im2col_indices(
+        reshaped.shape, kernel, kernel, stride, 0
+    )
+    cols = reshaped[:, k, i, j].transpose(1, 2, 0).reshape(kernel * kernel, -1)
+    out = cols.max(axis=0)
+    return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
+        batch, channels, out_h, out_w
+    )
+
+
+@BACKEND.register()
+def maxpool2d_backward(
+    grad: np.ndarray,
+    argmax: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    batch, channels, height, width = x_shape
+    reshaped_shape = (batch * channels, 1, height, width)
+    grad_flat = grad.reshape(batch * channels, -1).transpose(1, 0).reshape(-1)
+    grad_cols = np.zeros((kernel * kernel, grad_flat.size), dtype=grad.dtype)
+    grad_cols[argmax, np.arange(grad_cols.shape[1])] = grad_flat
+    grad_reshaped = col2im(grad_cols, reshaped_shape, kernel, kernel, stride, 0)
+    return grad_reshaped.reshape(x_shape)
+
+
+@BACKEND.register()
+def avgpool2d_backward(
+    grad: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    batch, channels, height, width = x_shape
+    reshaped_shape = (batch * channels, 1, height, width)
+    grad_flat = grad.reshape(batch * channels, -1).transpose(1, 0).reshape(-1)
+    grad_cols = np.broadcast_to(
+        grad_flat / (kernel * kernel), (kernel * kernel, grad_flat.size)
+    ).copy()
+    grad_reshaped = col2im(grad_cols, reshaped_shape, kernel, kernel, stride, 0)
+    return grad_reshaped.reshape(x_shape)
+
+
+@BACKEND.register()
+def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    batch, channels, _, _ = x.shape
+    reshaped = x.reshape(batch * channels, 1, *x.shape[2:])
+    k, i, j, out_h, out_w = cached_im2col_indices(
+        reshaped.shape, kernel, kernel, stride, 0
+    )
+    cols = reshaped[:, k, i, j].transpose(1, 2, 0).reshape(kernel * kernel, -1)
+    out = cols.mean(axis=0)
+    return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
+        batch, channels, out_h, out_w
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batch normalization
+# ---------------------------------------------------------------------------
+
+
+@BACKEND.register()
+def batchnorm_stats(
+    x: np.ndarray, axes: Tuple[int, ...]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One-pass mean/variance: E[x^2] - mean^2, clamped at zero."""
+    mean = x.mean(axis=axes, keepdims=True)
+    sq_mean = np.multiply(x, x).mean(axis=axes, keepdims=True)
+    var = np.maximum(sq_mean - mean * mean, 0.0)
+    return mean, var
+
+
+@BACKEND.register()
+def batchnorm_infer(
+    x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float,
+) -> np.ndarray:
+    """Precomputed scale/shift: one multiply-add over x instead of four ops."""
+    scale = gamma / np.sqrt(var + eps)
+    shift = beta - mean * scale
+    return x * scale + shift
+
+
+@BACKEND.register()
+def batchnorm_train_forward(
+    x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference formula with in-place epilogues (two fewer temporaries).
+
+    ``xhat`` and ``out`` escape the kernel (one is saved for backward,
+    the other returned), so both own fresh memory -- only the
+    intermediate products are folded in place.
+    """
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = x - mean
+    xhat *= inv_std
+    out = xhat * gamma
+    out += beta
+    return out, xhat, inv_std
+
+
+@BACKEND.register()
+def batchnorm_train_backward(
+    grad: np.ndarray,
+    xhat: np.ndarray,
+    inv_std: np.ndarray,
+    gamma: np.ndarray,
+    axes: Tuple[int, ...],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Analytic backward (see reference) with a reused full-size scratch."""
+    count = 1
+    for axis in axes:
+        count *= grad.shape[axis]
+    grad_beta = grad.sum(axis=axes, keepdims=True)
+    scaled = grad * xhat
+    grad_gamma = scaled.sum(axis=axes, keepdims=True)
+    # `scaled` already served its purpose; reuse it for the xhat term
+    np.multiply(xhat, grad_gamma / count, out=scaled)
+    grad_x = grad - grad_beta / count
+    grad_x -= scaled
+    grad_x *= gamma * inv_std
+    return grad_x, grad_gamma, grad_beta
+
+
+# Capability flag read by the batch-norm layers: when the active
+# backend advertises it, training-mode batch norm dispatches through
+# the fused batchnorm_train_forward/backward kernels above instead of
+# composing ~20 elementwise graph ops.  Reference deliberately does not
+# set it -- its training path must stay the bit-identical composed
+# graph (backends inheriting from fast inherit the flag via fallback).
+BACKEND.fused_batchnorm = True

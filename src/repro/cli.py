@@ -2,29 +2,35 @@
 
 Subcommands:
 
-* ``attack``  -- run the full quantized correlation attack flow.
-* ``sweep``   -- grid of attack runs over bitwidths x rates.
-* ``benign``  -- train the benign reference model.
-* ``audit``   -- run the defender's pre-release audit on an attack run.
-* ``profile`` -- per-autograd-op cost table for a small training run.
-* ``info``    -- versions, platform and registered metrics (bug reports).
+* ``attack``       -- run the full quantized correlation attack flow.
+* ``sweep``        -- grid of attack runs over bitwidths x rates.
+* ``benign``       -- train the benign reference model.
+* ``audit``        -- run the defender's pre-release audit on an attack run.
+* ``profile``      -- per-autograd-op and per-kernel cost tables for a
+  small training run.
+* ``bench-kernels`` -- per-kernel reference-vs-fast timing table.
+* ``info``         -- versions, platform and registered metrics (bug reports).
 
-Global flags (before the subcommand): ``--workers N`` fans sweep points
-and multi-bitwidth attack arms across worker processes
-(``repro.parallel``; results are identical to a serial run),
-``--trace-out PATH`` exports a Chrome-trace file of the run's spans,
-``--log-level LEVEL`` controls the structured JSONL event log
-(optionally to ``--log-out PATH``).
+Global flags (before the subcommand): ``--backend {reference,fast}``
+selects the kernel backend every op dispatches through
+(``repro.backend``; ``fast`` caches im2col indices and fuses inference
+kernels), ``--workers N`` fans sweep points and multi-bitwidth attack
+arms across worker processes (``repro.parallel``; results are identical
+to a serial run), ``--trace-out PATH`` exports a Chrome-trace file of
+the run's spans, ``--log-level LEVEL`` controls the structured JSONL
+event log (optionally to ``--log-out PATH``).
 
 Examples::
 
     python -m repro.cli attack --bits 4 --rate 20 --epochs 15
+    python -m repro.cli --backend fast attack --bits 4 --epochs 15
     python -m repro.cli --workers 4 attack --bits 4 3 2 --epochs 15
     python -m repro.cli --workers 4 sweep --bits 4 3 --rates 5 20 --epochs 5
     python -m repro.cli attack --dataset faces --bits 3 --out result.json
     python -m repro.cli --trace-out trace.json benign --epochs 15
     python -m repro.cli audit --rate 20
-    python -m repro.cli profile quickstart --top 12
+    python -m repro.cli --backend fast profile quickstart --top 12
+    python -m repro.cli bench-kernels --repeats 20 --csv kernels.csv
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import backend as _backend
 from repro.datasets import (
     SyntheticCifarConfig,
     SyntheticDigitsConfig,
@@ -121,14 +128,17 @@ def _attack_experiment(bits: int, rate: float, dataset: str = "cifar",
                        data_seed: int = 3, seed: int = 7, epochs: int = 15,
                        batch_size: int = 32, lr: float = 0.08,
                        method: str = "target_correlated",
+                       backend: Optional[str] = None,
                        rng=None) -> dict:
     """One full attack run reduced to a flat metrics record.
 
     Module-level (and partial-friendly) so ``repro sweep`` and the
     multi-bitwidth ``repro attack`` can run it inside spawn-started
-    worker processes.  ``rng`` is accepted for ``Sweep(seed=...)``
-    compatibility but unused: every stage is already seeded explicitly,
-    which is what makes parallel and serial records identical.
+    worker processes; ``backend`` is a name for the same reason (the
+    worker resolves it against its own registry).  ``rng`` is accepted
+    for ``Sweep(seed=...)`` compatibility but unused: every stage is
+    already seeded explicitly, which is what makes parallel and serial
+    records identical.
     """
     ns = argparse.Namespace(dataset=dataset, rate=rate, epochs=epochs,
                             batch_size=batch_size, lr=lr, seed=seed,
@@ -137,7 +147,8 @@ def _attack_experiment(bits: int, rate: float, dataset: str = "cifar",
     builder = _build_model_builder(dataset, train, seed)
     training, attack, quantization = _attack_configs(ns)
     result = run_quantized_correlation_attack(
-        train, test, builder, training, attack, quantization)
+        train, test, builder, training, attack, quantization,
+        backend=backend)
     quant = result.quantized
     return {
         "accuracy": round(result.uncompressed.accuracy, 6),
@@ -185,6 +196,7 @@ def _cmd_attack_multi(args) -> int:
             _attack_experiment, bits, args.rate, dataset=args.dataset,
             data_seed=args.data_seed, seed=args.seed, epochs=args.epochs,
             batch_size=args.batch_size, lr=args.lr, method=args.method,
+            backend=args.backend,
         )
         for bits in args.bits
     }
@@ -213,6 +225,7 @@ def _cmd_sweep(args) -> int:
         progress=lambda params: print(f"[point {params}]", file=sys.stderr),
         parallel=args.workers or 1,
         timeout=args.point_timeout,
+        backend=args.backend,
     )
     print(result.to_table(title=f"{total}-point sweep ({args.dataset})"))
     failed = result.failures()
@@ -297,6 +310,38 @@ def _cmd_profile(args) -> int:
     print(f"\nop time {prof.total_op_time * 1e3:.1f} ms over {prof.total_calls} "
           f"calls covers {prof.coverage():.1%} of the "
           f"{prof.wall_time * 1e3:.1f} ms training step")
+    print()
+    print(prof.kernel_table(top_k=args.top,
+                            title=f"backend kernels ({_backend.active().name})"))
+    print(f"\nkernel time {prof.total_kernel_time * 1e3:.1f} ms covers "
+          f"{prof.kernel_coverage():.1%} of the training step")
+    return 0
+
+
+def _cmd_bench_kernels(args) -> int:
+    """Per-kernel reference-vs-fast timing table."""
+    from repro.backend.bench import bench_kernels
+    from repro.telemetry import format_records
+
+    from repro.errors import ConfigError
+    try:
+        records = bench_kernels(kernels=args.kernels or None,
+                                repeats=args.repeats, seed=args.seed)
+    except ConfigError as exc:
+        raise SystemExit(f"repro bench-kernels: {exc}")
+    print(format_records(
+        records,
+        title=f"kernel micro-benchmark (best of {args.repeats})",
+    ))
+    overridden = [r for r in records if r["overridden"]]
+    if overridden:
+        mean_speedup = float(np.mean([r["speedup"] for r in overridden]))
+        print(f"\nmean speedup over {len(overridden)} overridden kernels: "
+              f"{mean_speedup:.2f}x")
+    if args.csv:
+        from repro.pipeline.sweep import SweepResult
+        SweepResult(records=records).to_csv(args.csv)
+        print(f"records written to {args.csv}")
     return 0
 
 
@@ -304,6 +349,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC'20 compressed-model data-stealing reproduction"
     )
+    parser.add_argument("--backend", default="reference",
+                        choices=["reference", "fast"],
+                        help="kernel backend for all op dispatch "
+                             "(fast: cached indices + fused inference)")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker processes for sweep points / attack "
                              "arms (default: serial; results are identical)")
@@ -381,6 +430,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="rows in the op table")
     prof.set_defaults(func=_cmd_profile)
 
+    bench = sub.add_parser("bench-kernels",
+                           help="per-kernel reference-vs-fast timing table")
+    bench.add_argument("kernels", nargs="*",
+                       help="kernel names to benchmark (default: all)")
+    bench.add_argument("--repeats", type=int, default=10,
+                       help="timing repetitions per kernel (best-of)")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="seed for the benchmark inputs")
+    bench.add_argument("--csv", metavar="PATH", default=None,
+                       help="export the records as CSV")
+    bench.set_defaults(func=_cmd_bench_kernels)
+
     info = sub.add_parser("info", help="print versions/platform for bug reports")
     info.set_defaults(func=_cmd_info)
     return parser
@@ -401,12 +462,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         set_recorder(recorder)
     logger.info("cli.start", command=args.command, argv=list(argv or sys.argv[1:]))
     trace_error = None
+    # restored afterwards so in-process callers (tests) are unaffected
+    previous_backend = _backend.set_backend(args.backend)
     try:
         code = args.func(args)
     except Exception as exc:
         logger.error("cli.error", command=args.command, error=repr(exc))
         raise
     finally:
+        _backend.set_backend(previous_backend)
         if recorder is not None:
             set_recorder(None)
             try:

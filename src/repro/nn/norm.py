@@ -3,14 +3,23 @@
 The normalization itself is composed from differentiable primitives, so
 the backward pass comes for free from autograd; only the running-stat
 bookkeeping is hand-written (it is not differentiated through).
+
+When the active backend advertises ``fused_batchnorm`` (the fast
+backend does), training-mode forward instead routes through the fused
+``batchnorm_train_forward``/``batchnorm_train_backward`` kernels via a
+single graph node -- same math to allclose tolerance, a fraction of
+the graph ops.  The reference backend keeps the composed path so its
+training runs stay bit-identical to the original code.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import backend as _backend
 from repro.autograd import functional as F
-from repro.autograd.tensor import Tensor
+from repro.autograd.ops_nn import BatchNormTrainFn
+from repro.autograd.tensor import Tensor, is_grad_enabled
 from repro.nn.module import Module, Parameter
 
 
@@ -31,18 +40,50 @@ class _BatchNorm(Module):
     def _param_shape(self):
         raise NotImplementedError
 
+    def _update_running(self, batch_mean: np.ndarray, batch_var: np.ndarray) -> None:
+        m = self.momentum
+        self.update_buffer("running_mean", (1 - m) * self.running_mean + m * batch_mean)
+        self.update_buffer("running_var", (1 - m) * self.running_var + m * batch_var)
+
     def forward(self, x: Tensor) -> Tensor:
         axes = self._axes()
         shape = self._param_shape()
+        if not self.training and not is_grad_enabled():
+            # inference fast path: one fused kernel, no graph nodes
+            x_data = x.data if isinstance(x, Tensor) else np.asarray(x)
+            out = _backend.active().batchnorm_infer(
+                x_data,
+                self.running_mean.reshape(shape),
+                self.running_var.reshape(shape),
+                self.gamma.data.reshape(shape),
+                self.beta.data.reshape(shape),
+                self.eps,
+            )
+            return Tensor(out)
         if self.training:
+            K = _backend.active()
+            if getattr(K, "fused_batchnorm", False):
+                # fused path: statistics via the batchnorm_stats kernel,
+                # normalize-scale-shift and the analytic backward as one
+                # graph node each (see ops_nn.BatchNormTrainFn)
+                x_t = x if isinstance(x, Tensor) else Tensor(x)
+                mean, var = K.batchnorm_stats(x_t.data, axes)
+                self._update_running(
+                    mean.reshape(self.num_features), var.reshape(self.num_features)
+                )
+                return BatchNormTrainFn.apply(
+                    x_t,
+                    F.reshape(self.gamma, shape),
+                    F.reshape(self.beta, shape),
+                    mean=mean, var=var, axes=axes, eps=self.eps,
+                )
             mean = F.mean(x, axis=axes, keepdims=True)
             centered = F.sub(x, mean)
             variance = F.mean(F.mul(centered, centered), axis=axes, keepdims=True)
-            batch_mean = mean.data.reshape(self.num_features)
-            batch_var = variance.data.reshape(self.num_features)
-            m = self.momentum
-            self.update_buffer("running_mean", (1 - m) * self.running_mean + m * batch_mean)
-            self.update_buffer("running_var", (1 - m) * self.running_var + m * batch_var)
+            self._update_running(
+                mean.data.reshape(self.num_features),
+                variance.data.reshape(self.num_features),
+            )
             normalized = F.div(centered, F.sqrt(F.add(variance, Tensor(self.eps))))
         else:
             mean = Tensor(self.running_mean.reshape(shape))

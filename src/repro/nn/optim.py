@@ -46,20 +46,17 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
+        from repro import backend as _backend
+        K = _backend.active()
         for param in self.params:
             if param.grad is None:
                 continue
-            grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            if self.momentum:
-                velocity = self._velocity.get(id(param))
-                if velocity is None:
-                    velocity = np.zeros_like(param.data)
-                velocity = self.momentum * velocity + grad
+            param.data, velocity = K.sgd_update(
+                param.data, param.grad, self._velocity.get(id(param)),
+                self.lr, self.momentum, self.weight_decay,
+            )
+            if velocity is not None:
                 self._velocity[id(param)] = velocity
-                grad = velocity
-            param.data = param.data - self.lr * grad
 
 
 class Adam(Optimizer):

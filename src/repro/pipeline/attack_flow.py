@@ -72,6 +72,7 @@ def run_quantized_correlation_attack(
     attack: AttackConfig = AttackConfig(),
     quantization: Optional[QuantizationConfig] = QuantizationConfig(),
     progress: Optional[Callable[[str], None]] = None,
+    backend: Optional[str] = None,
 ) -> AttackFlowResult:
     """Run the full Fig. 1 flow and evaluate it.
 
@@ -81,11 +82,30 @@ def run_quantized_correlation_attack(
         training / attack / quantization: stage configurations; pass
             ``quantization=None`` to stop after the uncompressed attack.
         progress: optional stage-name callback.
+        backend: kernel backend name (``"reference"``/``"fast"``) scoped
+            around the whole flow; ``None`` keeps the process default.
 
     Returns:
         An :class:`AttackFlowResult` with per-stage artifacts and both
         evaluations.
     """
+    from repro import backend as _backend
+    with _backend.use_backend(backend):
+        return _run_attack_flow(
+            train_dataset, test_dataset, model_builder,
+            training, attack, quantization, progress,
+        )
+
+
+def _run_attack_flow(
+    train_dataset: ImageDataset,
+    test_dataset: ImageDataset,
+    model_builder: Callable[[], Module],
+    training: TrainingConfig,
+    attack: AttackConfig,
+    quantization: Optional[QuantizationConfig],
+    progress: Optional[Callable[[str], None]],
+) -> AttackFlowResult:
     training.validate()
     attack.validate()
     if quantization is not None:

@@ -7,6 +7,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import backend as _backend
 from repro.attacks.decoder import decode_groups, decode_images
 from repro.attacks.layerwise import LayerGroup
 from repro.attacks.secret import SecretPayload
@@ -69,13 +70,27 @@ def evaluate_attack(
     polarity: str = "reference",
     mean: Optional[np.ndarray] = None,
     std: Optional[np.ndarray] = None,
+    backend: Optional[str] = None,
 ) -> AttackEvaluation:
     """Evaluate a released model's evasiveness and data leakage.
 
     Either ``groups`` (layer-wise attack) or ``payload`` +
     ``weight_vector`` (uniform attack over a flat weight vector) selects
-    the decoding source.
+    the decoding source.  ``backend`` scopes the kernel backend used for
+    the forward passes (the accuracy and recognizability sweeps run
+    no-grad, so the fast backend's fused inference kernels apply).
     """
+    with _backend.use_backend(backend):
+        return _evaluate_attack(
+            model, test_inputs, test_labels, groups, payload,
+            weight_vector, polarity, mean, std,
+        )
+
+
+def _evaluate_attack(
+    model, test_inputs, test_labels, groups, payload,
+    weight_vector, polarity, mean, std,
+) -> AttackEvaluation:
     accuracy = evaluate_accuracy(model, test_inputs, test_labels)
     if groups is not None:
         reconstructions, originals, _ = decode_groups(groups, polarity=polarity)

@@ -116,10 +116,18 @@ def _orderable(value: Any) -> bool:
 def _run_point(experiment: Callable[..., Mapping[str, Any]],
                params: Dict[str, Any],
                seed_seq: Optional[np.random.SeedSequence],
-               index: int) -> Dict[str, Any]:
-    """Execute one grid point (module-level for spawn-safe pickling)."""
-    with span("sweep.point", index=index,
-              **{k: repr(v) for k, v in params.items()}):
+               index: int,
+               backend: Optional[str] = None) -> Dict[str, Any]:
+    """Execute one grid point (module-level for spawn-safe pickling).
+
+    ``backend`` is threaded by *name* so it survives pickling into
+    spawn-started workers, where the backend registry is re-created on
+    import.
+    """
+    from repro import backend as _backend
+    with _backend.use_backend(backend), \
+            span("sweep.point", index=index,
+                 **{k: repr(v) for k, v in params.items()}):
         if seed_seq is not None:
             metrics = experiment(**params, rng=np.random.default_rng(seed_seq))
         else:
@@ -161,7 +169,8 @@ class Sweep:
             parallel: Optional[int] = None,
             seed: Optional[int] = None,
             timeout: Optional[float] = None,
-            retries: int = 1) -> SweepResult:
+            retries: int = 1,
+            backend: Optional[str] = None) -> SweepResult:
         """Run every grid point and collect records.
 
         Args:
@@ -182,6 +191,9 @@ class Sweep:
             timeout / retries: per-point budget and crash retry bound,
                 forwarded to the pool (ignored when ``parallel`` is
                 ``None``).
+            backend: kernel backend name scoped around every point --
+                threaded by name into worker processes so spawn-started
+                workers resolve it against their own registry.
         """
         points = list(expand_grid(self.grid))
         seeds: List[Optional[np.random.SeedSequence]] = [None] * len(points)
@@ -190,7 +202,7 @@ class Sweep:
             seeds = list(spawn_sequences(seed, len(points)))
 
         if parallel is None:
-            return self._run_inline(points, seeds, progress)
+            return self._run_inline(points, seeds, progress, backend)
 
         from repro.parallel.pool import Task, WorkerPool
         for params in points:
@@ -198,7 +210,7 @@ class Sweep:
                 progress(params)
         pool = WorkerPool(max_workers=parallel, timeout=timeout, retries=retries)
         outcomes = pool.run([
-            Task(_run_point, (self.experiment, params, seed_seq, index))
+            Task(_run_point, (self.experiment, params, seed_seq, index, backend))
             for index, (params, seed_seq) in enumerate(zip(points, seeds))
         ])
         result = SweepResult()
@@ -223,13 +235,14 @@ class Sweep:
 
     def _run_inline(self, points: List[Dict[str, Any]],
                     seeds: List[Optional[np.random.SeedSequence]],
-                    progress: Callable[[Dict[str, Any]], None]) -> SweepResult:
+                    progress: Callable[[Dict[str, Any]], None],
+                    backend: Optional[str] = None) -> SweepResult:
         result = SweepResult()
         for index, (params, seed_seq) in enumerate(zip(points, seeds)):
             if progress is not None:
                 progress(params)
             start = time.perf_counter()
-            metrics = _run_point(self.experiment, params, seed_seq, index)
+            metrics = _run_point(self.experiment, params, seed_seq, index, backend)
             duration = time.perf_counter() - start
             record = dict(params)
             record.update(metrics)

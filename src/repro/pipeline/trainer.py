@@ -13,6 +13,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro import backend as _backend
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.nn.dataloader import DataLoader
@@ -55,6 +56,7 @@ class Trainer:
         validation: Optional[tuple] = None,
         grad_clip: Optional[float] = None,
         schedule: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """Args:
             augment: apply random horizontal flips per batch -- a stock
@@ -67,10 +69,14 @@ class Trainer:
             grad_clip: optional global-norm gradient clipping threshold.
             schedule: ``None``, ``"cosine"`` or ``"step"`` learning-rate
                 schedule over the configured epochs.
+            backend: kernel backend name (``"reference"``/``"fast"``)
+                scoped around every epoch; ``None`` keeps the process
+                default (see :mod:`repro.backend`).
         """
         config.validate()
         self.model = model
         self.config = config
+        self.backend = backend
         self.penalty = penalty
         self.augment = bool(augment)
         self.validation = validation
@@ -117,7 +123,8 @@ class Trainer:
         batch_times = registry.histogram("trainer.batch_s")
         total_task, total_penalty, count, batches = 0.0, 0.0, 0, 0
         epoch_start = time.perf_counter()
-        with span("trainer.epoch", epoch=self.history.epochs):
+        with _backend.use_backend(self.backend), \
+                span("trainer.epoch", epoch=self.history.epochs):
             for inputs, labels in self.loader:
                 batch_start = time.perf_counter()
                 with span("trainer.batch"):

@@ -134,6 +134,9 @@ def assign_to_boundaries(
 
     Cluster ``k`` holds weights with ``v_k <= w < v_{k+1}`` (Algorithm 1
     line 15's ``f_q``); values below ``v_0`` clamp to cluster 0.
+
+    The search itself is a backend kernel (``assign_clusters``) so the
+    quantizer's assignment loop rides the active backend.
     """
-    indices = np.searchsorted(boundaries[1:-1], weights, side="right")
-    return indices.astype(np.int64)
+    from repro import backend as _backend
+    return _backend.active().assign_clusters(weights, boundaries)

@@ -43,7 +43,8 @@ from repro.telemetry.events import (
     get_logger,
     new_run_id,
 )
-from repro.telemetry.profiler import OpProfile, OpStat, profile
+from repro.telemetry.profiler import KernelStat, OpProfile, OpStat, profile
+from repro.telemetry.tables import format_records, format_table, percent
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "EwmaTimer", "MetricsRegistry",
@@ -52,5 +53,6 @@ __all__ = [
     "set_recorder", "timed_stage",
     "EventLogger", "RunManifest", "config_fingerprint", "configure_logging",
     "get_logger", "new_run_id",
-    "OpProfile", "OpStat", "profile",
+    "KernelStat", "OpProfile", "OpStat", "profile",
+    "format_records", "format_table", "percent",
 ]

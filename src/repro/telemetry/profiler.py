@@ -1,11 +1,19 @@
-"""Autograd op-level profiler.
+"""Autograd op-level and backend kernel-level profiler.
 
-Hooks the op dispatch in :mod:`repro.autograd.function` (forward, via
-``Function.apply``) and :mod:`repro.autograd.tensor` (backward, via the
-graph walk in ``Tensor.backward``) to attribute wall time, call counts
-and tensor bytes moved to each op class (``Conv2d``, ``MatMul``,
-``BatchNormOp``, ...).  The hook is a single module-global checked per
-dispatch, so un-profiled runs pay one is-None test per op.
+Hooks two dispatch seams:
+
+* the op dispatch in :mod:`repro.autograd.function` (forward, via
+  ``Function.apply``) and :mod:`repro.autograd.tensor` (backward, via
+  the graph walk in ``Tensor.backward``), attributing wall time, call
+  counts and tensor bytes moved to each op class (``Conv2d``,
+  ``MatMul``, ``BatchNormOp``, ...);
+* the kernel dispatch in :mod:`repro.backend.registry`, attributing
+  time to each named kernel per backend (``fast/conv2d_backward``,
+  ``reference/matmul``, ...).  Nested kernel calls are credited to the
+  outermost kernel, so kernel totals never double-count.
+
+Each hook is a single module-global checked per dispatch, so
+un-profiled runs pay one is-None test per op/kernel.
 
 Usage::
 
@@ -14,7 +22,9 @@ Usage::
     with profile() as prof:
         trainer.train_epoch()
     print(prof.table(top_k=10))
+    print(prof.kernel_table(top_k=10))
     print(f"op coverage: {prof.coverage():.0%} of wall time")
+    print(f"kernel coverage: {prof.kernel_coverage():.0%} of wall time")
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.autograd import function as _function
+from repro.backend import registry as _registry
 
 
 @dataclass
@@ -58,11 +69,36 @@ class OpStat:
         }
 
 
+@dataclass
+class KernelStat:
+    """Accumulated cost of one backend kernel across a profiled region."""
+
+    backend: str
+    kernel: str
+    calls: int = 0
+    total_time: float = 0.0
+    bytes_moved: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.backend}/{self.kernel}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "kernel": self.kernel,
+            "calls": self.calls,
+            "total_time": self.total_time,
+            "bytes_moved": self.bytes_moved,
+        }
+
+
 class OpProfile:
-    """Per-op statistics collected by one :func:`profile` region."""
+    """Per-op and per-kernel statistics collected by one :func:`profile` region."""
 
     def __init__(self) -> None:
         self.stats: Dict[str, OpStat] = {}
+        self.kernel_stats: Dict[str, KernelStat] = {}
         self.wall_time: float = 0.0
 
     # Hook signature expected by repro.autograd.function.set_op_hook.
@@ -76,6 +112,18 @@ class OpProfile:
         else:
             stat.backward_calls += 1
             stat.backward_time += seconds
+        stat.bytes_moved += nbytes
+
+    # Hook signature expected by repro.backend.registry.set_kernel_hook.
+    def _record_kernel(
+        self, backend: str, kernel: str, seconds: float, nbytes: int
+    ) -> None:
+        key = f"{backend}/{kernel}"
+        stat = self.kernel_stats.get(key)
+        if stat is None:
+            stat = self.kernel_stats[key] = KernelStat(backend, kernel)
+        stat.calls += 1
+        stat.total_time += seconds
         stat.bytes_moved += nbytes
 
     # ------------------------------------------------------------- queries
@@ -103,17 +151,36 @@ class OpProfile:
                         key=lambda s: s.total_time, reverse=True)
         return ranked[:k]
 
+    # ------------------------------------------------------ kernel queries
+    @property
+    def total_kernel_time(self) -> float:
+        return sum(s.total_time for s in self.kernel_stats.values())
+
+    def kernel_coverage(self, wall_time: Optional[float] = None) -> float:
+        """Fraction of wall time attributed to named backend kernels."""
+        wall = self.wall_time if wall_time is None else wall_time
+        if wall <= 0.0:
+            return float("nan")
+        return self.total_kernel_time / wall
+
+    def top_kernels(self, k: int = 10) -> List[KernelStat]:
+        ranked = sorted(self.kernel_stats.values(),
+                        key=lambda s: s.total_time, reverse=True)
+        return ranked[:k]
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "wall_time": self.wall_time,
             "total_op_time": self.total_op_time,
             "ops": {name: stat.to_dict()
                     for name, stat in sorted(self.stats.items())},
+            "kernels": {name: stat.to_dict()
+                        for name, stat in sorted(self.kernel_stats.items())},
         }
 
     def table(self, top_k: int = 10, title: str = "autograd ops") -> str:
         """Top-K table: call counts, fwd/bwd ms, time share, MB moved."""
-        from repro.pipeline.reporting import format_table
+        from repro.telemetry.tables import format_table
 
         total = self.total_op_time
         rows = []
@@ -135,21 +202,45 @@ class OpProfile:
             rows, title=title,
         )
 
+    def kernel_table(self, top_k: int = 10, title: str = "backend kernels") -> str:
+        """Top-K kernel table: backend, calls, ms, time share, MB moved."""
+        from repro.telemetry.tables import format_table
+
+        total = self.total_kernel_time
+        rows = []
+        for stat in self.top_kernels(top_k):
+            share = 100.0 * stat.total_time / total if total > 0 else 0.0
+            rows.append([
+                stat.kernel,
+                stat.backend,
+                stat.calls,
+                stat.total_time * 1e3,
+                share,
+                stat.bytes_moved / 1e6,
+            ])
+        return format_table(
+            ["kernel", "backend", "calls", "total ms", "share %", "MB moved"],
+            rows, title=title,
+        )
+
 
 @contextlib.contextmanager
 def profile(profile_obj: Optional[OpProfile] = None) -> Iterator[OpProfile]:
-    """Profile autograd ops executed inside the ``with`` block.
+    """Profile autograd ops and backend kernels inside the ``with`` block.
 
-    Installs the op hook on entry and restores the previous hook on
-    exit; the yielded :class:`OpProfile` accumulates per-op statistics
-    and the region's wall time (so ``coverage()`` works out of the box).
+    Installs the op hook and the kernel hook on entry and restores the
+    previous hooks on exit; the yielded :class:`OpProfile` accumulates
+    per-op and per-kernel statistics and the region's wall time (so
+    ``coverage()``/``kernel_coverage()`` work out of the box).
     Re-entering with the same ``profile_obj`` accumulates.
     """
     prof = profile_obj if profile_obj is not None else OpProfile()
     previous = _function.set_op_hook(prof._record)
+    previous_kernel = _registry.set_kernel_hook(prof._record_kernel)
     start = time.perf_counter()
     try:
         yield prof
     finally:
         prof.wall_time += time.perf_counter() - start
         _function.set_op_hook(previous)
+        _registry.set_kernel_hook(previous_kernel)

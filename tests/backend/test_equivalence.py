@@ -1,0 +1,103 @@
+"""Backend equivalence harness: fast must agree with reference everywhere."""
+
+import numpy as np
+import pytest
+
+from repro import backend as B
+from repro.backend import equivalence
+from repro.backend.equivalence import (
+    CASES,
+    check_all,
+    check_kernel,
+    compare_outputs,
+)
+
+
+class TestCaseInventory:
+    def test_every_reachable_kernel_has_a_case(self):
+        # a fast kernel without an equivalence case is an unchecked kernel
+        for name in ("reference", "fast"):
+            missing = set(B.get_backend(name).kernels()) - set(CASES)
+            assert not missing, f"kernels without equivalence cases: {missing}"
+
+    def test_every_case_names_a_kernel(self):
+        reference = B.get_backend("reference")
+        stale = {name for name in CASES if not reference.has(name)}
+        assert not stale, f"cases for unregistered kernels: {stale}"
+
+
+class TestCheckKernel:
+    @pytest.mark.parametrize("kernel", sorted(CASES))
+    def test_fast_matches_reference(self, kernel):
+        assert check_kernel(kernel, "fast", trials=5, seed=11) == 5
+
+    def test_check_all_covers_everything(self):
+        checked = check_all("fast", trials=2, seed=3)
+        assert checked == sorted(B.get_backend("fast").kernels())
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="no equivalence case"):
+            check_kernel("flux_capacitor", "fast")
+
+    def test_detects_wrong_values(self):
+        from repro.backend.registry import Backend
+
+        broken = Backend("broken", fallback=B.get_backend("reference"))
+
+        @broken.register()
+        def matmul(a, b):
+            return a @ b + 1e-3
+
+        with pytest.raises(AssertionError):
+            check_kernel("matmul", broken)
+
+
+class TestCompareOutputs:
+    def test_shape_mismatch(self):
+        with pytest.raises(AssertionError, match="shape"):
+            compare_outputs("k", np.ones((2, 2)), np.ones((4,)))
+
+    def test_dtype_mismatch(self):
+        with pytest.raises(AssertionError, match="dtype"):
+            compare_outputs("k", np.ones(3, dtype=np.float64),
+                            np.ones(3, dtype=np.float32))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(AssertionError, match="arity"):
+            compare_outputs("k", (np.ones(2), np.ones(2)), np.ones(2))
+
+    def test_integer_outputs_compared_exactly(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        compare_outputs("k", a, a.copy())
+        with pytest.raises(AssertionError, match="integer"):
+            compare_outputs("k", a, np.array([1, 2, 4], dtype=np.int64))
+
+    def test_float_outputs_within_tolerance(self):
+        a = np.ones(4)
+        compare_outputs("k", a, a * (1.0 + 1e-9))
+        with pytest.raises(AssertionError):
+            compare_outputs("k", a, a * 1.01)
+
+    def test_none_outputs_must_pair(self):
+        compare_outputs("k", (np.ones(2), None), (np.ones(2), None))
+        with pytest.raises(AssertionError, match="None"):
+            compare_outputs("k", (np.ones(2), None), (np.ones(2), np.ones(2)))
+
+
+class TestGeometryGenerators:
+    def test_conv_cases_are_valid_shapes(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            (x, w, stride, padding), _kw = CASES["conv2d_forward"](rng)
+            out, cols = B.get_backend("reference").conv2d_forward(
+                x, w, stride, padding
+            )
+            assert out.ndim == 4 and cols.ndim == 2
+
+    def test_pool_cases_exercise_stride_not_equal_kernel(self):
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(40):
+            (x, kernel, stride), _kw = CASES["maxpool2d_forward"](rng)
+            seen.add(stride == kernel)
+        assert seen == {True, False}

@@ -1,0 +1,187 @@
+"""Backend registry: registration, fallback dispatch, hooks, scoping."""
+
+import numpy as np
+import pytest
+
+from repro import backend as B
+from repro.backend.registry import Backend, _nbytes
+from repro.errors import ConfigError
+
+
+def make_pair():
+    base = Backend("base")
+
+    @base.register()
+    def double(a):
+        return a * 2
+
+    @base.register()
+    def shared(a):
+        return a + 1
+
+    child = Backend("child", fallback=base)
+
+    @child.register()
+    def shared(a):  # noqa: F811 -- override on the child backend
+        return a + 10
+
+    return base, child
+
+
+class TestBackend:
+    def test_register_and_dispatch(self):
+        base, _ = make_pair()
+        assert base.double(np.array([3.0])) == np.array([6.0])
+
+    def test_fallback_resolution(self):
+        _, child = make_pair()
+        assert child.double(np.array([3.0])) == np.array([6.0])
+
+    def test_override_beats_fallback(self):
+        base, child = make_pair()
+        x = np.array([1.0])
+        assert child.shared(x) == np.array([11.0])
+        assert base.shared(x) == np.array([2.0])
+
+    def test_overrides_vs_has(self):
+        _, child = make_pair()
+        assert child.has("double") and not child.overrides("double")
+        assert child.has("shared") and child.overrides("shared")
+        assert not child.has("missing")
+
+    def test_kernels_unions_fallback(self):
+        _, child = make_pair()
+        assert child.kernels() == ["double", "shared"]
+
+    def test_unknown_kernel_raises(self):
+        base, _ = make_pair()
+        with pytest.raises(AttributeError, match="no kernel"):
+            base.nonexistent
+        with pytest.raises(ConfigError, match="no kernel"):
+            base.kernel("nonexistent")
+
+    def test_fallback_cached_after_first_dispatch(self):
+        _, child = make_pair()
+        child.double(np.array([1.0]))
+        # resolution is memoized onto the instance: no further __getattr__
+        assert "double" in child.__dict__
+
+    def test_late_register_on_self_beats_cache(self):
+        _, child = make_pair()
+        child.double(np.array([1.0]))  # caches the fallback impl
+
+        @child.register("double")
+        def double(a):
+            return a * 200
+
+        assert child.double(np.array([1.0])) == np.array([200.0])
+        assert child.overrides("double")
+
+    def test_repr_mentions_fallback(self):
+        base, child = make_pair()
+        assert "base" in repr(child) and "child" in repr(child)
+        assert "->" not in repr(base)
+
+
+class TestGlobalRegistry:
+    def test_default_backends_registered(self):
+        assert "reference" in B.available_backends()
+        assert "fast" in B.available_backends()
+
+    def test_get_backend_by_name_and_instance(self):
+        ref = B.get_backend("reference")
+        assert B.get_backend(ref) is ref
+
+    def test_get_backend_unknown_lists_available(self):
+        with pytest.raises(ConfigError, match="reference"):
+            B.get_backend("vulkan")
+
+    def test_set_backend_returns_previous(self):
+        previous = B.set_backend("fast")
+        try:
+            assert B.active().name == "fast"
+        finally:
+            B.set_backend(previous)
+
+    def test_set_backend_none_is_noop(self):
+        before = B.active()
+        assert B.set_backend(None) is before
+        assert B.active() is before
+
+    def test_use_backend_scopes_and_restores(self):
+        before = B.active()
+        with B.use_backend("fast") as active:
+            assert active.name == "fast"
+            assert B.active() is active
+        assert B.active() is before
+
+    def test_use_backend_restores_on_error(self):
+        before = B.active()
+        with pytest.raises(RuntimeError):
+            with B.use_backend("fast"):
+                raise RuntimeError("boom")
+        assert B.active() is before
+
+    def test_use_backend_none_keeps_active(self):
+        before = B.active()
+        with B.use_backend(None) as active:
+            assert active is before
+        assert B.active() is before
+
+
+class TestKernelHook:
+    def test_hook_sees_top_level_calls(self):
+        seen = []
+        previous = B.set_kernel_hook(
+            lambda backend, kernel, seconds, nbytes:
+            seen.append((backend, kernel, seconds, nbytes))
+        )
+        try:
+            ref = B.get_backend("reference")
+            out = ref.add(np.ones(4), np.ones(4))
+        finally:
+            B.set_kernel_hook(previous)
+        assert np.array_equal(out, np.full(4, 2.0))
+        (backend, kernel, seconds, nbytes), = seen
+        assert (backend, kernel) == ("reference", "add")
+        assert seconds >= 0.0
+        assert nbytes == 3 * out.nbytes  # two inputs + one output
+
+    def test_nested_kernels_attributed_to_outermost(self):
+        # a kernel composing another *wrapped* kernel must not reach the
+        # hook twice or totals would double-count the inner call
+        bk = Backend("nested")
+
+        @bk.register()
+        def inner(a):
+            return a + 1
+
+        @bk.register()
+        def outer(a):
+            return bk.inner(a) * 2
+
+        seen = []
+        previous = B.set_kernel_hook(
+            lambda backend, kernel, seconds, nbytes: seen.append(kernel)
+        )
+        try:
+            out = bk.outer(np.array([1.0]))
+        finally:
+            B.set_kernel_hook(previous)
+        assert out == np.array([4.0])
+        assert seen == ["outer"]
+
+    def test_set_hook_returns_previous(self):
+        def hook(*args):
+            pass
+
+        assert B.get_kernel_hook() is None
+        assert B.set_kernel_hook(hook) is None
+        assert B.get_kernel_hook() is hook
+        assert B.set_kernel_hook(None) is hook
+        assert B.get_kernel_hook() is None
+
+    def test_nbytes_counts_arrays_only(self):
+        x = np.ones(8)
+        assert _nbytes((x, 3, "s"), (x, None)) == 2 * x.nbytes
+        assert _nbytes((), 5) == 0

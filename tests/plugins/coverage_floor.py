@@ -1,11 +1,12 @@
-"""Dependency-free line-coverage floor for the parallel execution layer.
+"""Dependency-free line-coverage floor for the parallel + backend layers.
 
 The container has no ``pytest-cov``, so this plugin implements the
 coverage gate with the stdlib: a targeted ``sys.settrace`` hook records
 executed lines in the watched files, executable lines are derived from
 the compiled code objects (``dis.findlinestarts``), and the session
 fails when coverage of ``src/repro/parallel/`` +
-``src/repro/pipeline/sweep.py`` drops below the floor.
+``src/repro/pipeline/sweep.py`` + ``src/repro/backend/`` drops below
+the floor.
 
 Wired into ``pyproject.toml`` addopts via
 ``-p tests.plugins.coverage_floor`` (loaded always) but inert -- zero
@@ -33,6 +34,12 @@ TARGET_FILES = (
     "src/repro/parallel/pool.py",
     "src/repro/parallel/seeding.py",
     "src/repro/pipeline/sweep.py",
+    "src/repro/backend/__init__.py",
+    "src/repro/backend/registry.py",
+    "src/repro/backend/reference.py",
+    "src/repro/backend/fast.py",
+    "src/repro/backend/equivalence.py",
+    "src/repro/backend/bench.py",
 )
 
 
@@ -138,7 +145,7 @@ def pytest_sessionfinish(session, exitstatus):
         rows.append((path, len(covered), len(executable), pct))
 
     pct = 100.0 * total_covered / total_executable if total_executable else 100.0
-    lines = ["", "repro.parallel coverage floor "
+    lines = ["", "repro.parallel + repro.backend coverage floor "
                  f"(floor {FLOOR_PERCENT:.0f}%):"]
     for path, covered, executable, file_pct in rows:
         lines.append(f"  {file_pct:5.1f}%  {covered}/{executable}  {path}")
