@@ -128,6 +128,46 @@ def decode_images(
     return out
 
 
+def decode_preview(
+    groups,
+    max_images: int = 4,
+    polarity: str = "reference",
+) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+    """Cheap partial decode: at most ``max_images`` images across groups.
+
+    The mid-training probe entry point (see :mod:`repro.monitor`): runs
+    the same min-max remap as :func:`decode_groups` but stops after
+    ``max_images`` reconstructions, so the cost is bounded by the
+    preview size instead of the full payload.  Images are taken in
+    group/payload order -- the same images every call, which is what
+    makes the per-epoch PSNR trajectory comparable.
+
+    Returns:
+        (reconstructions, originals, group_names), like
+        :func:`decode_groups` but truncated.
+    """
+    if max_images < 1:
+        raise CapacityError(f"max_images must be >= 1, got {max_images}")
+    recon_parts: List[np.ndarray] = []
+    orig_parts: List[np.ndarray] = []
+    names: List[str] = []
+    remaining = int(max_images)
+    for group in groups:
+        if group.payload is None or remaining == 0:
+            continue
+        count = min(remaining, len(group.payload))
+        preview = group.payload.take(count)
+        # Only the first count * pixels_per_image weights are touched.
+        weights = group.weight_vector()[: preview.total_pixels]
+        recon_parts.append(decode_images(weights, preview, polarity=polarity))
+        orig_parts.append(preview.images)
+        names.extend([group.name] * count)
+        remaining -= count
+    if not recon_parts:
+        raise CapacityError("no group holds a payload to decode")
+    return np.concatenate(recon_parts), np.concatenate(orig_parts), names
+
+
 def decode_groups(
     groups,
     polarity: str = "reference",

@@ -6,10 +6,14 @@ Subcommands:
 * ``sweep``        -- grid of attack runs over bitwidths x rates.
 * ``benign``       -- train the benign reference model.
 * ``audit``        -- run the defender's pre-release audit on an attack run.
+* ``monitor``      -- attack run with the in-training probe suite
+  (``repro.monitor``), writing a JSONL timeseries.
+* ``report``       -- render a monitor timeseries (or diff two), or a
+  stored benchmark trajectory (``--bench``).
 * ``profile``      -- per-autograd-op and per-kernel cost tables for a
   small training run.
 * ``bench-kernels`` -- per-kernel reference-vs-fast timing table.
-* ``info``         -- versions, platform and registered metrics (bug reports).
+* ``info``         -- versions, platform, backends and registered metrics.
 
 Global flags (before the subcommand): ``--backend {reference,fast}``
 selects the kernel backend every op dispatches through
@@ -29,6 +33,10 @@ Examples::
     python -m repro.cli attack --dataset faces --bits 3 --out result.json
     python -m repro.cli --trace-out trace.json benign --epochs 15
     python -m repro.cli audit --rate 20
+    python -m repro.cli monitor --epochs 10 --out run.json
+    python -m repro.cli report run.timeseries.jsonl
+    python -m repro.cli report malicious.timeseries.jsonl benign.timeseries.jsonl
+    python -m repro.cli report --bench monitor
     python -m repro.cli --backend fast profile quickstart --top 12
     python -m repro.cli bench-kernels --repeats 20 --csv kernels.csv
 """
@@ -179,10 +187,93 @@ def _cmd_attack(args) -> int:
     if args.out:
         manifest = RunManifest.create(
             seed=args.seed, config=(training, attack, quantization),
-            dataset=args.dataset,
+            workers=args.workers, dataset=args.dataset,
         )
         save_result(attack_result_to_dict(result), args.out, manifest=manifest)
         print(f"result written to {args.out} (run {manifest.run_id})")
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    """Attack run with the probe suite attached; writes a timeseries."""
+    from repro.monitor import Monitor, default_probes, render_run
+    from repro.pipeline.results_io import timeseries_path
+
+    args.bits = args.bits[0] if isinstance(args.bits, list) else args.bits
+    train, test = _build_dataset(args.dataset, args.data_seed)
+    builder = _build_model_builder(args.dataset, train, args.seed)
+    training, attack, quantization = _attack_configs(args)
+    ts_path = args.timeseries
+    if ts_path is None:
+        ts_path = timeseries_path(args.out) if args.out else "run.timeseries.jsonl"
+    with Monitor(default_probes(decode_images=args.decode_images),
+                 path=ts_path, every_batches=args.every_batches) as monitor:
+        result = run_quantized_correlation_attack(
+            train, test, builder, training, attack, quantization,
+            progress=lambda stage: print(f"[{stage}]", file=sys.stderr),
+            monitor=monitor,
+        )
+        print(render_run(monitor.records,
+                         title=f"monitor: {args.dataset} attack, "
+                               f"rate {args.rate:g}, {args.bits}-bit"))
+        for label, ev in [("uncompressed", result.uncompressed),
+                          (f"{args.bits}-bit released", result.quantized)]:
+            if ev is None:
+                continue
+            print(f"{label}: accuracy {percent(ev.accuracy)}, "
+                  f"MAPE {ev.mean_mape:.2f}, SSIM {ev.mean_ssim:.3f}, "
+                  f"recognizable {ev.recognized_count}/{ev.encoded_images}")
+        if args.out:
+            manifest = RunManifest.create(
+                seed=args.seed, config=(training, attack, quantization),
+                workers=args.workers, dataset=args.dataset,
+            )
+            save_result(attack_result_to_dict(result), args.out,
+                        manifest=manifest, timeseries=ts_path)
+            print(f"result written to {args.out} (run {manifest.run_id})")
+    print(f"timeseries written to {ts_path} "
+          f"({len(monitor.records)} records)", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Render one monitor timeseries, diff two, or show a bench trend."""
+    from repro.monitor import (
+        BenchStore,
+        compare_runs,
+        load_timeseries,
+        render_run,
+        trend_table,
+    )
+    from repro.errors import ConfigError
+
+    if args.bench:
+        store = BenchStore(args.bench_dir)
+        entries = store.entries(args.bench)
+        if not entries:
+            known = store.names()
+            hint = f"; stored: {', '.join(known)}" if known else ""
+            raise SystemExit(f"repro report: no entries for benchmark "
+                             f"{args.bench!r} under {args.bench_dir}{hint}")
+        print(trend_table(entries, name=args.bench))
+        latest = entries[-1].get("metrics", {})
+        regressions = store.check(args.bench, latest,
+                                  threshold=args.threshold)
+        for regression in regressions:
+            print(f"regression: {regression}", file=sys.stderr)
+        return 1 if regressions else 0
+    if not args.timeseries or len(args.timeseries) > 2:
+        raise SystemExit("repro report: give one or two timeseries paths, "
+                         "or --bench NAME")
+    try:
+        runs = [load_timeseries(path) for path in args.timeseries]
+    except (OSError, ConfigError) as exc:
+        raise SystemExit(f"repro report: {exc}")
+    if len(runs) == 1:
+        print(render_run(runs[0], title=f"monitor: {args.timeseries[0]}"))
+    else:
+        print(compare_runs(runs[0], runs[1],
+                           labels=tuple(args.timeseries[:2])))
     return 0
 
 
@@ -273,10 +364,15 @@ def _cmd_info(args) -> int:
 
     from repro.version import __version__
 
+    from repro.parallel import cpu_workers
+
     print(f"repro      {__version__}")
     print(f"numpy      {np.__version__}")
     print(f"python     {platform.python_version()}")
     print(f"platform   {platform.platform()}")
+    print(f"backend    {_backend.active().name} "
+          f"(available: {', '.join(_backend.available_backends())})")
+    print(f"workers    {cpu_workers()} cpu(s) auto-detected")
     names = default_registry().names()
     print(f"metrics    {len(names)} registered"
           + (": " + ", ".join(names) if names else ""))
@@ -403,6 +499,41 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--point-timeout", type=float, default=None,
                        help="per-point timeout in seconds (parallel runs)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    monitor = sub.add_parser(
+        "monitor", help="attack run with in-training probes + timeseries")
+    _common(monitor)
+    monitor.add_argument("--rate", type=float, default=20.0,
+                         help="correlation rate for the deep layer group")
+    monitor.add_argument("--bits", type=int, default=4)
+    monitor.add_argument("--method", default="target_correlated",
+                         choices=["target_correlated", "weighted_entropy",
+                                  "uniform", "kmeans"])
+    monitor.add_argument("--every-batches", type=int, default=None,
+                         metavar="N",
+                         help="additionally fire batch-scope probes every "
+                              "N batches (default: epoch ticks only)")
+    monitor.add_argument("--decode-images", type=int, default=4,
+                         help="images decoded by the mid-training decode probe")
+    monitor.add_argument("--timeseries", metavar="PATH", default=None,
+                         help="timeseries JSONL output (default: derived "
+                              "from --out, else run.timeseries.jsonl)")
+    monitor.add_argument("--out", help="also write the result summary + "
+                                       "manifest as JSON")
+    monitor.set_defaults(func=_cmd_monitor)
+
+    report = sub.add_parser(
+        "report", help="render a monitor timeseries or benchmark trend")
+    report.add_argument("timeseries", nargs="*", metavar="TIMESERIES",
+                        help="one timeseries JSONL to render, or two to diff")
+    report.add_argument("--bench", metavar="NAME", default=None,
+                        help="render the BENCH_<NAME>.json trajectory instead")
+    report.add_argument("--bench-dir", metavar="DIR", default=".",
+                        help="directory holding BENCH_*.json files")
+    report.add_argument("--threshold", type=float, default=0.2,
+                        help="regression threshold (fraction of baseline) "
+                             "for --bench")
+    report.set_defaults(func=_cmd_report)
 
     benign = sub.add_parser("benign", help="train the benign reference")
     _common(benign)

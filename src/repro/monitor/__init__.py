@@ -1,0 +1,78 @@
+"""In-training observability: leakage probes, run timeseries, bench trends.
+
+Three pieces on top of the PR-1 telemetry layer:
+
+* **Probes** (:mod:`repro.monitor.probes`, :mod:`repro.monitor.system`)
+  -- observers of the live training process.  Leakage probes measure
+  what the paper is about (weight/secret correlation, mid-training
+  decodability, weight-distribution drift); systems probes measure what
+  it costs (grad norm, update ratio, memory, throughput, kernel share).
+* **Monitor** (:mod:`repro.monitor.core`) -- runs probes per epoch and
+  every N batches from the Trainer's ``probes=`` seam and emits a
+  structured JSONL timeseries keyed to the run manifest's run id.
+  Probe failures are isolated: recorded as ``monitor.probe_error``
+  events, never fatal to training.
+* **Reports & trends** (:mod:`repro.monitor.report`,
+  :mod:`repro.monitor.bench`) -- render a run into tables with ASCII
+  sparklines, diff two runs, and track gated benchmark results across
+  sessions in ``BENCH_<name>.json`` with a regression comparator.
+
+Watch an attack imprint appear::
+
+    monitor = Monitor(path="run.jsonl").bind(groups=groups)
+    Trainer(model, x, y, config, penalty=penalty, probes=monitor).train()
+    print(render_run(monitor.records))
+
+CLI: ``repro monitor`` (train with probes on) and ``repro report``
+(render/diff timeseries, print bench trends).
+"""
+
+from repro.monitor.core import (
+    ERROR_EVENT,
+    PROBE_EVENT,
+    Monitor,
+    as_monitor,
+    default_probes,
+)
+from repro.monitor.probes import (
+    CorrelationProbe,
+    DecodeProbe,
+    Probe,
+    ProbeContext,
+    WeightDriftProbe,
+    histogram_entropy,
+    pearson,
+)
+from repro.monitor.system import (
+    GradNormProbe,
+    KernelShareProbe,
+    MemoryProbe,
+    ThroughputProbe,
+    UpdateRatioProbe,
+)
+from repro.monitor.report import (
+    compare_runs,
+    load_timeseries,
+    render_run,
+    series,
+)
+from repro.monitor.bench import (
+    BenchStore,
+    Regression,
+    detect_regressions,
+    machine_fingerprint,
+    machine_info,
+    metric_direction,
+    trend_table,
+)
+
+__all__ = [
+    "Monitor", "as_monitor", "default_probes", "PROBE_EVENT", "ERROR_EVENT",
+    "Probe", "ProbeContext", "CorrelationProbe", "DecodeProbe",
+    "WeightDriftProbe", "histogram_entropy", "pearson",
+    "GradNormProbe", "KernelShareProbe", "MemoryProbe", "ThroughputProbe",
+    "UpdateRatioProbe",
+    "load_timeseries", "render_run", "compare_runs", "series",
+    "BenchStore", "Regression", "detect_regressions", "machine_fingerprint",
+    "machine_info", "metric_direction", "trend_table",
+]

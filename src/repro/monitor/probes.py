@@ -1,0 +1,201 @@
+"""Leakage probes: what is the model leaking *while it trains*?
+
+The paper's dynamics live between the endpoints the pipeline reports:
+correlated value encoding gradually imprints the secret payload into
+the weights (Eq. 2), and weighted-entropy quantization later destroys
+that imprint (Fig. 2-4).  Each probe here measures one mid-training
+leakage quantity from the live model:
+
+* :class:`CorrelationProbe` -- per-layer-group Pearson correlation of
+  the weights against the attack's encoding target (the Eq. 2 quantity
+  the malicious regularizer maximises).
+* :class:`DecodeProbe` -- a cheap partial decode: run the adversary's
+  extractor on the current weights and score the first few
+  reconstructions (PSNR/SSIM), i.e. "could the attacker already read
+  the data out of this checkpoint?".
+* :class:`WeightDriftProbe` -- per-group weight-distribution shape
+  (histogram entropy, spread, extremes): the Fig. 2/3 quantity whose
+  drift betrays an encoding model to a defender.
+
+Probes are stateless observers by contract: ``observe(ctx)`` returns a
+flat ``{field: float}`` dict and must not mutate the model.  A probe
+that cannot run in the current context (e.g. no layer groups bound on a
+benign run) returns ``{}`` and is skipped for that tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ProbeContext:
+    """Everything a probe may inspect at one monitoring tick.
+
+    ``groups`` carries the attack's :class:`~repro.attacks.layerwise.
+    LayerGroup` list (with payloads assigned) when the monitor was bound
+    to an attack run; leakage probes measure against it.  ``model`` /
+    ``optimizer`` / ``history`` come from the live trainer.  ``batch``
+    is ``None`` on epoch-boundary ticks.
+    """
+
+    model: Any
+    epoch: int
+    batch: Optional[int] = None
+    history: Any = None
+    optimizer: Any = None
+    groups: Optional[Sequence] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class Probe:
+    """Base class: named observer invoked by :class:`~repro.monitor.Monitor`.
+
+    ``scope`` is ``"epoch"`` (observed at epoch boundaries only) or
+    ``"batch"`` (additionally observed every N batches when the monitor
+    has a batch interval).  Subclasses implement :meth:`observe`.
+    """
+
+    name: str = "probe"
+    scope: str = "epoch"
+
+    def observe(self, ctx: ProbeContext) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, scope={self.scope!r})"
+
+
+def pearson(a: np.ndarray, b: np.ndarray) -> float:
+    """Plain (non-differentiable) Pearson correlation of two flat vectors."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    n = min(a.size, b.size)
+    if n < 2:
+        return float("nan")
+    a, b = a[:n] - a[:n].mean(), b[:n] - b[:n].mean()
+    denom = np.sqrt((a ** 2).sum()) * np.sqrt((b ** 2).sum()) + 1e-12
+    return float((a * b).sum() / denom)
+
+
+def _active_groups(ctx: ProbeContext) -> List:
+    if not ctx.groups:
+        return []
+    return [g for g in ctx.groups if getattr(g, "payload", None) is not None]
+
+
+class CorrelationProbe(Probe):
+    """Per-group |Pearson corr| of weights vs. the encoding target.
+
+    This is exactly the quantity Eq. 2's regularizer pushes up during a
+    malicious run; on a benign run against the same would-be target it
+    hovers near zero, which is what makes the timeseries separate the
+    two within the first couple of epochs.
+    """
+
+    name = "correlation"
+    scope = "batch"
+
+    def observe(self, ctx: ProbeContext) -> Dict[str, float]:
+        values: Dict[str, float] = {}
+        magnitudes: List[float] = []
+        for group in _active_groups(ctx):
+            corr = pearson(group.weight_vector(), group.payload.secret_vector())
+            values[f"corr_{group.name}"] = corr
+            magnitudes.append(abs(corr))
+        if not magnitudes:
+            return {}
+        values["corr_abs_mean"] = float(np.mean(magnitudes))
+        values["corr_abs_max"] = float(np.max(magnitudes))
+        return values
+
+
+class DecodeProbe(Probe):
+    """Mid-training partial decode: PSNR/SSIM of a few reconstructions.
+
+    Runs the adversary's decoder (:func:`repro.attacks.decoder.
+    decode_preview`) on the *current* weights for at most
+    ``max_images`` payload images and scores them against the
+    originals.  Cheap by construction -- decoding is a min-max remap,
+    so cost is linear in the previewed pixel count -- but still the
+    most expensive built-in probe; it stays epoch-scoped.
+    """
+
+    name = "decode"
+    scope = "epoch"
+
+    def __init__(self, max_images: int = 4, polarity: str = "reference") -> None:
+        self.max_images = int(max_images)
+        self.polarity = polarity
+
+    def observe(self, ctx: ProbeContext) -> Dict[str, float]:
+        if not _active_groups(ctx):
+            return {}
+        from repro.attacks.decoder import decode_preview
+        from repro.metrics.psnr import batch_psnr
+        from repro.metrics.ssim import batch_ssim
+
+        recon, originals, _ = decode_preview(
+            ctx.groups, max_images=self.max_images, polarity=self.polarity
+        )
+        psnr_values = batch_psnr(originals, recon)
+        ssim_values = batch_ssim(originals, recon)
+        finite = psnr_values[np.isfinite(psnr_values)]
+        return {
+            "psnr_mean": float(finite.mean()) if finite.size else float("nan"),
+            "psnr_best": float(finite.max()) if finite.size else float("nan"),
+            "ssim_mean": float(ssim_values.mean()),
+            "ssim_best": float(ssim_values.max()),
+            "images": float(len(recon)),
+        }
+
+
+def histogram_entropy(values: np.ndarray, bins: int = 32) -> float:
+    """Shannon entropy (bits) of a sample's histogram distribution."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        return float("nan")
+    counts, _ = np.histogram(values[np.isfinite(values)], bins=bins)
+    total = counts.sum()
+    if total == 0:
+        return float("nan")
+    probs = counts[counts > 0] / total
+    return float(-(probs * np.log2(probs)).sum())
+
+
+class WeightDriftProbe(Probe):
+    """Per-group weight-distribution shape: entropy, spread, extremes.
+
+    The Fig. 2/3 quantity: an encoding group's weight histogram flattens
+    toward the (scaled) pixel distribution as training imprints the
+    payload, and weighted-entropy quantization later collapses it onto
+    a few clusters.  With no groups bound, falls back to one series
+    over all model parameters.
+    """
+
+    name = "weights"
+    scope = "epoch"
+
+    def __init__(self, bins: int = 32) -> None:
+        self.bins = int(bins)
+
+    def _stats(self, prefix: str, vec: np.ndarray) -> Dict[str, float]:
+        return {
+            f"entropy_{prefix}": histogram_entropy(vec, self.bins),
+            f"std_{prefix}": float(vec.std()),
+            f"absmax_{prefix}": float(np.abs(vec).max()) if vec.size else float("nan"),
+        }
+
+    def observe(self, ctx: ProbeContext) -> Dict[str, float]:
+        if ctx.groups:
+            values: Dict[str, float] = {}
+            for group in ctx.groups:
+                values.update(self._stats(group.name, group.weight_vector()))
+            return values
+        params = [p.data.reshape(-1) for p in ctx.model.parameters()]
+        if not params:
+            return {}
+        return self._stats("all", np.concatenate(params))

@@ -26,7 +26,10 @@ Each worker resets its process-local :func:`repro.telemetry.metrics
 .default_registry` before a task and ships the task's typed metrics
 snapshot back with the result; the parent merges it into its own
 registry (see :meth:`MetricsRegistry.merge_typed`) and attaches it to
-the outcome.
+the outcome.  When the parent is inside a :func:`repro.telemetry
+.profile` region, workers additionally collect per-kernel stats for
+each task and ship those back too, so the parent profile's kernel
+table covers work done in worker processes.
 """
 
 from __future__ import annotations
@@ -63,6 +66,10 @@ class TaskOutcome:
     counts executions including retries; ``telemetry`` is the worker's
     typed metrics snapshot for the task (empty in serial fallback,
     where metrics flow directly into the parent registry).
+    ``kernels`` is the worker's per-kernel profiler stats for the task,
+    populated only when the parent ran the pool inside a
+    :func:`repro.telemetry.profile` region (empty in serial fallback,
+    where the parent's own kernel hook sees every call).
     """
 
     index: int
@@ -73,6 +80,7 @@ class TaskOutcome:
     attempts: int = 1
     duration_s: float = 0.0
     telemetry: Dict[str, Any] = field(default_factory=dict)
+    kernels: Dict[str, Any] = field(default_factory=dict)
 
 
 def cpu_workers() -> int:
@@ -91,26 +99,59 @@ def _execute(fn: Callable[..., Any], args: Tuple[Any, ...],
     return "ok", value, "", time.perf_counter() - start
 
 
-def _worker_main(chunk: List[Tuple[int, Task]], conn) -> None:
+class _KernelCollector:
+    """Worker-side kernel hook accumulating the profiler wire format."""
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, Dict[str, Any]] = {}
+
+    def __call__(self, backend: str, kernel: str,
+                 seconds: float, nbytes: int) -> None:
+        key = f"{backend}/{kernel}"
+        stat = self.stats.get(key)
+        if stat is None:
+            stat = self.stats[key] = {
+                "backend": backend, "kernel": kernel,
+                "calls": 0, "total_time": 0.0, "bytes_moved": 0,
+            }
+        stat["calls"] += 1
+        stat["total_time"] += seconds
+        stat["bytes_moved"] += nbytes
+
+    def drain(self) -> Dict[str, Dict[str, Any]]:
+        stats, self.stats = self.stats, {}
+        return stats
+
+
+def _worker_main(chunk: List[Tuple[int, Task]], conn,
+                 collect_kernels: bool = False) -> None:
     """Worker entrypoint: run a chunk of tasks, send one message each.
 
     Module-level so the pool stays importable under the ``spawn`` start
     method.  The process-local metrics registry is reset per task so the
     shipped snapshot covers exactly that task (under ``fork`` the child
     inherits a copy of the parent registry; resetting the copy leaves
-    the parent untouched).
+    the parent untouched).  With ``collect_kernels`` the worker installs
+    a kernel hook and ships per-task kernel stats for the parent's
+    active profile to merge.
     """
     registry = default_registry()
+    collector: Optional[_KernelCollector] = None
+    if collect_kernels:
+        from repro.backend import registry as _backend_registry
+        collector = _KernelCollector()
+        _backend_registry.set_kernel_hook(collector)
     for index, task in chunk:
         registry.reset()
         status, value, kind, duration = _execute(task.fn, task.args, task.kwargs)
         snapshot = registry.typed_snapshot()
+        kernels = collector.drain() if collector is not None else {}
         try:
-            conn.send((status, index, value, kind, duration, snapshot))
+            conn.send((status, index, value, kind, duration, snapshot, kernels))
         except Exception as exc:  # unpicklable task result
             conn.send(("err", index, f"unpicklable result: {exc!r}",
-                       "exception", duration, snapshot))
-    conn.send(("bye", -1, None, "", 0.0, None))
+                       "exception", duration, snapshot, kernels))
+    conn.send(("bye", -1, None, "", 0.0, None, None))
     conn.close()
 
 
@@ -223,9 +264,11 @@ class WorkerPool:
             size = max(1, math.ceil(len(indexed) / (self.max_workers * 4)))
         return [indexed[i:i + size] for i in range(0, len(indexed), size)]
 
-    def _spawn(self, ctx, chunk: List[Tuple[int, Task]]) -> _ActiveWorker:
+    def _spawn(self, ctx, chunk: List[Tuple[int, Task]],
+               collect_kernels: bool = False) -> _ActiveWorker:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
-        process = ctx.Process(target=_worker_main, args=(chunk, child_conn),
+        process = ctx.Process(target=_worker_main,
+                              args=(chunk, child_conn, collect_kernels),
                               daemon=True)
         process.start()
         child_conn.close()
@@ -248,6 +291,10 @@ class WorkerPool:
         attempts: Dict[int, int] = {}   # executions started per task index
         active: List[_ActiveWorker] = []
         registry = default_registry()
+        from repro.telemetry.profiler import active_profile
+        # Decided once at run start: workers collect kernel stats only
+        # when the parent has a profile to merge them into.
+        collect_kernels = active_profile() is not None
 
         def start_task(worker: _ActiveWorker) -> None:
             index = worker.current_index()
@@ -274,7 +321,7 @@ class WorkerPool:
 
         while pending or active:
             while pending and len(active) < self.max_workers:
-                worker = self._spawn(ctx, pending.pop(0))
+                worker = self._spawn(ctx, pending.pop(0), collect_kernels)
                 active.append(worker)
                 start_task(worker)
 
@@ -296,24 +343,28 @@ class WorkerPool:
                                  f"worker died (exitcode "
                                  f"{worker.process.exitcode})")
                     continue
-                status, index, value, kind, duration, snapshot = message
+                status, index, value, kind, duration, snapshot, kernels = message
                 if status == "bye":
                     self._reap(worker)
                     active.remove(worker)
                     continue
                 if snapshot:
                     registry.merge_typed(snapshot)
+                if kernels:
+                    prof = active_profile()
+                    if prof is not None:
+                        prof.merge_kernels(kernels)
                 if status == "ok":
                     outcomes[index] = TaskOutcome(
                         index, True, value=value,
                         attempts=attempts.get(index, 1), duration_s=duration,
-                        telemetry=snapshot or {},
+                        telemetry=snapshot or {}, kernels=kernels or {},
                     )
                 else:
                     outcomes[index] = TaskOutcome(
                         index, False, error=value, error_kind=kind,
                         attempts=attempts.get(index, 1), duration_s=duration,
-                        telemetry=snapshot or {},
+                        telemetry=snapshot or {}, kernels=kernels or {},
                     )
                 worker.last_event = time.perf_counter()
                 worker.position += 1

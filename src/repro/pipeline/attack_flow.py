@@ -73,6 +73,7 @@ def run_quantized_correlation_attack(
     quantization: Optional[QuantizationConfig] = QuantizationConfig(),
     progress: Optional[Callable[[str], None]] = None,
     backend: Optional[str] = None,
+    monitor: Optional[object] = None,
 ) -> AttackFlowResult:
     """Run the full Fig. 1 flow and evaluate it.
 
@@ -84,6 +85,11 @@ def run_quantized_correlation_attack(
         progress: optional stage-name callback.
         backend: kernel backend name (``"reference"``/``"fast"``) scoped
             around the whole flow; ``None`` keeps the process default.
+        monitor: optional :class:`repro.monitor.Monitor`.  It is bound
+            to the attack's layer groups/payload after pre-processing,
+            observed per epoch throughout correlation training, and
+            ticked once more after quantization so the timeseries shows
+            the imprint appearing and then being erased.
 
     Returns:
         An :class:`AttackFlowResult` with per-stage artifacts and both
@@ -93,7 +99,7 @@ def run_quantized_correlation_attack(
     with _backend.use_backend(backend):
         return _run_attack_flow(
             train_dataset, test_dataset, model_builder,
-            training, attack, quantization, progress,
+            training, attack, quantization, progress, monitor,
         )
 
 
@@ -105,6 +111,7 @@ def _run_attack_flow(
     attack: AttackConfig,
     quantization: Optional[QuantizationConfig],
     progress: Optional[Callable[[str], None]],
+    monitor: Optional[object] = None,
 ) -> AttackFlowResult:
     training.validate()
     attack.validate()
@@ -151,10 +158,12 @@ def _run_attack_flow(
 
     # --------------------------------- stage 2: correlation training
     _report("training")
+    if monitor is not None:
+        monitor.bind(groups=groups, payload=payload, mean=mean, std=std)
     with timed_stage("attack.training", epochs=training.epochs):
         penalty = LayerwiseCorrelationPenalty(groups)
         trainer = Trainer(model, train_batch, train_dataset.labels, training,
-                          penalty=penalty)
+                          penalty=penalty, probes=monitor)
         history = trainer.train()
 
     _report("evaluating uncompressed")
@@ -209,6 +218,10 @@ def _run_attack_flow(
                 model, test_batch, test_dataset.labels, groups=groups,
                 polarity=attack.polarity, mean=mean, std=std,
             )
+        if monitor is not None:
+            # One post-release tick: the same probes over the quantized
+            # weights, so the timeseries ends with the erased imprint.
+            monitor.on_epoch(model, epoch=history.epochs, history=history)
 
     return AttackFlowResult(
         model=model,

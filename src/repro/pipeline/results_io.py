@@ -43,6 +43,7 @@ def attack_result_to_dict(result) -> Dict:
         "history": {
             "task_loss": [float(v) for v in result.history.task_loss],
             "penalty": [float(v) for v in result.history.penalty],
+            "val_accuracy": [float(v) for v in result.history.val_accuracy],
         },
         "uncompressed": evaluation_to_dict(result.uncompressed),
         "quantized": (evaluation_to_dict(result.quantized)
@@ -58,18 +59,30 @@ def attack_result_to_dict(result) -> Dict:
 
 
 def save_result(data: Dict, path: PathLike,
-                manifest: Optional[RunManifest] = None) -> None:
+                manifest: Optional[RunManifest] = None,
+                timeseries: Optional[PathLike] = None) -> None:
     """Write a result dict as pretty-printed JSON.
 
     When ``manifest`` is given, it is written alongside the result (see
     :func:`save_manifest`), tying the record to its run id, seed, config
-    fingerprint and telemetry snapshot.
+    fingerprint and telemetry snapshot.  ``timeseries`` links the run's
+    monitor timeseries (see :mod:`repro.monitor`) into the manifest so
+    ``repro report`` can find it from the result file alone.
     """
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
     if manifest is not None:
+        if timeseries is not None:
+            manifest.timeseries = os.fspath(timeseries)
         save_manifest(manifest, path)
+
+
+def timeseries_path(result_path: PathLike) -> str:
+    """The conventional monitor-timeseries sidecar path for a result file
+    (``x.json`` -> ``x.timeseries.jsonl``)."""
+    root, _ = os.path.splitext(os.fspath(result_path))
+    return root + ".timeseries.jsonl"
 
 
 def load_result(path: PathLike) -> Dict:

@@ -57,6 +57,7 @@ class Trainer:
         grad_clip: Optional[float] = None,
         schedule: Optional[str] = None,
         backend: Optional[str] = None,
+        probes: Optional[object] = None,
     ) -> None:
         """Args:
             augment: apply random horizontal flips per batch -- a stock
@@ -72,11 +73,22 @@ class Trainer:
             backend: kernel backend name (``"reference"``/``"fast"``)
                 scoped around every epoch; ``None`` keeps the process
                 default (see :mod:`repro.backend`).
+            probes: a :class:`repro.monitor.Monitor` or a sequence of
+                :class:`repro.monitor.Probe` instances observed after
+                every epoch (and every N batches when the monitor has a
+                batch interval).  Probe exceptions never interrupt
+                training; they are recorded as ``monitor.probe_error``
+                events.
         """
         config.validate()
         self.model = model
         self.config = config
         self.backend = backend
+        if probes is not None:
+            from repro.monitor import as_monitor
+            self.monitor = as_monitor(probes)
+        else:
+            self.monitor = None
         self.penalty = penalty
         self.augment = bool(augment)
         self.validation = validation
@@ -148,6 +160,10 @@ class Trainer:
                 total_task += task_loss.item() * batch
                 total_penalty += penalty_value * batch
                 count += batch
+                if self.monitor is not None:
+                    self.monitor.on_batch(self.model, self.history.epochs,
+                                          batches, history=self.history,
+                                          optimizer=self.optimizer)
                 batches += 1
                 batch_times.observe(time.perf_counter() - batch_start)
         elapsed = time.perf_counter() - epoch_start
@@ -176,6 +192,11 @@ class Trainer:
             self.model.train()
         if self.schedule is not None:
             self.schedule.step()
+        if self.monitor is not None:
+            with span("monitor.epoch_probes"):
+                self.monitor.on_epoch(self.model, self.history.epochs - 1,
+                                      history=self.history,
+                                      optimizer=self.optimizer)
         return mean_task
 
     def train(

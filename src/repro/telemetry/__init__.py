@@ -43,7 +43,13 @@ from repro.telemetry.events import (
     get_logger,
     new_run_id,
 )
-from repro.telemetry.profiler import KernelStat, OpProfile, OpStat, profile
+from repro.telemetry.profiler import (
+    KernelStat,
+    OpProfile,
+    OpStat,
+    active_profile,
+    profile,
+)
 from repro.telemetry.tables import format_records, format_table, percent
 
 __all__ = [
@@ -53,6 +59,6 @@ __all__ = [
     "set_recorder", "timed_stage",
     "EventLogger", "RunManifest", "config_fingerprint", "configure_logging",
     "get_logger", "new_run_id",
-    "KernelStat", "OpProfile", "OpStat", "profile",
+    "KernelStat", "OpProfile", "OpStat", "active_profile", "profile",
     "format_records", "format_table", "percent",
 ]

@@ -178,6 +178,9 @@ class RunManifest:
     seed: Optional[int] = None
     config_hash: Optional[str] = None
     created_at: float = 0.0
+    backend: Optional[str] = None
+    workers: Optional[int] = None
+    timeseries: Optional[str] = None
     telemetry: Dict[str, Any] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
 
@@ -188,22 +191,38 @@ class RunManifest:
         config: Any = None,
         telemetry: Optional[Dict[str, Any]] = None,
         run_id: Optional[str] = None,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        timeseries: Optional[str] = None,
         **extra: Any,
     ) -> "RunManifest":
         """Build a manifest for the current process state.
 
         ``config`` may be any fingerprintable object (dataclass, dict,
         tuple of configs); ``telemetry`` defaults to the default
-        registry's snapshot.
+        registry's snapshot.  ``backend`` defaults to the active kernel
+        backend's name, so every manifest records which dispatch layer
+        produced its numbers; ``workers`` is the experiment's worker
+        count (``None`` = serial) and ``timeseries`` the path of the
+        run's monitor timeseries, when one was recorded.
         """
         if telemetry is None:
             from repro.telemetry.metrics import default_registry
             telemetry = default_registry().snapshot()
+        if backend is None:
+            try:
+                from repro import backend as _backend
+                backend = _backend.active().name
+            except Exception:
+                backend = None
         return cls(
             run_id=run_id if run_id is not None else get_logger().run_id,
             seed=None if seed is None else int(seed),
             config_hash=None if config is None else config_fingerprint(config),
             created_at=time.time(),
+            backend=backend,
+            workers=None if workers is None else int(workers),
+            timeseries=None if timeseries is None else str(timeseries),
             telemetry=dict(telemetry),
             extra=dict(extra),
         )
@@ -214,6 +233,9 @@ class RunManifest:
             "seed": self.seed,
             "config_hash": self.config_hash,
             "created_at": self.created_at,
+            "backend": self.backend,
+            "workers": self.workers,
+            "timeseries": self.timeseries,
             "telemetry": self.telemetry,
             "extra": self.extra,
         }

@@ -151,6 +151,25 @@ class OpProfile:
                         key=lambda s: s.total_time, reverse=True)
         return ranked[:k]
 
+    def merge_kernels(self, kernels: Dict[str, Dict[str, Any]]) -> None:
+        """Fold another process's kernel stats into this profile.
+
+        ``kernels`` maps ``"backend/kernel"`` to dicts with ``calls`` /
+        ``total_time`` / ``bytes_moved`` (the wire format shipped by
+        ``repro.parallel`` workers, or another profile's
+        ``snapshot()["kernels"]``).  Used so the kernel table covers
+        work done in worker processes, not just the parent.
+        """
+        for key, stat in kernels.items():
+            backend, _, kernel = key.partition("/")
+            mine = self.kernel_stats.get(key)
+            if mine is None:
+                mine = self.kernel_stats[key] = KernelStat(
+                    stat.get("backend", backend), stat.get("kernel", kernel))
+            mine.calls += int(stat.get("calls", 0))
+            mine.total_time += float(stat.get("total_time", 0.0))
+            mine.bytes_moved += int(stat.get("bytes_moved", 0))
+
     # ------------------------------------------------------ kernel queries
     @property
     def total_kernel_time(self) -> float:
@@ -224,6 +243,18 @@ class OpProfile:
         )
 
 
+# The OpProfile whose hooks are currently installed (None outside any
+# profile() region).  Cross-process mergers -- the repro.parallel pool
+# shipping worker kernel stats back -- need the object, not just the
+# hook callables, so profile() tracks it here.
+_active_profile: Optional[OpProfile] = None
+
+
+def active_profile() -> Optional[OpProfile]:
+    """The profile collecting inside the innermost :func:`profile` region."""
+    return _active_profile
+
+
 @contextlib.contextmanager
 def profile(profile_obj: Optional[OpProfile] = None) -> Iterator[OpProfile]:
     """Profile autograd ops and backend kernels inside the ``with`` block.
@@ -234,9 +265,11 @@ def profile(profile_obj: Optional[OpProfile] = None) -> Iterator[OpProfile]:
     ``coverage()``/``kernel_coverage()`` work out of the box).
     Re-entering with the same ``profile_obj`` accumulates.
     """
+    global _active_profile
     prof = profile_obj if profile_obj is not None else OpProfile()
     previous = _function.set_op_hook(prof._record)
     previous_kernel = _registry.set_kernel_hook(prof._record_kernel)
+    previous_profile, _active_profile = _active_profile, prof
     start = time.perf_counter()
     try:
         yield prof
@@ -244,3 +277,4 @@ def profile(profile_obj: Optional[OpProfile] = None) -> Iterator[OpProfile]:
         prof.wall_time += time.perf_counter() - start
         _function.set_op_hook(previous)
         _registry.set_kernel_hook(previous_kernel)
+        _active_profile = previous_profile

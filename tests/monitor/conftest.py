@@ -1,0 +1,72 @@
+"""Fixtures for the monitor tests: a tiny payload-bearing layer group.
+
+Probes only need the LayerGroup duck type (``name`` / ``payload`` /
+``weight_vector``), so the groups here wrap plain arrays instead of a
+trained model -- the fixtures are deterministic and run in microseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.layerwise import LayerGroup
+from repro.attacks.secret import SecretPayload
+from repro.telemetry.metrics import default_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_registry():
+    """Monitor ticks register per-probe timers in the global registry;
+    drop them afterwards so later tests see a pristine snapshot
+    (reset() keeps names registered, and a zero-count timer snapshots
+    NaN fields)."""
+    yield
+    default_registry().clear()
+
+
+class FakeParam:
+    """Just enough of nn.Parameter for LayerGroup.weight_vector()."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.size = self.data.size
+        self.grad = None
+
+
+def make_payload(images: int = 3, side: int = 4, seed: int = 0) -> SecretPayload:
+    rng = np.random.default_rng(seed)
+    pixels = rng.integers(0, 256, size=(images, side, side, 1)).astype(np.uint8)
+    labels = rng.integers(0, 4, size=images).astype(np.int64)
+    return SecretPayload(pixels, labels)
+
+
+def make_group(payload: SecretPayload, encode: bool = True,
+               name: str = "group1", seed: int = 1) -> LayerGroup:
+    """A group whose weights either mirror the payload or are noise."""
+    rng = np.random.default_rng(seed)
+    n = payload.total_pixels + 8
+    if encode:
+        weights = np.empty(n)
+        secret = payload.secret_vector()
+        weights[:secret.size] = secret / 255.0 - 0.5   # affine image mirror
+        weights[secret.size:] = rng.standard_normal(8) * 0.01
+    else:
+        weights = rng.standard_normal(n) * 0.05
+    return LayerGroup(name=name, param_names=[f"{name}.w"],
+                      params=[FakeParam(weights)], rate=20.0, payload=payload)
+
+
+@pytest.fixture
+def payload() -> SecretPayload:
+    return make_payload()
+
+
+@pytest.fixture
+def encoding_group(payload) -> LayerGroup:
+    return make_group(payload, encode=True)
+
+
+@pytest.fixture
+def benign_group(payload) -> LayerGroup:
+    return make_group(payload, encode=False)

@@ -1,0 +1,183 @@
+"""Monitor core: tick routing, failure isolation, timeseries emission."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.mlp import MLP
+from repro.monitor import (
+    ERROR_EVENT,
+    Monitor,
+    Probe,
+    as_monitor,
+    load_timeseries,
+)
+from repro.pipeline import Trainer, TrainingConfig
+from repro.telemetry.metrics import default_registry
+from tests.pipeline.test_trainer import toy_problem
+
+
+class CountProbe(Probe):
+    name = "count"
+    scope = "epoch"
+
+    def __init__(self):
+        self.calls = 0
+
+    def observe(self, ctx):
+        self.calls += 1
+        return {"calls": float(self.calls)}
+
+
+class BatchProbe(CountProbe):
+    name = "batchcount"
+    scope = "batch"
+
+
+class SilentProbe(Probe):
+    name = "silent"
+
+    def observe(self, ctx):
+        return {}
+
+
+class FailingProbe(Probe):
+    name = "failing"
+    scope = "epoch"
+
+    def observe(self, ctx):
+        raise ValueError("probe exploded")
+
+
+class TestMonitorTicks:
+    def test_epoch_tick_runs_all_probes(self):
+        epoch_probe, batch_probe = CountProbe(), BatchProbe()
+        monitor = Monitor([epoch_probe, batch_probe])
+        monitor.on_epoch(model=None, epoch=0)
+        assert epoch_probe.calls == 1
+        assert batch_probe.calls == 1  # epoch ticks include batch probes
+        records = monitor.probe_records(scope="epoch")
+        assert {r["probe"] for r in records} == {"count", "batchcount"}
+        assert all(r["epoch"] == 0 and r["batch"] is None for r in records)
+
+    def test_batch_ticks_gated_by_interval(self):
+        probe = BatchProbe()
+        monitor = Monitor([probe, CountProbe()], every_batches=3)
+        for batch in range(6):
+            monitor.on_batch(model=None, epoch=0, batch=batch)
+        assert probe.calls == 2  # batches 2 and 5
+        assert all(r["probe"] == "batchcount"
+                   for r in monitor.probe_records(scope="batch"))
+
+    def test_batch_ticks_disabled_by_default(self):
+        probe = BatchProbe()
+        monitor = Monitor([probe])
+        monitor.on_batch(model=None, epoch=0, batch=0)
+        assert probe.calls == 0
+
+    def test_empty_observation_skips_record(self):
+        monitor = Monitor([SilentProbe()])
+        monitor.on_epoch(model=None, epoch=0)
+        assert monitor.records == []
+
+    def test_series_and_summary(self):
+        monitor = Monitor([CountProbe()])
+        for epoch in range(3):
+            monitor.on_epoch(model=None, epoch=epoch)
+        assert monitor.series("calls") == [1.0, 2.0, 3.0]
+        assert monitor.summary() == {"calls": 3.0}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Monitor(every_batches=0)
+        with pytest.raises(ConfigError):
+            Monitor(max_probe_errors=0)
+        with pytest.raises(ConfigError):
+            Monitor([object()])
+
+
+class TestFailureIsolation:
+    def test_error_recorded_not_raised(self):
+        monitor = Monitor([FailingProbe(), CountProbe()])
+        monitor.on_epoch(model=None, epoch=0)  # must not raise
+        errors = monitor.errors()
+        assert len(errors) == 1
+        assert "probe exploded" in errors[0]["error"]
+        # the healthy probe still observed
+        assert monitor.series("calls") == [1.0]
+
+    def test_probe_disabled_after_consecutive_errors(self):
+        monitor = Monitor([FailingProbe()], max_probe_errors=2)
+        for epoch in range(5):
+            monitor.on_epoch(model=None, epoch=epoch)
+        errors = monitor.errors()
+        assert len(errors) == 2  # disabled after the second failure
+        assert errors[-1]["disabled"] is True
+
+    def test_error_counter_incremented(self):
+        registry = default_registry()
+        registry.reset()
+        monitor = Monitor([FailingProbe()])
+        monitor.on_epoch(model=None, epoch=0)
+        assert registry.counter("monitor.probe_errors").snapshot() == 1
+        registry.reset()
+
+    def test_raising_probe_does_not_kill_training(self):
+        inputs, labels = toy_problem()
+        model = MLP([6, 12, 3], rng=np.random.default_rng(0))
+        monitor = Monitor([FailingProbe(), CountProbe()])
+        history = Trainer(model, inputs, labels,
+                          TrainingConfig(epochs=3, lr=0.1),
+                          probes=monitor).train()
+        assert len(history.task_loss) == 3
+        assert len(monitor.errors()) >= 1
+        assert monitor.series("calls") == [1.0, 2.0, 3.0]
+
+
+class TestTimeseries:
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "run.timeseries.jsonl"
+        with Monitor([CountProbe(), FailingProbe()], path=str(path),
+                     run_id="abc123") as monitor:
+            monitor.on_epoch(model=None, epoch=0)
+            monitor.on_epoch(model=None, epoch=1)
+        records = load_timeseries(str(path))
+        good = [r for r in records if not r.get("probe_error")]
+        bad = [r for r in records if r.get("probe_error")]
+        assert [r["calls"] for r in good] == [1.0, 2.0]
+        assert all(r["run_id"] == "abc123" for r in records)
+        assert len(bad) == 2
+        assert all(r["event"] == ERROR_EVENT for r in bad)
+
+    def test_trainer_emits_batch_and_epoch_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        inputs, labels = toy_problem()
+        model = MLP([6, 12, 3], rng=np.random.default_rng(1))
+        monitor = Monitor([CountProbe(), BatchProbe()], path=str(path),
+                          every_batches=2)
+        Trainer(model, inputs, labels, TrainingConfig(epochs=2, lr=0.1),
+                probes=monitor).train()
+        monitor.close()
+        records = load_timeseries(str(path))
+        scopes = {r["scope"] for r in records}
+        assert scopes == {"epoch", "batch"}
+        epochs = sorted({r["epoch"] for r in records if r["scope"] == "epoch"})
+        assert epochs == [0, 1]
+
+
+class TestAsMonitor:
+    def test_none_passthrough(self):
+        assert as_monitor(None) is None
+
+    def test_monitor_passthrough(self):
+        monitor = Monitor([])
+        assert as_monitor(monitor) is monitor
+
+    def test_probe_sequence_wrapped(self):
+        probe = CountProbe()
+        monitor = as_monitor([probe])
+        assert isinstance(monitor, Monitor)
+        assert monitor.probes == [probe]
+        assert monitor.timeseries_path is None

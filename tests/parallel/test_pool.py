@@ -232,3 +232,57 @@ class TestProperties:
         pool = WorkerPool(max_workers=workers, chunk_size=chunk)
         outcomes = pool.map(square, [{"x": i} for i in range(n)])
         assert [o.value for o in outcomes] == [i * i for i in range(n)]
+
+
+def run_kernels(n):
+    """Exercise named backend kernels inside the worker process."""
+    import numpy as np
+    from repro import backend
+    a = np.ones((8, 8), dtype=np.float64)
+    for _ in range(n):
+        backend.active().matmul(a, a)
+    return n
+
+
+class TestKernelShipBack:
+    """Worker kernel stats must reach the parent's active profile."""
+
+    def test_worker_kernels_merge_into_parent_profile(self):
+        from repro.telemetry import profile
+
+        pool = WorkerPool(max_workers=2, chunk_size=1, start_method="fork")
+        with profile() as prof:
+            outcomes = pool.run([Task(run_kernels, (3,)),
+                                 Task(run_kernels, (2,))])
+        assert all(o.ok for o in outcomes)
+        stat = prof.kernel_stats["reference/matmul"]
+        assert stat.calls == 5
+        assert stat.total_time > 0.0
+
+    def test_outcome_carries_kernel_stats(self):
+        from repro.telemetry import profile
+
+        pool = WorkerPool(max_workers=2, chunk_size=1, start_method="fork")
+        with profile():
+            outcomes = pool.run([Task(run_kernels, (4,))])
+        kernels = outcomes[0].kernels
+        assert kernels["reference/matmul"]["calls"] == 4
+        assert kernels["reference/matmul"]["backend"] == "reference"
+
+    def test_no_collection_outside_profile_region(self):
+        pool = WorkerPool(max_workers=2, chunk_size=1, start_method="fork")
+        outcomes = pool.run([Task(run_kernels, (2,))])
+        assert outcomes[0].ok
+        assert outcomes[0].kernels == {}
+
+    def test_serial_fallback_hooks_see_kernels_directly(self):
+        from repro.telemetry import profile
+
+        pool = WorkerPool(max_workers=1)
+        with profile() as prof:
+            outcomes = pool.run([Task(run_kernels, (2,))])
+        assert outcomes[0].ok
+        # in-process: the parent's own kernel hook records the calls,
+        # so nothing ships via the outcome
+        assert outcomes[0].kernels == {}
+        assert prof.kernel_stats["reference/matmul"].calls == 2

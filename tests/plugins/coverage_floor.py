@@ -1,12 +1,13 @@
-"""Dependency-free line-coverage floor for the parallel + backend layers.
+"""Dependency-free line-coverage floor for the parallel, backend and
+monitor layers.
 
 The container has no ``pytest-cov``, so this plugin implements the
 coverage gate with the stdlib: a targeted ``sys.settrace`` hook records
 executed lines in the watched files, executable lines are derived from
 the compiled code objects (``dis.findlinestarts``), and the session
 fails when coverage of ``src/repro/parallel/`` +
-``src/repro/pipeline/sweep.py`` + ``src/repro/backend/`` drops below
-the floor.
+``src/repro/pipeline/sweep.py`` + ``src/repro/backend/`` +
+``src/repro/monitor/`` drops below the floor.
 
 Wired into ``pyproject.toml`` addopts via
 ``-p tests.plugins.coverage_floor`` (loaded always) but inert -- zero
@@ -40,6 +41,12 @@ TARGET_FILES = (
     "src/repro/backend/fast.py",
     "src/repro/backend/equivalence.py",
     "src/repro/backend/bench.py",
+    "src/repro/monitor/__init__.py",
+    "src/repro/monitor/core.py",
+    "src/repro/monitor/probes.py",
+    "src/repro/monitor/system.py",
+    "src/repro/monitor/report.py",
+    "src/repro/monitor/bench.py",
 )
 
 
@@ -145,8 +152,8 @@ def pytest_sessionfinish(session, exitstatus):
         rows.append((path, len(covered), len(executable), pct))
 
     pct = 100.0 * total_covered / total_executable if total_executable else 100.0
-    lines = ["", "repro.parallel + repro.backend coverage floor "
-                 f"(floor {FLOOR_PERCENT:.0f}%):"]
+    lines = ["", "repro.parallel + repro.backend + repro.monitor coverage "
+                 f"floor (floor {FLOOR_PERCENT:.0f}%):"]
     for path, covered, executable, file_pct in rows:
         lines.append(f"  {file_pct:5.1f}%  {covered}/{executable}  {path}")
     lines.append(f"  total: {pct:.1f}%")

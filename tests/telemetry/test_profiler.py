@@ -124,3 +124,58 @@ class TestTrainingStepCoverage:
         with profile() as prof:
             step()
         assert prof.coverage() >= 0.75  # CI-safe floor; typically >0.9
+
+
+class TestActiveProfile:
+    def test_none_outside_region(self):
+        from repro.telemetry.profiler import active_profile
+        assert active_profile() is None
+
+    def test_tracks_innermost_region(self):
+        from repro.telemetry.profiler import active_profile
+        with profile() as outer:
+            assert active_profile() is outer
+            with profile() as inner:
+                assert active_profile() is inner
+            assert active_profile() is outer
+        assert active_profile() is None
+
+    def test_restored_on_exception(self):
+        from repro.telemetry.profiler import active_profile
+        try:
+            with profile():
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert active_profile() is None
+
+
+class TestMergeKernels:
+    def test_merges_wire_format_into_empty_profile(self):
+        prof = OpProfile()
+        prof.merge_kernels({
+            "fast/matmul": {"backend": "fast", "kernel": "matmul",
+                            "calls": 3, "total_time": 0.5, "bytes_moved": 100},
+        })
+        stat = prof.kernel_stats["fast/matmul"]
+        assert (stat.backend, stat.kernel) == ("fast", "matmul")
+        assert stat.calls == 3
+        assert stat.total_time == 0.5
+        assert stat.bytes_moved == 100
+
+    def test_accumulates_into_existing_stats(self):
+        prof = OpProfile()
+        prof._record_kernel("fast", "matmul", 0.25, 50)
+        prof.merge_kernels({"fast/matmul": {"calls": 2, "total_time": 0.5,
+                                            "bytes_moved": 10}})
+        stat = prof.kernel_stats["fast/matmul"]
+        assert stat.calls == 3
+        assert stat.total_time == 0.75
+        assert stat.bytes_moved == 60
+
+    def test_key_partition_fallback(self):
+        # wire entries missing backend/kernel fields derive them from the key
+        prof = OpProfile()
+        prof.merge_kernels({"reference/conv2d": {"calls": 1, "total_time": 0.1}})
+        stat = prof.kernel_stats["reference/conv2d"]
+        assert (stat.backend, stat.kernel) == ("reference", "conv2d")

@@ -131,3 +131,28 @@ class TestTimedStage:
         with timed_stage("stage.y", registry=registry):
             pass
         assert registry.timer("stage.y_s").count == 1
+
+
+class TestExceptionUnwind:
+    def test_nested_spans_unwind_through_exception(self):
+        """A raise deep inside a span stack closes every level, and the
+        next span opens back at depth 0 (the stack fully unwound)."""
+        with recording() as recorder:
+            try:
+                with span("outer"):
+                    with span("middle"):
+                        with span("inner"):
+                            raise RuntimeError("deep failure")
+            except RuntimeError:
+                pass
+            with span("after"):
+                pass
+        by_name = {s.name: s for s in recorder.spans}
+        assert set(by_name) == {"outer", "middle", "inner", "after"}
+        assert by_name["inner"].depth == 2
+        assert by_name["middle"].depth == 1
+        assert by_name["outer"].depth == 0
+        assert by_name["after"].depth == 0
+        # every span closed: end times are set and nested intervals hold
+        assert by_name["inner"].end <= by_name["middle"].end + 1e-9
+        assert by_name["middle"].end <= by_name["outer"].end + 1e-9

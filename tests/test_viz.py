@@ -65,3 +65,48 @@ class TestAsciiHistogram:
         art = ascii_histogram(values, bins=2, width=20)
         bars = [line.split("|")[1] for line in art.splitlines()]
         assert len(bars[0].strip()) > len(bars[1].strip())
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        from repro.viz import sparkline
+        assert sparkline([]) == ""
+
+    def test_constant_series_uses_mid_tick(self):
+        from repro.viz import sparkline
+        out = sparkline([3.0, 3.0, 3.0])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+        assert out[0] in "▁▂▃▄▅▆▇█"
+
+    def test_monotone_rise(self):
+        from repro.viz import sparkline
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert out == "▁▂▃▄▅▆▇█"
+
+    def test_nan_becomes_placeholder(self):
+        from repro.viz import sparkline
+        out = sparkline([0.0, float("nan"), 1.0])
+        assert out[1] == "·"
+        assert out[0] == "▁" and out[2] == "█"
+
+    def test_all_nan_series(self):
+        from repro.viz import sparkline
+        assert sparkline([float("nan")] * 4) == "····"
+
+    def test_width_subsamples(self):
+        from repro.viz import sparkline
+        out = sparkline(list(range(100)), width=10)
+        assert len(out) == 10
+        assert out[0] == "▁" and out[-1] == "█"
+
+
+class TestTrend:
+    def test_first_to_last(self):
+        from repro.viz import trend
+        assert trend([1.0, 5.0, 2.0]) == "1 -> 2"
+
+    def test_no_finite_values(self):
+        from repro.viz import trend
+        assert trend([]) == "n/a"
+        assert trend([float("nan")]) == "n/a"
