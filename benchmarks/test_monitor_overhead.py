@@ -3,8 +3,8 @@
 Times the same attack-training epoch with and without the full default
 probe suite attached (correlation, drift, decode, grad/update, memory,
 throughput, kernel share) and asserts the probed epoch stays under the
-7% overhead budget.  The per-epoch numbers and the overhead fraction
-are pushed into the session's BENCH_monitor.json entry so the trend is
+overhead budget.  The per-epoch numbers and the overhead fraction are
+pushed into the session's BENCH_monitor.json entry so the trend is
 tracked across sessions (``repro report --bench monitor``).
 """
 
@@ -30,7 +30,14 @@ from repro.pipeline.trainer import Trainer
 
 pytestmark = pytest.mark.slow
 
-OVERHEAD_BUDGET = 0.07  # probed epoch may cost at most 7% extra
+# Probed epoch may cost at most this much extra.  The budget is
+# relative to the bare epoch: float32 compute plus the tape planner
+# made training ~1.5x faster while the probe suite stays pinned to
+# float64 metrics by design (repro.precision.METRICS_DTYPE), so the
+# same absolute probe cost is a larger fraction than under the old
+# float64 compute path (where the budget was 7%).  Absolute probe cost
+# drift is still caught by the BENCH_monitor.json trend comparator.
+OVERHEAD_BUDGET = 0.15
 
 
 def _attack_setup():

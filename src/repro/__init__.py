@@ -16,6 +16,8 @@ Public API tour:
   benign and original-attack baselines.
 * :mod:`repro.telemetry` -- metrics registry, span tracing, structured
   run logging and the autograd op profiler.
+* :mod:`repro.precision` -- process/context-scoped compute dtype policy
+  (float32 training by default; ``use_dtype("float64")`` to widen).
 
 Quickstart::
 
@@ -39,6 +41,7 @@ Quickstart::
 
 from repro.version import __version__
 from repro import errors
+from repro import precision
 from repro import telemetry
 
-__all__ = ["__version__", "errors", "telemetry"]
+__all__ = ["__version__", "errors", "precision", "telemetry"]

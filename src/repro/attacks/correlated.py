@@ -75,7 +75,11 @@ class CorrelationPenalty:
         self.length = min(total, secret.size)
         if self.length < 2:
             raise CapacityError("need at least two correlated entries")
-        self._secret = Tensor(secret[: self.length])
+        # Keep the float64 reference copy for monitoring; the tensor fed
+        # into the graph matches the parameters' dtype lazily so the
+        # penalty never upcasts a float32 model (see __call__).
+        self._secret_array = secret[: self.length]
+        self._secret = Tensor(self._secret_array)
         self.rate = float(rate)
         if sign_mode not in ("abs", "positive"):
             raise CapacityError(f"sign_mode must be 'abs' or 'positive', got {sign_mode!r}")
@@ -85,15 +89,25 @@ class CorrelationPenalty:
         """The penalty term to add to the training loss."""
         theta = flatten_parameters(self.params)
         theta = F.getitem(theta, slice(0, self.length))
+        if self._secret.data.dtype != theta.data.dtype:
+            self._secret = Tensor(
+                self._secret_array.astype(theta.data.dtype, copy=False))
         corr = pearson_correlation(theta, self._secret)
         if self.sign_mode == "abs":
             corr = F.abs(corr)
         return F.mul(corr, Tensor(-self.rate))
 
     def correlation_value(self) -> float:
-        """Current (non-differentiable) correlation, for monitoring."""
-        theta = np.concatenate([p.data.reshape(-1) for p in self.params])[: self.length]
-        secret = self._secret.data
+        """Current (non-differentiable) correlation, for monitoring.
+
+        Always accumulated in float64 (``precision.METRICS_DTYPE``)
+        regardless of the training dtype -- this is the Eq. 2 probe
+        value that lands in paper tables.
+        """
+        theta = np.concatenate(
+            [p.data.reshape(-1).astype(np.float64) for p in self.params]
+        )[: self.length]
+        secret = self._secret_array
         theta_c = theta - theta.mean()
         secret_c = secret - secret.mean()
         denom = np.sqrt((theta_c ** 2).sum()) * np.sqrt((secret_c ** 2).sum()) + 1e-12

@@ -11,10 +11,14 @@ The public surface is:
 * :class:`Tensor` -- the differentiable array type.
 * :mod:`repro.autograd.functional` -- free functions (``relu``, ``conv2d`` ...).
 * :func:`grad_check` -- numerical gradient verification helper.
+* :func:`last_tape_stats` -- byte accounting of the most recent
+  ``backward()`` (see :mod:`repro.autograd.planner`).
 """
 
 from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
 from repro.autograd import functional
 from repro.autograd.grad_check import grad_check
+from repro.autograd.planner import TapeStats, last_tape_stats
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "grad_check"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "grad_check",
+           "TapeStats", "last_tape_stats"]

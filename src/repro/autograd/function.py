@@ -66,14 +66,41 @@ class Function:
     one forward call.
     """
 
+    #: Names of instance attributes (beyond ``saved``) that hold large
+    #: backward-only arrays, so the tape planner can account for and
+    #: release them too (e.g. ``MaxPool2dFn._argmax``).
+    extra_saved: Tuple[str, ...] = ()
+
     def __init__(self) -> None:
         self.inputs: Tuple[Any, ...] = ()
         self.saved: Tuple[np.ndarray, ...] = ()
         self.needs_grad: Tuple[bool, ...] = ()
+        self.released: bool = False
 
     def save_for_backward(self, *arrays: np.ndarray) -> None:
         """Stash arrays needed by :meth:`backward`."""
         self.saved = arrays
+
+    def saved_arrays(self) -> Tuple[np.ndarray, ...]:
+        """All backward-only ndarrays this node keeps alive."""
+        arrays = [a for a in self.saved if isinstance(a, np.ndarray)]
+        for name in self.extra_saved:
+            value = getattr(self, name, None)
+            if isinstance(value, np.ndarray):
+                arrays.append(value)
+        return tuple(arrays)
+
+    def release_saved(self) -> None:
+        """Drop backward-only state after this node's backward has run.
+
+        Further backward passes through this node raise, pointing the
+        caller at ``backward(retain_graph=True)``.
+        """
+        self.saved = ()
+        for name in self.extra_saved:
+            if getattr(self, name, None) is not None:
+                setattr(self, name, None)
+        self.released = True
 
     def forward(self, *arrays: np.ndarray) -> np.ndarray:
         raise NotImplementedError

@@ -85,6 +85,14 @@ def numerical_gradient(
     ).reshape(base[index].shape)
 
 
+#: Tolerance floors applied when the analytic pass runs in float32.
+#: The FD oracle stays float64 (accurate to ~1e-8 relative), so the
+#: comparison noise is the float32 rounding of the analytic pass
+#: itself, amplified by reduction depth -- hence the looser floors.
+FLOAT32_RTOL = 2e-3
+FLOAT32_ATOL = 2e-4
+
+
 def grad_check(
     fn: Callable[..., Tensor],
     inputs: Sequence[np.ndarray],
@@ -92,6 +100,7 @@ def grad_check(
     atol: float = 1e-6,
     rtol: float = 1e-4,
     workers: Optional[int] = None,
+    dtype: Optional[np.dtype] = None,
 ) -> bool:
     """Verify analytic gradients of a scalar-valued tensor function.
 
@@ -103,6 +112,11 @@ def grad_check(
         workers: fan finite-difference probes across this many worker
             processes (``None``/``1`` = serial; the verdict and all
             compared values are identical either way).
+        dtype: dtype for the analytic forward/backward pass (default
+            float64).  The finite-difference oracle always evaluates in
+            float64 regardless; with ``dtype=np.float32`` the
+            tolerances are widened to at least :data:`FLOAT32_RTOL` /
+            :data:`FLOAT32_ATOL` to absorb single-precision rounding.
 
     Returns:
         True when every analytic gradient matches its numerical estimate.
@@ -110,7 +124,12 @@ def grad_check(
     Raises:
         AssertionError: with a diagnostic message on mismatch.
     """
-    tensors = [Tensor(np.array(arr, dtype=np.float64), requires_grad=True) for arr in inputs]
+    check_dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+    if check_dtype == np.dtype(np.float32):
+        atol = max(atol, FLOAT32_ATOL)
+        rtol = max(rtol, FLOAT32_RTOL)
+    tensors = [Tensor(np.array(arr, dtype=check_dtype), requires_grad=True)
+               for arr in inputs]
     out = fn(*tensors)
     out.backward()
     for index, tensor in enumerate(tensors):

@@ -87,22 +87,31 @@ class Conv2dFn(Function):
 
     def forward(self, x, weight):
         _validate_conv(x.shape, weight.shape)
-        # the kernel computes the im2col indices exactly once and
-        # returns cols for reuse in backward
         out, cols = _backend.active().conv2d_forward(
             x, weight, self.stride, self.padding
         )
-        self.save_for_backward(cols, weight)
+        # Checkpoint the input rather than the patch matrix: cols is
+        # ~kh*kw times larger than x and would dominate the tape's saved
+        # bytes, while x is the parent tensor's own data (alive through
+        # the walk regardless).  Backward re-gathers the columns, which
+        # is cheap next to the two gradient matmuls.
+        del cols
+        self.save_for_backward(x, weight)
         self._x_shape = x.shape
         return out
 
     def backward(self, grad):
-        cols, weight = self.saved
+        x, weight = self.saved
+        kh, kw = weight.shape[2], weight.shape[3]
+        K = _backend.active()
+        # identical gather to the forward's (same indices, same layout),
+        # so gradients are bit-for-bit what saving cols would produce
+        cols = K.im2col(x, kh, kw, self.stride, self.padding)
         # the backend may skip the input-gradient matmul + scatter when
         # x is a graph leaf that does not require grad (needs_grad is
         # only populated when the graph edge was recorded)
         need_input_grad = self.needs_grad[0] if self.needs_grad else True
-        return _backend.active().conv2d_backward(
+        return K.conv2d_backward(
             grad, cols, weight, self._x_shape, self.stride, self.padding,
             need_input_grad=need_input_grad,
         )
@@ -145,6 +154,8 @@ class BatchNormTrainFn(Function):
     this node; reference keeps the composed graph bit-identical.
     """
 
+    extra_saved = ("mean", "var")
+
     def __init__(self, mean: np.ndarray, var: np.ndarray,
                  axes: Tuple[int, ...], eps: float) -> None:
         super().__init__()
@@ -171,6 +182,10 @@ class BatchNormTrainFn(Function):
 
 
 class MaxPool2dFn(Function):
+    # the argmax map is as large as the pooled output; let the tape
+    # planner release it with the rest of the backward state
+    extra_saved = ("_argmax",)
+
     def __init__(self, kernel: int, stride: Optional[int] = None) -> None:
         super().__init__()
         self.kernel = int(kernel)

@@ -1,0 +1,162 @@
+"""Liveness planning for the autograd tape.
+
+``Tensor.backward()`` walks the graph in reverse-topological order, so
+for every :class:`~repro.autograd.function.Function` the position of its
+backward call is exactly the *last use* of the arrays it saved during
+the forward pass.  Without planning, every saved activation stays
+referenced by the graph until the whole walk (and usually the whole
+graph) dies -- peak memory is the sum of all saved tensors plus the
+in-flight gradients.
+
+:class:`TapePlan` computes, in one pass over the walk order:
+
+* the unique saved arrays per function (id-deduplicated -- several
+  functions may save the same array) and the walk position after which
+  each one is dead, so ``backward()`` can drop the references
+  immediately after the consuming backward runs;
+* a running planned footprint (live saved bytes + live gradient bytes)
+  and, from the same walk, the footprint the un-planned tape would have
+  had -- all saved bytes pinned for the whole walk *and* every
+  intermediate gradient left pinned on its tensor's ``.grad``, which is
+  what the tape did before leaf-only storage -- so the ≥30% peak
+  reduction is measurable without re-running anything.
+
+The stats of the most recent backward are kept in a module-level slot
+(:func:`last_tape_stats`) and mirrored into telemetry gauges
+(``autograd.live_saved_bytes`` et al.) that the monitor's Memory probe
+picks up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class TapeStats:
+    """Byte accounting for one ``backward()`` walk."""
+
+    functions: int = 0
+    #: Sum of unique saved-array bytes over the whole tape.
+    total_saved_bytes: int = 0
+    #: Peak of (live saved + live gradient) bytes with early release.
+    peak_live_bytes: int = 0
+    #: Peak the same walk would have had under pre-planner semantics:
+    #: every saved array pinned until the walk ends, and every
+    #: intermediate gradient pinned on its tensor instead of dying
+    #: after the backward that consumes it.
+    unplanned_peak_bytes: int = 0
+    #: Saved bytes released before the walk finished.
+    released_bytes: int = 0
+    #: Dead gradient buffers handed back to the backend scratch pool.
+    recycled_buffers: int = 0
+    recycled_bytes: int = 0
+
+    @property
+    def peak_reduction(self) -> float:
+        """Fraction of the unplanned peak the planner avoided."""
+        if self.unplanned_peak_bytes <= 0:
+            return 0.0
+        return 1.0 - self.peak_live_bytes / self.unplanned_peak_bytes
+
+
+_last_stats: Optional[TapeStats] = None
+
+
+def last_tape_stats() -> Optional[TapeStats]:
+    """Stats of the most recent ``Tensor.backward()`` in this process."""
+    return _last_stats
+
+
+class TapePlan:
+    """Last-use release schedule for one reverse-topological walk."""
+
+    __slots__ = ("stats", "_release_bytes", "_live_saved", "_live_grad",
+                 "_legacy_grad")
+
+    def __init__(self, order: Sequence) -> None:
+        seen: Dict[int, int] = {}       # id(array) -> nbytes
+        last_use: Dict[int, int] = {}   # id(array) -> last walk position
+        release: List[int] = [0] * len(order)
+        total = 0
+        functions = 0
+        for position, tensor in enumerate(order):
+            fn = tensor._creator
+            if fn is None:
+                continue
+            functions += 1
+            for array in fn.saved_arrays():
+                key = id(array)
+                if key not in seen:
+                    seen[key] = array.nbytes
+                    total += array.nbytes
+                last_use[key] = position
+        for key, position in last_use.items():
+            release[position] += seen[key]
+        self._release_bytes = release
+        self._live_saved = total
+        self._live_grad = 0
+        self._legacy_grad = 0
+        self.stats = TapeStats(functions=functions, total_saved_bytes=total)
+
+    # ------------------------------------------------- gradient tracking
+    def grad_stored(self, nbytes: int) -> None:
+        """A gradient buffer entered the in-flight accumulator."""
+        self._live_grad += nbytes
+
+    def grad_popped(self, nbytes: int) -> None:
+        """A gradient left the accumulator to be consumed by a backward."""
+        self._live_grad -= nbytes
+
+    def grad_recycled(self, nbytes: int) -> None:
+        self.stats.recycled_buffers += 1
+        self.stats.recycled_bytes += nbytes
+
+    # ------------------------------------------------------ walk events
+    def note_step(self, inflight_bytes: int = 0,
+                  pinned: bool = False) -> None:
+        """Record the footprint while one backward is about to run.
+
+        ``inflight_bytes`` is the gradient just popped for this step --
+        still alive, but no longer counted by :meth:`grad_stored`.
+        ``pinned`` marks gradients the pre-planner tape would have kept
+        on ``tensor.grad`` after this step (intermediates), which the
+        planner instead lets die; they keep counting toward the
+        unplanned footprint for the rest of the walk.
+        """
+        planned = self._live_saved + self._live_grad + inflight_bytes
+        unplanned = (self.stats.total_saved_bytes + self._legacy_grad
+                     + self._live_grad + inflight_bytes)
+        if planned > self.stats.peak_live_bytes:
+            self.stats.peak_live_bytes = planned
+        if unplanned > self.stats.unplanned_peak_bytes:
+            self.stats.unplanned_peak_bytes = unplanned
+        if pinned:
+            self._legacy_grad += inflight_bytes
+
+    def released(self, position: int) -> None:
+        """Saved arrays whose last use was ``position`` are now dead."""
+        freed = self._release_bytes[position]
+        if freed:
+            self._live_saved -= freed
+            self.stats.released_bytes += freed
+
+    @property
+    def live_saved_bytes(self) -> int:
+        return self._live_saved
+
+    # --------------------------------------------------------- finalize
+    def finalize(self) -> TapeStats:
+        """Publish this walk's stats to the module slot and telemetry."""
+        global _last_stats
+        _last_stats = self.stats
+        from repro.telemetry.metrics import default_registry
+        registry = default_registry()
+        registry.gauge("autograd.live_saved_bytes").set(
+            float(self.stats.peak_live_bytes))
+        registry.gauge("autograd.saved_bytes_total").set(
+            float(self.stats.total_saved_bytes))
+        registry.gauge("autograd.unplanned_peak_bytes").set(
+            float(self.stats.unplanned_peak_bytes))
+        return self.stats

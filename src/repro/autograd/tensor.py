@@ -16,6 +16,7 @@ from typing import Iterator, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from repro import precision as _precision
 from repro.autograd import function as _function
 from repro.errors import GradientError
 
@@ -54,9 +55,23 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
+        # numpy scalars (np.float64(x), reductions over all axes) carry
+        # an explicit dtype just like ndarrays do
+        was_typed = isinstance(data, (np.ndarray, np.generic))
         arr = np.asarray(data, dtype=dtype)
-        if arr.dtype.kind in "iub":
-            arr = arr.astype(np.float64)
+        if dtype is None:
+            # Dtype policy (repro.precision): int/bool data promotes to
+            # the active compute dtype, and float data that *numpy*
+            # typed for us (python scalars / lists default to float64)
+            # is materialized at the policy dtype too.  Explicit float
+            # ndarrays keep their dtype so float64 pipelines stay
+            # float64 end to end.
+            if arr.dtype.kind in "iub":
+                arr = arr.astype(_precision.default_dtype())
+            elif arr.dtype.kind == "f" and not was_typed:
+                want = _precision.default_dtype()
+                if arr.dtype != want:
+                    arr = arr.astype(want)
         self.data: np.ndarray = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
@@ -101,8 +116,16 @@ class Tensor:
         self.grad = None
 
     # ------------------------------------------------------------- backward
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
-        """Backpropagate from this tensor through the recorded graph."""
+    def backward(self, grad: Optional[np.ndarray] = None,
+                 retain_graph: bool = False) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Gradients are stored on the leaves (and on this root); saved
+        activations are released as soon as the backward that consumes
+        them has run, per the :mod:`repro.autograd.planner` liveness
+        plan.  Pass ``retain_graph=True`` to keep the saved state for a
+        second backward through the same graph.
+        """
         if not self.requires_grad:
             raise GradientError("backward() called on a tensor that does not require grad")
         if grad is None:
@@ -120,20 +143,40 @@ class Tensor:
                 )
 
         from repro import backend as _backend
+        from repro.autograd.planner import TapePlan
         K = _backend.active()
+        # Optional backend hook: hand dead gradient buffers back to the
+        # kernel scratch pool (the fast backend exposes its BufferPool).
+        recycle = getattr(K, "recycle_buffer", None)
         order = self._topological_order()
+        plan = TapePlan(order)
         grads = {id(self): grad}
+        plan.grad_stored(grad.nbytes)
         # One hook read per backward pass; the profiled branch times each
         # op's backward and reports the gradient bytes it produced.
         hook = _function._op_hook
-        for tensor in order:
+        for position, tensor in enumerate(order):
             fn = tensor._creator
             tensor_grad = grads.pop(id(tensor), None)
-            if tensor.requires_grad:
+            if tensor_grad is not None:
+                plan.grad_popped(tensor_grad.nbytes)
+            # Gradients persist only on leaves (and on the root the user
+            # called backward on); intermediate gradients stay on the
+            # tape and their buffers can be recycled once consumed.
+            store = tensor.requires_grad and (fn is None or tensor is self)
+            if store and tensor_grad is not None:
                 tensor.grad = (tensor_grad if tensor.grad is None
                                else K.add(tensor.grad, tensor_grad))
             if fn is None or tensor_grad is None:
                 continue
+            if fn.released:
+                raise GradientError(
+                    f"{type(fn).__name__} saved state was already released by a "
+                    "previous backward; call backward(retain_graph=True) to "
+                    "backpropagate through the same graph more than once"
+                )
+            plan.note_step(tensor_grad.nbytes,
+                           pinned=tensor.requires_grad and not store)
             if hook is None:
                 input_grads = fn.backward(tensor_grad)
             else:
@@ -159,6 +202,26 @@ class Tensor:
                     grads[key] = K.add(grads[key], parent_grad)
                 else:
                     grads[key] = parent_grad
+                    plan.grad_stored(parent_grad.nbytes)
+            if not retain_graph:
+                fn.release_saved()
+                plan.released(position)
+            # Recycle the consumed gradient buffer unless anything still
+            # aliases it: a returned input gradient (views from Reshape/
+            # Transpose, or Add handing the same array to both parents)
+            # or a gradient still pending in the accumulator.
+            if (recycle is not None and not store
+                    and tensor_grad.base is None
+                    and tensor_grad.flags.owndata
+                    and tensor_grad.flags.c_contiguous
+                    and not any(g is not None
+                                and np.may_share_memory(g, tensor_grad)
+                                for g in input_grads)
+                    and not any(np.may_share_memory(pending, tensor_grad)
+                                for pending in grads.values())):
+                recycle(tensor_grad)
+                plan.grad_recycled(tensor_grad.nbytes)
+        plan.finalize()
 
     def _topological_order(self) -> List["Tensor"]:
         """Tensors reachable from self, ordered so each node precedes its inputs."""

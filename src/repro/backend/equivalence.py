@@ -393,3 +393,137 @@ def check_all(
         check_kernel(name, candidate_b, oracle=oracle, seed=seed, trials=trials)
         checked.append(name)
     return checked
+
+
+# ---------------------------------------------------------------------------
+# Dtype axis: each kernel at a compute dtype vs the float64 oracle
+# ---------------------------------------------------------------------------
+
+#: Comparison tolerances per compute dtype.  float64 keeps the strict
+#: same-precision contract; float32 candidates are compared against the
+#: float64 oracle, so the bound absorbs single-precision rounding of
+#: the kernel's own reductions (rtol <= 1e-4 per the precision policy).
+DTYPE_RTOL: Dict[np.dtype, float] = {
+    np.dtype(np.float64): RTOL,
+    np.dtype(np.float32): 1e-4,
+}
+DTYPE_ATOL: Dict[np.dtype, float] = {
+    np.dtype(np.float64): ATOL,
+    np.dtype(np.float32): 1e-5,
+}
+
+
+def _cast_floats(args: tuple, kwargs: dict, dtype: np.dtype):
+    """Copies of (args, kwargs) with every float ndarray cast to dtype."""
+    def cast(value):
+        if isinstance(value, np.ndarray) and value.dtype.kind == "f":
+            return value.astype(dtype)
+        return value
+    return tuple(cast(a) for a in args), {k: cast(v) for k, v in kwargs.items()}
+
+
+def compare_outputs_cross_dtype(
+    kernel_name: str,
+    expected: Any,
+    expected_same_dtype: Any,
+    got: Any,
+    dtype: np.dtype,
+    rtol: float,
+    atol: float,
+) -> None:
+    """Assert a ``dtype`` candidate run agrees with the float64 oracle.
+
+    Float outputs must *be* ``dtype`` (kernels may not silently upcast)
+    and match the float64 oracle to (rtol, atol).  Integer/bool outputs
+    (argmax maps, cluster ids) are compared exactly against the oracle
+    run on the *same-dtype* inputs -- near-boundary ties are decided by
+    the rounded values either way, so that is the meaningful contract.
+    """
+    expected_t = _as_tuple(expected)
+    same_t = _as_tuple(expected_same_dtype)
+    got_t = _as_tuple(got)
+    assert len(expected_t) == len(got_t), (
+        f"{kernel_name}: output arity {len(got_t)} != {len(expected_t)}"
+    )
+    for idx, (ref_out, same_out, new_out) in enumerate(
+            zip(expected_t, same_t, got_t)):
+        if ref_out is None or new_out is None:
+            assert ref_out is None and new_out is None, (
+                f"{kernel_name}[{idx}]: one output is None, the other is not"
+            )
+            continue
+        ref_arr, new_arr = np.asarray(ref_out), np.asarray(new_out)
+        assert ref_arr.shape == new_arr.shape, (
+            f"{kernel_name}[{idx}]: shape {new_arr.shape} != {ref_arr.shape}"
+        )
+        if np.issubdtype(ref_arr.dtype, np.integer) or ref_arr.dtype == bool:
+            assert np.array_equal(np.asarray(same_out), new_arr), (
+                f"{kernel_name}[{idx}]: integer outputs differ"
+            )
+        else:
+            assert new_arr.dtype == dtype, (
+                f"{kernel_name}[{idx}]: kernel did not preserve the input "
+                f"dtype ({new_arr.dtype} != {dtype})"
+            )
+            np.testing.assert_allclose(
+                new_arr.astype(np.float64), ref_arr, rtol=rtol, atol=atol,
+                err_msg=f"{kernel_name}[{idx}] at {dtype}",
+            )
+
+
+def check_kernel_dtype(
+    kernel_name: str,
+    candidate,
+    dtype,
+    oracle="reference",
+    seed: int = 0,
+    trials: int = 5,
+    rtol: float = None,
+    atol: float = None,
+) -> int:
+    """Run one kernel at ``dtype`` against the float64 oracle.
+
+    The case generator's float inputs are cast to ``dtype`` for the
+    candidate and to float64 for the oracle; outputs must preserve the
+    input dtype and agree within the per-dtype tolerance (strict at
+    float64, rtol <= 1e-4 at float32).
+    """
+    if kernel_name not in CASES:
+        raise KeyError(f"no equivalence case registered for kernel {kernel_name!r}")
+    dt = np.dtype(dtype)
+    if dt not in DTYPE_RTOL:
+        raise KeyError(f"no dtype tolerances registered for {dt}")
+    rtol = DTYPE_RTOL[dt] if rtol is None else rtol
+    atol = DTYPE_ATOL[dt] if atol is None else atol
+    candidate_b: Backend = get_backend(candidate)
+    oracle_b: Backend = get_backend(oracle)
+    gen = CASES[kernel_name]
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        args, kwargs = gen(rng)
+        args64, kwargs64 = _cast_floats(args, kwargs, np.dtype(np.float64))
+        args_dt, kwargs_dt = _cast_floats(args, kwargs, dt)
+        expected = oracle_b.kernel(kernel_name)(*args64, **kwargs64)
+        expected_same = oracle_b.kernel(kernel_name)(*args_dt, **kwargs_dt)
+        got = candidate_b.kernel(kernel_name)(*args_dt, **kwargs_dt)
+        compare_outputs_cross_dtype(
+            kernel_name, expected, expected_same, got, dt, rtol, atol
+        )
+    return trials
+
+
+def check_all_dtype(
+    candidate,
+    dtype,
+    oracle="reference",
+    seed: int = 0,
+    trials: int = 5,
+) -> List[str]:
+    """check_kernel_dtype over every kernel the candidate can dispatch."""
+    candidate_b = get_backend(candidate)
+    checked = []
+    for name in candidate_b.kernels():
+        check_kernel_dtype(name, candidate_b, dtype, oracle=oracle,
+                           seed=seed, trials=trials)
+        checked.append(name)
+    return checked

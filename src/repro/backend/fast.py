@@ -201,8 +201,9 @@ def conv2d_forward(
     out_channels, _, kh, kw = weight.shape
     k, i, j, out_h, out_w = cached_im2col_indices(x.shape, kh, kw, stride, padding)
     x_padded, pooled = _pad_input(x, padding)
-    # cols is saved for backward by the op -- it must own fresh memory,
-    # so it is never drawn from the pool
+    # cols is handed to the caller -- it must own fresh memory, so it
+    # is never drawn from the pool (the conv op discards it and
+    # re-gathers in backward; see Conv2dFn)
     cols = x_padded[:, k, i, j].transpose(1, 2, 0).reshape(kh * kw * x.shape[1], -1)
     if pooled:
         _pool.give(x_padded)
@@ -361,6 +362,32 @@ def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
     return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
         batch, channels, out_h, out_w
     )
+
+
+# ---------------------------------------------------------------------------
+# Gradient-buffer reuse
+# ---------------------------------------------------------------------------
+
+
+@BACKEND.register()
+def broadcast_copy(a: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Pool-backed broadcast: the Sum/Mean backward's full-size gradient.
+
+    These buffers are exactly what ``Tensor.backward`` recycles through
+    :data:`recycle_buffer` once consumed, so drawing them from the pool
+    closes the reuse loop -- one allocation per (shape, dtype) instead
+    of one per op per batch.
+    """
+    out = _pool.take(tuple(shape), a.dtype)
+    np.copyto(out, a)
+    return out
+
+
+# Hook read by ``Tensor.backward``: dead gradient buffers (owned,
+# contiguous, provably unaliased) are handed back to the scratch pool
+# instead of waiting for the garbage collector.  A plain attribute, not
+# a registered kernel -- it has no numeric contract to check.
+BACKEND.recycle_buffer = _pool.give
 
 
 # ---------------------------------------------------------------------------

@@ -18,11 +18,14 @@ Subcommands:
 Global flags (before the subcommand): ``--backend {reference,fast}``
 selects the kernel backend every op dispatches through
 (``repro.backend``; ``fast`` caches im2col indices and fuses inference
-kernels), ``--workers N`` fans sweep points and multi-bitwidth attack
-arms across worker processes (``repro.parallel``; results are identical
-to a serial run), ``--trace-out PATH`` exports a Chrome-trace file of
-the run's spans, ``--log-level LEVEL`` controls the structured JSONL
-event log (optionally to ``--log-out PATH``).
+kernels), ``--dtype {float32,float64}`` sets the compute-precision
+policy (``repro.precision``; float32 is the training default, float64
+restores the bit-exact wide path), ``--workers N`` fans sweep points
+and multi-bitwidth attack arms across worker processes
+(``repro.parallel``; results are identical to a serial run),
+``--trace-out PATH`` exports a Chrome-trace file of the run's spans,
+``--log-level LEVEL`` controls the structured JSONL event log
+(optionally to ``--log-out PATH``).
 
 Examples::
 
@@ -51,6 +54,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import backend as _backend
+from repro import precision as _precision
 from repro.datasets import (
     SyntheticCifarConfig,
     SyntheticDigitsConfig,
@@ -372,6 +376,8 @@ def _cmd_info(args) -> int:
     print(f"platform   {platform.platform()}")
     print(f"backend    {_backend.active().name} "
           f"(available: {', '.join(_backend.available_backends())})")
+    print(f"dtype      {_precision.default_dtype().name} "
+          f"(metrics pinned to {_precision.METRICS_DTYPE.name})")
     print(f"workers    {cpu_workers()} cpu(s) auto-detected")
     names = default_registry().names()
     print(f"metrics    {len(names)} registered"
@@ -422,18 +428,39 @@ def _cmd_bench_kernels(args) -> int:
     from repro.errors import ConfigError
     try:
         records = bench_kernels(kernels=args.kernels or None,
-                                repeats=args.repeats, seed=args.seed)
+                                repeats=args.repeats, seed=args.seed,
+                                dtype=args.dtype)
     except ConfigError as exc:
         raise SystemExit(f"repro bench-kernels: {exc}")
+    dtype_suffix = f", {args.dtype}" if args.dtype else ""
     print(format_records(
         records,
-        title=f"kernel micro-benchmark (best of {args.repeats})",
+        title=f"kernel micro-benchmark (best of {args.repeats}{dtype_suffix})",
     ))
     overridden = [r for r in records if r["overridden"]]
+    mean_speedup = None
     if overridden:
         mean_speedup = float(np.mean([r["speedup"] for r in overridden]))
         print(f"\nmean speedup over {len(overridden)} overridden kernels: "
               f"{mean_speedup:.2f}x")
+    vs64 = [r["vs_float64"] for r in records if "vs_float64" in r]
+    mean_vs64 = None
+    if vs64:
+        mean_vs64 = float(np.mean(vs64))
+        print(f"mean {args.dtype}-vs-float64 speedup on the fast backend: "
+              f"{mean_vs64:.2f}x")
+    if args.bench_out:
+        from repro.monitor import BenchStore
+        metrics = {}
+        if mean_speedup is not None:
+            metrics[f"mean_speedup_{args.dtype or 'float64'}"] = round(
+                mean_speedup, 4)
+        if mean_vs64 is not None:
+            metrics[f"mean_vs_float64_{args.dtype}"] = round(mean_vs64, 4)
+        if metrics:
+            store = BenchStore(args.bench_out)
+            store.append("precision", metrics)
+            print(f"trajectory appended to {store.path('precision')}")
     if args.csv:
         from repro.pipeline.sweep import SweepResult
         SweepResult(records=records).to_csv(args.csv)
@@ -449,6 +476,12 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["reference", "fast"],
                         help="kernel backend for all op dispatch "
                              "(fast: cached indices + fused inference)")
+    parser.add_argument("--dtype", default="float32",
+                        choices=["float32", "float64"],
+                        help="compute-precision policy for tensors, "
+                             "parameters and batches (float64: the "
+                             "bit-exact wide path; metrics always "
+                             "accumulate in float64)")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker processes for sweep points / attack "
                              "arms (default: serial; results are identical)")
@@ -569,6 +602,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repetitions per kernel (best-of)")
     bench.add_argument("--seed", type=int, default=0,
                        help="seed for the benchmark inputs")
+    bench.add_argument("--bench-out", metavar="DIR", default=None,
+                       help="append the mean speedups to DIR/BENCH_precision.json "
+                            "(trajectory across sessions)")
     bench.add_argument("--csv", metavar="PATH", default=None,
                        help="export the records as CSV")
     bench.set_defaults(func=_cmd_bench_kernels)
@@ -595,6 +631,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     trace_error = None
     # restored afterwards so in-process callers (tests) are unaffected
     previous_backend = _backend.set_backend(args.backend)
+    previous_dtype = _precision.set_default_dtype(args.dtype)
     try:
         code = args.func(args)
     except Exception as exc:
@@ -602,6 +639,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         raise
     finally:
         _backend.set_backend(previous_backend)
+        _precision.set_default_dtype(previous_dtype)
         if recorder is not None:
             set_recorder(None)
             try:

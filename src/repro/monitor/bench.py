@@ -193,6 +193,8 @@ class BenchStore:
         entries = self.entries(name)
         entries.append(entry)
         path = self.path(name)
+        if self.root:
+            os.makedirs(self.root, exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump({"name": name, "entries": entries}, handle,
                       indent=2, sort_keys=True)

@@ -92,7 +92,14 @@ def _peak_rss_bytes() -> Optional[float]:
 
 
 class MemoryProbe(Probe):
-    """Process memory: current RSS and lifetime peak, in MiB."""
+    """Process memory plus the autograd tape planner's activation books.
+
+    Reports current RSS and lifetime peak in MiB, and -- once a backward
+    pass has run -- the tape memory planner's view of saved activations:
+    the planned peak of live saved bytes, the unplanned peak the same
+    tape would have reached without eager release, and the resulting
+    reduction fraction (the quantity gated by the precision benchmark).
+    """
 
     name = "memory"
     scope = "epoch"
@@ -105,6 +112,17 @@ class MemoryProbe(Probe):
         peak = _peak_rss_bytes()
         if peak is not None:
             values["peak_rss_mib"] = peak / 2 ** 20
+        from repro.autograd import last_tape_stats
+
+        stats = last_tape_stats()
+        if stats is not None and stats.functions > 0:
+            values["tape_live_peak_mib"] = stats.peak_live_bytes / 2 ** 20
+            values["tape_unplanned_peak_mib"] = (
+                stats.unplanned_peak_bytes / 2 ** 20
+            )
+            values["tape_peak_reduction"] = float(stats.peak_reduction)
+            if stats.recycled_buffers:
+                values["tape_recycled_buffers"] = float(stats.recycled_buffers)
         return values
 
 

@@ -6,6 +6,7 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro import precision
 from repro.errors import DatasetError
 
 
@@ -14,6 +15,12 @@ class DataLoader:
 
     Shuffling uses a dedicated Generator, so epoch order is reproducible
     given the seed and independent of global numpy state.
+
+    Float input batches are materialized at the compute dtype --
+    ``dtype`` if given, else the active :mod:`repro.precision` policy at
+    iteration time -- so a float64 dataset feeds float32 training
+    without each batch upcasting the model's activations.  Labels are
+    never cast.
     """
 
     def __init__(
@@ -24,6 +31,7 @@ class DataLoader:
         shuffle: bool = True,
         seed: Optional[int] = None,
         drop_last: bool = False,
+        dtype: Optional[np.dtype] = None,
     ) -> None:
         inputs = np.asarray(inputs)
         labels = np.asarray(labels)
@@ -40,6 +48,7 @@ class DataLoader:
         self.batch_size = int(batch_size)
         self.shuffle = bool(shuffle)
         self.drop_last = bool(drop_last)
+        self.dtype = precision.normalize_dtype(dtype) if dtype is not None else None
         self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
@@ -50,8 +59,12 @@ class DataLoader:
         order = np.arange(len(self.inputs))
         if self.shuffle:
             self._rng.shuffle(order)
+        want = self.dtype if self.dtype is not None else precision.default_dtype()
         for start in range(0, len(order), self.batch_size):
             index = order[start:start + self.batch_size]
             if self.drop_last and len(index) < self.batch_size:
                 return
-            yield self.inputs[index], self.labels[index]
+            batch = self.inputs[index]
+            if batch.dtype.kind == "f" and batch.dtype != want:
+                batch = batch.astype(want)
+            yield batch, self.labels[index]

@@ -136,5 +136,7 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        mask = (self._generator.random(x.shape) < keep) / keep
+        # match the input dtype so the mask never upcasts a float32 graph
+        mask = ((self._generator.random(x.shape) < keep) / keep).astype(
+            x.data.dtype, copy=False)
         return F.mul(x, Tensor(mask))

@@ -7,14 +7,24 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import precision
 from repro.autograd.tensor import Tensor
 from repro.errors import ReproError
 
 
 class Parameter(Tensor):
-    """A Tensor that is a learnable parameter of a Module."""
+    """A Tensor that is a learnable parameter of a Module.
+
+    Parameters are where the compute-dtype policy takes hold of a
+    model: unless an explicit ``dtype`` is given, the data is
+    materialized at :func:`repro.precision.default_dtype`, so the
+    float64 arrays every initializer produces become float32 under the
+    default policy.
+    """
 
     def __init__(self, data, dtype=None) -> None:
+        if dtype is None:
+            dtype = precision.default_dtype()
         super().__init__(data, requires_grad=True, dtype=dtype)
 
 
@@ -41,8 +51,15 @@ class Module:
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
-        """Track a non-learnable array in the state dict (e.g. BN stats)."""
-        self._buffers[name] = np.asarray(value)
+        """Track a non-learnable array in the state dict (e.g. BN stats).
+
+        Float buffers follow the compute-dtype policy at registration
+        time, matching the parameters of the module that owns them.
+        """
+        array = np.asarray(value)
+        if array.dtype.kind == "f":
+            array = array.astype(precision.default_dtype(), copy=False)
+        self._buffers[name] = array
         object.__setattr__(self, name, self._buffers[name])
 
     def update_buffer(self, name: str, value: np.ndarray) -> None:

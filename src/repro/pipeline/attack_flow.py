@@ -74,6 +74,7 @@ def run_quantized_correlation_attack(
     progress: Optional[Callable[[str], None]] = None,
     backend: Optional[str] = None,
     monitor: Optional[object] = None,
+    dtype: Optional[str] = None,
 ) -> AttackFlowResult:
     """Run the full Fig. 1 flow and evaluate it.
 
@@ -85,6 +86,11 @@ def run_quantized_correlation_attack(
         progress: optional stage-name callback.
         backend: kernel backend name (``"reference"``/``"fast"``) scoped
             around the whole flow; ``None`` keeps the process default.
+        dtype: compute dtype (``"float32"``/``"float64"``) scoped around
+            the whole flow including model construction, so parameters,
+            batches and training all run at one precision; ``None``
+            keeps the process policy (see :mod:`repro.precision`).
+            Evaluation metrics accumulate in float64 either way.
         monitor: optional :class:`repro.monitor.Monitor`.  It is bound
             to the attack's layer groups/payload after pre-processing,
             observed per epoch throughout correlation training, and
@@ -96,7 +102,8 @@ def run_quantized_correlation_attack(
         evaluations.
     """
     from repro import backend as _backend
-    with _backend.use_backend(backend):
+    from repro import precision as _precision
+    with _backend.use_backend(backend), _precision.use_dtype(dtype):
         return _run_attack_flow(
             train_dataset, test_dataset, model_builder,
             training, attack, quantization, progress, monitor,

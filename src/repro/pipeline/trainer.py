@@ -14,6 +14,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro import backend as _backend
+from repro import precision as _precision
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.nn.dataloader import DataLoader
@@ -58,6 +59,7 @@ class Trainer:
         schedule: Optional[str] = None,
         backend: Optional[str] = None,
         probes: Optional[object] = None,
+        dtype: Optional[str] = None,
     ) -> None:
         """Args:
             augment: apply random horizontal flips per batch -- a stock
@@ -73,6 +75,13 @@ class Trainer:
             backend: kernel backend name (``"reference"``/``"fast"``)
                 scoped around every epoch; ``None`` keeps the process
                 default (see :mod:`repro.backend`).
+            dtype: compute dtype (``"float32"``/``"float64"``) scoped
+                around every epoch like ``backend``; ``None`` keeps the
+                process policy (see :mod:`repro.precision`).  Batches
+                are materialized at this dtype by the loader.  Note the
+                model's parameters keep whatever dtype they were built
+                with -- construct the model under the same policy for a
+                uniform-precision graph.
             probes: a :class:`repro.monitor.Monitor` or a sequence of
                 :class:`repro.monitor.Probe` instances observed after
                 every epoch (and every N batches when the monitor has a
@@ -84,6 +93,7 @@ class Trainer:
         self.model = model
         self.config = config
         self.backend = backend
+        self.dtype = dtype
         if probes is not None:
             from repro.monitor import as_monitor
             self.monitor = as_monitor(probes)
@@ -95,7 +105,8 @@ class Trainer:
         self.grad_clip = float(grad_clip) if grad_clip is not None else None
         self._augment_rng = np.random.default_rng(config.seed + 1000)
         self.loader = DataLoader(
-            inputs, labels, batch_size=config.batch_size, shuffle=True, seed=config.seed
+            inputs, labels, batch_size=config.batch_size, shuffle=True,
+            seed=config.seed, dtype=dtype,
         )
         self.optimizer = SGD(
             model.parameters(), lr=config.lr, momentum=config.momentum,
@@ -136,6 +147,7 @@ class Trainer:
         total_task, total_penalty, count, batches = 0.0, 0.0, 0, 0
         epoch_start = time.perf_counter()
         with _backend.use_backend(self.backend), \
+                _precision.use_dtype(self.dtype), \
                 span("trainer.epoch", epoch=self.history.epochs):
             for inputs, labels in self.loader:
                 batch_start = time.perf_counter()

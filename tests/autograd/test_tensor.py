@@ -9,17 +9,31 @@ from repro.errors import GradientError
 
 class TestConstruction:
     def test_from_list(self):
+        # lists and scalars materialize at the compute-dtype policy
+        # (float32 by default; see repro.precision)
         t = Tensor([1.0, 2.0, 3.0])
         assert t.shape == (3,)
-        assert t.data.dtype == np.float64
+        assert t.data.dtype == np.float32
 
     def test_int_data_promoted_to_float(self):
         t = Tensor(np.arange(4))
-        assert t.data.dtype == np.float64
+        assert t.data.dtype == np.float32
 
     def test_bool_data_promoted_to_float(self):
         t = Tensor(np.array([True, False]))
-        assert t.data.dtype == np.float64
+        assert t.data.dtype == np.float32
+
+    def test_explicit_float_array_keeps_dtype(self):
+        assert Tensor(np.ones(3, dtype=np.float64)).data.dtype == np.float64
+        assert Tensor(np.ones(3, dtype=np.float32)).data.dtype == np.float32
+
+    def test_policy_scopes_construction(self):
+        from repro import precision
+
+        with precision.use_dtype("float64"):
+            assert Tensor([1.0, 2.0]).data.dtype == np.float64
+            assert Tensor(np.arange(3)).data.dtype == np.float64
+        assert Tensor([1.0, 2.0]).data.dtype == np.float32
 
     def test_from_tensor_shares_nothing_structural(self):
         a = Tensor([1.0, 2.0], requires_grad=True)

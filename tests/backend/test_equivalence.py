@@ -8,8 +8,11 @@ from repro.backend import equivalence
 from repro.backend.equivalence import (
     CASES,
     check_all,
+    check_all_dtype,
     check_kernel,
+    check_kernel_dtype,
     compare_outputs,
+    compare_outputs_cross_dtype,
 )
 
 
@@ -82,6 +85,79 @@ class TestCompareOutputs:
         compare_outputs("k", (np.ones(2), None), (np.ones(2), None))
         with pytest.raises(AssertionError, match="None"):
             compare_outputs("k", (np.ones(2), None), (np.ones(2), np.ones(2)))
+
+
+class TestDtypeAxis:
+    """Every kernel at each compute dtype against the float64 oracle."""
+
+    @pytest.mark.parametrize("backend_name", ["reference", "fast"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64],
+                             ids=["float32", "float64"])
+    @pytest.mark.parametrize("kernel", sorted(CASES))
+    def test_kernel_at_dtype(self, kernel, dtype, backend_name):
+        assert check_kernel_dtype(kernel, backend_name, dtype,
+                                  trials=3, seed=29) == 3
+
+    def test_check_all_dtype_covers_everything(self):
+        checked = check_all_dtype("fast", np.float32, trials=2, seed=5)
+        assert checked == sorted(B.get_backend("fast").kernels())
+
+    def test_reference_float64_axis_is_exact(self):
+        # at float64 the dtype axis degenerates to the strict contract:
+        # reference against itself must be bit-identical
+        for kernel in sorted(CASES):
+            gen = CASES[kernel]
+            rng = np.random.default_rng(17)
+            args, kwargs = gen(rng)
+            fn = B.get_backend("reference").kernel(kernel)
+            first = fn(*args, **kwargs)
+            second = fn(*args, **kwargs)
+            firsts = first if isinstance(first, tuple) else (first,)
+            seconds = second if isinstance(second, tuple) else (second,)
+            for a, b in zip(firsts, seconds):
+                if a is None:
+                    assert b is None
+                    continue
+                np.testing.assert_array_equal(np.asarray(a), np.asarray(b),
+                                              err_msg=kernel)
+
+    def test_unknown_dtype_tolerance_raises(self):
+        with pytest.raises(KeyError, match="dtype tolerances"):
+            check_kernel_dtype("matmul", "fast", np.float16)
+
+    def test_upcasting_kernel_is_rejected(self):
+        from repro.backend.registry import Backend
+
+        sloppy = Backend("sloppy", fallback=B.get_backend("reference"))
+
+        @sloppy.register()
+        def matmul(a, b):
+            return (a @ b).astype(np.float64)
+
+        with pytest.raises(AssertionError, match="preserve"):
+            check_kernel_dtype("matmul", sloppy, np.float32)
+
+    def test_cross_dtype_float_compared_to_oracle(self):
+        a64 = np.ones(4, dtype=np.float64)
+        a32 = np.ones(4, dtype=np.float32)
+        compare_outputs_cross_dtype("k", a64, a32, a32,
+                                    np.dtype(np.float32), 1e-4, 1e-5)
+        with pytest.raises(AssertionError):
+            compare_outputs_cross_dtype("k", a64, a32,
+                                        a32 * np.float32(1.01),
+                                        np.dtype(np.float32), 1e-4, 1e-5)
+
+    def test_cross_dtype_int_compared_to_same_dtype_oracle(self):
+        oracle64 = np.array([0, 1], dtype=np.int64)
+        oracle_same = np.array([1, 1], dtype=np.int64)
+        got = np.array([1, 1], dtype=np.int64)
+        # ties broken differently at float64 are fine; the same-dtype
+        # oracle is the binding one
+        compare_outputs_cross_dtype("k", oracle64, oracle_same, got,
+                                    np.dtype(np.float32), 1e-4, 1e-5)
+        with pytest.raises(AssertionError, match="integer"):
+            compare_outputs_cross_dtype("k", oracle64, oracle64, got,
+                                        np.dtype(np.float32), 1e-4, 1e-5)
 
 
 class TestGeometryGenerators:

@@ -64,6 +64,58 @@ class TestPoolingGrad:
         )
 
 
+class TestFloat32Grad:
+    """The same geometry corners with the analytic pass in float32.
+
+    The finite-difference oracle always runs in float64 (see
+    ``grad_check``), so these certify that single-precision backwards
+    are correct to the documented FLOAT32 tolerance floors on both
+    backends -- the contract the precision policy's speedup rests on.
+    """
+
+    def test_conv2d_with_padding_float32(self, backend):
+        x = RNG.standard_normal((2, 2, 5, 5))
+        w = RNG.standard_normal((3, 2, 3, 3))
+        assert grad_check(
+            lambda xt, wt: F.conv2d(xt, wt, stride=2, padding=1).sum(),
+            [x, w], dtype=np.float32,
+        )
+
+    def test_max_pool_stride_not_equal_kernel_float32(self, backend):
+        size = 6
+        x = RNG.permutation(size * size * 2).astype(np.float64)
+        x = (x / x.size + 0.01 * RNG.standard_normal(x.size)).reshape(1, 2, size, size)
+        assert grad_check(
+            lambda xt: F.max_pool2d(xt, 3, stride=2).sum(),
+            [x], dtype=np.float32,
+        )
+
+    def test_avg_pool_stride_not_equal_kernel_float32(self, backend):
+        x = RNG.standard_normal((2, 2, 6, 6))
+        assert grad_check(
+            lambda xt: F.avg_pool2d(xt, 2, stride=3).sum(),
+            [x], dtype=np.float32,
+        )
+
+    def test_batchnorm_train_mode_float32(self, backend):
+        # via the module so the fast backend takes the fused
+        # BatchNormTrainFn node and reference the composed graph
+        from repro.nn.norm import BatchNorm2d
+
+        bn = BatchNorm2d(3)
+        bn.train()
+        x = RNG.standard_normal((4, 3, 5, 5))
+        assert grad_check(lambda xt: bn(xt).sum(), [x], dtype=np.float32)
+
+    def test_fused_softmax_cross_entropy_float32(self, backend):
+        logits = RNG.standard_normal((6, 5))
+        targets = RNG.integers(0, 5, size=6)
+        assert grad_check(
+            lambda lt: F.softmax_cross_entropy(lt, targets),
+            [logits], dtype=np.float32,
+        )
+
+
 class TestBackendAgreement:
     def test_conv_gradients_bitwise_close_across_backends(self):
         # same inputs, same loss: fast gradients must match reference

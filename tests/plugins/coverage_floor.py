@@ -47,6 +47,8 @@ TARGET_FILES = (
     "src/repro/monitor/system.py",
     "src/repro/monitor/report.py",
     "src/repro/monitor/bench.py",
+    "src/repro/precision.py",
+    "src/repro/autograd/planner.py",
 )
 
 

@@ -1,0 +1,170 @@
+"""The compute-dtype policy and where it takes hold of the stack."""
+
+import numpy as np
+import pytest
+
+from repro import precision
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigError
+from repro.nn.dataloader import DataLoader
+from repro.nn.module import Module, Parameter
+
+
+class TestPolicy:
+    def test_default_is_float32(self):
+        assert precision.default_dtype() == np.dtype(np.float32)
+
+    def test_use_dtype_scopes_and_restores(self):
+        before = precision.default_dtype()
+        with precision.use_dtype("float64") as active:
+            assert active == np.dtype(np.float64)
+            assert precision.default_dtype() == np.dtype(np.float64)
+            with precision.use_dtype(np.float32):
+                assert precision.default_dtype() == np.dtype(np.float32)
+            assert precision.default_dtype() == np.dtype(np.float64)
+        assert precision.default_dtype() == before
+
+    def test_use_dtype_restores_on_exception(self):
+        before = precision.default_dtype()
+        with pytest.raises(RuntimeError):
+            with precision.use_dtype("float64"):
+                raise RuntimeError("boom")
+        assert precision.default_dtype() == before
+
+    def test_none_is_a_no_op(self):
+        before = precision.default_dtype()
+        assert precision.set_default_dtype(None) == before
+        assert precision.default_dtype() == before
+        with precision.use_dtype(None):
+            assert precision.default_dtype() == before
+
+    def test_set_returns_previous(self):
+        previous = precision.set_default_dtype("float64")
+        try:
+            assert previous == np.dtype(np.float32)
+            assert precision.default_dtype() == np.dtype(np.float64)
+        finally:
+            precision.set_default_dtype(previous)
+
+    @pytest.mark.parametrize("bad", ["banana", object()])
+    def test_invalid_dtype_rejected(self, bad):
+        with pytest.raises(ConfigError, match="not a dtype"):
+            precision.normalize_dtype(bad)
+
+    @pytest.mark.parametrize("unsupported", [np.float16, np.int32, np.complex128])
+    def test_unsupported_dtype_rejected(self, unsupported):
+        with pytest.raises(ConfigError, match="unsupported compute dtype"):
+            precision.normalize_dtype(unsupported)
+
+    def test_resolve(self):
+        assert precision.resolve(None) == precision.default_dtype()
+        assert precision.resolve("float64") == np.dtype(np.float64)
+        with pytest.raises(ConfigError):
+            precision.resolve("int8")
+
+    def test_metrics_dtype_is_float64(self):
+        assert precision.METRICS_DTYPE == np.dtype(np.float64)
+
+
+class TestTensorConstruction:
+    def test_scalar_and_list_follow_policy(self):
+        assert Tensor(1.5).dtype == np.float32
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+        with precision.use_dtype("float64"):
+            assert Tensor(1.5).dtype == np.float64
+            assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_int_and_bool_promote_to_policy(self):
+        assert Tensor(3).dtype == np.float32
+        assert Tensor(np.arange(4)).dtype == np.float32
+        assert Tensor(np.array([True, False])).dtype == np.float32
+        with precision.use_dtype("float64"):
+            assert Tensor(np.arange(4)).dtype == np.float64
+
+    def test_explicit_float_ndarray_keeps_its_dtype(self):
+        assert Tensor(np.ones(3, dtype=np.float64)).dtype == np.float64
+        assert Tensor(np.ones(3, dtype=np.float32)).dtype == np.float32
+        with precision.use_dtype("float64"):
+            assert Tensor(np.ones(3, dtype=np.float32)).dtype == np.float32
+
+    def test_explicit_dtype_argument_wins(self):
+        assert Tensor([1, 2], dtype=np.float64).dtype == np.float64
+        assert Tensor(np.ones(2), dtype=np.float32).dtype == np.float32
+
+
+class TestModulePolicy:
+    def test_parameter_follows_policy(self):
+        assert Parameter(np.ones(3, dtype=np.float64)).data.dtype == np.float32
+        assert Parameter([1.0, 2.0]).data.dtype == np.float32
+        with precision.use_dtype("float64"):
+            assert Parameter(np.ones(3)).data.dtype == np.float64
+
+    def test_parameter_explicit_dtype_wins(self):
+        assert Parameter(np.ones(3), dtype=np.float64).data.dtype == np.float64
+
+    def test_buffers_follow_policy(self):
+        module = Module()
+        module.register_buffer("stat", np.zeros(4))
+        assert module.stat.dtype == np.float32
+        module.register_buffer("ids", np.arange(4))
+        assert module.ids.dtype.kind == "i"  # non-float buffers untouched
+
+    def test_layer_parameters_are_float32_by_default(self):
+        from repro.nn.layers import Conv2d, Linear
+        from repro.nn.norm import BatchNorm2d
+
+        for module in (Linear(4, 2), Conv2d(2, 3, 3), BatchNorm2d(3)):
+            for param in module.parameters():
+                assert param.data.dtype == np.float32, type(module).__name__
+
+
+class TestDataLoaderPolicy:
+    def test_batches_materialize_at_policy_dtype(self):
+        inputs = np.random.default_rng(0).standard_normal((8, 2, 4, 4))
+        labels = np.arange(8) % 2
+        batches = [b for b, _ in DataLoader(inputs, labels, batch_size=4,
+                                            shuffle=False)]
+        assert all(b.dtype == np.float32 for b in batches)
+
+    def test_labels_never_cast(self):
+        inputs = np.random.default_rng(0).standard_normal((6, 3))
+        labels = np.arange(6)
+        for _, lab in DataLoader(inputs, labels, batch_size=3, shuffle=False):
+            assert lab.dtype == labels.dtype
+
+    def test_explicit_dtype_overrides_policy(self):
+        inputs = np.random.default_rng(0).standard_normal((6, 3))
+        labels = np.arange(6)
+        loader = DataLoader(inputs, labels, batch_size=3, shuffle=False,
+                            dtype="float64")
+        assert all(b.dtype == np.float64 for b, _ in loader)
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ConfigError):
+            DataLoader(np.ones((4, 2)), np.arange(4), batch_size=2,
+                       dtype="int64")
+
+    def test_float64_policy_keeps_batches_float64(self):
+        inputs = np.random.default_rng(0).standard_normal((6, 3))
+        with precision.use_dtype("float64"):
+            loader = DataLoader(inputs, np.arange(6), batch_size=3,
+                                shuffle=False)
+            assert all(b.dtype == np.float64 for b, _ in loader)
+
+
+class TestKernelDtypePreservation:
+    def test_forward_backward_stays_float32(self):
+        from repro import backend as B
+        from repro.autograd import functional as F
+
+        for name in ("reference", "fast"):
+            with B.use_backend(name):
+                x = Tensor(np.random.default_rng(1).standard_normal(
+                    (2, 2, 6, 6)).astype(np.float32), requires_grad=True)
+                w = Tensor(np.random.default_rng(2).standard_normal(
+                    (3, 2, 3, 3)).astype(np.float32), requires_grad=True)
+                out = F.max_pool2d(F.conv2d(x, w, padding=1).relu(), 2)
+                assert out.dtype == np.float32, name
+                out.sum().backward()
+                assert x.grad.dtype == np.float32, name
+                assert w.grad.dtype == np.float32, name
