@@ -10,6 +10,8 @@ Subcommands:
   (``repro.monitor``), writing a JSONL timeseries.
 * ``report``       -- render a monitor timeseries (or diff two), or a
   stored benchmark trajectory (``--bench``).
+* ``alerts``       -- replay the alert rules over an existing monitor
+  timeseries (exit 1 when any rule fires).
 * ``profile``      -- per-autograd-op and per-kernel cost tables for a
   small training run.
 * ``bench-kernels`` -- per-kernel reference-vs-fast timing table.
@@ -23,7 +25,10 @@ policy (``repro.precision``; float32 is the training default, float64
 restores the bit-exact wide path), ``--workers N`` fans sweep points
 and multi-bitwidth attack arms across worker processes
 (``repro.parallel``; results are identical to a serial run),
-``--trace-out PATH`` exports a Chrome-trace file of the run's spans,
+``--trace-out PATH`` exports a Chrome-trace file of the run's spans
+(including spans shipped back from worker processes),
+``--serve-metrics PORT`` serves live Prometheus ``/metrics`` and JSON
+``/health`` on localhost for the duration of the run,
 ``--log-level LEVEL`` controls the structured JSONL event log
 (optionally to ``--log-out PATH``).
 
@@ -37,6 +42,8 @@ Examples::
     python -m repro.cli --trace-out trace.json benign --epochs 15
     python -m repro.cli audit --rate 20
     python -m repro.cli monitor --epochs 10 --out run.json
+    python -m repro.cli --serve-metrics 9109 monitor --alerts --epochs 10
+    python -m repro.cli alerts run.timeseries.jsonl --corr-above 0.25
     python -m repro.cli report run.timeseries.jsonl
     python -m repro.cli report malicious.timeseries.jsonl benign.timeseries.jsonl
     python -m repro.cli report --bench monitor
@@ -210,8 +217,13 @@ def _cmd_monitor(args) -> int:
     ts_path = args.timeseries
     if ts_path is None:
         ts_path = timeseries_path(args.out) if args.out else "run.timeseries.jsonl"
+    engine = None
+    if getattr(args, "alerts", False):
+        from repro.monitor.alerts import AlertEngine, default_rules
+        engine = AlertEngine(default_rules())
     with Monitor(default_probes(decode_images=args.decode_images),
-                 path=ts_path, every_batches=args.every_batches) as monitor:
+                 path=ts_path, every_batches=args.every_batches,
+                 alerts=engine) as monitor:
         result = run_quantized_correlation_attack(
             train, test, builder, training, attack, quantization,
             progress=lambda stage: print(f"[{stage}]", file=sys.stderr),
@@ -235,6 +247,8 @@ def _cmd_monitor(args) -> int:
             save_result(attack_result_to_dict(result), args.out,
                         manifest=manifest, timeseries=ts_path)
             print(f"result written to {args.out} (run {manifest.run_id})")
+    if engine is not None and engine.alerts:
+        print(engine.summary_table(title=f"alerts ({len(engine.alerts)} fired)"))
     print(f"timeseries written to {ts_path} "
           f"({len(monitor.records)} records)", file=sys.stderr)
     return 0
@@ -364,25 +378,67 @@ def _cmd_audit(args) -> int:
 
 
 def _cmd_info(args) -> int:
+    """One consolidated environment/observability table."""
     import platform
 
     from repro.version import __version__
 
+    from repro.monitor import BenchStore
     from repro.parallel import cpu_workers
+    from repro.telemetry import active_exporter, format_table
 
-    print(f"repro      {__version__}")
-    print(f"numpy      {np.__version__}")
-    print(f"python     {platform.python_version()}")
-    print(f"platform   {platform.platform()}")
-    print(f"backend    {_backend.active().name} "
-          f"(available: {', '.join(_backend.available_backends())})")
-    print(f"dtype      {_precision.default_dtype().name} "
-          f"(metrics pinned to {_precision.METRICS_DTYPE.name})")
-    print(f"workers    {cpu_workers()} cpu(s) auto-detected")
+    exporter = active_exporter()
     names = default_registry().names()
-    print(f"metrics    {len(names)} registered"
-          + (": " + ", ".join(names) if names else ""))
+    rows = [
+        ("repro", __version__),
+        ("numpy", np.__version__),
+        ("python", platform.python_version()),
+        ("platform", platform.platform()),
+        ("backend", f"{_backend.active().name} "
+                    f"(available: {', '.join(_backend.available_backends())})"),
+        ("dtype", f"{_precision.default_dtype().name} "
+                  f"(metrics pinned to {_precision.METRICS_DTYPE.name})"),
+        ("workers", f"{cpu_workers()} cpu(s) auto-detected"),
+        ("exporter", f"serving {exporter.url}" if exporter is not None
+                     else "not running (--serve-metrics PORT)"),
+        ("metrics", f"{len(names)} registered"
+                    + (": " + ", ".join(names) if names else "")),
+    ]
+    store = BenchStore(args.bench_dir)
+    for name in store.names():
+        entries = store.entries(name)
+        latest = entries[-1]
+        metrics = ", ".join(f"{k}={v:g}" for k, v in
+                            sorted(latest.get("metrics", {}).items()))
+        rows.append((f"bench:{name}",
+                     f"{len(entries)} entries; latest {metrics}"))
+    print(format_table(("key", "value"), rows, title="repro info"))
     return 0
+
+
+def _cmd_alerts(args) -> int:
+    """Replay alert rules over an existing monitor timeseries."""
+    from repro.errors import ConfigError
+    from repro.monitor import AlertEngine, load_timeseries
+    from repro.monitor.alerts import default_rules
+
+    try:
+        records = load_timeseries(args.timeseries)
+    except (OSError, ConfigError) as exc:
+        raise SystemExit(f"repro alerts: {exc}")
+    engine = AlertEngine(default_rules(
+        corr_threshold=args.corr_above,
+        psnr_window=args.psnr_window,
+    ))
+    fired = engine.replay(records)
+    if fired:
+        print(engine.summary_table(
+            title=f"alerts: {args.timeseries} "
+                  f"({len(fired)} fired over {len(records)} records)"))
+    else:
+        print(f"alerts: {args.timeseries}: no alerts over "
+              f"{len(records)} records")
+    return 1 if fired else 0
 
 
 def _cmd_profile(args) -> int:
@@ -487,6 +543,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "arms (default: serial; results are identical)")
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome-trace JSON of the run's spans")
+    parser.add_argument("--serve-metrics", type=int, metavar="PORT",
+                        default=None,
+                        help="serve live Prometheus /metrics + JSON /health "
+                             "on 127.0.0.1:PORT for the duration of the run "
+                             "(0 picks a free port)")
     parser.add_argument("--log-level", default="warning",
                         choices=["debug", "info", "warning", "error"],
                         help="structured JSONL event-log threshold")
@@ -553,7 +614,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "from --out, else run.timeseries.jsonl)")
     monitor.add_argument("--out", help="also write the result summary + "
                                        "manifest as JSON")
+    monitor.add_argument("--alerts", action="store_true", default=False,
+                         help="evaluate the default alert rules per tick "
+                              "(correlation leak, PSNR stall, throughput "
+                              "collapse, worker death, disabled probes)")
     monitor.set_defaults(func=_cmd_monitor)
+
+    alerts = sub.add_parser(
+        "alerts", help="replay alert rules over a monitor timeseries")
+    alerts.add_argument("timeseries", metavar="TIMESERIES",
+                        help="timeseries JSONL file to replay")
+    alerts.add_argument("--corr-above", type=float, default=0.25,
+                        help="correlation_leak threshold on corr_abs_mean")
+    alerts.add_argument("--psnr-window", type=int, default=3,
+                        help="psnr_stall window in ticks")
+    alerts.set_defaults(func=_cmd_alerts)
 
     report = sub.add_parser(
         "report", help="render a monitor timeseries or benchmark trend")
@@ -610,6 +685,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=_cmd_bench_kernels)
 
     info = sub.add_parser("info", help="print versions/platform for bug reports")
+    info.add_argument("--bench-dir", metavar="DIR", default=".",
+                      help="directory scanned for BENCH_*.json trajectories")
     info.set_defaults(func=_cmd_info)
     return parser
 
@@ -627,6 +704,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.trace_out:
         recorder = TraceRecorder()
         set_recorder(recorder)
+    exporter = None
+    if args.serve_metrics is not None:
+        from repro.telemetry.export import serve_metrics
+        try:
+            exporter = serve_metrics(port=args.serve_metrics)
+        except OSError as exc:
+            raise SystemExit(f"repro: error: could not bind metrics "
+                             f"exporter on port {args.serve_metrics}: {exc}")
+        print(f"metrics exporter serving {exporter.url}/metrics "
+              f"(+ /health)", file=sys.stderr)
     logger.info("cli.start", command=args.command, argv=list(argv or sys.argv[1:]))
     trace_error = None
     # restored afterwards so in-process callers (tests) are unaffected
@@ -640,6 +727,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         _backend.set_backend(previous_backend)
         _precision.set_default_dtype(previous_dtype)
+        if exporter is not None:
+            from repro.telemetry.export import stop_exporter
+            stop_exporter()
         if recorder is not None:
             set_recorder(None)
             try:

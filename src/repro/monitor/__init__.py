@@ -50,7 +50,20 @@ from repro.monitor.system import (
     ThroughputProbe,
     UpdateRatioProbe,
 )
+from repro.monitor.alerts import (
+    ALERT_EVENT,
+    Alert,
+    AlertEngine,
+    AlertRule,
+    DriftRule,
+    MetricRule,
+    ProbeDisabledRule,
+    StallRule,
+    ThresholdRule,
+    default_rules,
+)
 from repro.monitor.report import (
+    alert_records,
     compare_runs,
     load_timeseries,
     render_run,
@@ -73,6 +86,10 @@ __all__ = [
     "GradNormProbe", "KernelShareProbe", "MemoryProbe", "ThroughputProbe",
     "UpdateRatioProbe",
     "load_timeseries", "render_run", "compare_runs", "series",
+    "alert_records",
+    "ALERT_EVENT", "Alert", "AlertEngine", "AlertRule", "DriftRule",
+    "MetricRule", "ProbeDisabledRule", "StallRule", "ThresholdRule",
+    "default_rules",
     "BenchStore", "Regression", "detect_regressions", "machine_fingerprint",
     "machine_info", "metric_direction", "trend_table",
 ]

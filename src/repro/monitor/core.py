@@ -23,6 +23,7 @@ flood the log.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigError
@@ -75,6 +76,10 @@ class Monitor:
             manifest.
         max_probe_errors: consecutive failures after which a probe is
             disabled for the rest of the run.
+        alerts: an :class:`~repro.monitor.alerts.AlertEngine` (or plain
+            sequence of rules) evaluated against every probe record and,
+            once per epoch tick, the metrics registry; fired alerts are
+            also written into the timeseries.
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class Monitor:
         every_batches: Optional[int] = None,
         run_id: Optional[str] = None,
         max_probe_errors: int = 3,
+        alerts: Any = None,
     ) -> None:
         if every_batches is not None and every_batches < 1:
             raise ConfigError(f"every_batches must be >= 1, got {every_batches}")
@@ -107,6 +113,14 @@ class Monitor:
                 path=path, level="debug",
                 run_id=run_id if run_id is not None else get_logger().run_id,
             )
+        self.alerts = None
+        if alerts is not None:
+            from repro.monitor.alerts import AlertEngine
+            engine = (alerts if isinstance(alerts, AlertEngine)
+                      else AlertEngine(list(alerts)))
+            if self._logger is not None:
+                engine.attach(self._logger)
+            self.alerts = engine
 
     # -------------------------------------------------------------- context
     def bind(self, **context: Any) -> "Monitor":
@@ -129,6 +143,8 @@ class Monitor:
         ctx = self._context(model, epoch, None, history, optimizer)
         for probe in self.probes:
             self._run(probe, ctx, "epoch")
+        if self.alerts is not None:
+            self.alerts.observe_registry(epoch=epoch)
 
     def on_batch(self, model: Any, epoch: int, batch: int, history: Any = None,
                  optimizer: Any = None) -> None:
@@ -168,6 +184,11 @@ class Monitor:
         self.records.append(record)
         if self._logger is not None:
             self._logger.info(PROBE_EVENT, **record)
+        if self.alerts is not None:
+            self.alerts.observe(record)
+        from repro.telemetry.export import update_health
+        update_health(last_probe=probe.name, last_probe_epoch=ctx.epoch,
+                      last_probe_ts=time.time())
 
     def _record_error(self, probe: Probe, ctx: ProbeContext, scope: str,
                       exc: Exception) -> None:
@@ -188,6 +209,8 @@ class Monitor:
         get_logger().warning(ERROR_EVENT, **record)
         if self._logger is not None:
             self._logger.warning(ERROR_EVENT, **record)
+        if self.alerts is not None:
+            self.alerts.observe({"probe_error": True, **record})
 
     # ------------------------------------------------------------- queries
     def probe_records(self, probe: Optional[str] = None,

@@ -14,21 +14,24 @@ import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
+from repro.monitor.alerts import ALERT_EVENT
 from repro.monitor.core import ERROR_EVENT, PROBE_EVENT
 from repro.telemetry.tables import format_table
 from repro.viz import sparkline
 
 #: Record keys that are structure, not observed fields.
 _META_KEYS = ("probe", "scope", "epoch", "batch", "ts", "level", "run_id",
-              "event", "probe_error", "error", "disabled")
+              "event", "probe_error", "error", "disabled",
+              "alert", "rule", "severity", "message")
 
 
 def load_timeseries(path: str) -> List[Dict[str, Any]]:
     """Read a monitor JSONL timeseries back into records.
 
-    Keeps ``monitor.probe`` and ``monitor.probe_error`` events (other
-    interleaved events are ignored); malformed lines raise
-    :class:`ConfigError` with the offending line number.
+    Keeps ``monitor.probe``, ``monitor.probe_error`` and
+    ``monitor.alert`` events (other interleaved events are ignored);
+    malformed lines raise :class:`ConfigError` with the offending line
+    number.
     """
     records: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
@@ -46,7 +49,14 @@ def load_timeseries(path: str) -> List[Dict[str, Any]]:
                 records.append(record)
             elif event == ERROR_EVENT:
                 records.append({"probe_error": True, **record})
+            elif event == ALERT_EVENT:
+                records.append({"alert": True, **record})
     return records
+
+
+def alert_records(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Alert events from a loaded timeseries, in emission order."""
+    return [r for r in records if r.get("alert")]
 
 
 def probe_ticks(records: Sequence[Dict[str, Any]],
@@ -123,6 +133,15 @@ def render_run(records: Sequence[Dict[str, Any]], title: str = "monitor run",
     if errors:
         detail = ", ".join(f"{name} x{count}" for name, count in sorted(errors.items()))
         out += f"\nprobe errors: {detail}"
+    alerts = alert_records(records)
+    if alerts:
+        counts: Dict[str, int] = {}
+        for record in alerts:
+            rule = str(record.get("rule", "?"))
+            counts[rule] = counts.get(rule, 0) + 1
+        detail = ", ".join(f"{name} x{count}"
+                           for name, count in sorted(counts.items()))
+        out += f"\nalerts: {detail}"
     return out
 
 

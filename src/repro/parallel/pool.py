@@ -29,7 +29,12 @@ registry (see :meth:`MetricsRegistry.merge_typed`) and attaches it to
 the outcome.  When the parent is inside a :func:`repro.telemetry
 .profile` region, workers additionally collect per-kernel stats for
 each task and ship those back too, so the parent profile's kernel
-table covers work done in worker processes.
+table covers work done in worker processes.  Likewise, when the parent
+has a :class:`repro.telemetry.trace.TraceRecorder` active, its
+:class:`TraceContext` rides along in the worker envelope: each worker
+records spans on a clock aligned to the parent's timeline and ships
+them back per task, and the parent merges them so one pooled run
+renders as a single multi-lane Chrome trace.
 """
 
 from __future__ import annotations
@@ -69,7 +74,10 @@ class TaskOutcome:
     ``kernels`` is the worker's per-kernel profiler stats for the task,
     populated only when the parent ran the pool inside a
     :func:`repro.telemetry.profile` region (empty in serial fallback,
-    where the parent's own kernel hook sees every call).
+    where the parent's own kernel hook sees every call).  ``spans`` is
+    the worker's span dicts for the task, populated only when the
+    parent had a trace recorder active at dispatch (empty in serial
+    fallback, where spans land directly in the parent recorder).
     """
 
     index: int
@@ -81,6 +89,7 @@ class TaskOutcome:
     duration_s: float = 0.0
     telemetry: Dict[str, Any] = field(default_factory=dict)
     kernels: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def cpu_workers() -> int:
@@ -124,7 +133,8 @@ class _KernelCollector:
 
 
 def _worker_main(chunk: List[Tuple[int, Task]], conn,
-                 collect_kernels: bool = False) -> None:
+                 collect_kernels: bool = False,
+                 trace_ctx=None) -> None:
     """Worker entrypoint: run a chunk of tasks, send one message each.
 
     Module-level so the pool stays importable under the ``spawn`` start
@@ -133,25 +143,36 @@ def _worker_main(chunk: List[Tuple[int, Task]], conn,
     inherits a copy of the parent registry; resetting the copy leaves
     the parent untouched).  With ``collect_kernels`` the worker installs
     a kernel hook and ships per-task kernel stats for the parent's
-    active profile to merge.
+    active profile to merge.  With ``trace_ctx`` the worker installs a
+    parent-aligned trace recorder (replacing any recorder inherited via
+    fork, whose spans the parent already owns) and ships each task's
+    span dicts back for the parent to merge.
     """
+    from repro.telemetry.trace import set_recorder, span, worker_recorder
+
     registry = default_registry()
     collector: Optional[_KernelCollector] = None
     if collect_kernels:
         from repro.backend import registry as _backend_registry
         collector = _KernelCollector()
         _backend_registry.set_kernel_hook(collector)
+    recorder = worker_recorder(trace_ctx) if trace_ctx is not None else None
+    set_recorder(recorder)
     for index, task in chunk:
         registry.reset()
-        status, value, kind, duration = _execute(task.fn, task.args, task.kwargs)
+        with span("pool.task", index=index):
+            status, value, kind, duration = _execute(task.fn, task.args,
+                                                     task.kwargs)
         snapshot = registry.typed_snapshot()
         kernels = collector.drain() if collector is not None else {}
+        spans = recorder.drain_dicts() if recorder is not None else []
         try:
-            conn.send((status, index, value, kind, duration, snapshot, kernels))
+            conn.send((status, index, value, kind, duration, snapshot,
+                       kernels, spans))
         except Exception as exc:  # unpicklable task result
             conn.send(("err", index, f"unpicklable result: {exc!r}",
-                       "exception", duration, snapshot, kernels))
-    conn.send(("bye", -1, None, "", 0.0, None, None))
+                       "exception", duration, snapshot, kernels, spans))
+    conn.send(("bye", -1, None, "", 0.0, None, None, None))
     conn.close()
 
 
@@ -265,10 +286,12 @@ class WorkerPool:
         return [indexed[i:i + size] for i in range(0, len(indexed), size)]
 
     def _spawn(self, ctx, chunk: List[Tuple[int, Task]],
-               collect_kernels: bool = False) -> _ActiveWorker:
+               collect_kernels: bool = False,
+               trace_ctx=None) -> _ActiveWorker:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(target=_worker_main,
-                              args=(chunk, child_conn, collect_kernels),
+                              args=(chunk, child_conn, collect_kernels,
+                                    trace_ctx),
                               daemon=True)
         process.start()
         child_conn.close()
@@ -292,9 +315,12 @@ class WorkerPool:
         active: List[_ActiveWorker] = []
         registry = default_registry()
         from repro.telemetry.profiler import active_profile
+        from repro.telemetry.trace import current_trace_context, get_recorder
         # Decided once at run start: workers collect kernel stats only
-        # when the parent has a profile to merge them into.
+        # when the parent has a profile to merge them into; likewise
+        # workers record spans only when the parent has a recorder.
         collect_kernels = active_profile() is not None
+        trace_ctx = current_trace_context()
 
         def start_task(worker: _ActiveWorker) -> None:
             index = worker.current_index()
@@ -303,6 +329,9 @@ class WorkerPool:
         def fail_current(worker: _ActiveWorker, kind: str, message: str) -> None:
             """Attribute a crash/timeout to the in-flight task and
             reschedule it (bounded) plus the chunk's untouched tail."""
+            registry.counter(f"pool.worker_{kind}s" if kind in
+                             ("crash", "timeout") else
+                             "pool.worker_failures").inc()
             index = worker.current_index()
             failures[index] = failures.get(index, 0) + 1
             retry = failures[index] <= self.retries
@@ -321,9 +350,11 @@ class WorkerPool:
 
         while pending or active:
             while pending and len(active) < self.max_workers:
-                worker = self._spawn(ctx, pending.pop(0), collect_kernels)
+                worker = self._spawn(ctx, pending.pop(0), collect_kernels,
+                                     trace_ctx)
                 active.append(worker)
                 start_task(worker)
+            registry.gauge("pool.workers_alive").set(float(len(active)))
 
             now = time.perf_counter()
             wait_for = 0.1
@@ -343,7 +374,8 @@ class WorkerPool:
                                  f"worker died (exitcode "
                                  f"{worker.process.exitcode})")
                     continue
-                status, index, value, kind, duration, snapshot, kernels = message
+                (status, index, value, kind, duration, snapshot, kernels,
+                 spans) = message
                 if status == "bye":
                     self._reap(worker)
                     active.remove(worker)
@@ -354,17 +386,23 @@ class WorkerPool:
                     prof = active_profile()
                     if prof is not None:
                         prof.merge_kernels(kernels)
+                if spans:
+                    parent_recorder = get_recorder()
+                    if parent_recorder is not None:
+                        parent_recorder.merge_spans(spans)
                 if status == "ok":
                     outcomes[index] = TaskOutcome(
                         index, True, value=value,
                         attempts=attempts.get(index, 1), duration_s=duration,
                         telemetry=snapshot or {}, kernels=kernels or {},
+                        spans=list(spans or []),
                     )
                 else:
                     outcomes[index] = TaskOutcome(
                         index, False, error=value, error_kind=kind,
                         attempts=attempts.get(index, 1), duration_s=duration,
                         telemetry=snapshot or {}, kernels=kernels or {},
+                        spans=list(spans or []),
                     )
                 worker.last_event = time.perf_counter()
                 worker.position += 1
@@ -392,4 +430,5 @@ class WorkerPool:
                         self._reap(worker)
                         active.remove(worker)
 
+        registry.gauge("pool.workers_alive").set(0.0)
         return [outcomes[i] for i in sorted(outcomes)]

@@ -202,17 +202,20 @@ class Sweep:
             seeds = list(spawn_sequences(seed, len(points)))
 
         if parallel is None:
-            return self._run_inline(points, seeds, progress, backend)
+            with span("sweep", points=len(points), parallel=0):
+                return self._run_inline(points, seeds, progress, backend)
 
         from repro.parallel.pool import Task, WorkerPool
         for params in points:
             if progress is not None:
                 progress(params)
         pool = WorkerPool(max_workers=parallel, timeout=timeout, retries=retries)
-        outcomes = pool.run([
-            Task(_run_point, (self.experiment, params, seed_seq, index, backend))
-            for index, (params, seed_seq) in enumerate(zip(points, seeds))
-        ])
+        with span("sweep", points=len(points), parallel=int(parallel)):
+            outcomes = pool.run([
+                Task(_run_point, (self.experiment, params, seed_seq, index,
+                                  backend))
+                for index, (params, seed_seq) in enumerate(zip(points, seeds))
+            ])
         result = SweepResult()
         for params, outcome in zip(points, outcomes):
             record = dict(params)

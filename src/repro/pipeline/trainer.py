@@ -182,8 +182,11 @@ class Trainer:
         registry.timer("trainer.epoch_s").update(elapsed)
         registry.counter("trainer.batches").inc(batches)
         registry.counter("trainer.images").inc(count)
+        registry.gauge("trainer.epoch").set(float(self.history.epochs))
         if elapsed > 0:
             registry.gauge("trainer.images_per_s").set(count / elapsed)
+        from repro.telemetry.export import update_health
+        update_health(epoch=self.history.epochs, epoch_s=elapsed)
         mean_task = total_task / count
         registry.gauge("trainer.task_loss").set(mean_task)
         registry.gauge("trainer.penalty").set(total_penalty / count)

@@ -28,12 +28,25 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.trace import (
     SpanRecord,
+    TraceContext,
     TraceRecorder,
+    current_trace_context,
     get_recorder,
     recording,
     set_recorder,
     span,
     timed_stage,
+    worker_recorder,
+)
+from repro.telemetry.sampler import StackSampler, compare_with_profile
+from repro.telemetry.export import (
+    MetricsExporter,
+    active_exporter,
+    health_snapshot,
+    prometheus_text,
+    serve_metrics,
+    stop_exporter,
+    update_health,
 )
 from repro.telemetry.events import (
     EventLogger,
@@ -55,8 +68,12 @@ from repro.telemetry.tables import format_records, format_table, percent
 __all__ = [
     "Counter", "Gauge", "Histogram", "EwmaTimer", "MetricsRegistry",
     "default_registry",
-    "SpanRecord", "TraceRecorder", "span", "recording", "get_recorder",
-    "set_recorder", "timed_stage",
+    "SpanRecord", "TraceContext", "TraceRecorder", "span", "recording",
+    "get_recorder", "set_recorder", "timed_stage", "current_trace_context",
+    "worker_recorder",
+    "StackSampler", "compare_with_profile",
+    "MetricsExporter", "active_exporter", "health_snapshot",
+    "prometheus_text", "serve_metrics", "stop_exporter", "update_health",
     "EventLogger", "RunManifest", "config_fingerprint", "configure_logging",
     "get_logger", "new_run_id",
     "KernelStat", "OpProfile", "OpStat", "active_profile", "profile",

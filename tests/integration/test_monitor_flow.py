@@ -159,3 +159,41 @@ class TestReportRendering:
         assert records
         run_ids = {r.get("run_id") for r in records}
         assert len(run_ids) == 1  # one run id keys the whole timeseries
+
+
+class TestAlertSeparation:
+    """Acceptance: replaying the correlation rule over the two stored
+    timeseries raises an alert on the malicious run and stays silent on
+    the benign one."""
+
+    @staticmethod
+    def _correlation_engine():
+        from repro.monitor import AlertEngine, ThresholdRule
+        return AlertEngine([ThresholdRule(
+            "correlation_leak", "corr_abs_mean", above=0.25,
+            probe="correlation", min_epoch=1, severity="critical")])
+
+    def test_malicious_run_raises_correlation_alert(self, malicious):
+        from repro.monitor import load_timeseries
+        _, _, path = malicious
+        fired = self._correlation_engine().replay(load_timeseries(path))
+        assert len(fired) == 1  # fire_once: flags, does not spam
+        alert = fired[0]
+        assert alert.rule == "correlation_leak"
+        assert alert.severity == "critical"
+        assert alert.value > 0.25
+        assert alert.epoch >= 1
+
+    def test_benign_run_raises_nothing(self, benign):
+        from repro.monitor import load_timeseries
+        _, path = benign
+        assert self._correlation_engine().replay(load_timeseries(path)) == []
+
+    def test_cli_alerts_separates_runs(self, malicious, benign, capsys):
+        from repro.cli import main
+        _, _, mal_path = malicious
+        _, ben_path = benign
+        assert main(["alerts", mal_path]) == 1
+        assert "correlation_leak" in capsys.readouterr().out
+        assert main(["alerts", ben_path]) == 0
+        assert "no alerts" in capsys.readouterr().out

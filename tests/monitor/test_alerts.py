@@ -1,0 +1,343 @@
+"""Alert rules engine: rule semantics, engine emission, monitor wiring."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.monitor import Monitor
+from repro.monitor.alerts import (
+    Alert,
+    AlertEngine,
+    DriftRule,
+    MetricRule,
+    ProbeDisabledRule,
+    StallRule,
+    ThresholdRule,
+    default_rules,
+)
+from repro.monitor.probes import Probe
+from repro.telemetry.metrics import default_registry
+
+
+def record(probe="correlation", epoch=0, **fields):
+    return {"probe": probe, "scope": "epoch", "epoch": epoch, "batch": None,
+            **fields}
+
+
+class TestThresholdRule:
+    def test_fires_above_bound(self):
+        rule = ThresholdRule("leak", field="corr_abs_mean", above=0.25)
+        assert rule.evaluate(record(corr_abs_mean=0.1)) is None
+        alert = rule.evaluate(record(corr_abs_mean=0.4, epoch=2))
+        assert alert is not None
+        assert alert.rule == "leak"
+        assert alert.value == pytest.approx(0.4)
+        assert alert.epoch == 2
+
+    def test_fire_once_latches(self):
+        rule = ThresholdRule("leak", field="corr_abs_mean", above=0.25)
+        assert rule.evaluate(record(corr_abs_mean=0.4)) is not None
+        assert rule.evaluate(record(corr_abs_mean=0.9)) is None
+        rule.reset()
+        assert rule.evaluate(record(corr_abs_mean=0.9)) is not None
+
+    def test_min_epoch_suppresses_early_noise(self):
+        rule = ThresholdRule("leak", field="corr_abs_mean", above=0.25,
+                             min_epoch=2)
+        assert rule.evaluate(record(corr_abs_mean=0.9, epoch=1)) is None
+        assert rule.evaluate(record(corr_abs_mean=0.9, epoch=2)) is not None
+
+    def test_below_bound_and_probe_filter(self):
+        rule = ThresholdRule("acc", field="accuracy", below=0.5,
+                             probe="decode")
+        assert rule.evaluate(record(probe="correlation", accuracy=0.1)) is None
+        assert rule.evaluate(record(probe="decode", accuracy=0.1)) is not None
+
+    def test_requires_exactly_one_bound(self):
+        with pytest.raises(ConfigError):
+            ThresholdRule("x", field="f")
+        with pytest.raises(ConfigError):
+            ThresholdRule("x", field="f", above=1.0, below=0.0)
+
+
+class TestDriftRule:
+    def test_stable_series_never_fires(self):
+        rule = DriftRule("d", field="v", sigmas=4.0, warmup=3)
+        for i in range(20):
+            assert rule.evaluate(record(v=1.0 + 0.01 * (i % 3))) is None
+
+    def test_level_shift_fires_once_then_adapts(self):
+        rule = DriftRule("d", field="v", sigmas=4.0, warmup=3, alpha=0.5)
+        for _ in range(6):
+            rule.evaluate(record(v=1.0))
+        for i in range(4):
+            rule.evaluate(record(v=1.0 + 0.02 * (-1) ** i))
+        alerts = [rule.evaluate(record(v=5.0)) for _ in range(6)]
+        assert alerts[0] is not None
+        assert "sigma" in alerts[0].message
+        # the shifted level becomes the new normal
+        assert alerts[-1] is None
+
+    def test_warmup_suppresses(self):
+        rule = DriftRule("d", field="v", warmup=5)
+        assert rule.evaluate(record(v=0.0)) is None
+        assert rule.evaluate(record(v=100.0)) is None  # still warming up
+
+
+class TestStallRule:
+    def test_fires_after_window_without_improvement(self):
+        rule = StallRule("stall", field="psnr_mean", window=3, min_delta=0.1)
+        assert rule.evaluate(record(psnr_mean=10.0)) is None
+        for value in (10.0, 10.05, 10.02):
+            alert = rule.evaluate(record(psnr_mean=value))
+        assert alert is not None
+        assert "not improved" in alert.message
+
+    def test_fires_once_per_streak_and_rearms(self):
+        rule = StallRule("stall", field="v", window=2, min_delta=0.1)
+        rule.evaluate(record(v=1.0))
+        assert rule.evaluate(record(v=1.0)) is None
+        assert rule.evaluate(record(v=1.0)) is not None   # streak fires
+        assert rule.evaluate(record(v=1.0)) is None        # latched
+        assert rule.evaluate(record(v=2.0)) is None        # recovery re-arms
+        rule.evaluate(record(v=2.0))
+        assert rule.evaluate(record(v=2.0)) is not None
+
+    def test_decreasing_mode(self):
+        rule = StallRule("loss", field="loss", window=2, increasing=False)
+        rule.evaluate(record(loss=1.0))
+        rule.evaluate(record(loss=0.5))    # improving (decreasing)
+        rule.evaluate(record(loss=0.6))
+        alert = rule.evaluate(record(loss=0.7))
+        assert alert is not None
+
+
+class TestMetricRule:
+    def test_absolute_above(self):
+        rule = MetricRule("crash", metric="pool.worker_crashes", above=0.0)
+        assert rule.evaluate_registry({"pool.worker_crashes": 0.0}, 1) is None
+        alert = rule.evaluate_registry({"pool.worker_crashes": 2.0}, 1)
+        assert alert is not None
+        assert alert.field == "pool.worker_crashes"
+
+    def test_below_frac_of_peak(self):
+        rule = MetricRule("collapse", metric="trainer.images_per_s",
+                          below_frac_of_peak=0.5, warmup=2)
+        assert rule.evaluate_registry({"trainer.images_per_s": 100.0}, 0) is None
+        assert rule.evaluate_registry({"trainer.images_per_s": 110.0}, 1) is None
+        assert rule.evaluate_registry({"trainer.images_per_s": 105.0}, 2) is None
+        alert = rule.evaluate_registry({"trainer.images_per_s": 20.0}, 3)
+        assert alert is not None
+        assert "collapsed" in alert.message
+
+    def test_missing_metric_is_silent(self):
+        rule = MetricRule("collapse", metric="nope", below=1.0)
+        assert rule.evaluate_registry({}, 0) is None
+
+    def test_mode_validation(self):
+        with pytest.raises(ConfigError):
+            MetricRule("x", metric="m")
+        with pytest.raises(ConfigError):
+            MetricRule("x", metric="m", above=1.0, below=0.0)
+        with pytest.raises(ConfigError):
+            MetricRule("x", metric="m", below_frac_of_peak=1.5)
+
+
+class TestProbeDisabledRule:
+    def test_fires_once_per_probe(self):
+        rule = ProbeDisabledRule()
+        err = {"probe_error": True, "probe": "decode", "disabled": True,
+               "error": "ValueError('x')"}
+        assert rule.evaluate({"probe_error": True, "probe": "decode",
+                              "disabled": False}) is None
+        assert rule.evaluate(err) is not None
+        assert rule.evaluate(err) is None
+        other = dict(err, probe="correlation")
+        assert rule.evaluate(other) is not None
+
+
+class TestAlertEngine:
+    def test_observe_collects_and_counts(self):
+        registry = default_registry()
+        engine = AlertEngine([
+            ThresholdRule("leak", field="corr_abs_mean", above=0.25),
+        ])
+        engine.observe(record(corr_abs_mean=0.1))
+        assert engine.alerts == []
+        fired = engine.observe(record(corr_abs_mean=0.5))
+        assert len(fired) == 1
+        assert registry.counter("alerts.total").snapshot() == 1.0
+        assert registry.counter("alerts.leak").snapshot() == 1.0
+        assert engine.by_rule("leak") == engine.alerts
+
+    def test_broken_rule_is_isolated(self):
+        class Broken(ThresholdRule):
+            def evaluate(self, record):
+                raise RuntimeError("boom")
+
+        engine = AlertEngine([
+            Broken("broken", field="v", above=0.0),
+            ThresholdRule("good", field="v", above=0.0),
+        ])
+        fired = engine.observe(record(v=1.0))
+        assert [a.rule for a in fired] == ["good"]
+
+    def test_replay_resets_rules(self):
+        engine = AlertEngine([
+            ThresholdRule("leak", field="corr_abs_mean", above=0.25),
+        ])
+        records = [record(corr_abs_mean=v, epoch=i)
+                   for i, v in enumerate((0.1, 0.3, 0.5))]
+        first = engine.replay(records)
+        second = engine.replay(records)
+        assert len(first) == len(second) == 1
+        assert engine.alerts == second
+
+    def test_attached_logger_receives_alert_events(self, tmp_path):
+        from repro.monitor.alerts import ALERT_EVENT
+        from repro.telemetry.events import EventLogger
+
+        path = tmp_path / "alerts.jsonl"
+        logger = EventLogger(path=str(path), level="debug")
+        engine = AlertEngine([
+            ThresholdRule("leak", field="corr_abs_mean", above=0.25,
+                          severity="critical"),
+        ]).attach(logger)
+        engine.observe(record(corr_abs_mean=0.5))
+        logger.close()
+        lines = [json.loads(line) for line in
+                 path.read_text().splitlines()]
+        events = [l for l in lines if l.get("event") == ALERT_EVENT]
+        assert len(events) == 1
+        assert events[0]["rule"] == "leak"
+        assert events[0]["level"] == "error"  # critical maps to error level
+
+    def test_summary_table_renders(self):
+        engine = AlertEngine([])
+        engine.alerts.append(Alert(rule="leak", severity="critical",
+                                   message="corr high", epoch=3))
+        out = engine.summary_table()
+        assert "leak" in out and "critical" in out
+
+    def test_rule_validation(self):
+        with pytest.raises(ConfigError):
+            AlertEngine([object()])
+
+    def test_update_health_on_emit(self):
+        from repro.telemetry.export import health_snapshot, reset_health
+
+        reset_health()
+        engine = AlertEngine([
+            ThresholdRule("leak", field="v", above=0.0),
+        ])
+        engine.observe(record(v=1.0))
+        health = health_snapshot()
+        assert health["last_alert"] == "leak"
+        reset_health()
+
+
+class _AlwaysRaises(Probe):
+    name = "broken"
+    scope = "epoch"
+
+    def observe(self, ctx):
+        raise ValueError("hard broken")
+
+
+class _Counts(Probe):
+    name = "counts"
+    scope = "epoch"
+
+    def observe(self, ctx):
+        return {"ticks": float(ctx.epoch)}
+
+
+class TestMonitorIntegration:
+    """Probe auto-disable x alert rules: the disabled probe fires a
+    probe_disabled alert exactly once and never kills the run."""
+
+    def test_disabled_probe_alerts_once_and_run_survives(self):
+        engine = AlertEngine([ProbeDisabledRule()])
+        monitor = Monitor([_AlwaysRaises(), _Counts()],
+                          max_probe_errors=2, alerts=engine)
+        for epoch in range(6):
+            monitor.on_epoch(model=None, epoch=epoch)
+        # the healthy probe ran every epoch: training was never killed
+        assert len(monitor.probe_records("counts")) == 6
+        # the broken probe was disabled after max_probe_errors failures
+        assert len(monitor.errors()) == 2
+        disabled = [a for a in engine.alerts if a.rule == "probe_disabled"]
+        assert len(disabled) == 1
+        assert "broken" in disabled[0].message
+
+    def test_monitor_accepts_plain_rule_sequence(self):
+        monitor = Monitor([_Counts()],
+                          alerts=[ThresholdRule("t", field="ticks", above=2.5)])
+        for epoch in range(5):
+            monitor.on_epoch(model=None, epoch=epoch)
+        assert isinstance(monitor.alerts, AlertEngine)
+        assert [a.rule for a in monitor.alerts.alerts] == ["t"]
+
+    def test_epoch_tick_evaluates_registry_rules(self):
+        registry = default_registry()
+        registry.gauge("trainer.images_per_s").set(100.0)
+        engine = AlertEngine([
+            MetricRule("collapse", metric="trainer.images_per_s",
+                       below_frac_of_peak=0.5, warmup=2),
+        ])
+        monitor = Monitor([_Counts()], alerts=engine)
+        for epoch in range(3):
+            monitor.on_epoch(model=None, epoch=epoch)
+        registry.gauge("trainer.images_per_s").set(10.0)
+        monitor.on_epoch(model=None, epoch=3)
+        assert [a.rule for a in engine.alerts] == ["collapse"]
+        assert engine.alerts[0].epoch == 3
+
+    def test_alerts_written_to_timeseries(self, tmp_path):
+        from repro.monitor import alert_records, load_timeseries
+
+        path = str(tmp_path / "run.jsonl")
+        engine = AlertEngine([
+            ThresholdRule("many_ticks", field="ticks", above=1.5),
+        ])
+        with Monitor([_Counts()], path=path, alerts=engine) as monitor:
+            for epoch in range(4):
+                monitor.on_epoch(model=None, epoch=epoch)
+        records = load_timeseries(path)
+        alerts = alert_records(records)
+        assert len(alerts) == 1
+        assert alerts[0]["rule"] == "many_ticks"
+        # probe records are still cleanly separated from alert records
+        assert len([r for r in records if not r.get("alert")
+                    and not r.get("probe_error")]) == 4
+
+
+class TestDefaultRules:
+    def test_names_cover_the_pipeline_vitals(self):
+        names = {rule.name for rule in default_rules()}
+        assert {"correlation_leak", "psnr_stall", "throughput_collapse",
+                "worker_death", "probe_disabled"} <= names
+
+    def test_correlation_rule_fires_on_malicious_trajectory(self):
+        engine = AlertEngine(default_rules(corr_threshold=0.25))
+        # a benign-looking then leaking correlation trajectory
+        trajectory = [0.05, 0.4, 0.6]
+        for epoch, corr in enumerate(trajectory):
+            engine.observe(record(probe="correlation", epoch=epoch,
+                                  corr_abs_mean=corr))
+        leak = engine.by_rule("correlation_leak")
+        assert len(leak) == 1
+        assert leak[0].severity == "critical"
+        assert leak[0].epoch == 1
+
+    def test_benign_trajectory_stays_silent(self):
+        engine = AlertEngine([r for r in default_rules()
+                              if r.name == "correlation_leak"])
+        for epoch, corr in enumerate((0.04, 0.06, 0.05, 0.07, 0.05)):
+            engine.observe(record(probe="correlation", epoch=epoch,
+                                  corr_abs_mean=corr))
+        assert engine.alerts == []

@@ -47,6 +47,9 @@ TARGET_FILES = (
     "src/repro/monitor/system.py",
     "src/repro/monitor/report.py",
     "src/repro/monitor/bench.py",
+    "src/repro/monitor/alerts.py",
+    "src/repro/telemetry/sampler.py",
+    "src/repro/telemetry/export.py",
     "src/repro/precision.py",
     "src/repro/autograd/planner.py",
 )

@@ -1,0 +1,181 @@
+"""Stack sampler: sampling mechanics, exports, and the profiler cross-check."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.sampler import StackSampler, _frame_label, compare_with_profile
+
+
+def _spin(seconds: float) -> None:
+    """Busy-loop so the main thread is actually on-CPU while sampled."""
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+class TestSampling:
+    def test_captures_samples_of_the_main_thread(self):
+        with StackSampler(hz=500) as sampler:
+            _spin(0.2)
+        assert sampler.sample_count > 10
+        assert sampler.wall_time >= 0.2
+        # the busy loop is visible in the collected stacks
+        assert sampler.share("test_sampler:_spin") > 0.5
+
+    def test_stacks_are_root_first(self):
+        with StackSampler(hz=500) as sampler:
+            _spin(0.1)
+        stack = max(sampler.samples, key=sampler.samples.get)
+        assert any("_spin" in label for label in stack)
+        # _spin is deeper in the stack than the pytest machinery
+        spin_pos = max(i for i, label in enumerate(stack) if "_spin" in label)
+        assert spin_pos == len(stack) - 1 or spin_pos > 0
+
+    def test_main_mode_ignores_other_threads(self):
+        stop = threading.Event()
+
+        def background():
+            while not stop.wait(0.001):
+                pass
+
+        thread = threading.Thread(target=background, daemon=True)
+        thread.start()
+        try:
+            with StackSampler(hz=500, threads="main") as sampler:
+                _spin(0.1)
+        finally:
+            stop.set()
+            thread.join()
+        assert not any("background" in label
+                       for stack in sampler.samples for label in stack)
+
+    def test_all_mode_sees_other_threads(self):
+        stop = threading.Event()
+
+        def background():
+            while not stop.wait(0.001):
+                pass
+
+        thread = threading.Thread(target=background, daemon=True)
+        thread.start()
+        try:
+            with StackSampler(hz=500, threads="all") as sampler:
+                _spin(0.2)
+        finally:
+            stop.set()
+            thread.join()
+        assert any("background" in label
+                   for stack in sampler.samples for label in stack)
+
+    def test_max_depth_truncates(self):
+        def recurse(n):
+            if n == 0:
+                _spin(0.15)
+            else:
+                recurse(n - 1)
+
+        with StackSampler(hz=500, max_depth=5) as sampler:
+            recurse(30)
+        assert sampler.samples
+        assert all(len(stack) <= 5 for stack in sampler.samples)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StackSampler(hz=0)
+        with pytest.raises(ConfigError):
+            StackSampler(threads="bogus")
+        sampler = StackSampler().start()
+        with pytest.raises(ConfigError):
+            sampler.start()
+        sampler.stop()
+        sampler.stop()  # idempotent
+
+    def test_frame_label_format(self):
+        import sys
+        frame = sys._getframe()
+        label = _frame_label(frame)
+        assert label == f"{__name__}:test_frame_label_format"
+
+
+class TestQueriesAndExport:
+    def make_sampler(self):
+        sampler = StackSampler(hz=500)
+        sampler.samples = {
+            ("mod:root", "mod:work"): 6,
+            ("mod:root", "mod:other"): 3,
+            ("mod:root",): 1,
+        }
+        sampler.sample_count = 10
+        return sampler
+
+    def test_leaf_shares(self):
+        shares = self.make_sampler().leaf_shares()
+        assert shares["mod:work"] == pytest.approx(0.6)
+        assert shares["mod:other"] == pytest.approx(0.3)
+        assert shares["mod:root"] == pytest.approx(0.1)
+
+    def test_total_shares_count_recursion_once(self):
+        shares = self.make_sampler().total_shares()
+        assert shares["mod:root"] == pytest.approx(1.0)
+        assert shares["mod:work"] == pytest.approx(0.6)
+
+    def test_share_substring(self):
+        sampler = self.make_sampler()
+        assert sampler.share("work") == pytest.approx(0.6)
+        assert sampler.share("mod:") == pytest.approx(1.0)
+        assert sampler.share("absent") == 0.0
+
+    def test_empty_sampler_queries(self):
+        sampler = StackSampler()
+        assert sampler.leaf_shares() == {}
+        assert sampler.total_shares() == {}
+        assert sampler.share("x") == 0.0
+
+    def test_collapsed_format(self, tmp_path):
+        sampler = self.make_sampler()
+        text = sampler.collapsed()
+        assert "mod:root;mod:work 6" in text.splitlines()
+        path = tmp_path / "profile.folded"
+        sampler.to_collapsed(path)
+        assert path.read_text().strip() == text
+
+    def test_table_renders(self):
+        out = self.make_sampler().table(top_k=2)
+        assert "mod:work" in out
+        assert "60.0" in out
+
+
+class TestProfilerCrossCheck:
+    def test_cross_check_on_a_tiny_training_step(self):
+        """The sampler's repro.* compute share and the op profiler's
+        coverage both attribute a real training step; they must agree
+        that compute dominates (loose band -- both are statistical)."""
+        import numpy as np
+
+        from repro.pipeline.trainer import Trainer, TrainingConfig
+        from repro.telemetry.profiler import profile
+        from repro.datasets import SyntheticCifarConfig, make_synthetic_cifar
+        from repro.datasets.transforms import images_to_batch, normalize_batch
+        from repro.models import resnet8_tiny
+
+        data = make_synthetic_cifar(SyntheticCifarConfig(
+            num_images=64, num_classes=4, image_size=16, seed=0))
+        batch = images_to_batch(data.images)
+        batch, _, _ = normalize_batch(batch)
+        trainer = Trainer(
+            resnet8_tiny(num_classes=4, in_channels=3, width=8,
+                         rng=np.random.default_rng(0)),
+            batch, data.labels,
+            TrainingConfig(epochs=1, batch_size=32, lr=0.05, seed=0))
+        trainer.train_epoch()  # warm-up outside both instruments
+        with StackSampler(hz=500) as sampler, profile() as prof:
+            trainer.train_epoch()
+        check = compare_with_profile(sampler, prof)
+        assert check["sampled_compute_share"] > 0.3
+        assert check["profiled_op_coverage"] > 0.3
+        assert 0.0 <= check["gap"] <= 0.7

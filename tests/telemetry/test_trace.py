@@ -99,16 +99,23 @@ class TestExport:
 
     def test_chrome_trace_structure(self):
         trace = self.make_recorder().chrome_trace()
-        events = trace["traceEvents"]
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
         assert len(events) == 2
         for event in events:
-            assert event["ph"] == "X"
             assert event["ts"] >= 0.0
             assert event["dur"] >= 0.0
             assert isinstance(event["pid"], int)
             assert isinstance(event["tid"], int)
         named = {e["name"]: e for e in events}
         assert named["a"]["args"] == {"k": "v"}
+
+    def test_chrome_trace_metadata_lanes(self):
+        trace = self.make_recorder().chrome_trace()
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert {"process_name", "process_sort_index", "thread_name"} <= names
+        proc = next(e for e in meta if e["name"] == "process_name")
+        assert proc["args"]["name"] == "repro main"
 
     def test_chrome_trace_file_is_valid_json(self, tmp_path):
         path = tmp_path / "trace.json"
