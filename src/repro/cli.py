@@ -12,6 +12,12 @@ Subcommands:
   stored benchmark trajectory (``--bench``).
 * ``alerts``       -- replay the alert rules over an existing monitor
   timeseries (exit 1 when any rule fires).
+* ``serve``        -- batched async HTTP serving of released model
+  artifacts (``repro.serve``): deadline coalescing, sharded workers,
+  live latency telemetry.
+* ``loadgen``      -- deterministic heavy-tailed open-loop traffic
+  against a server (in-process or ``--url``), with replayable traces
+  and ``BENCH_serve.json`` trajectories.
 * ``profile``      -- per-autograd-op and per-kernel cost tables for a
   small training run.
 * ``bench-kernels`` -- per-kernel reference-vs-fast timing table.
@@ -47,6 +53,9 @@ Examples::
     python -m repro.cli report run.timeseries.jsonl
     python -m repro.cli report malicious.timeseries.jsonl benign.timeseries.jsonl
     python -m repro.cli report --bench monitor
+    python -m repro.cli serve --demo --bits 4 --port 8080 --shards 2
+    python -m repro.cli loadgen --url http://127.0.0.1:8080 --requests 500
+    python -m repro.cli loadgen --demo --requests 200 --bench-out .
     python -m repro.cli --backend fast profile quickstart --top 12
     python -m repro.cli bench-kernels --repeats 20 --csv kernels.csv
 """
@@ -441,6 +450,156 @@ def _cmd_alerts(args) -> int:
     return 1 if fired else 0
 
 
+def _demo_artifact(path: str, bits: Optional[int], seed: int) -> str:
+    """Materialize a (optionally quantized) demo artifact at ``path``.
+
+    A released resnet8_tiny with random weights -- enough for the
+    serving/loadgen commands to run end to end without a training run.
+    """
+    from repro.models import resnet8_tiny
+    from repro.serve import save_artifact
+
+    kwargs = dict(num_classes=10, in_channels=3, width=8)
+    model = resnet8_tiny(rng=np.random.default_rng(seed), **kwargs)
+    quantization = None
+    if bits is not None:
+        from repro.quantization import (UniformQuantizer, apply_quantization,
+                                        levels_for_bits)
+        result = UniformQuantizer(levels_for_bits(bits)).quantize_model(model)
+        apply_quantization(model, result)
+        quantization = {"bits": bits, "method": "uniform"}
+    save_artifact(model, path, "resnet8_tiny", model_kwargs=kwargs,
+                  input_shape=(3, 8, 8), quantization=quantization,
+                  seed=seed)
+    return path
+
+
+def _parse_artifacts(specs, demo: bool, demo_dir: Optional[str],
+                     bits: Optional[int], seed: int) -> dict:
+    import os
+    import tempfile
+
+    artifacts = {}
+    for spec in specs or []:
+        if "=" in spec:
+            key, _, path = spec.partition("=")
+        else:
+            path = spec
+            key = os.path.basename(os.path.normpath(spec)) or "default"
+        artifacts[key] = path
+    if demo:
+        path = demo_dir or os.path.join(tempfile.mkdtemp(prefix="repro-serve-"),
+                                        "demo")
+        print(f"[demo artifact -> {path}]", file=sys.stderr)
+        artifacts.setdefault("demo", _demo_artifact(path, bits, seed))
+    return artifacts
+
+
+def _cmd_serve(args) -> int:
+    """Serve released artifacts over HTTP until interrupted."""
+    import asyncio
+
+    from repro.monitor.alerts import AlertEngine, serving_rules
+    from repro.serve import ModelServer, ServeConfig, ServeHTTP
+
+    artifacts = _parse_artifacts(args.artifact, args.demo, args.demo_dir,
+                                 args.bits, args.seed)
+    if not artifacts:
+        raise SystemExit("repro serve: give ARTIFACT dirs (KEY=PATH or PATH) "
+                         "or --demo")
+    config = ServeConfig(
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        queue_capacity=args.queue_capacity, shards=args.shards,
+        backend=args.backend, default_deadline_ms=args.deadline_ms)
+    engine = None
+    if args.alerts:
+        engine = AlertEngine(serving_rules(p99_budget_ms=args.p99_budget_ms))
+
+    async def _run() -> None:
+        async with ModelServer(artifacts, config, alerts=engine) as server:
+            async with ServeHTTP(server, host=args.host,
+                                 port=args.port) as front:
+                for key, meta in server.models().items():
+                    quant = meta.get("quantization") or {}
+                    tag = (f"{quant.get('bits')}-bit" if quant else "float")
+                    print(f"serving {key!r} [{meta['fingerprint']}] ({tag}) "
+                          f"x{config.shards} shard(s)", file=sys.stderr)
+                print(f"listening on {front.url} "
+                      f"(POST /infer, GET /healthz, GET /models)",
+                      file=sys.stderr)
+                try:
+                    await asyncio.Event().wait()
+                except asyncio.CancelledError:
+                    pass
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    if engine is not None and engine.alerts:
+        print(engine.summary_table(
+            title=f"serve alerts ({len(engine.alerts)} fired)"))
+        return 1
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    """Generate (or replay) synthetic traffic against a serving stack."""
+    import asyncio
+
+    from repro.serve import (
+        LoadGenConfig,
+        ModelServer,
+        ServeConfig,
+        generate_trace,
+        http_loadgen,
+        load_trace,
+        run_loadgen,
+        save_trace,
+    )
+
+    if args.replay:
+        trace = load_trace(args.replay)
+        config = None
+        print(f"[replaying {len(trace)} requests from {args.replay}]",
+              file=sys.stderr)
+    else:
+        config = LoadGenConfig(seed=args.seed, n_requests=args.requests,
+                               rate_rps=args.rate, alpha=args.alpha,
+                               deadline_ms=args.deadline_ms)
+        trace = generate_trace(config)
+    if args.save_trace:
+        save_trace(trace, args.save_trace, config)
+        print(f"trace written to {args.save_trace}", file=sys.stderr)
+    if args.url:
+        report = asyncio.run(http_loadgen(args.url, trace,
+                                          time_scale=args.time_scale))
+    else:
+        artifacts = _parse_artifacts(args.artifact, args.demo, None,
+                                     args.bits, args.seed)
+        if not artifacts:
+            raise SystemExit("repro loadgen: give --url, ARTIFACT dirs, "
+                             "or --demo")
+        serve_config = ServeConfig(
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            shards=args.shards, backend=args.backend,
+            default_deadline_ms=args.deadline_ms)
+
+        async def _run():
+            async with ModelServer(artifacts, serve_config) as server:
+                return await run_loadgen(server, trace,
+                                         time_scale=args.time_scale)
+
+        report = asyncio.run(_run())
+    print(report.to_table())
+    if args.bench_out:
+        from repro.monitor import BenchStore
+        store = BenchStore(args.bench_out)
+        store.append("serve", report.metrics())
+        print(f"trajectory appended to {store.path('serve')}", file=sys.stderr)
+    return 1 if (report.errors or not report.completed) else 0
+
+
 def _cmd_profile(args) -> int:
     """Profile autograd ops over a short training run of an example model."""
     dataset_by_example = {"quickstart": "cifar", "faces": "faces",
@@ -683,6 +842,82 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--csv", metavar="PATH", default=None,
                        help="export the records as CSV")
     bench.set_defaults(func=_cmd_bench_kernels)
+
+    serve = sub.add_parser(
+        "serve", help="serve released model artifacts over HTTP")
+    serve.add_argument("artifact", nargs="*", metavar="ARTIFACT",
+                       help="artifact dirs to serve, as PATH or KEY=PATH")
+    serve.add_argument("--demo", action="store_true", default=False,
+                       help="also serve a generated demo artifact "
+                            "(random resnet8_tiny; see --bits)")
+    serve.add_argument("--demo-dir", metavar="DIR", default=None,
+                       help="where --demo materializes the artifact "
+                            "(default: a temp dir)")
+    serve.add_argument("--bits", type=int, default=None,
+                       help="uniform-quantize the --demo artifact to this "
+                            "bitwidth before release")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="weight seed for the --demo artifact")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 picks a free port)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="persistent inference worker processes")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="request coalescing cap per dispatched batch")
+    serve.add_argument("--max-wait-ms", type=float, default=4.0,
+                       help="longest a request coalesces before dispatch")
+    serve.add_argument("--queue-capacity", type=int, default=512,
+                       help="admission cap; beyond it requests are refused")
+    serve.add_argument("--deadline-ms", type=float, default=1000.0,
+                       help="default per-request deadline")
+    serve.add_argument("--alerts", action="store_true", default=False,
+                       help="evaluate the serving alert rules per batch "
+                            "(p99 breach, shard death, errors, refusals); "
+                            "exit 1 if any fired")
+    serve.add_argument("--p99-budget-ms", type=float, default=250.0,
+                       help="latency budget for the serve_p99_breach rule")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="synthetic open-loop traffic against a server")
+    loadgen.add_argument("artifact", nargs="*", metavar="ARTIFACT",
+                         help="artifact dirs for an in-process server "
+                              "(ignored with --url)")
+    loadgen.add_argument("--url", metavar="URL", default=None,
+                         help="drive a running `repro serve` over HTTP "
+                              "instead of an in-process server")
+    loadgen.add_argument("--demo", action="store_true", default=False,
+                         help="generate a demo artifact for the in-process "
+                              "server")
+    loadgen.add_argument("--bits", type=int, default=None,
+                         help="quantization bitwidth for the --demo artifact")
+    loadgen.add_argument("--requests", type=int, default=200,
+                         help="requests in the generated trace")
+    loadgen.add_argument("--rate", type=float, default=200.0,
+                         help="mean arrival rate, requests/second")
+    loadgen.add_argument("--alpha", type=float, default=1.5,
+                         help="Pareto tail index of inter-arrival gaps "
+                              "(smaller = burstier)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="trace seed (same seed => byte-identical trace)")
+    loadgen.add_argument("--deadline-ms", type=float, default=1000.0,
+                         help="per-request deadline recorded in the trace")
+    loadgen.add_argument("--time-scale", type=float, default=1.0,
+                         help="stretch (>1) or compress (<1) the schedule")
+    loadgen.add_argument("--replay", metavar="TRACE", default=None,
+                         help="replay an existing trace JSONL instead of "
+                              "generating one")
+    loadgen.add_argument("--save-trace", metavar="PATH", default=None,
+                         help="write the trace JSONL for later --replay")
+    loadgen.add_argument("--shards", type=int, default=1,
+                         help="shards for the in-process server")
+    loadgen.add_argument("--max-batch", type=int, default=16)
+    loadgen.add_argument("--max-wait-ms", type=float, default=4.0)
+    loadgen.add_argument("--bench-out", metavar="DIR", default=None,
+                         help="append p50/p99/throughput to "
+                              "DIR/BENCH_serve.json")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     info = sub.add_parser("info", help="print versions/platform for bug reports")
     info.add_argument("--bench-dir", metavar="DIR", default=".",

@@ -32,3 +32,7 @@ class DatasetError(ReproError):
 
 class ConfigError(ReproError):
     """A pipeline configuration is inconsistent."""
+
+
+class ServeError(ReproError):
+    """The serving layer refused or failed a request/artifact operation."""

@@ -61,6 +61,7 @@ from repro.monitor.alerts import (
     StallRule,
     ThresholdRule,
     default_rules,
+    serving_rules,
 )
 from repro.monitor.report import (
     alert_records,
@@ -89,7 +90,7 @@ __all__ = [
     "alert_records",
     "ALERT_EVENT", "Alert", "AlertEngine", "AlertRule", "DriftRule",
     "MetricRule", "ProbeDisabledRule", "StallRule", "ThresholdRule",
-    "default_rules",
+    "default_rules", "serving_rules",
     "BenchStore", "Regression", "detect_regressions", "machine_fingerprint",
     "machine_info", "metric_direction", "trend_table",
 ]

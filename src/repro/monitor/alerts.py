@@ -31,7 +31,8 @@ import math
 import time
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence)
 
 from repro.errors import ConfigError
 
@@ -383,13 +384,18 @@ class AlertEngine:
     ``alerts.total`` / ``alerts.<rule>`` counters (visible to the live
     exporter), update the health heartbeat, and are written as
     ``monitor.alert`` events to any attached loggers.
+
+    ``clock`` (default ``time.time``) stamps each fired alert's ``ts``;
+    tests inject a fake clock so alert timestamps are deterministic.
     """
 
-    def __init__(self, rules: Sequence[AlertRule]) -> None:
+    def __init__(self, rules: Sequence[AlertRule],
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self.rules: List[AlertRule] = list(rules)
         for rule in self.rules:
             if not isinstance(rule, AlertRule):
                 raise ConfigError(f"rules must be AlertRule instances, got {rule!r}")
+        self.clock = clock
         self.alerts: List[Alert] = []
         self._loggers: List[Any] = []
 
@@ -447,6 +453,8 @@ class AlertEngine:
         from repro.telemetry.export import update_health
         from repro.telemetry.metrics import default_registry
 
+        if self.clock is not None:
+            alert.ts = self.clock()
         self.alerts.append(alert)
         registry = default_registry()
         registry.counter("alerts.total").inc()
@@ -505,4 +513,34 @@ def default_rules(corr_threshold: float = 0.25,
         MetricRule("worker_death", metric="pool.worker_crashes",
                    above=0.0, severity="critical"),
         ProbeDisabledRule(),
+    ]
+
+
+def serving_rules(p99_budget_ms: float = 250.0,
+                  error_budget: float = 0.0,
+                  refusal_budget: float = 0.0) -> List[AlertRule]:
+    """Rule set watching the ``repro.serve`` request path's vitals.
+
+    Wire into :class:`~repro.serve.server.ModelServer` via ``alerts=``;
+    the server calls :meth:`AlertEngine.observe_registry` after every
+    dispatched batch, so these fire *during* a load run:
+
+    * ``serve_p99_breach`` -- the ``serve.latency_ms`` p99 crossed the
+      latency budget (critical: the serving SLO is gone);
+    * ``shard_death`` -- a shard process died mid-request (critical;
+      the pool respawns it, but an operator should know);
+    * ``serve_errors`` -- operational failures (crashes surviving the
+      retry budget, timeouts, handler exceptions) exceeded budget;
+    * ``serve_refusals`` -- admission refused more requests than the
+      back-pressure budget allows: the queue cap is being hit.
+    """
+    return [
+        MetricRule("serve_p99_breach", metric="serve.latency_ms.p99",
+                   above=p99_budget_ms, severity="critical"),
+        MetricRule("shard_death", metric="serve.shard_deaths",
+                   above=0.0, severity="critical"),
+        MetricRule("serve_errors", metric="serve.errors",
+                   above=error_budget, severity="critical"),
+        MetricRule("serve_refusals", metric="serve.refused",
+                   above=refusal_budget),
     ]

@@ -1,19 +1,25 @@
 """Process-pool experiment execution with deterministic seeding.
 
-Two pieces:
+Three pieces:
 
 * :mod:`repro.parallel.pool` -- :class:`WorkerPool`: chunked
   multi-process task scheduling with per-task timeouts, bounded retry
   of crashed workers, structured :class:`TaskOutcome` failure records
   (never pool-wide aborts), per-worker telemetry snapshot ship-back,
   and a transparent in-process serial fallback.
+* :mod:`repro.parallel.shards` -- :class:`ShardPool`: *persistent*
+  worker processes holding expensive state (loaded model artifacts)
+  and answering a request stream, with shard respawn + bounded retry
+  of in-flight requests on crash.  The serving layer's execution
+  substrate.
 * :mod:`repro.parallel.seeding` -- ``SeedSequence``-based per-task seed
   derivation so parallel and serial runs produce identical records.
 
 Consumers: ``pipeline.sweep`` (``Sweep.run(parallel=N)``),
 ``pipeline.baselines`` (:func:`run_baseline_suite`),
-``autograd.grad_check`` (parallel finite-difference probes), and the
-CLI's global ``--workers`` flag.
+``autograd.grad_check`` (parallel finite-difference probes),
+``repro.serve`` (:class:`~repro.serve.server.ModelServer` dispatch),
+and the CLI's global ``--workers`` flag.
 """
 
 from repro.parallel.pool import Task, TaskOutcome, WorkerPool, cpu_workers
@@ -22,8 +28,10 @@ from repro.parallel.seeding import (
     sequence_for_index,
     spawn_sequences,
 )
+from repro.parallel.shards import ShardPool, ShardResult
 
 __all__ = [
     "Task", "TaskOutcome", "WorkerPool", "cpu_workers",
+    "ShardPool", "ShardResult",
     "rng_for_index", "sequence_for_index", "spawn_sequences",
 ]

@@ -1,0 +1,429 @@
+"""Persistent shard workers: the long-lived counterpart of :class:`WorkerPool`.
+
+:class:`~repro.parallel.pool.WorkerPool` is built for *finite* fan-out:
+it spawns workers per chunk, runs a fixed task list, and tears down.  A
+serving front end needs the opposite shape -- a small set of
+**persistent** worker processes, each holding expensive state (a loaded
+model artifact), answering a stream of requests until shut down.
+:class:`ShardPool` provides that with the same failure discipline the
+pool established:
+
+* a request whose handler **raises** returns an ``error_kind=
+  "exception"`` result; the shard keeps serving;
+* a shard that **dies** mid-request (segfault, ``kill``) is respawned
+  (bounded by ``max_respawns`` per shard slot) and its in-flight
+  requests are retried up to ``retries`` times before an
+  ``error_kind="crash"`` result is delivered;
+* a request that outlives its ``timeout`` in :meth:`result` returns an
+  ``error_kind="timeout"`` result (the shard is left alone -- it may
+  still be doing useful work for later requests).
+
+Shards are started with the ``fork`` start method so the ``init_fn``
+and payloads travel by memory inheritance; where ``fork`` is
+unavailable the pool transparently degrades to in-process serial
+execution with identical result semantics (and no crash isolation,
+as with the WorkerPool's serial fallback).
+
+A background collector thread owns every shard pipe; :meth:`submit` /
+:meth:`result` are thread-safe, so the asyncio server can dispatch
+batches from executor threads without extra locking.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ServeError
+from repro.telemetry.metrics import default_registry
+
+__all__ = ["ShardResult", "ShardPool"]
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one shard request (mirrors the pool's TaskOutcome)."""
+
+    ticket: int
+    ok: bool
+    value: Any = None
+    error: str = ""
+    error_kind: str = ""       # "" | "exception" | "crash" | "timeout"
+    shard: int = -1
+    attempts: int = 1
+    duration_s: float = 0.0
+
+
+def _shard_main(index: int, init_fn: Callable[[], Callable[[Any], Any]],
+                conn) -> None:
+    """Shard entrypoint: build the handler once, then serve requests.
+
+    Module-level for start-method safety.  ``init_fn`` returns the
+    request handler; an init failure is reported once and the shard
+    exits (the parent treats further traffic to it as a crash).
+    """
+    try:
+        handler = init_fn()
+    except Exception as exc:
+        try:
+            conn.send(("init_error", -1, None, repr(exc), 0.0))
+        finally:
+            conn.close()
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:  # orderly shutdown
+            break
+        ticket, payload = message
+        start = time.perf_counter()
+        try:
+            value = handler(payload)
+            reply = ("ok", ticket, value, "", time.perf_counter() - start)
+        except Exception as exc:
+            reply = ("err", ticket, None, repr(exc),
+                     time.perf_counter() - start)
+        try:
+            conn.send(reply)
+        except Exception as exc:  # unpicklable handler result
+            conn.send(("err", ticket, None,
+                       f"unpicklable result: {exc!r}",
+                       time.perf_counter() - start))
+    conn.close()
+
+
+class _Shard:
+    """Parent-side state for one shard slot."""
+
+    __slots__ = ("index", "process", "conn", "inflight", "respawns", "dead")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.inflight: Dict[int, Any] = {}  # ticket -> payload
+        self.respawns = 0
+        self.dead = True
+
+
+class ShardPool:
+    """N persistent worker processes answering a request stream.
+
+    Args:
+        init_fn: zero-arg callable run once inside each shard; returns
+            the per-request handler ``handler(payload) -> value``.
+        shards: number of shard slots (>= 1).
+        retries: times a crashed request is re-run before a ``crash``
+            result is delivered.
+        max_respawns: times one shard slot is restarted after dying
+            before it is written off as permanently dead.
+        start_method: multiprocessing start method; only ``fork`` keeps
+            ``init_fn`` unpickled, so anything else (or ``fork``
+            missing) falls back to in-process serial execution.
+    """
+
+    def __init__(self, init_fn: Callable[[], Callable[[Any], Any]],
+                 shards: int = 1, retries: int = 1, max_respawns: int = 3,
+                 start_method: Optional[str] = None) -> None:
+        if shards < 1:
+            raise ServeError(f"shards must be >= 1, got {shards}")
+        if retries < 0:
+            raise ServeError(f"retries must be >= 0, got {retries}")
+        if max_respawns < 0:
+            raise ServeError(f"max_respawns must be >= 0, got {max_respawns}")
+        self.init_fn = init_fn
+        self.n_shards = int(shards)
+        self.retries = int(retries)
+        self.max_respawns = int(max_respawns)
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else None
+        elif start_method not in available:
+            raise ServeError(f"start method {start_method!r} not in {available}")
+        self.start_method = start_method if start_method == "fork" else None
+        self.serial = self.start_method is None
+
+        self._lock = threading.Lock()
+        self._results_ready = threading.Condition(self._lock)
+        self._results: Dict[int, ShardResult] = {}
+        self._attempts: Dict[int, int] = {}
+        self._abandoned: set = set()
+        self._tickets = itertools.count()
+        self._rr = itertools.count()
+        self._closed = False
+        self._shards: List[_Shard] = [_Shard(i) for i in range(self.n_shards)]
+        self._handler: Optional[Callable[[Any], Any]] = None
+        self._collector: Optional[threading.Thread] = None
+        self._wake_r, self._wake_w = None, None
+
+        if self.serial:
+            self._handler = init_fn()
+            self._set_alive_gauge(self.n_shards)
+        else:
+            self._ctx = multiprocessing.get_context(self.start_method)
+            self._wake_r, self._wake_w = multiprocessing.Pipe(duplex=False)
+            for shard in self._shards:
+                self._spawn(shard)
+            self._collector = threading.Thread(
+                target=self._collect_loop, daemon=True, name="repro-shards")
+            self._collector.start()
+
+    # ------------------------------------------------------------ lifecycle
+    def _set_alive_gauge(self, count: int) -> None:
+        default_registry().gauge("serve.shards_alive").set(float(count))
+
+    def _spawn(self, shard: _Shard) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_main, args=(shard.index, self.init_fn, child_conn),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        shard.process = process
+        shard.conn = parent_conn
+        shard.dead = False
+        self._set_alive_gauge(sum(not s.dead for s in self._shards))
+
+    def close(self) -> None:
+        """Shut every shard down and stop the collector."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._results_ready.notify_all()
+        if self.serial:
+            self._set_alive_gauge(0)
+            return
+        try:
+            self._wake_w.send(b"x")
+        except Exception:
+            pass
+        if self._collector is not None:
+            self._collector.join(timeout=2.0)
+        for shard in self._shards:
+            if shard.conn is not None:
+                try:
+                    shard.conn.send(None)
+                except Exception:
+                    pass
+                shard.conn.close()
+            if shard.process is not None:
+                shard.process.join(timeout=1.0)
+                if shard.process.is_alive():
+                    shard.process.terminate()
+                    shard.process.join(timeout=1.0)
+        self._set_alive_gauge(0)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+    # -------------------------------------------------------------- queries
+    def alive(self) -> List[bool]:
+        """Liveness per shard slot (serial mode: all True until close)."""
+        if self.serial:
+            return [not self._closed] * self.n_shards
+        return [not shard.dead for shard in self._shards]
+
+    def kill_shard(self, index: int) -> bool:
+        """Hard-kill one shard process (fault-injection hook for tests).
+
+        Returns True when a live process was killed; serial mode has no
+        processes to kill and returns False.
+        """
+        if self.serial:
+            return False
+        shard = self._shards[index]
+        if shard.process is None or not shard.process.is_alive():
+            return False
+        shard.process.kill()
+        return True
+
+    # ------------------------------------------------------------- requests
+    def submit(self, payload: Any, shard: Optional[int] = None) -> int:
+        """Enqueue one request; returns its ticket.
+
+        ``shard=None`` round-robins over live shards.  With every shard
+        permanently dead the request completes immediately as a
+        ``crash`` result (structured, never an exception).
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("ShardPool is closed")
+            ticket = next(self._tickets)
+            self._attempts[ticket] = 1
+            if self.serial:
+                self._results[ticket] = self._run_serial(ticket, payload)
+                self._results_ready.notify_all()
+                return ticket
+            target = self._pick_shard(shard)
+            if target is None:
+                self._results[ticket] = ShardResult(
+                    ticket, False, error="no live shards",
+                    error_kind="crash", attempts=0)
+                self._results_ready.notify_all()
+                return ticket
+            self._send(target, ticket, payload)
+            return ticket
+
+    def _run_serial(self, ticket: int, payload: Any) -> ShardResult:
+        start = time.perf_counter()
+        try:
+            value = self._handler(payload)
+        except Exception as exc:
+            return ShardResult(ticket, False, error=repr(exc),
+                               error_kind="exception", shard=0,
+                               duration_s=time.perf_counter() - start)
+        return ShardResult(ticket, True, value=value, shard=0,
+                           duration_s=time.perf_counter() - start)
+
+    def _pick_shard(self, index: Optional[int]) -> Optional[_Shard]:
+        if index is not None:
+            shard = self._shards[index]
+            return None if shard.dead else shard
+        live = [s for s in self._shards if not s.dead]
+        if not live:
+            return None
+        return live[next(self._rr) % len(live)]
+
+    def _send(self, shard: _Shard, ticket: int, payload: Any) -> None:
+        shard.inflight[ticket] = payload
+        try:
+            shard.conn.send((ticket, payload))
+        except Exception:
+            # pipe already broken: let the collector's death handling
+            # retry/record it the same way a mid-request crash would be
+            self._on_shard_death(shard)
+
+    def result(self, ticket: int,
+               timeout: Optional[float] = None) -> ShardResult:
+        """Block until the ticket resolves (or ``timeout`` elapses).
+
+        A timeout yields an ``error_kind="timeout"`` result; the late
+        value, if it ever arrives, is discarded.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while ticket not in self._results:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._attempts.pop(ticket, None)
+                        self._abandoned.add(ticket)
+                        return ShardResult(
+                            ticket, False,
+                            error=f"request exceeded {timeout:.3g}s timeout",
+                            error_kind="timeout")
+                self._results_ready.wait(timeout=remaining)
+                if self._closed and ticket not in self._results:
+                    return ShardResult(ticket, False,
+                                       error="ShardPool closed while waiting",
+                                       error_kind="crash")
+            return self._results.pop(ticket)
+
+    def request(self, payload: Any, shard: Optional[int] = None,
+                timeout: Optional[float] = None) -> ShardResult:
+        """Submit + wait, as one call."""
+        return self.result(self.submit(payload, shard=shard), timeout=timeout)
+
+    # ------------------------------------------------------------ collector
+    def _collect_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                conns = [s.conn for s in self._shards if not s.dead]
+            ready = multiprocessing.connection.wait(
+                conns + [self._wake_r], timeout=0.2)
+            if self._wake_r in ready:
+                try:
+                    self._wake_r.recv()
+                except Exception:
+                    pass
+                continue
+            with self._lock:
+                for shard in self._shards:
+                    if shard.dead or shard.conn not in ready:
+                        continue
+                    try:
+                        message = shard.conn.recv()
+                    except (EOFError, OSError):
+                        self._on_shard_death(shard)
+                        continue
+                    self._on_message(shard, message)
+                # shards can die without a final message being ready
+                for shard in self._shards:
+                    if (not shard.dead and shard.process is not None
+                            and not shard.process.is_alive()
+                            and not shard.conn.poll()):
+                        self._on_shard_death(shard)
+
+    def _on_message(self, shard: _Shard, message: Any) -> None:
+        status, ticket, value, error, duration = message
+        if status == "init_error":
+            # the shard never became serviceable; treat as death
+            self._on_shard_death(shard, reason=f"init failed: {error}")
+            return
+        shard.inflight.pop(ticket, None)
+        attempts = self._attempts.pop(ticket, 1)
+        if ticket in self._abandoned:  # waiter already timed out and left
+            self._abandoned.discard(ticket)
+            return
+        if status == "ok":
+            self._results[ticket] = ShardResult(
+                ticket, True, value=value, shard=shard.index,
+                attempts=attempts, duration_s=duration)
+        else:
+            self._results[ticket] = ShardResult(
+                ticket, False, error=error, error_kind="exception",
+                shard=shard.index, attempts=attempts, duration_s=duration)
+        self._results_ready.notify_all()
+
+    def _on_shard_death(self, shard: _Shard,
+                        reason: Optional[str] = None) -> None:
+        """Record the death, respawn the slot (bounded), retry in-flight."""
+        registry = default_registry()
+        registry.counter("serve.shard_deaths").inc()
+        exitcode = getattr(shard.process, "exitcode", None)
+        message = reason or f"shard {shard.index} died (exitcode {exitcode})"
+        shard.dead = True
+        try:
+            shard.conn.close()
+        except Exception:
+            pass
+        if shard.process is not None:
+            if shard.process.is_alive():
+                shard.process.terminate()
+            shard.process.join(timeout=0.5)
+        inflight = list(shard.inflight.items())
+        shard.inflight.clear()
+        self._set_alive_gauge(sum(not s.dead for s in self._shards))
+        if shard.respawns < self.max_respawns and reason is None:
+            shard.respawns += 1
+            registry.counter("serve.shard_respawns").inc()
+            self._spawn(shard)
+        for ticket, payload in inflight:
+            attempts = self._attempts.get(ticket, 1)
+            if attempts <= self.retries:
+                self._attempts[ticket] = attempts + 1
+                registry.counter("serve.request_retries").inc()
+                target = self._pick_shard(None)
+                if target is not None:
+                    self._send(target, ticket, payload)
+                    continue
+            self._attempts.pop(ticket, None)
+            self._results[ticket] = ShardResult(
+                ticket, False, error=message, error_kind="crash",
+                shard=shard.index, attempts=attempts)
+        self._results_ready.notify_all()

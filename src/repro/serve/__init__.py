@@ -1,0 +1,53 @@
+"""Batched async serving of released (compressed) model artifacts.
+
+The paper's attack surface is a *served* compressed model; this package
+is that serving stack, end to end:
+
+* :mod:`repro.serve.artifacts` -- released-artifact format
+  (``weights.npz`` + fingerprinted ``artifact.json``) and the LRU
+  :class:`ArtifactCache`;
+* :mod:`repro.serve.batcher` -- :class:`DeadlineBatcher`, the pure
+  deadline-coalescing kernel;
+* :mod:`repro.serve.server` -- :class:`ModelServer`, the asyncio front
+  end dispatching batches across a
+  :class:`~repro.parallel.shards.ShardPool`;
+* :mod:`repro.serve.loadgen` -- seeded heavy-tailed open-loop traffic
+  with byte-replayable traces;
+* :mod:`repro.serve.http` -- a stdlib HTTP/1.1 face for cross-process
+  runs (``repro serve`` / ``repro loadgen``).
+"""
+
+from repro.serve.artifacts import (
+    ArtifactCache,
+    ReleasedArtifact,
+    artifact_fingerprint,
+    load_artifact,
+    save_artifact,
+)
+from repro.serve.batcher import DeadlineBatcher, QueuedRequest
+from repro.serve.http import ServeHTTP, http_loadgen
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    Trace,
+    TraceEntry,
+    generate_trace,
+    load_trace,
+    run_loadgen,
+    save_trace,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+from repro.serve.server import InferenceResponse, ModelServer, ServeConfig
+
+__all__ = [
+    "ArtifactCache", "ReleasedArtifact", "artifact_fingerprint",
+    "load_artifact", "save_artifact",
+    "DeadlineBatcher", "QueuedRequest",
+    "ModelServer", "ServeConfig", "InferenceResponse",
+    "LoadGenConfig", "LoadReport", "Trace",
+    "TraceEntry", "generate_trace",
+    "trace_to_jsonl", "trace_from_jsonl", "save_trace", "load_trace",
+    "run_loadgen",
+    "ServeHTTP", "http_loadgen",
+]

@@ -36,7 +36,7 @@ import math
 import re
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import ConfigError
 from repro.telemetry.metrics import MetricsRegistry, default_registry
@@ -182,14 +182,19 @@ class MetricsExporter:
             bound one back from :attr:`port` / :attr:`url`).
         host: bind address, loopback by default.
         registry: metrics source, the default registry when omitted.
+        clock: time source for ``started_at`` / ``uptime_s`` (default
+            ``time.time``; tests inject a fake clock so uptime
+            assertions are exact rather than sleep-based).
     """
 
     def __init__(self, port: int = 0, host: str = "127.0.0.1",
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 clock: Callable[[], float] = time.time) -> None:
         if not (0 <= int(port) <= 65535):
             raise ConfigError(f"port must be in [0, 65535], got {port}")
         self.registry = registry if registry is not None else default_registry()
-        self.started_at = time.time()
+        self.clock = clock
+        self.started_at = clock()
         self._server = _Server((host, int(port)), _Handler)
         self._server.exporter = self
         self._thread: Optional[threading.Thread] = None
@@ -242,7 +247,7 @@ class MetricsExporter:
         payload: Dict[str, Any] = {
             "status": "ok",
             "run_id": get_logger().run_id,
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": round(self.clock() - self.started_at, 3),
             "workers_alive": int(flat.get("pool.workers_alive", 0.0)),
             "worker_crashes": int(flat.get("pool.worker_crashes", 0.0)),
             "alerts_total": int(flat.get("alerts.total", 0.0)),
@@ -263,12 +268,14 @@ def active_exporter() -> Optional[MetricsExporter]:
 
 
 def serve_metrics(port: int = 0, host: str = "127.0.0.1",
-                  registry: Optional[MetricsRegistry] = None) -> MetricsExporter:
+                  registry: Optional[MetricsRegistry] = None,
+                  clock: Callable[[], float] = time.time) -> MetricsExporter:
     """Start (or return the already-running) process-wide exporter."""
     global _active
     if _active is not None:
         return _active
-    _active = MetricsExporter(port=port, host=host, registry=registry).start()
+    _active = MetricsExporter(port=port, host=host, registry=registry,
+                              clock=clock).start()
     return _active
 
 

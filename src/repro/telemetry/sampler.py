@@ -28,7 +28,7 @@ import os
 import sys
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -51,10 +51,15 @@ class StackSampler:
             the training loop lives there and sampling our own sampler
             thread would only add noise); ``"all"`` samples every thread
             except the sampler's own.
+        clock: time source for ``started_at`` / ``wall_time`` (default
+            ``time.perf_counter``).  Tests inject a fake clock and
+            drive :meth:`sample_once` directly, so timing assertions
+            need no real sleeps.
     """
 
     def __init__(self, hz: float = 97.0, max_depth: int = 64,
-                 threads: str = "main") -> None:
+                 threads: str = "main",
+                 clock: Callable[[], float] = time.perf_counter) -> None:
         if hz <= 0:
             raise ConfigError(f"hz must be positive, got {hz}")
         if threads not in ("main", "all"):
@@ -62,6 +67,7 @@ class StackSampler:
         self.hz = float(hz)
         self.max_depth = int(max_depth)
         self.threads = threads
+        self.clock = clock
         self.samples: Dict[Stack, int] = {}
         self.sample_count = 0
         self.started_at: Optional[float] = None
@@ -73,7 +79,7 @@ class StackSampler:
     def start(self) -> "StackSampler":
         if self._thread is not None:
             raise ConfigError("sampler already started")
-        self.started_at = time.perf_counter()
+        self.started_at = self.clock()
         self._stop.clear()
         self._thread = threading.Thread(target=self._loop, daemon=True,
                                         name="repro-sampler")
@@ -86,7 +92,7 @@ class StackSampler:
         self._stop.set()
         self._thread.join(timeout=2.0)
         self._thread = None
-        self.stopped_at = time.perf_counter()
+        self.stopped_at = self.clock()
         return self
 
     def __enter__(self) -> "StackSampler":
@@ -100,22 +106,36 @@ class StackSampler:
     def wall_time(self) -> float:
         if self.started_at is None:
             return 0.0
-        end = self.stopped_at if self.stopped_at is not None else time.perf_counter()
+        end = self.stopped_at if self.stopped_at is not None else self.clock()
         return end - self.started_at
 
     # ------------------------------------------------------------- sampling
     def _loop(self) -> None:
         interval = 1.0 / self.hz
-        main_id = threading.main_thread().ident
         own_id = threading.get_ident()
         while not self._stop.wait(interval):
-            frames = sys._current_frames()
-            for thread_id, frame in frames.items():
-                if thread_id == own_id:
-                    continue
-                if self.threads == "main" and thread_id != main_id:
-                    continue
-                self._tally(frame)
+            self.sample_once(exclude_thread=own_id)
+
+    def sample_once(self, exclude_thread: Optional[int] = None) -> int:
+        """Take one stack snapshot of the watched threads, synchronously.
+
+        This is the sampling step the background thread runs every
+        ``1/hz`` seconds, exposed so tests (and one-shot callers) can
+        drive sampling deterministically -- construct with a tiny
+        ``hz`` so the thread never fires, then call this per simulated
+        tick.  Returns the number of stacks tallied.
+        """
+        main_id = threading.main_thread().ident
+        tallied = 0
+        frames = sys._current_frames()
+        for thread_id, frame in frames.items():
+            if exclude_thread is not None and thread_id == exclude_thread:
+                continue
+            if self.threads == "main" and thread_id != main_id:
+                continue
+            self._tally(frame)
+            tallied += 1
+        return tallied
 
     def _tally(self, frame) -> None:
         stack: List[str] = []

@@ -18,6 +18,7 @@ from repro.monitor.alerts import (
     StallRule,
     ThresholdRule,
     default_rules,
+    serving_rules,
 )
 from repro.monitor.probes import Probe
 from repro.telemetry.metrics import default_registry
@@ -341,3 +342,64 @@ class TestDefaultRules:
             engine.observe(record(probe="correlation", epoch=epoch,
                                   corr_abs_mean=corr))
         assert engine.alerts == []
+
+
+class TestServingRules:
+    def test_rule_set_shape(self):
+        rules = serving_rules()
+        names = {r.name: r for r in rules}
+        assert set(names) == {"serve_p99_breach", "shard_death",
+                              "serve_errors", "serve_refusals"}
+        assert names["serve_p99_breach"].severity == "critical"
+        assert names["shard_death"].severity == "critical"
+        assert names["serve_errors"].severity == "critical"
+        assert names["serve_refusals"].severity == "warning"
+
+    def test_quiet_serving_metrics_fire_nothing(self):
+        engine = AlertEngine(serving_rules(p99_budget_ms=250.0))
+        flat = {"serve.latency_ms.p99": 12.0, "serve.shard_deaths": 0.0,
+                "serve.errors": 0.0, "serve.refused": 0.0}
+        for rule in engine.rules:
+            assert rule.evaluate_registry(flat, 0) is None
+        assert engine.alerts == []
+
+    def test_p99_breach_fires_on_budget_crossing(self):
+        engine = AlertEngine(serving_rules(p99_budget_ms=100.0))
+        flat = {"serve.latency_ms.p99": 101.0}
+        fired = [r.evaluate_registry(flat, 0) for r in engine.rules]
+        fired = [a for a in fired if a is not None]
+        assert [a.rule for a in fired] == ["serve_p99_breach"]
+        assert fired[0].severity == "critical"
+        assert fired[0].value == 101.0
+
+    def test_shard_death_and_refusal_budgets(self):
+        rules = {r.name: r for r in serving_rules(refusal_budget=5.0)}
+        assert rules["shard_death"].evaluate_registry(
+            {"serve.shard_deaths": 1.0}, 0) is not None
+        assert rules["serve_refusals"].evaluate_registry(
+            {"serve.refused": 5.0}, 0) is None
+        assert rules["serve_refusals"].evaluate_registry(
+            {"serve.refused": 6.0}, 0) is not None
+
+    def test_missing_serve_metrics_are_silent(self):
+        # a registry with no serve.* metrics (no server running) is fine
+        for rule in serving_rules():
+            assert rule.evaluate_registry({}, 0) is None
+
+
+class TestInjectedClock:
+    def test_alert_timestamps_come_from_the_clock(self):
+        ticks = iter([1000.0, 2000.0])
+        engine = AlertEngine(
+            [ThresholdRule("leak", field="corr_abs_mean", above=0.25,
+                           fire_once=False)],
+            clock=lambda: next(ticks))
+        engine.observe(record(corr_abs_mean=0.9))
+        engine.observe(record(corr_abs_mean=0.9, epoch=1))
+        assert [a.ts for a in engine.alerts] == [1000.0, 2000.0]
+
+    def test_default_clock_still_stamps(self):
+        engine = AlertEngine(
+            [ThresholdRule("leak", field="corr_abs_mean", above=0.25)])
+        engine.observe(record(corr_abs_mean=0.9))
+        assert engine.alerts[0].ts is not None

@@ -7,7 +7,7 @@ executed lines in the watched files, executable lines are derived from
 the compiled code objects (``dis.findlinestarts``), and the session
 fails when coverage of ``src/repro/parallel/`` +
 ``src/repro/pipeline/sweep.py`` + ``src/repro/backend/`` +
-``src/repro/monitor/`` drops below the floor.
+``src/repro/monitor/`` + ``src/repro/serve/`` drops below the floor.
 
 Wired into ``pyproject.toml`` addopts via
 ``-p tests.plugins.coverage_floor`` (loaded always) but inert -- zero
@@ -34,6 +34,13 @@ TARGET_FILES = (
     "src/repro/parallel/__init__.py",
     "src/repro/parallel/pool.py",
     "src/repro/parallel/seeding.py",
+    "src/repro/parallel/shards.py",
+    "src/repro/serve/__init__.py",
+    "src/repro/serve/artifacts.py",
+    "src/repro/serve/batcher.py",
+    "src/repro/serve/server.py",
+    "src/repro/serve/loadgen.py",
+    "src/repro/serve/http.py",
     "src/repro/pipeline/sweep.py",
     "src/repro/backend/__init__.py",
     "src/repro/backend/registry.py",

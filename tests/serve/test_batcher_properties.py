@@ -1,0 +1,152 @@
+"""Property-based tests: the deadline batcher's invariants.
+
+The batcher is a pure decision kernel driven by an explicit simulated
+clock, so every serving guarantee is checkable without a single sleep:
+admitted requests never dispatch past their deadline, batches respect
+the size cap, dispatch order is FIFO, and idle queues are no-ops.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServeError
+from repro.serve.batcher import DeadlineBatcher
+
+# One simulated workload: per-request (arrival gap, deadline slack).
+request_plans = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.02,
+                  allow_nan=False, allow_infinity=False),  # gap to previous
+        st.floats(min_value=1e-4, max_value=0.5,
+                  allow_nan=False, allow_infinity=False),  # deadline slack
+    ),
+    min_size=1, max_size=60,
+)
+
+batcher_params = st.tuples(
+    st.integers(min_value=1, max_value=8),     # max_batch
+    st.floats(min_value=0.0, max_value=0.05,   # max_wait_s
+              allow_nan=False, allow_infinity=False),
+)
+
+
+def _drive(plan, max_batch, max_wait_s):
+    """Emulate the server's dispatch loop on a simulated clock.
+
+    The loop's contract (what the asyncio server does): pop after every
+    admission, and between arrivals wake exactly at ``next_due()``.
+    Returns the dispatched batches as (dispatch_time, batch) pairs.
+    """
+    batcher = DeadlineBatcher(max_batch=max_batch, max_wait_s=max_wait_s,
+                              capacity=10_000)
+    now = 0.0
+    dispatched = []
+
+    def _wake_until(horizon):
+        nonlocal now
+        while True:
+            due = batcher.next_due()
+            if due is None or (horizon is not None and due > horizon):
+                return
+            now = max(now, due)
+            batches = batcher.pop_due(now)
+            assert batches, "a due queue must emit at least one batch"
+            for batch in batches:
+                dispatched.append((now, batch))
+
+    for i, (gap, slack) in enumerate(plan):
+        arrival = now + gap
+        _wake_until(arrival)  # server wake-ups before the next arrival
+        now = arrival
+        batcher.submit(f"r{i}", payload=i, deadline=now + slack, now=now)
+        for batch in batcher.pop_due(now):  # full batches go immediately
+            dispatched.append((now, batch))
+    _wake_until(None)  # drain
+    assert len(batcher) == 0
+    return dispatched
+
+
+@settings(max_examples=120, deadline=None)
+@given(request_plans, batcher_params)
+def test_no_request_dispatches_past_deadline(plan, params):
+    max_batch, max_wait_s = params
+    for dispatch_time, batch in _drive(plan, max_batch, max_wait_s):
+        for request in batch:
+            assert dispatch_time <= request.deadline, (
+                f"{request.request_id} dispatched at {dispatch_time} after "
+                f"deadline {request.deadline}")
+
+
+@settings(max_examples=120, deadline=None)
+@given(request_plans, batcher_params)
+def test_batches_respect_size_cap_and_nothing_is_lost(plan, params):
+    max_batch, max_wait_s = params
+    dispatched = _drive(plan, max_batch, max_wait_s)
+    assert all(1 <= len(batch) <= max_batch for _, batch in dispatched)
+    ids = [r.request_id for _, batch in dispatched for r in batch]
+    assert sorted(ids) == sorted(f"r{i}" for i in range(len(plan)))
+    assert len(ids) == len(set(ids)), "a request dispatched twice"
+
+
+@settings(max_examples=120, deadline=None)
+@given(request_plans, batcher_params)
+def test_dispatch_is_fifo(plan, params):
+    max_batch, max_wait_s = params
+    seqs = [r.seq for _, batch in _drive(plan, max_batch, max_wait_s)
+            for r in batch]
+    assert seqs == sorted(seqs), "requests left the queue out of order"
+
+
+@settings(max_examples=120, deadline=None)
+@given(request_plans, batcher_params)
+def test_requests_never_wait_past_coalescing_budget(plan, params):
+    max_batch, max_wait_s = params
+    for dispatch_time, batch in _drive(plan, max_batch, max_wait_s):
+        for request in batch:
+            assert dispatch_time <= request.due_at + 1e-12, (
+                f"{request.request_id} waited past its due time")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=0.0, max_value=10.0,
+                 allow_nan=False, allow_infinity=False))
+def test_draining_an_empty_queue_is_a_noop(now):
+    batcher = DeadlineBatcher(max_batch=4, max_wait_s=0.01)
+    assert batcher.pop_due(now) == []
+    assert batcher.next_due() is None
+    assert batcher.drain() == []
+    assert len(batcher) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=20))
+def test_not_yet_due_queue_is_a_noop(n):
+    batcher = DeadlineBatcher(max_batch=n + 1, max_wait_s=1.0)
+    for i in range(n):
+        batcher.submit(f"r{i}", payload=i, deadline=10.0, now=0.0)
+    # nothing is due before the coalescing budget and the queue is not full
+    assert batcher.pop_due(0.5) == []
+    assert len(batcher) == n
+
+
+def test_full_queue_refuses_with_structured_error():
+    batcher = DeadlineBatcher(max_batch=2, max_wait_s=0.01, capacity=3)
+    for i in range(3):
+        batcher.submit(f"r{i}", payload=i, now=0.0)
+    with pytest.raises(ServeError, match="queue full"):
+        batcher.submit("r3", payload=3, now=0.0)
+
+
+def test_passed_deadline_refused_at_admission():
+    batcher = DeadlineBatcher()
+    with pytest.raises(ServeError, match="deadline already passed"):
+        batcher.submit("late", payload=0, deadline=1.0, now=2.0)
+
+
+def test_full_batch_dispatches_immediately_without_due_requests():
+    batcher = DeadlineBatcher(max_batch=4, max_wait_s=5.0)
+    for i in range(4):
+        batcher.submit(f"r{i}", payload=i, deadline=100.0, now=0.0)
+    batches = batcher.pop_due(0.0)  # far from any due time
+    assert [len(b) for b in batches] == [4]

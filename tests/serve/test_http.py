@@ -1,0 +1,145 @@
+"""HTTP front end: routing, status mapping, cross-socket loadgen."""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.models.registry import build_model
+from repro.serve import (
+    LoadGenConfig,
+    ModelServer,
+    ServeConfig,
+    ServeHTTP,
+    generate_trace,
+    http_loadgen,
+    save_artifact,
+)
+
+KW = dict(num_classes=4, in_channels=3, width=4)
+SHAPE = (3, 8, 8)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("http") / "released"
+    model = build_model("resnet8_tiny", rng=np.random.default_rng(31), **KW)
+    save_artifact(model, path, "resnet8_tiny", model_kwargs=KW,
+                  input_shape=SHAPE, seed=31)
+    return str(path)
+
+
+def _fetch(loop, url, body=None, method=None):
+    """urllib round trip from an executor thread; returns (status, json)."""
+
+    def _do():
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            url, data=data,
+            headers={"Content-Type": "application/json"},
+            method=method or ("POST" if data else "GET"))
+        try:
+            with urllib.request.urlopen(request, timeout=15) as reply:
+                return reply.status, json.loads(reply.read().decode())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read().decode())
+
+    return loop.run_in_executor(None, _do)
+
+
+async def _with_front(path, fn, **config_kwargs):
+    config = ServeConfig(start_method="spawn", **config_kwargs)
+    async with ModelServer({"m": path}, config=config) as server:
+        async with ServeHTTP(server) as front:
+            return await fn(asyncio.get_event_loop(), front)
+
+
+class TestRoutes:
+    def test_infer_round_trip_with_seed(self, artifact):
+        async def _go(loop, front):
+            return await _fetch(loop, front.url + "/infer",
+                                {"input_seed": 3, "request_id": "rt-1"})
+
+        status, body = asyncio.run(_with_front(artifact, _go))
+        assert status == 200
+        assert body["ok"] and body["request_id"] == "rt-1"
+        assert isinstance(body["argmax"], list)
+        assert body["latency_ms"] > 0
+
+    def test_infer_with_explicit_inputs(self, artifact):
+        x = np.zeros((1,) + SHAPE, dtype=np.float32).tolist()
+
+        async def _go(loop, front):
+            return await _fetch(loop, front.url + "/infer", {"inputs": x})
+
+        status, body = asyncio.run(_with_front(artifact, _go))
+        assert status == 200 and body["ok"]
+
+    def test_healthz_and_models(self, artifact):
+        async def _go(loop, front):
+            health = await _fetch(loop, front.url + "/healthz")
+            models = await _fetch(loop, front.url + "/models")
+            return health, models
+
+        (hs, health), (ms, models) = asyncio.run(_with_front(artifact, _go))
+        assert hs == 200 and health["ok"] and health["shards_alive"] == 1
+        assert ms == 200 and models["models"]["m"]["fingerprint"]
+
+    def test_status_codes_map_error_kinds(self, artifact):
+        async def _go(loop, front):
+            unknown = await _fetch(loop, front.url + "/infer",
+                                   {"model": "nope", "input_seed": 1})
+            bad = await _fetch(loop, front.url + "/infer", {})
+            route = await _fetch(loop, front.url + "/nowhere")
+            return unknown, bad, route
+
+        unknown, bad, route = asyncio.run(_with_front(artifact, _go))
+        assert unknown[0] == 404
+        assert unknown[1]["error_kind"] == "unknown_model"
+        assert bad[0] == 400 and bad[1]["error_kind"] == "bad_request"
+        assert route[0] == 404
+
+    def test_malformed_json_body_is_400(self, artifact):
+        async def _go(loop, front):
+            def _do():
+                request = urllib.request.Request(
+                    front.url + "/infer", data=b"{broken",
+                    headers={"Content-Type": "application/json"},
+                    method="POST")
+                try:
+                    with urllib.request.urlopen(request, timeout=15) as r:
+                        return r.status
+                except urllib.error.HTTPError as exc:
+                    return exc.code
+
+            return await loop.run_in_executor(None, _do)
+
+        assert asyncio.run(_with_front(artifact, _go)) == 400
+
+
+class TestHTTPLoadgen:
+    def test_drives_a_live_server(self, artifact):
+        trace = generate_trace(LoadGenConfig(seed=8, n_requests=12,
+                                             rate_rps=300.0))
+
+        async def _go(loop, front):
+            return await http_loadgen(front.url, trace, time_scale=0.2)
+
+        report = asyncio.run(_with_front(artifact, _go))
+        assert report.sent == 12
+        assert report.completed == 12
+        assert report.errors == 0
+        assert report.p50_ms > 0
+
+    def test_survives_an_absent_server(self):
+        trace = generate_trace(LoadGenConfig(seed=9, n_requests=4,
+                                             rate_rps=1000.0))
+        # nothing listens on this port; every request is lost, none raise
+        report = asyncio.run(
+            http_loadgen("http://127.0.0.1:9", trace, timeout_s=2.0))
+        assert report.sent == 4
+        assert report.completed == 0
+        assert report.errors == 4

@@ -1,0 +1,271 @@
+"""ModelServer end-to-end: correctness, batching, back-pressure, telemetry.
+
+Most tests run the server with serial (in-process) shard execution so
+every line of the request path is traced and timing is tight; one test
+exercises real forked shard processes.
+"""
+
+import asyncio
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import backend as _backend
+from repro.autograd import Tensor, no_grad
+from repro.errors import ServeError
+from repro.models.registry import build_model
+from repro.monitor.alerts import AlertEngine, serving_rules
+from repro.serve import ModelServer, ServeConfig, save_artifact
+from repro.telemetry.metrics import default_registry
+
+KW = dict(num_classes=4, in_channels=3, width=4)
+SHAPE = (3, 8, 8)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "released"
+    model = build_model("resnet8_tiny", rng=np.random.default_rng(11), **KW)
+    save_artifact(model, path, "resnet8_tiny", model_kwargs=KW,
+                  input_shape=SHAPE, seed=11)
+    return str(path), model
+
+
+def serial_config(**overrides):
+    """In-process shard execution: deterministic and fully traceable."""
+    overrides.setdefault("start_method", "spawn")  # degrades to serial
+    return ServeConfig(**overrides)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestInference:
+    def test_matches_direct_model_output(self, artifact):
+        path, model = artifact
+        x = np.random.default_rng(0).standard_normal((1,) + SHAPE)
+        x = x.astype(np.float32)
+        model.eval()
+        with _backend.use_backend("fast"), no_grad():
+            direct = np.asarray(model(Tensor(x)).data)
+
+        async def _go():
+            async with ModelServer({"m": path},
+                                   config=serial_config()) as server:
+                return await server.infer(inputs=x)
+
+        response = run(_go())
+        assert response.ok, response.error
+        np.testing.assert_allclose(response.outputs, direct,
+                                   rtol=1e-5, atol=1e-6)
+        assert response.fingerprint
+        assert response.latency_ms > 0
+        assert response.argmax == list(direct.argmax(axis=1))
+
+    def test_input_seed_requests_are_deterministic(self, artifact):
+        path, _ = artifact
+
+        async def _go():
+            async with ModelServer({"m": path},
+                                   config=serial_config()) as server:
+                first = await server.infer(input_seed=123)
+                second = await server.infer(input_seed=123)
+                other = await server.infer(input_seed=124)
+                return first, second, other
+
+        first, second, other = run(_go())
+        np.testing.assert_array_equal(first.outputs, second.outputs)
+        assert not np.array_equal(first.outputs, other.outputs)
+
+    def test_concurrent_requests_coalesce_into_batches(self, artifact):
+        path, _ = artifact
+        config = serial_config(max_batch=8, max_wait_ms=40.0)
+
+        async def _go():
+            async with ModelServer({"m": path}, config=config) as server:
+                return await asyncio.gather(
+                    *(server.infer(input_seed=i) for i in range(8)))
+
+        responses = run(_go())
+        assert all(r.ok for r in responses)
+        assert max(r.batch_size for r in responses) > 1, \
+            "coalescing window never produced a multi-request batch"
+
+    def test_responses_split_correctly_within_a_batch(self, artifact):
+        path, _ = artifact
+        config = serial_config(max_batch=8, max_wait_ms=40.0)
+
+        async def _go():
+            async with ModelServer({"m": path}, config=config) as server:
+                batched = await asyncio.gather(
+                    *(server.infer(input_seed=i) for i in range(6)))
+                singles = [await server.infer(input_seed=i) for i in range(6)]
+                return batched, singles
+
+        batched, singles = run(_go())
+        for got, want in zip(batched, singles):
+            np.testing.assert_allclose(got.outputs, want.outputs,
+                                       rtol=1e-5, atol=1e-6)
+
+
+class TestStructuredFailures:
+    def test_unknown_model_key(self, artifact):
+        path, _ = artifact
+
+        async def _go():
+            async with ModelServer({"m": path},
+                                   config=serial_config()) as server:
+                return await server.infer(model="nope", input_seed=0)
+
+        response = run(_go())
+        assert not response.ok
+        assert response.error_kind == "unknown_model"
+        assert "nope" in response.error
+
+    def test_request_without_inputs_or_seed(self, artifact):
+        path, _ = artifact
+
+        async def _go():
+            async with ModelServer({"m": path},
+                                   config=serial_config()) as server:
+                return await server.infer()
+
+        response = run(_go())
+        assert not response.ok and response.error_kind == "bad_request"
+
+    def test_queue_overflow_refuses_structured(self, artifact):
+        path, _ = artifact
+        # long coalescing window + capacity 1: the second concurrent
+        # request must be refused while the first is still queued
+        config = serial_config(queue_capacity=1, max_wait_ms=200.0,
+                               max_batch=16)
+
+        async def _go():
+            async with ModelServer({"m": path}, config=config) as server:
+                first = asyncio.ensure_future(server.infer(input_seed=0))
+                await asyncio.sleep(0)  # let it enqueue
+                second = await server.infer(input_seed=1)
+                return await first, second
+
+        first, second = run(_go())
+        assert first.ok
+        assert not second.ok
+        assert second.error_kind == "refused"
+        assert "queue full" in second.error
+        assert default_registry().counter("serve.refused").value >= 1
+
+    def test_infer_after_close_is_structured(self, artifact):
+        path, _ = artifact
+
+        async def _go():
+            server = ModelServer({"m": path}, config=serial_config())
+            await server.start()
+            await server.close()
+            return await server.infer(input_seed=0)
+
+        response = run(_go())
+        assert not response.ok and response.error_kind == "shutdown"
+
+    def test_missing_artifact_fails_at_startup(self, tmp_path):
+        with pytest.raises(ServeError, match="metadata"):
+            ModelServer({"m": tmp_path / "missing"})
+
+    def test_no_artifacts_rejected(self):
+        with pytest.raises(ServeError, match="at least one artifact"):
+            ModelServer({})
+
+
+class TestDeadlines:
+    def test_impossible_deadline_is_flagged_not_dropped(self, artifact):
+        path, _ = artifact
+
+        async def _go():
+            async with ModelServer({"m": path},
+                                   config=serial_config()) as server:
+                return await server.infer(input_seed=0, deadline_ms=0.5)
+
+        response = run(_go())
+        # 0.5ms is under any real inference time: the request must still
+        # resolve, marked late, rather than hang or raise
+        assert response.ok
+        assert response.deadline_missed
+
+
+class TestTelemetryAndAlerts:
+    def test_request_path_metrics_populate(self, artifact):
+        path, _ = artifact
+        registry = default_registry()
+        requests0 = registry.counter("serve.requests").value
+        responses0 = registry.counter("serve.responses").value
+
+        async def _go():
+            async with ModelServer({"m": path},
+                                   config=serial_config()) as server:
+                await asyncio.gather(
+                    *(server.infer(input_seed=i) for i in range(4)))
+
+        run(_go())
+        flat = registry.flat_snapshot()
+        assert registry.counter("serve.requests").value == requests0 + 4
+        assert registry.counter("serve.responses").value == responses0 + 4
+        for key in ("serve.latency_ms.p50", "serve.latency_ms.p99",
+                    "serve.queue_ms.mean", "serve.infer_ms.mean",
+                    "serve.batch_size.max"):
+            assert key in flat, f"{key} missing from flat snapshot"
+        assert flat["serve.latency_ms.p99"] > 0
+
+    def test_p99_breach_alert_fires_during_traffic(self, artifact):
+        path, _ = artifact
+        engine = AlertEngine(serving_rules(p99_budget_ms=1e-6))
+
+        async def _go():
+            async with ModelServer({"m": path}, config=serial_config(),
+                                   alerts=engine) as server:
+                await asyncio.gather(
+                    *(server.infer(input_seed=i) for i in range(3)))
+
+        run(_go())
+        assert any(a.rule == "serve_p99_breach" for a in engine.alerts)
+        critical = [a for a in engine.alerts if a.rule == "serve_p99_breach"]
+        assert critical[0].severity == "critical"
+
+    def test_models_and_stats_views(self, artifact):
+        path, _ = artifact
+
+        async def _go():
+            async with ModelServer({"m": path},
+                                   config=serial_config()) as server:
+                return server.models(), server.stats()
+
+        models, stats = run(_go())
+        assert models["m"]["fingerprint"]
+        assert models["m"]["input_shape"] == list(SHAPE)
+        assert stats["running"] and stats["shards_alive"] == 1
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+class TestProcessBackedServing:
+    def test_forked_shards_serve_and_match_serial(self, artifact):
+        path, _ = artifact
+
+        async def _serial():
+            async with ModelServer({"m": path},
+                                   config=serial_config()) as server:
+                return await server.infer(input_seed=9)
+
+        async def _forked():
+            config = ServeConfig(shards=2)
+            async with ModelServer({"m": path}, config=config) as server:
+                return await asyncio.gather(
+                    *(server.infer(input_seed=9) for _ in range(4)))
+
+        serial = run(_serial())
+        forked = run(_forked())
+        assert all(r.ok for r in forked)
+        for response in forked:
+            np.testing.assert_allclose(response.outputs, serial.outputs,
+                                       rtol=1e-5, atol=1e-6)

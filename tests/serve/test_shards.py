@@ -1,0 +1,163 @@
+"""ShardPool: persistent workers, crash retry, structured failures."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.parallel import ShardPool
+from repro.telemetry.metrics import default_registry
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK,
+                                reason="fork start method unavailable")
+
+
+def _make_handler():
+    """Per-shard handler: doubles numbers, raises on 'boom', reports its
+    pid, and blocks until a sentinel file appears for crash tests."""
+    pid = os.getpid()
+
+    def handle(payload):
+        if payload == "pid":
+            return pid
+        if payload == "boom":
+            raise ValueError("boom payload")
+        if isinstance(payload, dict) and "block_unless" in payload:
+            while not os.path.exists(payload["block_unless"]):
+                time.sleep(0.02)
+            return "unblocked"
+        return payload * 2
+
+    return handle
+
+
+def _broken_init():
+    raise RuntimeError("init exploded")
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestSerialFallback:
+    def test_non_fork_start_method_degrades_to_serial(self):
+        pool = ShardPool(_make_handler, shards=2, start_method="spawn")
+        try:
+            assert pool.serial
+            assert pool.alive() == [True, True]
+            assert pool.request(21).value == 42
+        finally:
+            pool.close()
+
+    def test_serial_exception_is_structured(self):
+        with ShardPool(_make_handler, start_method="spawn") as pool:
+            result = pool.request("boom")
+            assert not result.ok
+            assert result.error_kind == "exception"
+            assert "boom payload" in result.error
+
+    def test_serial_kill_shard_is_a_noop(self):
+        with ShardPool(_make_handler, start_method="spawn") as pool:
+            assert pool.kill_shard(0) is False
+            assert pool.request(1).value == 2
+
+    def test_submit_after_close_refused(self):
+        pool = ShardPool(_make_handler, start_method="spawn")
+        pool.close()
+        with pytest.raises(ServeError, match="closed"):
+            pool.submit(1)
+
+
+class TestValidation:
+    def test_bad_shard_count(self):
+        with pytest.raises(ServeError, match="shards"):
+            ShardPool(_make_handler, shards=0)
+
+    def test_unknown_start_method(self):
+        with pytest.raises(ServeError, match="start method"):
+            ShardPool(_make_handler, start_method="threads")
+
+
+@needs_fork
+class TestProcessShards:
+    def test_round_trip_runs_in_child_processes(self):
+        with ShardPool(_make_handler, shards=2) as pool:
+            assert not pool.serial
+            assert pool.request(5, timeout=10).value == 10
+            pids = {pool.request("pid", shard=i, timeout=10).value
+                    for i in range(2)}
+            assert os.getpid() not in pids
+            assert len(pids) == 2, "each shard is its own process"
+
+    def test_round_robin_spreads_requests(self):
+        with ShardPool(_make_handler, shards=2) as pool:
+            pids = {pool.request("pid", timeout=10).value for _ in range(6)}
+            assert len(pids) == 2
+
+    def test_handler_exception_keeps_shard_serving(self):
+        with ShardPool(_make_handler, shards=1) as pool:
+            result = pool.request("boom", timeout=10)
+            assert not result.ok and result.error_kind == "exception"
+            assert "boom payload" in result.error
+            assert pool.request(3, timeout=10).value == 6
+            assert pool.alive() == [True]
+
+    def test_kill_mid_request_retries_on_respawned_shard(self, tmp_path):
+        sentinel = str(tmp_path / "go")
+        deaths0 = default_registry().counter("serve.shard_deaths").value
+        with ShardPool(_make_handler, shards=1, retries=1) as pool:
+            ticket = pool.submit({"block_unless": sentinel})
+            assert _wait_until(lambda: pool.kill_shard(0))
+            with open(sentinel, "w", encoding="utf-8") as fh:
+                fh.write("go")
+            result = pool.result(ticket, timeout=20)
+            assert result.ok and result.value == "unblocked"
+            assert result.attempts == 2, "first attempt died with the shard"
+            assert pool.alive() == [True], "slot was respawned"
+        assert default_registry().counter("serve.shard_deaths").value > deaths0
+
+    def test_retries_exhausted_yields_structured_crash(self, tmp_path):
+        sentinel = str(tmp_path / "never")
+        with ShardPool(_make_handler, shards=1, retries=0) as pool:
+            ticket = pool.submit({"block_unless": sentinel})
+            assert _wait_until(lambda: pool.kill_shard(0))
+            result = pool.result(ticket, timeout=20)
+            assert not result.ok
+            assert result.error_kind == "crash"
+            assert "died" in result.error
+
+    def test_no_respawn_budget_leaves_pool_dead(self):
+        with ShardPool(_make_handler, shards=1, max_respawns=0) as pool:
+            assert _wait_until(lambda: pool.kill_shard(0))
+            assert _wait_until(lambda: pool.alive() == [False])
+            result = pool.request(1, timeout=10)
+            assert not result.ok
+            assert result.error_kind == "crash"
+            assert "no live shards" in result.error
+
+    def test_result_timeout_is_structured_and_late_value_discarded(
+            self, tmp_path):
+        sentinel = str(tmp_path / "later")
+        with ShardPool(_make_handler, shards=1) as pool:
+            ticket = pool.submit({"block_unless": sentinel})
+            result = pool.result(ticket, timeout=0.2)
+            assert not result.ok and result.error_kind == "timeout"
+            with open(sentinel, "w", encoding="utf-8") as fh:
+                fh.write("go")
+            # the late value must not leak into another ticket's slot
+            assert pool.request(4, timeout=10).value == 8
+
+    def test_init_failure_surfaces_as_dead_shard(self):
+        with ShardPool(_broken_init, shards=1, retries=0) as pool:
+            assert _wait_until(lambda: pool.alive() == [False])
+            result = pool.request(1, timeout=10)
+            assert not result.ok
+            assert result.error_kind == "crash"

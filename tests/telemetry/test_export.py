@@ -138,3 +138,17 @@ class TestSingleton:
         stop_exporter()
         manifest = RunManifest.create(seed=1)
         assert "metrics_endpoint" not in manifest.extra
+
+
+class TestInjectedClock:
+    def test_uptime_is_deterministic_with_a_fake_clock(self):
+        now = [1_000.0]
+        with MetricsExporter(port=0, registry=MetricsRegistry(),
+                             clock=lambda: now[0]) as exporter:
+            assert exporter.started_at == 1_000.0
+            now[0] = 1_042.5
+            _, body = _get(exporter.url + "/health")
+            assert json.loads(body)["uptime_s"] == pytest.approx(42.5)
+            now[0] = 1_100.0
+            _, body = _get(exporter.url + "/health")
+            assert json.loads(body)["uptime_s"] == pytest.approx(100.0)

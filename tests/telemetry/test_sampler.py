@@ -18,71 +18,150 @@ def _spin(seconds: float) -> None:
         sum(range(200))
 
 
+class _FakeClock:
+    """Deterministic clock for timing assertions without real sleeps."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, dt: float) -> None:
+        self.now += dt
+
+
+def _park_thread(name: str = "background"):
+    """Start a daemon thread parked in a recognisably-named frame.
+
+    Returns ``(release, join)`` callables; the thread's stack contains a
+    frame labelled with ``name`` for as long as it is parked, so
+    ``sample_once`` observes it deterministically.
+    """
+    parked = threading.Event()
+    release = threading.Event()
+
+    def background():
+        parked.set()
+        release.wait(10.0)
+
+    background.__name__ = name
+    background.__qualname__ = name
+    thread = threading.Thread(target=background, daemon=True, name=name)
+    thread.start()
+    parked.wait(10.0)
+    return release.set, thread.join
+
+
 class TestSampling:
-    def test_captures_samples_of_the_main_thread(self):
-        with StackSampler(hz=500) as sampler:
-            _spin(0.2)
-        assert sampler.sample_count > 10
-        assert sampler.wall_time >= 0.2
-        # the busy loop is visible in the collected stacks
-        assert sampler.share("test_sampler:_spin") > 0.5
+    """Deterministic sampling tests: construct with a fake clock and a
+    rate too low for the background thread to ever fire, then drive
+    :meth:`StackSampler.sample_once` per simulated tick by hand."""
+
+    def test_sample_once_tallies_the_calling_stack(self):
+        clock = _FakeClock()
+        sampler = StackSampler(hz=1e-9, clock=clock)
+        sampler.start()
+        for _ in range(16):
+            assert sampler.sample_once() == 1
+            clock.tick(0.01)
+        sampler.stop()
+        assert sampler.sample_count == 16
+        assert sampler.wall_time == pytest.approx(0.16)
+        # every snapshot was taken from inside this very test function
+        assert sampler.share("test_sample_once_tallies") == 1.0
 
     def test_stacks_are_root_first(self):
-        with StackSampler(hz=500) as sampler:
-            _spin(0.1)
+        sampler = StackSampler(hz=1e-9)
+
+        def leaf():
+            sampler.sample_once()
+
+        def trunk():
+            leaf()
+
+        trunk()
         stack = max(sampler.samples, key=sampler.samples.get)
-        assert any("_spin" in label for label in stack)
-        # _spin is deeper in the stack than the pytest machinery
-        spin_pos = max(i for i, label in enumerate(stack) if "_spin" in label)
-        assert spin_pos == len(stack) - 1 or spin_pos > 0
+        labels = list(stack)
+        trunk_pos = max(i for i, l in enumerate(labels) if "trunk" in l)
+        leaf_pos = max(i for i, l in enumerate(labels) if ":leaf" in l)
+        assert trunk_pos < leaf_pos, "caller must precede callee (root first)"
+        assert ":leaf" in labels[-1] or "sample_once" in labels[-1]
 
     def test_main_mode_ignores_other_threads(self):
-        stop = threading.Event()
-
-        def background():
-            while not stop.wait(0.001):
-                pass
-
-        thread = threading.Thread(target=background, daemon=True)
-        thread.start()
+        release, join = _park_thread("background")
         try:
-            with StackSampler(hz=500, threads="main") as sampler:
-                _spin(0.1)
+            sampler = StackSampler(hz=1e-9, threads="main")
+            tallied = sampler.sample_once()
         finally:
-            stop.set()
-            thread.join()
+            release()
+            join()
+        assert tallied == 1, "main mode tallies exactly the main thread"
         assert not any("background" in label
                        for stack in sampler.samples for label in stack)
 
     def test_all_mode_sees_other_threads(self):
-        stop = threading.Event()
-
-        def background():
-            while not stop.wait(0.001):
-                pass
-
-        thread = threading.Thread(target=background, daemon=True)
-        thread.start()
+        release, join = _park_thread("background")
         try:
-            with StackSampler(hz=500, threads="all") as sampler:
-                _spin(0.2)
+            sampler = StackSampler(hz=1e-9, threads="all")
+            tallied = sampler.sample_once()
         finally:
-            stop.set()
-            thread.join()
+            release()
+            join()
+        assert tallied >= 2, "all mode tallies main + the parked thread"
         assert any("background" in label
                    for stack in sampler.samples for label in stack)
 
+    def test_sample_once_can_exclude_a_thread(self):
+        release, join = _park_thread("excluded_me")
+        try:
+            sampler = StackSampler(hz=1e-9, threads="all")
+            parked = [t for t in threading.enumerate()
+                      if t.name == "excluded_me"]
+            assert parked, "parked thread should be alive"
+            sampler.sample_once(exclude_thread=parked[0].ident)
+        finally:
+            release()
+            join()
+        assert not any("excluded_me" in label
+                       for stack in sampler.samples for label in stack)
+
     def test_max_depth_truncates(self):
+        sampler = StackSampler(hz=1e-9, max_depth=5)
+
         def recurse(n):
             if n == 0:
-                _spin(0.15)
+                sampler.sample_once()
             else:
                 recurse(n - 1)
 
-        with StackSampler(hz=500, max_depth=5) as sampler:
-            recurse(30)
+        recurse(30)
         assert sampler.samples
         assert all(len(stack) <= 5 for stack in sampler.samples)
+        # truncation keeps the *innermost* frames
+        stack = next(iter(sampler.samples))
+        assert any("recurse" in label or "sample_once" in label
+                   for label in stack)
+
+    def test_background_thread_smoke(self):
+        """Loose real-time check that the daemon loop does sample at all;
+        the strict assertions above run on the deterministic path."""
+        with StackSampler(hz=500) as sampler:
+            _spin(0.2)
+        assert sampler.sample_count >= 1
+        assert sampler.wall_time > 0
+
+    def test_fake_clock_wall_time_is_exact(self):
+        clock = _FakeClock(start=50.0)
+        sampler = StackSampler(hz=1e-9, clock=clock)
+        sampler.start()
+        clock.tick(2.5)
+        assert sampler.wall_time == pytest.approx(2.5)
+        clock.tick(1.5)
+        sampler.stop()
+        assert sampler.wall_time == pytest.approx(4.0)
+        clock.tick(99.0)  # after stop the window is frozen
+        assert sampler.wall_time == pytest.approx(4.0)
 
     def test_validation(self):
         with pytest.raises(ConfigError):

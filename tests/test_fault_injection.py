@@ -109,3 +109,102 @@ class TestErrorHierarchy:
         from repro.errors import CapacityError
         with pytest.raises(CapacityError):
             SecretPayload(np.zeros((2, 2, 2), dtype=np.uint8), np.zeros(2))
+
+
+class TestServingFaults:
+    """Fault injection against the serving stack: broken artifacts,
+    dying shards, and overloaded servers must all resolve to structured
+    errors, never hangs or silent corruption."""
+
+    KW = dict(num_classes=4, in_channels=3, width=4)
+
+    def _artifact(self, tmp_path, name="released"):
+        from repro.models.registry import build_model
+        from repro.serve import save_artifact
+        model = build_model("resnet8_tiny", rng=np.random.default_rng(0),
+                            **self.KW)
+        path = tmp_path / name
+        save_artifact(model, path, "resnet8_tiny", model_kwargs=self.KW,
+                      input_shape=(3, 8, 8))
+        return path
+
+    def test_tampered_artifact_weights_refuse_to_load(self, tmp_path):
+        from repro.errors import ServeError
+        from repro.serve import load_artifact
+        path = self._artifact(tmp_path)
+        with open(path / "weights.npz", "r+b") as fh:
+            fh.seek(40)
+            fh.write(b"\xff\xff\xff\xff")
+        with pytest.raises(ServeError):
+            load_artifact(path)
+
+    def test_server_rejects_missing_artifact_at_startup(self, tmp_path):
+        from repro.errors import ServeError
+        from repro.serve import ModelServer
+        with pytest.raises(ServeError):
+            ModelServer({"m": tmp_path / "never_released"})
+
+    def test_evicted_artifact_reloads_transparently(self, tmp_path):
+        from repro.serve import ArtifactCache, load_artifact
+        first = self._artifact(tmp_path, "a")
+        second = self._artifact(tmp_path / "sub", "b")
+        cache = ArtifactCache(capacity=1)
+        before_model, _ = cache.get(first)
+        cache.get(second)  # evicts `first` from the single slot
+        after_model, _ = cache.get(first)  # must reload from disk, not fail
+        assert after_model is not before_model
+        want = load_artifact(first)[0].state_dict()
+        got = after_model.state_dict()
+        for key in want:
+            np.testing.assert_array_equal(got[key], want[key])
+
+    def test_shard_kill_mid_request_is_bounded_retry_then_error(
+            self, tmp_path):
+        import multiprocessing
+        import time as _time
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        from repro.parallel import ShardPool
+        from repro.telemetry.metrics import default_registry
+        from tests.serve.test_shards import _make_handler
+
+        respawns = default_registry().counter("serve.shard_respawns")
+        respawns0 = respawns.value
+        sentinel = str(tmp_path / "never_written")
+        with ShardPool(_make_handler, shards=1, retries=1,
+                       max_respawns=1) as pool:
+            ticket = pool.submit({"block_unless": sentinel})
+            deadline = _time.monotonic() + 5.0
+            while _time.monotonic() < deadline and not pool.kill_shard(0):
+                _time.sleep(0.02)
+            # wait for the collector to respawn the slot and re-dispatch,
+            # then kill the *respawned* shard too (respawn budget now spent)
+            deadline = _time.monotonic() + 10.0
+            while _time.monotonic() < deadline and respawns.value == respawns0:
+                _time.sleep(0.02)
+            assert respawns.value > respawns0, "slot was never respawned"
+            deadline = _time.monotonic() + 10.0
+            while _time.monotonic() < deadline and not pool.kill_shard(0):
+                _time.sleep(0.02)
+            result = pool.result(ticket, timeout=20)
+            assert not result.ok
+            assert result.error_kind == "crash"
+            assert result.attempts == 2, "exactly one retry, then give up"
+
+    def test_loadgen_survives_a_server_refusing_everything(self):
+        import asyncio
+        from repro.serve import InferenceResponse, LoadGenConfig, \
+            generate_trace, run_loadgen
+
+        class _Refuser:
+            async def infer(self, **kwargs):
+                return InferenceResponse(
+                    request_id=str(kwargs.get("request_id")), ok=False,
+                    error="queue full", error_kind="refused")
+
+        trace = generate_trace(LoadGenConfig(seed=11, n_requests=8,
+                                             rate_rps=2000.0))
+        report = asyncio.run(run_loadgen(_Refuser(), trace))
+        assert report.sent == 8
+        assert report.refused == 8
+        assert report.completed == 0
