@@ -344,8 +344,15 @@ class ShardPool:
                 if self._closed:
                     return
                 conns = [s.conn for s in self._shards if not s.dead]
-            ready = multiprocessing.connection.wait(
-                conns + [self._wake_r], timeout=0.2)
+            try:
+                ready = multiprocessing.connection.wait(
+                    conns + [self._wake_r], timeout=0.2)
+            except OSError:
+                # A submit thread's _send failure can run _on_shard_death
+                # and close one of the snapshotted conns while we wait on
+                # it; that is a shard death, not a collector crash --
+                # re-snapshot live conns and carry on.
+                continue
             if self._wake_r in ready:
                 try:
                     self._wake_r.recv()
@@ -414,6 +421,10 @@ class ShardPool:
             registry.counter("serve.shard_respawns").inc()
             self._spawn(shard)
         for ticket, payload in inflight:
+            if ticket in self._abandoned:  # waiter already timed out
+                self._abandoned.discard(ticket)
+                self._attempts.pop(ticket, None)
+                continue
             attempts = self._attempts.get(ticket, 1)
             if attempts <= self.retries:
                 self._attempts[ticket] = attempts + 1

@@ -128,6 +128,8 @@ class ServeHTTP:
                 try:
                     length = int(value.strip())
                 except ValueError:
+                    length = -1
+                if length < 0:
                     return 400, {"ok": False,
                                  "error": "bad content-length",
                                  "error_kind": "bad_request"}

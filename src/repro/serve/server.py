@@ -327,9 +327,8 @@ class ModelServer:
                 if input_seed is None:
                     raise ServeError("request needs inputs or input_seed")
                 inputs = self.synthesize_input(input_seed, key)
-            inputs = np.asarray(inputs)
-            if inputs.ndim == len(self.input_shape(key)):
-                inputs = inputs[None]
+            else:
+                inputs = self._normalize_inputs(np.asarray(inputs), key)
         except ServeError as exc:
             registry.counter("serve.errors").inc()
             return self._error_response(rid, key, str(exc), "bad_request")
@@ -348,6 +347,30 @@ class ModelServer:
             float(sum(len(b) for b in self._batchers.values())))
         self._wake.set()
         return await future
+
+    def _normalize_inputs(self, inputs: np.ndarray, key: str) -> np.ndarray:
+        """Validate explicit inputs against the artifact's recorded shape.
+
+        Requests for the same model coalesce into one
+        ``np.concatenate``, so rows with mismatched trailing dims must
+        be refused here, at admission, not discovered mid-batch.  An
+        artifact saved without ``input_shape`` accepts any already
+        batched array (leading axis = batch).
+        """
+        shape = self._meta[key].get("input_shape")
+        if not shape:
+            if inputs.ndim < 1:
+                raise ServeError("inputs must have a leading batch axis")
+            return inputs
+        expected = tuple(int(d) for d in shape)
+        if inputs.ndim == len(expected):
+            inputs = inputs[None]
+        if (inputs.ndim != len(expected) + 1
+                or tuple(inputs.shape[1:]) != expected):
+            raise ServeError(
+                f"inputs shape {tuple(inputs.shape)} does not match "
+                f"artifact input_shape {expected}")
+        return inputs
 
     def _error_response(self, rid: str, key: str, error: str,
                         kind: str) -> InferenceResponse:
@@ -378,6 +401,22 @@ class ModelServer:
 
     async def _run_batch(self, key: str,
                          batch: List[QueuedRequest]) -> None:
+        # Any escape here would strand the batch's futures forever (the
+        # task is ensure_future'd, infer() awaits with no timeout), so
+        # the whole body runs under a guard that resolves every request
+        # with a structured error instead.
+        try:
+            await self._run_batch_inner(key, batch)
+        except Exception as exc:
+            registry = default_registry()
+            registry.counter("serve.errors").inc(float(len(batch)))
+            for request in batch:
+                self._finish_error(request, key,
+                                   f"batch dispatch failed: {exc!r}",
+                                   "exception", batch_size=len(batch))
+
+    async def _run_batch_inner(self, key: str,
+                               batch: List[QueuedRequest]) -> None:
         registry = default_registry()
         dispatched_at = self.clock()
         sizes = [len(r.payload) for r in batch]

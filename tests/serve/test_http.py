@@ -119,6 +119,23 @@ class TestRoutes:
 
         assert asyncio.run(_with_front(artifact, _go)) == 400
 
+    def test_negative_content_length_is_400(self, artifact):
+        async def _go(loop, front):
+            reader, writer = await asyncio.open_connection(front.host,
+                                                           front.port)
+            writer.write(b"POST /infer HTTP/1.1\r\n"
+                         b"Content-Length: -5\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw
+
+        raw = asyncio.run(_with_front(artifact, _go))
+        status_line, _, rest = raw.partition(b"\r\n")
+        assert b" 400 " in status_line, status_line
+        body = json.loads(rest.split(b"\r\n\r\n", 1)[1])
+        assert body["error_kind"] == "bad_request"
+
 
 class TestHTTPLoadgen:
     def test_drives_a_live_server(self, artifact):

@@ -137,6 +137,64 @@ class TestStructuredFailures:
         response = run(_go())
         assert not response.ok and response.error_kind == "bad_request"
 
+    def test_shape_mismatch_refused_at_admission(self, artifact):
+        path, _ = artifact
+
+        async def _go():
+            async with ModelServer({"m": path},
+                                   config=serial_config()) as server:
+                wrong = np.zeros((1, 3, 4, 4), dtype=np.float32)
+                return await server.infer(inputs=wrong)
+
+        response = run(_go())
+        assert not response.ok and response.error_kind == "bad_request"
+        assert "input_shape" in response.error
+
+    def test_artifact_without_shape_serves_explicit_inputs(self, tmp_path):
+        # input_shape is Optional in save_artifact; such artifacts must
+        # still serve explicit (already batched) inputs.
+        model = build_model("resnet8_tiny", rng=np.random.default_rng(5),
+                            **KW)
+        path = str(tmp_path / "shapeless")
+        save_artifact(model, path, "resnet8_tiny", model_kwargs=KW, seed=5)
+
+        async def _go():
+            async with ModelServer({"m": path},
+                                   config=serial_config()) as server:
+                x = np.zeros((2,) + SHAPE, dtype=np.float32)
+                explicit = await server.infer(inputs=x)
+                seeded = await server.infer(input_seed=0)
+                return explicit, seeded
+
+        explicit, seeded = run(_go())
+        assert explicit.ok, explicit.error
+        assert explicit.outputs.shape[0] == 2
+        # seed synthesis genuinely needs the recorded shape: structured
+        assert not seeded.ok and seeded.error_kind == "bad_request"
+
+    def test_mixed_shape_batch_resolves_structured(self, tmp_path):
+        # Without a recorded input_shape admission cannot pre-check
+        # rows, so the coalesced np.concatenate fails inside the batch
+        # task; every request must still resolve (never hang).
+        model = build_model("resnet8_tiny", rng=np.random.default_rng(6),
+                            **KW)
+        path = str(tmp_path / "shapeless")
+        save_artifact(model, path, "resnet8_tiny", model_kwargs=KW, seed=6)
+        config = serial_config(max_batch=8, max_wait_ms=40.0)
+
+        async def _go():
+            async with ModelServer({"m": path}, config=config) as server:
+                a = np.zeros((1,) + SHAPE, dtype=np.float32)
+                b = np.zeros((1, 3, 4, 4), dtype=np.float32)
+                return await asyncio.gather(server.infer(inputs=a),
+                                            server.infer(inputs=b))
+
+        first, second = run(asyncio.wait_for(_go(), timeout=30))
+        for response in (first, second):
+            assert not response.ok
+            assert response.error_kind == "exception"
+            assert "batch dispatch failed" in response.error
+
     def test_queue_overflow_refuses_structured(self, artifact):
         path, _ = artifact
         # long coalescing window + capacity 1: the second concurrent

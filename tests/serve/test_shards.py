@@ -155,6 +155,22 @@ class TestProcessShards:
             # the late value must not leak into another ticket's slot
             assert pool.request(4, timeout=10).value == 8
 
+    def test_abandoned_ticket_discarded_on_shard_death(self, tmp_path):
+        # A timed-out (abandoned) ticket whose shard later dies must not
+        # leave a stored result or an _abandoned marker behind -- a
+        # long-running server would otherwise leak both maps.
+        sentinel = str(tmp_path / "never")
+        with ShardPool(_make_handler, shards=1, retries=0,
+                       max_respawns=0) as pool:
+            ticket = pool.submit({"block_unless": sentinel})
+            result = pool.result(ticket, timeout=0.2)
+            assert not result.ok and result.error_kind == "timeout"
+            assert pool.kill_shard(0)
+            assert _wait_until(lambda: pool.alive() == [False])
+            assert _wait_until(
+                lambda: not pool._results and not pool._abandoned
+                and not pool._attempts)
+
     def test_init_failure_surfaces_as_dead_shard(self):
         with ShardPool(_broken_init, shards=1, retries=0) as pool:
             assert _wait_until(lambda: pool.alive() == [False])
