@@ -81,21 +81,32 @@ def _validate_conv(x_shape, weight_shape) -> None:
 
 
 class Conv2dFn(Function):
+    #: Set by the graph compiler on captured instances: a compiled replay
+    #: trades the tape planner's memory saving back for compute by keeping
+    #: the forward's patch matrix alive in a program-owned slot instead of
+    #: re-gathering it in backward (the gather is bit-identical either
+    #: way, so replay numerics do not move).
+    keep_cols = False
+
     def __init__(self, stride: int = 1, padding: int = 0) -> None:
         super().__init__()
         self.stride, self.padding = int(stride), int(padding)
+        self._cols = None
 
     def forward(self, x, weight):
         _validate_conv(x.shape, weight.shape)
         out, cols = _backend.active().conv2d_forward(
             x, weight, self.stride, self.padding
         )
-        # Checkpoint the input rather than the patch matrix: cols is
-        # ~kh*kw times larger than x and would dominate the tape's saved
-        # bytes, while x is the parent tensor's own data (alive through
-        # the walk regardless).  Backward re-gathers the columns, which
-        # is cheap next to the two gradient matmuls.
-        del cols
+        if self.keep_cols:
+            self._cols = cols
+        else:
+            # Checkpoint the input rather than the patch matrix: cols is
+            # ~kh*kw times larger than x and would dominate the tape's
+            # saved bytes, while x is the parent tensor's own data (alive
+            # through the walk regardless).  Backward re-gathers the
+            # columns, which is cheap next to the two gradient matmuls.
+            del cols
         self.save_for_backward(x, weight)
         self._x_shape = x.shape
         return out
@@ -106,7 +117,9 @@ class Conv2dFn(Function):
         K = _backend.active()
         # identical gather to the forward's (same indices, same layout),
         # so gradients are bit-for-bit what saving cols would produce
-        cols = K.im2col(x, kh, kw, self.stride, self.padding)
+        cols = self._cols
+        if cols is None:
+            cols = K.im2col(x, kh, kw, self.stride, self.padding)
         # the backend may skip the input-gradient matmul + scatter when
         # x is a graph leaf that does not require grad (needs_grad is
         # only populated when the graph edge was recorded)
@@ -145,26 +158,32 @@ def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
 class BatchNormTrainFn(Function):
     """Training-mode batch norm as one graph node.
 
-    Normalizes with precomputed batch statistics (``mean``/``var`` in
-    keepdims shapes, from ``batchnorm_stats``) and scales/shifts in a
-    single fused forward kernel; the backward is the analytic batch-norm
-    gradient -- mathematically the exact derivative of the composed
-    mean/sub/mul/div graph, collapsed to one kernel call.  Backends that
-    advertise ``fused_batchnorm`` (fast) route batch-norm layers through
-    this node; reference keeps the composed graph bit-identical.
+    Computes the batch statistics inside ``forward`` (so a traced replay
+    recomputes them from live activations -- they are data-dependent
+    state, not capture-time constants), normalizes and scales/shifts in
+    a single fused forward kernel; the backward is the analytic
+    batch-norm gradient -- mathematically the exact derivative of the
+    composed mean/sub/mul/div graph, collapsed to one kernel call.
+    Backends that advertise ``fused_batchnorm`` (fast) route batch-norm
+    layers through this node; reference keeps the composed graph
+    bit-identical.  The layer reads ``mean``/``var`` off the node after
+    ``apply`` to update its running statistics.
     """
 
     extra_saved = ("mean", "var")
 
-    def __init__(self, mean: np.ndarray, var: np.ndarray,
-                 axes: Tuple[int, ...], eps: float) -> None:
+    def __init__(self, axes: Tuple[int, ...], eps: float) -> None:
         super().__init__()
-        self.mean, self.var = mean, var
+        self.mean = None
+        self.var = None
         self.axes, self.eps = tuple(axes), float(eps)
 
     def forward(self, x, gamma, beta):
-        out, xhat, inv_std = _backend.active().batchnorm_train_forward(
-            x, self.mean, self.var, gamma, beta, self.eps
+        K = _backend.active()
+        mean, var = K.batchnorm_stats(x, self.axes)
+        self.mean, self.var = mean, var
+        out, xhat, inv_std = K.batchnorm_train_forward(
+            x, mean, var, gamma, beta, self.eps
         )
         self.save_for_backward(xhat, inv_std, gamma)
         return out
@@ -276,8 +295,17 @@ class SoftmaxCrossEntropy(Function):
     stable and makes the backward pass the textbook ``softmax - onehot``.
     """
 
+    #: The labels change every step but arrive as a constructor argument,
+    #: not a graph input.  The graph compiler reads this marker and calls
+    #: :meth:`rebind` with the per-replay value before each replay.
+    step_binding = "targets"
+
     def __init__(self, targets: np.ndarray) -> None:
         super().__init__()
+        self.targets = np.asarray(targets, dtype=np.int64)
+
+    def rebind(self, targets: np.ndarray) -> None:
+        """Swap in a new step's targets (compiled-replay seam)."""
         self.targets = np.asarray(targets, dtype=np.int64)
 
     def forward(self, logits):

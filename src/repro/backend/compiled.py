@@ -1,0 +1,331 @@
+"""Compiled backend: strided-window gathers + thread-tiled large matmul.
+
+The graph compiler's companion backend.  It overrides the patch-gather
+kernels of :mod:`repro.backend.fast` with strided-view implementations
+-- the same elements in the same output layout, gathered through
+``as_strided`` windows instead of fancy-index arrays, so every output
+is **bitwise identical** to the fast backend's (a gather reorders
+memory; it performs no arithmetic).  That matters because the graph
+compiler's replay contract is bit-identity with eager execution: this
+backend may be swapped in under a captured program without moving a
+single ULP.
+
+These kernels are tuned for the replay hot loop, where the arrays are
+small (a training batch of a tiny attack model) and per-call Python
+overhead rivals the numpy work itself.  Hence the shape of the code:
+window views are built with one raw ``as_strided`` call instead of
+``sliding_window_view`` (which re-validates axes per call), and the
+input-independent index arrays -- the gather arange, the max-pool
+scatter targets -- are cached per shape in capacity-capped dicts.
+
+The one exception to bit-identity is :func:`matmul`: above a large flop
+threshold it splits the left operand across a thread pool (BLAS
+releases the GIL).  Row-partitioned GEMM is allclose-but-not-always-
+bitwise to a monolithic GEMM (BLAS picks different blocking per shape),
+so the threshold is set far above anything the training-step workloads
+reach -- it exists for batch inference over large artifacts, and
+``tiling`` is the capability flag serving/CLI surfaces report for it.
+
+Everything else falls back to ``fast`` (which falls back to
+``reference``), including the scratch pools and the fused batch-norm
+kernels.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.backend import fast as _fast
+from repro.backend.registry import Backend
+
+BACKEND = Backend("compiled", fallback=_fast.BACKEND)
+
+#: Minimum M*N*K product before matmul fans out across threads.  Far
+#: above the training-step GEMMs of the repro models on purpose: below
+#: this, results must stay bitwise identical to ``fast``.
+TILED_MATMUL_THRESHOLD = 1 << 27
+
+#: Max entries per shape-keyed index cache below; oldest-inserted
+#: entries are dropped beyond it (mirrors the fast backend's guarded
+#: im2col LRU -- a sweep over many shapes must not grow these forever).
+INDEX_CACHE_CAPACITY = 64
+
+_executor = None
+_workers: Optional[int] = None
+
+
+def _thread_pool():
+    global _executor
+    if _executor is None:
+        from concurrent.futures import ThreadPoolExecutor
+        _executor = ThreadPoolExecutor(max_workers=_worker_count())
+    return _executor
+
+
+def _worker_count() -> int:
+    # os.cpu_count() costs a surprising ~10us per call; sample it once
+    global _workers
+    if _workers is None:
+        _workers = min(4, os.cpu_count() or 1)
+    return _workers
+
+
+# (length,) -> arange, for the pooling gather; (x_shape, kernel, stride)
+# -> flat scatter targets, for the non-overlapping max-pool backward.
+_arange_cache: Dict[int, np.ndarray] = {}
+_scatter_cache: Dict[Tuple, np.ndarray] = {}
+
+
+def clear_caches() -> None:
+    """Drop the shape-keyed index caches (tests / memory pressure)."""
+    _arange_cache.clear()
+    _scatter_cache.clear()
+
+
+def _cached(cache: Dict, key, build):
+    hit = cache.get(key)
+    if hit is None:
+        if len(cache) >= INDEX_CACHE_CAPACITY:
+            cache.pop(next(iter(cache)))
+        hit = cache[key] = build()
+    return hit
+
+
+def _window_cols(
+    x_padded: np.ndarray, kh: int, kw: int, stride: int
+) -> np.ndarray:
+    """Patch matrix via strided windows; fast-backend layout, fresh memory.
+
+    Output rows are ordered (channel, tap_row, tap_col) and columns
+    (out_h, out_w, batch) -- byte-for-byte the array
+    ``x_padded[:, k, i, j].transpose(1, 2, 0).reshape(C*kh*kw, -1)``
+    produces, without building or streaming any index arrays.  The view
+    is laid out transposed directly (one ``as_strided``), so the only
+    copy is the final reshape into fresh C-contiguous memory.
+    """
+    n, channels, height, width = x_padded.shape
+    out_h = (height - kh) // stride + 1
+    out_w = (width - kw) // stride + 1
+    sn, sc, sh, sw = x_padded.strides
+    win = as_strided(
+        x_padded,
+        (channels, kh, kw, out_h, out_w, n),
+        (sc, sh, sw, sh * stride, sw * stride, sn),
+    )
+    cols = win.reshape(channels * kh * kw, out_h * out_w * n)
+    if cols.base is not None:
+        # degenerate windows (1x1, stride 1, batch 1) can reshape as a
+        # view; callers require fresh memory (x_padded may be pooled)
+        cols = cols.copy()
+    return cols
+
+
+@BACKEND.register()
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    x_padded, pooled = _fast._pad_input(x, padding)
+    cols = _window_cols(x_padded, kh, kw, stride)
+    if pooled:
+        _fast._pool.give(x_padded)
+    return cols
+
+
+@BACKEND.register()
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, stride: int, padding: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    out_channels, _, kh, kw = weight.shape
+    x_padded, pooled = _fast._pad_input(x, padding)
+    cols = _window_cols(x_padded, kh, kw, stride)
+    if pooled:
+        _fast._pool.give(x_padded)
+    out_h = (x.shape[2] + 2 * padding - kh) // stride + 1
+    out_w = (x.shape[3] + 2 * padding - kw) // stride + 1
+    scratch = _fast._pool.take((out_channels, cols.shape[1]), cols.dtype)
+    np.matmul(weight.reshape(out_channels, -1), cols, out=scratch)
+    out = np.ascontiguousarray(
+        scratch.reshape(out_channels, out_h, out_w, x.shape[0]).transpose(3, 0, 1, 2)
+    )
+    _fast._pool.give(scratch)
+    return out, cols
+
+
+@BACKEND.register()
+def conv2d_infer(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+    relu: bool = False,
+) -> np.ndarray:
+    out_channels, _, kh, kw = weight.shape
+    x_padded, pooled = _fast._pad_input(x, padding)
+    cols = _window_cols(x_padded, kh, kw, stride)
+    if pooled:
+        _fast._pool.give(x_padded)
+    out_h = (x.shape[2] + 2 * padding - kh) // stride + 1
+    out_w = (x.shape[3] + 2 * padding - kw) // stride + 1
+    scratch = _fast._pool.take((out_channels, cols.shape[1]), cols.dtype)
+    out = np.matmul(weight.reshape(out_channels, -1), cols, out=scratch)
+    if bias is not None:
+        out += bias.reshape(-1, 1)
+    if relu:
+        np.maximum(out, 0.0, out=out)
+    result = np.ascontiguousarray(
+        out.reshape(out_channels, out_h, out_w, x.shape[0]).transpose(3, 0, 1, 2)
+    )
+    _fast._pool.give(scratch)
+    return result
+
+
+def _pool_cols(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """(kernel*kernel, out_h*out_w*N*C) pooling patch matrix, fast layout."""
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    flat = x.reshape(batch * channels, height, width)
+    sm, sh, sw = flat.strides
+    win = as_strided(
+        flat,
+        (kernel, kernel, out_h, out_w, batch * channels),
+        (sh, sw, sh * stride, sw * stride, sm),
+    )
+    return win.reshape(kernel * kernel, out_h * out_w * batch * channels)
+
+
+def _gather_arange(length: int) -> np.ndarray:
+    return _cached(_arange_cache, length, lambda: np.arange(length))
+
+
+@BACKEND.register()
+def maxpool2d_forward(
+    x: np.ndarray, kernel: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    cols = _pool_cols(x, kernel, stride)
+    argmax = cols.argmax(axis=0)
+    out = cols[argmax, _gather_arange(cols.shape[1])]
+    out = np.ascontiguousarray(
+        out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    ).reshape(batch, channels, out_h, out_w)
+    return out, argmax
+
+
+@BACKEND.register()
+def maxpool2d_infer(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    out = _pool_cols(x, kernel, stride).max(axis=0)
+    return np.ascontiguousarray(
+        out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    ).reshape(batch, channels, out_h, out_w)
+
+
+@BACKEND.register()
+def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    out = _pool_cols(x, kernel, stride).mean(axis=0)
+    return np.ascontiguousarray(
+        out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    ).reshape(batch, channels, out_h, out_w)
+
+
+def _scatter_base(x_shape, kernel: int, stride: int,
+                  out_h: int, out_w: int) -> np.ndarray:
+    """Flat target offsets of each pooling window's origin, column order.
+
+    Column ``l`` of the pooling patch matrix covers the window at
+    ``(oh, ow)`` of image ``nc`` with ``l = (oh*out_w + ow)*NC + nc``;
+    its window origin lives at flat offset ``nc*H*W + oh*s*W + ow*s`` of
+    the ``(NC, H, W)`` gradient buffer.  Input-independent, so cached.
+    """
+    batch, channels, height, width = x_shape
+    nc = batch * channels
+    lin = np.arange(nc * out_h * out_w)
+    nc_idx = lin % nc
+    rest = lin // nc
+    return (nc_idx * (height * width)
+            + (rest // out_w) * (stride * width)
+            + (rest % out_w) * stride)
+
+
+@BACKEND.register()
+def maxpool2d_backward(
+    grad: np.ndarray,
+    argmax: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Direct scatter for non-overlapping windows; fast path otherwise.
+
+    With ``stride == kernel`` each input element belongs to at most one
+    window, so the gradient scatter has no accumulation collisions and
+    can place every value with one flat fancy-indexed assignment --
+    bitwise identical to the grad_cols + col2im route, without
+    materializing the (k*k, L)-sized zero matrix.  The window-origin
+    offsets are input-independent and cached per shape; only the
+    in-window tap offset (from ``argmax``) varies per call.
+    """
+    batch, channels, height, width = x_shape
+    if stride != kernel:
+        return _fast.maxpool2d_backward(grad, argmax, x_shape, kernel, stride)
+    nc = batch * channels
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    base = _cached(
+        _scatter_cache, (tuple(x_shape), kernel, stride),
+        lambda: _scatter_base(x_shape, kernel, stride, out_h, out_w),
+    )
+    # same column ordering as the forward's patch matrix: (oh, ow, nc)
+    grad_flat = grad.reshape(nc, -1).transpose(1, 0).reshape(-1)
+    targets = base + (argmax // kernel) * width + argmax % kernel
+    out = np.zeros(nc * height * width, dtype=grad.dtype)
+    out[targets] = grad_flat
+    return out.reshape(x_shape)
+
+
+@BACKEND.register()
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Monolithic GEMM below the flop threshold; row-tiled threads above.
+
+    The tiled path partitions rows of ``a``; each worker's GEMM releases
+    the GIL, so this scales on multi-core hosts for the very large
+    (batch-inference sized) products only.
+    """
+    if a.ndim == 2 and b.ndim == 2:
+        flops = a.shape[0] * a.shape[1] * b.shape[1]
+        if flops >= TILED_MATMUL_THRESHOLD:
+            workers = _worker_count()
+            if workers > 1 and a.shape[0] >= workers:
+                out = np.empty((a.shape[0], b.shape[1]),
+                               dtype=np.result_type(a.dtype, b.dtype))
+                bounds = np.linspace(0, a.shape[0], workers + 1, dtype=int)
+                pool = _thread_pool()
+                futures = [
+                    pool.submit(np.matmul, a[lo:hi], b, out=out[lo:hi])
+                    for lo, hi in zip(bounds[:-1], bounds[1:])
+                    if hi > lo
+                ]
+                for future in futures:
+                    future.result()
+                return out
+    return a @ b
+
+
+# Capability flags surfaced by ``repro info`` and recorded in run
+# manifests: this backend is the compiled-schedule companion, supports
+# elementwise fusion (its elementwise kernels resolve to reference, the
+# compiler's bitwise requirement) and thread-tiled large matmul.
+BACKEND.graph_compiler = True
+BACKEND.fusion = True
+BACKEND.tiling = True

@@ -52,15 +52,71 @@ _CACHE_SIZE = 64
 
 
 class _LRU(OrderedDict):
-    """Tiny bounded mapping: oldest entry is evicted past _CACHE_SIZE."""
+    """Bounded mapping with true LRU order and an eviction counter.
+
+    Hits refresh recency (``touch``), so steady-state workloads that
+    cycle through more shapes than ``capacity`` evict the coldest key,
+    not merely the oldest insertion.  Evictions are counted locally and
+    mirrored to the ``backend.im2col_cache_evictions`` telemetry
+    counter; the current size is published on the
+    ``backend.im2col_cache_size`` gauge.
+    """
+
+    def __init__(self, capacity: int = _CACHE_SIZE) -> None:
+        super().__init__()
+        self.capacity = int(capacity)
+        self.evictions = 0
+
+    def _evict_to_capacity(self) -> None:
+        evicted = 0
+        while len(self) > self.capacity:
+            self.popitem(last=False)
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
+            _cache_telemetry(evicted, len(self))
 
     def put(self, key, value):
         self[key] = value
-        if len(self) > _CACHE_SIZE:
-            self.popitem(last=False)
+        self._evict_to_capacity()
+
+    def touch(self, key) -> None:
+        self.move_to_end(key)
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._evict_to_capacity()
+
+
+def _cache_telemetry(evicted: int, size: int) -> None:
+    try:
+        from repro.telemetry.metrics import default_registry
+    except Exception:  # pragma: no cover - telemetry is optional here
+        return
+    registry = default_registry()
+    registry.counter("backend.im2col_cache_evictions").inc(evicted)
+    registry.gauge("backend.im2col_cache_size").set(size)
 
 
 _indices_cache: "_LRU" = _LRU()
+
+
+def set_index_cache_capacity(capacity: int) -> int:
+    """Resize the im2col index cache; returns the previous capacity."""
+    previous = _indices_cache.capacity
+    _indices_cache.resize(capacity)
+    return previous
+
+
+def index_cache_stats() -> Dict[str, int]:
+    """Size, capacity, and cumulative eviction count of the index cache."""
+    return {
+        "size": len(_indices_cache),
+        "capacity": _indices_cache.capacity,
+        "evictions": _indices_cache.evictions,
+    }
 
 
 def cached_im2col_indices(
@@ -76,6 +132,8 @@ def cached_im2col_indices(
         )
         hit = (k, i, j, out_h, out_w)
         _indices_cache.put(key, hit)
+    else:
+        _indices_cache.touch(key)
     return hit
 
 
@@ -296,9 +354,9 @@ def maxpool2d_forward(
     cols = reshaped[:, k, i, j].transpose(1, 2, 0).reshape(kernel * kernel, -1)
     argmax = np.argmax(cols, axis=0)
     out = cols[argmax, np.arange(cols.shape[1])]
-    out = out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
-        batch, channels, out_h, out_w
-    )
+    out = np.ascontiguousarray(
+        out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    ).reshape(batch, channels, out_h, out_w)
     return out, argmax
 
 
@@ -311,9 +369,9 @@ def maxpool2d_infer(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
     )
     cols = reshaped[:, k, i, j].transpose(1, 2, 0).reshape(kernel * kernel, -1)
     out = cols.max(axis=0)
-    return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
-        batch, channels, out_h, out_w
-    )
+    return np.ascontiguousarray(
+        out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    ).reshape(batch, channels, out_h, out_w)
 
 
 @BACKEND.register()
@@ -359,9 +417,9 @@ def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
     )
     cols = reshaped[:, k, i, j].transpose(1, 2, 0).reshape(kernel * kernel, -1)
     out = cols.mean(axis=0)
-    return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
-        batch, channels, out_h, out_w
-    )
+    return np.ascontiguousarray(
+        out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    ).reshape(batch, channels, out_h, out_w)
 
 
 # ---------------------------------------------------------------------------

@@ -196,9 +196,9 @@ def maxpool2d_forward(
     argmax = np.argmax(cols, axis=0)
     out = cols[argmax, np.arange(cols.shape[1])]
     _, _, _, out_h, out_w = im2col_indices(reshaped.shape, kernel, kernel, stride, 0)
-    out = out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
-        batch, channels, out_h, out_w
-    )
+    out = np.ascontiguousarray(
+        out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    ).reshape(batch, channels, out_h, out_w)
     return out, argmax
 
 
@@ -227,9 +227,9 @@ def maxpool2d_infer(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
     cols = im2col(reshaped, kernel, kernel, stride, 0)
     out = cols.max(axis=0)
     _, _, _, out_h, out_w = im2col_indices(reshaped.shape, kernel, kernel, stride, 0)
-    return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
-        batch, channels, out_h, out_w
-    )
+    return np.ascontiguousarray(
+        out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    ).reshape(batch, channels, out_h, out_w)
 
 
 @BACKEND.register()
@@ -239,9 +239,9 @@ def avgpool2d_forward(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
     cols = im2col(reshaped, kernel, kernel, stride, 0)
     out = cols.mean(axis=0)
     _, _, _, out_h, out_w = im2col_indices(reshaped.shape, kernel, kernel, stride, 0)
-    return out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1).reshape(
-        batch, channels, out_h, out_w
-    )
+    return np.ascontiguousarray(
+        out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    ).reshape(batch, channels, out_h, out_w)
 
 
 @BACKEND.register()

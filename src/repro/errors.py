@@ -36,3 +36,7 @@ class ConfigError(ReproError):
 
 class ServeError(ReproError):
     """The serving layer refused or failed a request/artifact operation."""
+
+
+class GraphError(ReproError):
+    """Graph capture or compilation was requested in an unsupported state."""

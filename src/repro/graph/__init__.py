@@ -1,0 +1,98 @@
+"""Graph capture + fusing schedule compiler.
+
+One warm-up training step, executed eagerly under a
+:class:`~repro.graph.trace.TraceSession`, is lowered by
+:func:`~repro.graph.compiler.compile_step` into a
+:class:`~repro.graph.executor.CompiledStep`: a static schedule that
+replays the identical kernels in the identical order -- bit-for-bit the
+same losses, gradients and running statistics as eager execution --
+while eliminating per-step Python dispatch, fusing elementwise chains
+into single in-place closures, and reusing planner-allocated scratch.
+
+Shape changes, dynamic layers, or any replay failure fall back to eager
+execution; the compiled path is an optimization, never a semantic.
+
+Forward-only (inference) passes capture one level lower, at the backend
+kernel seam -- see :mod:`repro.graph.infer`, used by ``repro.serve``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graph.compiler import (
+    FUSIBLE,
+    capture_step,
+    compile_step,
+    fusion_supported,
+)
+from repro.graph.equivalence import check_chain, check_program
+from repro.graph.executor import CompiledStep, FusedChain
+from repro.graph.infer import InferProgram, capture_infer
+from repro.graph.ir import FUNCTION_KERNELS, GraphIR, IRNode, IRSource, kernels_for
+from repro.graph.trace import TraceSession, active_session, mark_dynamic
+
+__all__ = [
+    "FUSIBLE",
+    "FUNCTION_KERNELS",
+    "CompiledStep",
+    "FusedChain",
+    "GraphIR",
+    "IRNode",
+    "IRSource",
+    "InferProgram",
+    "TraceSession",
+    "active_session",
+    "capture_infer",
+    "capture_step",
+    "check_chain",
+    "check_program",
+    "compile_default",
+    "compile_step",
+    "fusion_supported",
+    "kernels_for",
+    "mark_dynamic",
+    "set_compile_default",
+    "stats",
+]
+
+# Process-wide default for Trainer(compile=None); the CLI's --compile
+# flag flips it for a whole invocation.
+_compile_default = False
+
+
+def set_compile_default(enabled: bool) -> bool:
+    """Set the process default for step compilation; returns the old value."""
+    global _compile_default
+    previous = _compile_default
+    _compile_default = bool(enabled)
+    return previous
+
+
+def compile_default() -> bool:
+    return _compile_default
+
+
+_COUNTERS = (
+    "graph.captures",
+    "graph.capture_failures",
+    "graph.replays",
+    "graph.fallbacks",
+)
+
+
+def stats() -> Dict[str, float]:
+    """Snapshot of the graph-compiler telemetry counters and gauges."""
+    from repro.telemetry.metrics import default_registry
+
+    registry = default_registry()
+    out = {name: registry.counter(name).snapshot() for name in _COUNTERS}
+    gauge = registry.gauge("graph.programs")
+    programs = gauge.snapshot()
+    if programs != programs:
+        # an unset gauge snapshots as NaN; pin it to "no programs" so
+        # full-registry snapshots (run manifests) stay JSON-roundtrippable
+        programs = 0.0
+        gauge.set(programs)
+    out["graph.programs"] = programs
+    return out

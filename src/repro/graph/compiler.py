@@ -1,0 +1,474 @@
+"""Lower a captured trace to a :class:`~repro.graph.executor.CompiledStep`.
+
+The compiler's contract is **bit-identity**: a replay must produce
+exactly the arrays the eager step would, so every transformation here
+is restricted to ones that provably cannot move a single ULP:
+
+* Python-dispatch removal -- instructions call the captured
+  ``Function`` objects' ``forward``/``backward`` directly, skipping
+  ``Function.apply``/``Tensor.backward`` bookkeeping entirely;
+* elementwise-chain fusion -- runs of whitelisted ops collapse into
+  single closures whose in-place ufunc emitters replicate the
+  reference kernels' arithmetic exactly (``np.add(a, b, out=buf)`` is
+  the same IEEE operation as ``a + b``), writing into buffers planned
+  once by :class:`~repro.autograd.planner.StaticAllocationPlan`;
+* backward lowering -- the reverse-topological walk, liveness analysis
+  and gradient-routing decisions of ``Tensor.backward`` are executed
+  once at compile time and frozen into a flat schedule that preserves
+  eager accumulation order.
+
+Anything the schedule cannot freeze safely raises
+:class:`~repro.errors.GraphError`: dynamic layers (dropout), tensors
+produced outside the capture window, explicit backward gradients.  The
+trainer treats that as "stay eager", never as "best effort".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import backend as _backend
+from repro.autograd.ops_nn import Conv2dFn
+from repro.autograd.planner import StaticAllocationPlan
+from repro.autograd.tensor import Tensor
+from repro.backend import reference as _reference
+from repro.errors import GraphError
+from repro.graph import ir as _ir
+from repro.graph.executor import (
+    ApplyOp,
+    BackwardNode,
+    BackwardSection,
+    CompiledStep,
+    FusedChain,
+    FusedStep,
+)
+from repro.graph.trace import TraceSession
+
+# ---------------------------------------------------------------------------
+# Fused emitters
+#
+# Each runner replicates one reference kernel / Function.forward body
+# with in-place ufuncs, *including* the op's saved-state side effects,
+# so the captured node's backward works unchanged.  A runner must be
+# bitwise identical to the eager forward -- new ops join this table only
+# with an equivalence test in tests/graph/.
+# ---------------------------------------------------------------------------
+
+
+def _run_add(fn, ins, dest):
+    np.add(ins[0], ins[1], out=dest)
+    return dest
+
+
+def _run_sub(fn, ins, dest):
+    np.subtract(ins[0], ins[1], out=dest)
+    return dest
+
+
+def _run_mul(fn, ins, dest):
+    a, b = ins
+    np.multiply(a, b, out=dest)
+    fn.saved = (a, b)
+    return dest
+
+
+def _run_div(fn, ins, dest):
+    a, b = ins
+    np.divide(a, b, out=dest)
+    fn.saved = (a, b)
+    return dest
+
+
+def _run_neg(fn, ins, dest):
+    np.negative(ins[0], out=dest)
+    return dest
+
+
+def _run_exp(fn, ins, dest):
+    np.exp(ins[0], out=dest)
+    fn.saved = (dest,)
+    return dest
+
+
+def _run_sqrt(fn, ins, dest):
+    np.sqrt(ins[0], out=dest)
+    fn.saved = (dest,)
+    return dest
+
+
+def _run_tanh(fn, ins, dest):
+    np.tanh(ins[0], out=dest)
+    fn.saved = (dest,)
+    return dest
+
+
+def _run_sigmoid(fn, ins, dest):
+    # 1 / (1 + exp(-a)), computed in place; each ufunc matches the
+    # eager expression's corresponding IEEE operation exactly
+    np.negative(ins[0], out=dest)
+    np.exp(dest, out=dest)
+    np.add(dest, 1.0, out=dest)
+    np.divide(1.0, dest, out=dest)
+    fn.saved = (dest,)
+    return dest
+
+
+def _run_relu(fn, ins, dest):
+    a = ins[0]
+    mask = np.greater(a, 0)
+    np.multiply(a, mask, out=dest)
+    fn.saved = (mask,)
+    return dest
+
+
+#: op name -> emitter.  Only ops whose eager forward is a plain-numpy
+#: expression (directly or via the reference elementwise kernels).
+FUSIBLE: Dict[str, Callable] = {
+    "Add": _run_add,
+    "Sub": _run_sub,
+    "Mul": _run_mul,
+    "Div": _run_div,
+    "Neg": _run_neg,
+    "Exp": _run_exp,
+    "Sqrt": _run_sqrt,
+    "Tanh": _run_tanh,
+    "Sigmoid": _run_sigmoid,
+    "ReLU": _run_relu,
+}
+
+#: Ops whose emitter saves its *output* buffer for backward -- the
+#: buffer is live across the forward/backward boundary, so it can never
+#: share storage with another value.
+_OUTPUT_SAVING = {"Exp", "Sqrt", "Tanh", "Sigmoid"}
+
+#: Fused ops that keep no reference to their input arrays (ReLU saves a
+#: freshly allocated mask, not the input).  A chain value is allowed to
+#: share a scratch buffer only when every consumer is one of these --
+#: any other consumer (``Mul`` saving its operands, a conv saving its
+#: input, ...) pins the value for the whole step.
+_NONSAVING_CONSUMERS = {"Add", "Sub", "Neg", "Exp", "Sqrt", "Tanh",
+                        "Sigmoid", "ReLU"}
+
+#: Elementwise kernels the emitters shadow; fusion is enabled only when
+#: the active backend resolves all of them to the reference
+#: implementations (every shipped backend does -- this guards a future
+#: backend that overrides elementwise math with different numerics).
+_SHADOWED_KERNELS = ("add", "sub", "mul", "div", "neg", "relu")
+
+
+def fusion_supported(backend=None) -> bool:
+    """True when fused chains are bitwise-safe under ``backend``."""
+    K = backend if backend is not None else _backend.active()
+    ref = _reference.BACKEND
+    return all(
+        getattr(K, name, None) is getattr(ref, name, None)
+        for name in _SHADOWED_KERNELS
+    )
+
+
+class _Instr:
+    __slots__ = ("fn", "in_slots", "out_slot", "op", "out_tensor")
+
+    def __init__(self, fn, in_slots, out_slot, out_tensor):
+        self.fn = fn
+        self.in_slots = tuple(in_slots)
+        self.out_slot = out_slot
+        self.op = type(fn).__name__
+        self.out_tensor = out_tensor
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_step(
+    session: TraceSession,
+    feeds: Dict[str, Tensor],
+    outputs: Dict[str, Tensor],
+    fuse: bool = True,
+) -> CompiledStep:
+    """Compile one recorded step into a replayable schedule.
+
+    ``feeds`` names the tensors whose ``.data`` is replaced per replay
+    (the batch inputs); ``outputs`` names traced tensors whose
+    post-replay values ``replay()`` returns (the losses).  Raises
+    :class:`GraphError` whenever a faithful static schedule cannot be
+    built.
+    """
+    if session.is_dynamic:
+        raise GraphError(
+            "trace is dynamic (" + ", ".join(session.dynamic_reasons)
+            + "); replay would freeze per-step behaviour"
+        )
+    if not session.applies:
+        raise GraphError("trace recorded no operations")
+
+    # ------------------------------------------------- slot assignment
+    slot_of: Dict[int, int] = {}
+    slot_tensor: List[Tensor] = []
+    feed_by_id = {id(t): name for name, t in feeds.items()}
+    feed_slots: Dict[str, Tuple[int, Tuple[int, ...], np.dtype]] = {}
+    leaf_loads: List[Tuple[int, Tensor]] = []
+    source_kind: Dict[int, str] = {}  # slot -> "feed" | "leaf" | "const"
+
+    def new_slot(t: Tensor) -> int:
+        s = len(slot_tensor)
+        slot_tensor.append(t)
+        slot_of[id(t)] = s
+        return s
+
+    def source_slot(t: Tensor) -> int:
+        s = slot_of.get(id(t))
+        if s is not None:
+            return s
+        s = new_slot(t)
+        name = feed_by_id.get(id(t))
+        if name is not None:
+            feed_slots[name] = (s, t.data.shape, t.data.dtype)
+            source_kind[s] = "feed"
+        elif t._creator is not None:
+            # produced by an op the trace did not see: replaying would
+            # silently freeze a stale activation
+            raise GraphError(
+                "step consumed a tensor produced outside the capture window"
+            )
+        else:
+            leaf_loads.append((s, t))
+            source_kind[s] = "leaf" if t.requires_grad else "const"
+        return s
+
+    for name in feeds:
+        source_slot(feeds[name])
+
+    instrs: List[_Instr] = []
+    traced_fns: set = set()
+    rebinds: List[Tuple[Any, str]] = []
+    side_effects: List[Any] = []
+    for rec in session.applies:
+        in_slots = [source_slot(t) for t in rec.inputs]
+        out_slot = new_slot(rec.output)
+        instrs.append(_Instr(rec.fn, in_slots, out_slot, rec.output))
+        traced_fns.add(id(rec.fn))
+        binding = rec.fn.step_binding
+        if binding is not None:
+            if not hasattr(rec.fn, "rebind"):
+                raise GraphError(
+                    f"{type(rec.fn).__name__} declares step binding "
+                    f"{binding!r} but has no rebind()"
+                )
+            rebinds.append((rec.fn, binding))
+        if rec.fn.on_replay is not None:
+            side_effects.append(rec.fn)
+        if isinstance(rec.fn, Conv2dFn):
+            # trade the tape planner's memory saving back for compute:
+            # replays keep the forward's patch matrix for backward
+            rec.fn.keep_cols = True
+
+    out_slots: Dict[str, int] = {}
+    for name, t in outputs.items():
+        out_slots[name] = source_slot(t)
+    output_slot_set = set(out_slots.values())
+
+    # ----------------------------------------------------------- fusion
+    plan = StaticAllocationPlan()
+    consumers: Dict[int, List[int]] = {}
+    for i, ins in enumerate(instrs):
+        for s in ins.in_slots:
+            consumers.setdefault(s, []).append(i)
+
+    fuse = fuse and fusion_supported()
+    chain_spans: List[Tuple[int, int]] = []
+    if fuse:
+        i = 0
+        while i < len(instrs):
+            if instrs[i].op in FUSIBLE:
+                j = i
+                while (
+                    j + 1 < len(instrs)
+                    and instrs[j + 1].op in FUSIBLE
+                    and instrs[j].out_slot in instrs[j + 1].in_slots
+                ):
+                    j += 1
+                if j > i:
+                    chain_spans.append((i, j))
+                    i = j + 1
+                    continue
+            i += 1
+
+    fused_index: Dict[int, str] = {}  # instr index -> op name, if fused
+    for start, endi in chain_spans:
+        for k in range(start, endi + 1):
+            fused_index[k] = instrs[k].op
+
+    def _value_reusable(k: int, ins: _Instr) -> bool:
+        if ins.op in _OUTPUT_SAVING:
+            return False
+        if ins.out_slot in output_slot_set:
+            return False
+        for c in consumers.get(ins.out_slot, ()):
+            if fused_index.get(c) not in _NONSAVING_CONSUMERS:
+                return False
+        return True
+
+    forward_ops: List[Callable] = []
+    pos = 0
+    for start, endi in sorted(chain_spans):
+        for k in range(pos, start):
+            ins = instrs[k]
+            forward_ops.append(ApplyOp(ins.fn, ins.in_slots, ins.out_slot))
+        steps: List[FusedStep] = []
+        for k in range(start, endi + 1):
+            ins = instrs[k]
+            out = ins.out_tensor.data
+            if _value_reusable(k, ins):
+                last = max(consumers.get(ins.out_slot, [k]))
+                handle = plan.request(out.shape, out.dtype, start=k, end=last)
+            else:
+                handle = plan.request(out.shape, out.dtype, start=k,
+                                      exclusive=True)
+            in_shapes = [slot_tensor[s].data.shape for s in ins.in_slots]
+            in_dtypes = [slot_tensor[s].data.dtype for s in ins.in_slots]
+            steps.append(
+                FusedStep(
+                    ins.op, FUSIBLE[ins.op], ins.fn, ins.in_slots,
+                    ins.out_slot, handle, plan, out.shape, out.dtype,
+                    in_shapes, in_dtypes,
+                )
+            )
+        forward_ops.append(FusedChain(steps))
+        pos = endi + 1
+    for k in range(pos, len(instrs)):
+        ins = instrs[k]
+        forward_ops.append(ApplyOp(ins.fn, ins.in_slots, ins.out_slot))
+
+    # --------------------------------------------------------- backward
+    sections: List[BackwardSection] = []
+    grad_request_base = len(instrs) + 1
+    for rec in session.backwards:
+        root = rec.root
+        if id(root) not in slot_of:
+            raise GraphError("backward root was not produced inside the capture")
+        if rec.grad.shape != root.data.shape or not np.all(rec.grad == 1):
+            raise GraphError(
+                "explicit backward gradients are not capturable; only the "
+                "default scalar-loss seed replays"
+            )
+        order = root._topological_order()
+        pos_of = {id(t): p for p, t in enumerate(order)}
+        # count gradient contributions per position so multi-consumer
+        # values get a planned accumulation buffer
+        contributions: Dict[int, int] = {}
+        for t in order:
+            fn = t._creator
+            if fn is None:
+                continue
+            if id(fn) not in traced_fns:
+                raise GraphError(
+                    "backward reaches a node recorded outside the capture window"
+                )
+            for parent, needs in zip(fn.inputs, fn.needs_grad):
+                if needs or parent._creator is not None:
+                    p = pos_of[id(parent)]
+                    contributions[p] = contributions.get(p, 0) + 1
+        accum_handle: Dict[int, int] = {}
+        for p, count in contributions.items():
+            if count >= 2:
+                data = order[p].data
+                accum_handle[p] = plan.request(
+                    data.shape, data.dtype,
+                    start=grad_request_base + p, exclusive=True,
+                )
+        nodes: List[BackwardNode] = []
+        for t in order:
+            fn = t._creator
+            store = t.requires_grad and (fn is None or t is root)
+            parents: List[Tuple[int, int, Optional[int]]] = []
+            if fn is not None:
+                for idx, (parent, needs) in enumerate(zip(fn.inputs, fn.needs_grad)):
+                    if needs or parent._creator is not None:
+                        p = pos_of[id(parent)]
+                        parents.append((idx, p, accum_handle.get(p)))
+            nodes.append(BackwardNode(t, fn, store, parents))
+        seed = np.ones_like(root.data)
+        seed.setflags(write=False)
+        sections.append(BackwardSection(root, seed, nodes, plan))
+        grad_request_base += len(order) + 1
+
+    plan.solve()
+
+    # --------------------------------------------------------------- IR
+    graph_ir = _ir.GraphIR()
+    for s, kind in source_kind.items():
+        t = slot_tensor[s]
+        graph_ir.sources.append(
+            _ir.IRSource(
+                id=f"v{s}", kind=kind, shape=t.data.shape,
+                dtype=t.data.dtype.str,
+                name=next((n for n, (fs, _, _) in feed_slots.items() if fs == s), None),
+            )
+        )
+    for ins in instrs:
+        out = ins.out_tensor
+        graph_ir.nodes.append(
+            _ir.IRNode(
+                id=f"v{ins.out_slot}",
+                op=ins.op,
+                inputs=[f"v{s}" for s in ins.in_slots],
+                shape=out.data.shape,
+                dtype=out.data.dtype.str,
+                kernels=_ir.kernels_for(ins.op),
+                requires_grad=out.requires_grad,
+                meta=_ir.node_meta(ins.fn),
+            )
+        )
+    graph_ir.outputs = {name: f"v{s}" for name, s in out_slots.items()}
+    graph_ir.backward_roots = [
+        f"v{slot_of[id(rec.root)]}" for rec in session.backwards
+    ]
+
+    return CompiledStep(
+        nslots=len(slot_tensor),
+        feeds=feed_slots,
+        leaf_loads=leaf_loads,
+        rebinds=rebinds,
+        forward_ops=forward_ops,
+        backward_sections=sections,
+        side_effects=side_effects,
+        outputs=out_slots,
+        ir=graph_ir,
+        plan=plan,
+    )
+
+
+def capture_step(
+    step_fn: Callable[[], Dict[str, Any]],
+    feeds: Dict[str, Tensor],
+    fuse: bool = True,
+) -> Tuple[Dict[str, Any], Optional[CompiledStep]]:
+    """Run one warm-up step under a trace and compile it.
+
+    ``step_fn`` executes the full eager step (forward, losses, backward)
+    and returns a result dict; every :class:`Tensor` value in it becomes
+    a named program output.  Returns ``(result, program)``.  When the
+    trace cannot be compiled the eager step has still fully run -- its
+    gradients and statistics are valid -- so the :class:`GraphError` is
+    swallowed (after ticking the capture-failure counter) and the
+    caller receives ``(result, None)``: keep the eager result, stay
+    eager.  Use :func:`compile_step` directly for the failure reason.
+    """
+    from repro.telemetry.metrics import default_registry
+
+    session = TraceSession()
+    with session:
+        result = step_fn()
+    outputs = {k: v for k, v in result.items() if isinstance(v, Tensor)}
+    try:
+        program = compile_step(session, feeds=feeds, outputs=outputs, fuse=fuse)
+    except GraphError:
+        default_registry().counter("graph.capture_failures").inc()
+        return result, None
+    default_registry().counter("graph.captures").inc()
+    return result, program

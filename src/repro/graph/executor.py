@@ -1,0 +1,314 @@
+"""Replay engine for compiled training steps.
+
+A :class:`CompiledStep` is the executable produced by
+:mod:`repro.graph.compiler`: a slot-array program whose instructions
+call the *captured* ``Function`` instances directly -- no
+``Function.apply`` dispatch, no ``Tensor`` wrapping, no graph
+re-recording.  Replay numerics are **bit-identical** to the eager step
+because every instruction invokes the same kernels in the same order
+eager execution would:
+
+* generic forward instructions call ``fn.forward`` (which re-runs all
+  data-dependent state: batch-norm statistics, max-pool argmaps, the
+  saved activations backward needs);
+* fused chains replace runs of elementwise ``Function.apply`` calls
+  with single closures of in-place numpy ufuncs writing into buffers
+  planned by :class:`~repro.autograd.planner.StaticAllocationPlan`;
+  each emitter replicates the reference kernel's exact arithmetic and
+  re-creates the op's saved state, so the downstream backward cannot
+  tell the difference;
+* backward sections mirror ``Tensor.backward``'s walk over the *same*
+  reverse-topological order, with the same leaf-only gradient storage
+  and the same accumulation order (so floating-point sums are bitwise
+  reproducible), but with the walk itself -- topological sort, liveness
+  plan, dict bookkeeping -- hoisted to compile time.
+
+Replay never releases saved state (buffers are program-owned and
+rewritten by the next forward), which is why a captured
+``backward(retain_graph=True)`` + second backward replays naturally.
+
+Any exception during replay leaves the program's scratch buffers in an
+unspecified state but the *model* untouched except for partially
+written gradients; the trainer's contract is to discard the program,
+``zero_grad`` and re-run the step eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import backend as _backend
+from repro.autograd.planner import StaticAllocationPlan
+from repro.errors import GraphError
+from repro.graph.ir import GraphIR
+
+
+def _registry():
+    from repro.telemetry.metrics import default_registry
+    return default_registry()
+
+
+class ApplyOp:
+    """One non-fused forward instruction: ``vals[out] = fn.forward(...)``."""
+
+    fused = False
+    __slots__ = ("fn", "in_slots", "out_slot", "op_names")
+
+    def __init__(self, fn, in_slots: Sequence[int], out_slot: int) -> None:
+        self.fn = fn
+        self.in_slots = tuple(in_slots)
+        self.out_slot = out_slot
+        self.op_names = (type(fn).__name__,)
+
+    def __call__(self, vals: List[Any]) -> None:
+        # unrolled for the common arities; the generic path allocates an
+        # argument list per call, which the replay loop runs hot
+        slots = self.in_slots
+        if len(slots) == 1:
+            vals[self.out_slot] = self.fn.forward(vals[slots[0]])
+        elif len(slots) == 2:
+            vals[self.out_slot] = self.fn.forward(vals[slots[0]], vals[slots[1]])
+        else:
+            vals[self.out_slot] = self.fn.forward(*[vals[s] for s in slots])
+
+
+class FusedStep:
+    """One op inside a fused chain: an in-place ufunc emitter."""
+
+    __slots__ = ("op", "runner", "fn", "in_slots", "out_slot", "handle",
+                 "plan", "buf", "out_shape", "out_dtype",
+                 "in_shapes", "in_dtypes")
+
+    def __init__(self, op: str, runner: Callable, fn, in_slots: Sequence[int],
+                 out_slot: int, handle: int, plan: StaticAllocationPlan,
+                 out_shape: Tuple[int, ...], out_dtype,
+                 in_shapes: Sequence[Tuple[int, ...]], in_dtypes) -> None:
+        self.op = op
+        self.runner = runner
+        self.fn = fn
+        self.in_slots = tuple(in_slots)
+        self.out_slot = out_slot
+        self.handle = handle
+        self.plan = plan
+        self.buf: Optional[np.ndarray] = None
+        self.out_shape = tuple(out_shape)
+        self.out_dtype = np.dtype(out_dtype)
+        self.in_shapes = tuple(tuple(s) for s in in_shapes)
+        self.in_dtypes = tuple(np.dtype(d) for d in in_dtypes)
+
+    def dest(self) -> np.ndarray:
+        buf = self.buf
+        if buf is None:
+            buf = self.buf = self.plan.materialize(self.handle)
+        return buf
+
+
+class FusedChain:
+    """A run of elementwise ops compiled into one schedule instruction."""
+
+    fused = True
+    __slots__ = ("steps", "op_names")
+
+    def __init__(self, steps: Sequence[FusedStep]) -> None:
+        self.steps = list(steps)
+        self.op_names = tuple(st.op for st in self.steps)
+
+    def __call__(self, vals: List[Any]) -> None:
+        for st in self.steps:
+            vals[st.out_slot] = st.runner(
+                st.fn, [vals[s] for s in st.in_slots], st.dest()
+            )
+
+    def external_inputs(self) -> List[Tuple[int, Tuple[int, ...], np.dtype]]:
+        """(slot, shape, dtype) of every value the chain reads from outside."""
+        internal = {st.out_slot for st in self.steps}
+        seen = {}
+        for st in self.steps:
+            for slot, shape, dtype in zip(st.in_slots, st.in_shapes, st.in_dtypes):
+                if slot not in internal and slot not in seen:
+                    seen[slot] = (slot, shape, dtype)
+        return list(seen.values())
+
+
+class BackwardNode:
+    """Compile-time image of one position of the eager backward walk."""
+
+    __slots__ = ("tensor", "fn", "store", "parents")
+
+    def __init__(self, tensor, fn, store: bool,
+                 parents: Sequence[Tuple[int, int, Optional[int]]]) -> None:
+        self.tensor = tensor
+        self.fn = fn
+        self.store = store
+        # (input_index, parent_position, accumulation-buffer handle|None)
+        self.parents = tuple(parents)
+
+
+class BackwardSection:
+    """One captured ``Tensor.backward`` call, lowered to a flat schedule.
+
+    The node list is exactly ``root._topological_order()`` at capture
+    time; per-replay state is one ``gvals`` list indexed by position.
+    Accumulation of multiple gradient contributions into one value uses
+    ``np.add(prev, pg, out=buf)`` with a planner-owned exclusive buffer
+    -- bitwise identical to the eager ``K.add(prev, pg)`` (both are one
+    IEEE add in the same order) without the per-step allocation.
+    """
+
+    __slots__ = ("root", "seed", "nodes", "plan", "_active")
+
+    def __init__(self, root, seed: np.ndarray, nodes: Sequence[BackwardNode],
+                 plan: StaticAllocationPlan) -> None:
+        self.root = root
+        self.seed = seed
+        self.nodes = list(nodes)
+        self.plan = plan
+        # positions that neither store a gradient nor run a backward fn
+        # (pure leaves without requires_grad) receive gradients but never
+        # act on them; hoist them out of the replay walk
+        self._active = [
+            (position, node) for position, node in enumerate(self.nodes)
+            if node.store or node.fn is not None
+        ]
+
+    def run(self) -> None:
+        K = _backend.active()
+        plan = self.plan
+        # the captured root tensor persists across replays; eagerly each
+        # step builds a fresh loss tensor with grad=None, so mirror that
+        self.root.grad = None
+        gvals: List[Optional[np.ndarray]] = [None] * len(self.nodes)
+        gvals[0] = self.seed
+        for position, node in self._active:
+            g = gvals[position]
+            gvals[position] = None
+            if node.store and g is not None:
+                t = node.tensor
+                t.grad = g if t.grad is None else K.add(t.grad, g)
+            fn = node.fn
+            if fn is None or g is None:
+                continue
+            input_grads = fn.backward(g)
+            for idx, parent_pos, handle in node.parents:
+                pg = input_grads[idx]
+                if pg is None:
+                    continue
+                prev = gvals[parent_pos]
+                if prev is None:
+                    gvals[parent_pos] = pg
+                elif handle is not None:
+                    buf = plan.materialize(handle)
+                    if (prev.shape == buf.shape and pg.shape == buf.shape
+                            and prev.dtype == buf.dtype and pg.dtype == buf.dtype):
+                        np.add(prev, pg, out=buf)
+                        gvals[parent_pos] = buf
+                    else:
+                        gvals[parent_pos] = K.add(prev, pg)
+                else:
+                    gvals[parent_pos] = K.add(prev, pg)
+
+
+class CompiledStep:
+    """An executable schedule for one captured training step."""
+
+    def __init__(
+        self,
+        *,
+        nslots: int,
+        feeds: Dict[str, Tuple[int, Tuple[int, ...], np.dtype]],
+        leaf_loads: Sequence[Tuple[int, Any]],
+        rebinds: Sequence[Tuple[Any, str]],
+        forward_ops: Sequence[Callable],
+        backward_sections: Sequence[BackwardSection],
+        side_effects: Sequence[Any],
+        outputs: Dict[str, int],
+        ir: GraphIR,
+        plan: StaticAllocationPlan,
+    ) -> None:
+        self._nslots = nslots
+        self._feeds = dict(feeds)
+        self._leaf_loads = list(leaf_loads)
+        self._rebinds = list(rebinds)
+        self._forward_ops = list(forward_ops)
+        self._backward_sections = list(backward_sections)
+        self._side_effects = list(side_effects)
+        self._outputs = dict(outputs)
+        self.ir = ir
+        self.plan = plan
+        self._vals: List[Any] = [None] * nslots
+        self._replay_counter = None
+        self.replays = 0
+
+    # -------------------------------------------------------- inspection
+    @property
+    def fused_chains(self) -> List[FusedChain]:
+        return [op for op in self._forward_ops if getattr(op, "fused", False)]
+
+    @property
+    def fused_op_count(self) -> int:
+        return sum(len(c.steps) for c in self.fused_chains)
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self._forward_ops)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "slots": self._nslots,
+            "instructions": self.instruction_count,
+            "fused_chains": len(self.fused_chains),
+            "fused_ops": self.fused_op_count,
+            "backward_sections": len(self._backward_sections),
+            "feeds": sorted(self._feeds),
+            "bindings": sorted({name for _, name in self._rebinds}),
+            "outputs": sorted(self._outputs),
+            "plan": self.plan.summary(),
+        }
+
+    # ------------------------------------------------------------ replay
+    def replay(self, **kwargs: Any) -> Dict[str, np.ndarray]:
+        """Re-run the captured step on new feed arrays.
+
+        Keyword arguments supply one array per feed name plus one value
+        per step binding (e.g. ``targets=``).  Raises
+        :class:`~repro.errors.GraphError` on shape/dtype mismatch --
+        callers catch it and fall back to eager execution.
+        """
+        vals = self._vals
+        for name, (slot, shape, dtype) in self._feeds.items():
+            try:
+                arr = kwargs[name]
+            except KeyError:
+                raise GraphError(f"replay is missing feed {name!r}") from None
+            arr = np.asarray(arr)
+            if arr.shape != shape or arr.dtype != dtype:
+                raise GraphError(
+                    f"feed {name!r} is {arr.shape}/{arr.dtype}, captured "
+                    f"{shape}/{dtype}; recompile for the new signature"
+                )
+            vals[slot] = arr
+        # parameters mutate via the optimizer reassigning ``.data`` on
+        # the same Parameter objects, so every replay re-reads them
+        for slot, tensor in self._leaf_loads:
+            vals[slot] = tensor.data
+        for fn, name in self._rebinds:
+            if name not in kwargs:
+                raise GraphError(f"replay is missing step binding {name!r}")
+            fn.rebind(kwargs[name])
+        for op in self._forward_ops:
+            op(vals)
+        for section in self._backward_sections:
+            section.run()
+        # non-graph side effects (batch-norm running statistics) run only
+        # after the whole step succeeded, so a failed replay followed by
+        # an eager re-run applies them exactly once
+        for fn in self._side_effects:
+            fn.on_replay(fn)
+        self.replays += 1
+        counter = self._replay_counter
+        if counter is None:
+            counter = self._replay_counter = _registry().counter("graph.replays")
+        counter.inc()
+        return {name: vals[slot] for name, slot in self._outputs.items()}

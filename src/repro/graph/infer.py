@@ -1,0 +1,218 @@
+"""Kernel-level capture of a forward-only (inference) pass.
+
+Training capture hooks ``Function.apply``, but under ``no_grad`` the
+free functions (``conv2d``, ``max_pool2d``) skip ``apply`` entirely and
+call fused ``*_infer`` kernels directly -- so serving capture records
+one level lower, at the backend dispatch seam
+(:func:`repro.backend.registry.set_kernel_trace`).  Each top-level
+kernel call becomes one instruction; nested kernel calls are the outer
+kernel's own business and are re-run by it on replay.
+
+Argument resolution is conservative:
+
+* the feed array and every prior kernel output replay by reference;
+* a C-contiguous same-size view of a known array replays as a
+  ``reshape`` of it (that covers ``flatten`` between conv and linear);
+* any other view of a dynamic value refuses to compile;
+* everything else -- weights, index tables, python scalars -- freezes
+  as a capture-time constant (serve models are immutable per artifact).
+
+Because a wrongly frozen constant would *pass* a same-input check, the
+capture verifies bitwise against eager on the capture input **and** on
+a second, perturbed input before returning a program.  Serving
+integration treats any :class:`~repro.errors.GraphError` as "stay
+eager" -- responses must be exactly what eager inference returns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import backend as _backend
+from repro.backend import registry as _registry
+from repro.errors import GraphError
+
+
+class _Call:
+    __slots__ = ("kernel", "arg_refs", "kwarg_refs")
+
+    def __init__(self, kernel: str, arg_refs, kwarg_refs) -> None:
+        self.kernel = kernel
+        self.arg_refs = tuple(arg_refs)
+        self.kwarg_refs = dict(kwarg_refs)
+
+
+class InferProgram:
+    """Replayable kernel schedule for one model's forward at one shape."""
+
+    def __init__(self, backend, feed_shape, feed_dtype,
+                 calls: List[_Call], output_ref) -> None:
+        self.backend = backend
+        self.feed_shape = tuple(feed_shape)
+        self.feed_dtype = np.dtype(feed_dtype)
+        self._calls = calls
+        self._output_ref = output_ref
+        self.runs = 0
+
+    @property
+    def kernel_names(self) -> List[str]:
+        return [c.kernel for c in self._calls]
+
+    def _materialize(self, ref, feed, vals):
+        kind = ref[0]
+        if kind == "feed":
+            return feed
+        if kind == "out":
+            _, call_idx, piece = ref
+            out = vals[call_idx]
+            return out[piece] if piece is not None else out
+        if kind == "reshape":
+            _, inner, shape = ref
+            return self._materialize(inner, feed, vals).reshape(shape)
+        return ref[1]  # ("const", value)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.shape != self.feed_shape or x.dtype != self.feed_dtype:
+            raise GraphError(
+                f"input is {x.shape}/{x.dtype}, program captured "
+                f"{self.feed_shape}/{self.feed_dtype}"
+            )
+        vals: List[Any] = [None] * len(self._calls)
+        for i, call in enumerate(self._calls):
+            kernel = self.backend.kernel(call.kernel)
+            args = [self._materialize(r, x, vals) for r in call.arg_refs]
+            kwargs = {k: self._materialize(r, x, vals)
+                      for k, r in call.kwarg_refs.items()}
+            vals[i] = kernel(*args, **kwargs)
+        out = self._materialize(self._output_ref, x, vals)
+        self.runs += 1
+        return out.copy()
+
+
+def _build(calls: List[Tuple[str, tuple, dict, Any]],
+           feed: np.ndarray, expected: np.ndarray,
+           backend=None) -> InferProgram:
+    known: Dict[int, Tuple] = {id(feed): ("feed",)}
+
+    def resolve(value):
+        if not isinstance(value, np.ndarray):
+            return ("const", value)
+        ref = known.get(id(value))
+        if ref is not None:
+            return ref
+        base = value.base
+        while base is not None:
+            bref = known.get(id(base))
+            if bref is not None:
+                if (value.flags.c_contiguous and base.flags.c_contiguous
+                        and value.size == base.size):
+                    return ("reshape", bref, value.shape)
+                raise GraphError(
+                    "inference capture saw an unsupported view of a "
+                    "dynamic value"
+                )
+            base = getattr(base, "base", None)
+        return ("const", value)
+
+    def register(value: np.ndarray, ref: Tuple) -> None:
+        known[id(value)] = ref
+        # a kernel output produced by a copying reshape is itself a view
+        # of a hidden same-size owner numpy allocated internally; later
+        # views of the output report *that* owner as their base, so it
+        # must resolve to the same call or input-derived values would
+        # silently freeze as constants
+        base = value.base
+        while (
+            base is not None
+            and value.flags.c_contiguous
+            and getattr(base, "flags", None) is not None
+            and base.flags.c_contiguous
+            and base.size == value.size
+        ):
+            known.setdefault(id(base), ref)
+            base = getattr(base, "base", None)
+
+    compiled: List[_Call] = []
+    for i, (kernel, args, kwargs, out) in enumerate(calls):
+        compiled.append(
+            _Call(
+                kernel,
+                [resolve(a) for a in args],
+                {k: resolve(v) for k, v in kwargs.items()},
+            )
+        )
+        if isinstance(out, tuple):
+            for piece_idx, piece in enumerate(out):
+                if isinstance(piece, np.ndarray):
+                    register(piece, ("out", i, piece_idx))
+        elif isinstance(out, np.ndarray):
+            register(out, ("out", i, None))
+
+    output_ref = resolve(expected)
+    if output_ref[0] == "const":
+        raise GraphError(
+            "model output does not derive from any captured kernel call"
+        )
+    return InferProgram(
+        backend if backend is not None else _backend.active(),
+        feed.shape, feed.dtype, compiled, output_ref,
+    )
+
+
+def capture_infer(
+    fn: Callable[[np.ndarray], np.ndarray],
+    feed: np.ndarray,
+    verify_second_input: bool = True,
+) -> InferProgram:
+    """Trace ``fn(feed)`` at the kernel level and compile a replay.
+
+    ``fn`` takes and returns ndarrays (wrap model calls accordingly) and
+    must be side-effect free -- it runs up to three times here: once
+    traced, then against both verification inputs.  Raises
+    :class:`GraphError` if a faithful program cannot be built; the
+    returned program's :meth:`~InferProgram.run` output is bitwise
+    identical to ``fn``'s for every input of the captured shape/dtype.
+    """
+    feed = np.asarray(feed)
+    recorded: List[Tuple[str, tuple, dict, Any]] = []
+    # bind the backend that actually executed the trace, sampled inside
+    # the first kernel call -- ``fn`` may activate its own backend
+    # context, in which case the ambient backend here is the wrong one
+    trace_backend: List[Any] = []
+
+    def trace(kernel_name, args, kwargs, out):
+        if not trace_backend:
+            trace_backend.append(_backend.active())
+        recorded.append((kernel_name, args, kwargs, out))
+
+    previous = _registry.set_kernel_trace(trace)
+    try:
+        expected = fn(feed)
+    finally:
+        _registry.set_kernel_trace(previous)
+    expected = np.asarray(expected)
+    if not recorded:
+        raise GraphError("inference capture recorded no kernel calls")
+
+    program = _build(recorded, feed, expected, backend=trace_backend[0])
+
+    got = program.run(feed)
+    if got.shape != expected.shape or not np.array_equal(got, expected, equal_nan=True):
+        raise GraphError("inference replay does not match eager on the capture input")
+    if verify_second_input:
+        # a constant wrongly frozen from input-derived data would pass
+        # the same-input check; a distinct input exposes it
+        rng = np.random.default_rng(0)
+        probe = np.asarray(
+            rng.standard_normal(feed.shape), dtype=feed.dtype
+        )
+        if not np.array_equal(
+            program.run(probe), np.asarray(fn(probe)), equal_nan=True
+        ):
+            raise GraphError(
+                "inference replay diverges from eager on a probe input"
+            )
+    return program

@@ -1,0 +1,189 @@
+"""Static graph IR: kernel-call nodes, tensor-dependency edges, JSON round-trip.
+
+A captured training (or inference) step lowers to a :class:`GraphIR`:
+every node records the op that produced a value, the backend kernels
+that op dispatches (forward *and* backward), the value ids it consumed,
+and the shape/dtype of the value it produced.  Edges are implied by the
+value ids -- node ``n7`` consuming ``n3`` is the dependency edge.
+
+The IR is a *description*, not an executable -- the executable schedule
+is compiled separately (:mod:`repro.graph.compiler`).  Its jobs are:
+
+* a stable JSON dump (``repro.graph`` debugging, the ``api_tour``
+  walkthrough, and the round-trip lint in CI);
+* the op-to-kernel mapping (:data:`FUNCTION_KERNELS`) that ties the
+  autograd tape to the backend registry, so drift between the two --
+  an op dispatching a kernel no backend registers -- fails fast.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Backend kernels each Function class may dispatch across its forward
+#: and backward.  Ops not listed here run pure-python/raw-numpy bodies
+#: (shape ops, the scipy-backed activations) and map to no kernels.
+#: ``unbroadcast`` adds ``reduce_sum`` to every broadcasting binary op.
+FUNCTION_KERNELS: Dict[str, Tuple[str, ...]] = {
+    "Add": ("add", "reduce_sum"),
+    "Sub": ("sub", "neg", "reduce_sum"),
+    "Mul": ("mul", "reduce_sum"),
+    "Div": ("div", "mul", "reduce_sum"),
+    "Maximum": ("reduce_sum",),
+    "MatMul": ("matmul",),
+    "Neg": ("neg",),
+    "ReLU": ("relu", "mul"),
+    "Sum": ("reduce_sum", "broadcast_copy"),
+    "Mean": ("reduce_mean", "broadcast_copy"),
+    "LogSoftmax": ("log_softmax",),
+    "SoftmaxCrossEntropy": ("log_softmax",),
+    "Conv2dFn": ("conv2d_forward", "conv2d_backward", "im2col", "col2im"),
+    "BatchNormTrainFn": (
+        "batchnorm_stats", "batchnorm_train_forward", "batchnorm_train_backward",
+    ),
+    "MaxPool2dFn": ("maxpool2d_forward", "maxpool2d_backward"),
+    "AvgPool2dFn": ("avgpool2d_forward", "avgpool2d_backward"),
+}
+
+#: Static constructor attributes worth carrying into the IR per op, so a
+#: dumped graph is reproducible reading material (strides, axes, ...).
+_META_ATTRS = (
+    "stride", "padding", "kernel", "axis", "axes", "keepdims", "eps",
+    "exponent", "shape", "index", "low", "high", "slope", "minimum",
+)
+
+
+@dataclass
+class IRNode:
+    """One op application: ``output = op(*inputs)`` with static metadata."""
+
+    id: str
+    op: str
+    inputs: List[str]
+    shape: Tuple[int, ...]
+    dtype: str
+    kernels: Tuple[str, ...] = ()
+    requires_grad: bool = False
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class IRSource:
+    """A graph input: a feed, a parameter leaf, or a captured constant."""
+
+    id: str
+    kind: str  # "feed" | "leaf" | "const"
+    shape: Tuple[int, ...]
+    dtype: str
+    name: Optional[str] = None  # feed name when kind == "feed"
+
+
+@dataclass
+class GraphIR:
+    """Nodes + sources of one captured step; edges are the value ids."""
+
+    nodes: List[IRNode] = field(default_factory=list)
+    sources: List[IRSource] = field(default_factory=list)
+    outputs: Dict[str, str] = field(default_factory=dict)  # name -> value id
+    backward_roots: List[str] = field(default_factory=list)
+
+    def kernel_names(self) -> List[str]:
+        """Every backend kernel any node of this graph may dispatch."""
+        names = set()
+        for node in self.nodes:
+            names.update(node.kernels)
+        return sorted(names)
+
+    def ops(self) -> List[str]:
+        return sorted({node.op for node in self.nodes})
+
+    # ------------------------------------------------------------ serde
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "nodes": [
+                {
+                    "id": n.id,
+                    "op": n.op,
+                    "inputs": list(n.inputs),
+                    "shape": list(n.shape),
+                    "dtype": n.dtype,
+                    "kernels": list(n.kernels),
+                    "requires_grad": n.requires_grad,
+                    "meta": n.meta,
+                }
+                for n in self.nodes
+            ],
+            "sources": [
+                {
+                    "id": s.id,
+                    "kind": s.kind,
+                    "shape": list(s.shape),
+                    "dtype": s.dtype,
+                    "name": s.name,
+                }
+                for s in self.sources
+            ],
+            "outputs": dict(self.outputs),
+            "backward_roots": list(self.backward_roots),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "GraphIR":
+        nodes = [
+            IRNode(
+                id=n["id"],
+                op=n["op"],
+                inputs=list(n["inputs"]),
+                shape=tuple(n["shape"]),
+                dtype=n["dtype"],
+                kernels=tuple(n["kernels"]),
+                requires_grad=bool(n.get("requires_grad", False)),
+                meta=dict(n.get("meta", {})),
+            )
+            for n in payload.get("nodes", [])
+        ]
+        sources = [
+            IRSource(
+                id=s["id"],
+                kind=s["kind"],
+                shape=tuple(s["shape"]),
+                dtype=s["dtype"],
+                name=s.get("name"),
+            )
+            for s in payload.get("sources", [])
+        ]
+        return cls(
+            nodes=nodes,
+            sources=sources,
+            outputs=dict(payload.get("outputs", {})),
+            backward_roots=list(payload.get("backward_roots", [])),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "GraphIR":
+        return cls.from_payload(json.loads(text))
+
+
+def node_meta(fn: Any) -> Dict[str, Any]:
+    """JSON-safe static metadata scraped off a Function instance."""
+    meta: Dict[str, Any] = {}
+    for attr in _META_ATTRS:
+        value = getattr(fn, attr, None)
+        if value is None:
+            continue
+        if isinstance(value, (bool, int, float, str)):
+            meta[attr] = value
+        elif isinstance(value, (tuple, list)) and all(
+            isinstance(v, (bool, int, float, str)) for v in value
+        ):
+            meta[attr] = list(value)
+    return meta
+
+
+def kernels_for(op_name: str) -> Tuple[str, ...]:
+    return FUNCTION_KERNELS.get(op_name, ())

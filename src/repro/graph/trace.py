@@ -1,0 +1,109 @@
+"""Capture session: record one training step's autograd tape as a trace.
+
+A :class:`TraceSession` installs the two hooks exposed by
+:mod:`repro.autograd.function` for the duration of a ``with`` block:
+
+* the apply hook appends one :class:`ApplyRecord` per ``Function.apply``
+  (including no-grad applies, so the trace sees the full dataflow);
+* the backward hook appends one :class:`BackwardRecord` each time
+  ``Tensor.backward`` is entered inside the block.
+
+Records hold strong references to the live ``Function`` instances and
+``Tensor`` objects -- the compiler re-uses those exact objects as the
+replay schedule (it calls ``fn.forward``/``fn.backward`` directly), and
+the references also guarantee ``id()`` stability while the session is
+alive.
+
+Layers whose eager behaviour cannot be frozen into a static schedule
+(``Dropout`` draws a fresh mask every step as a capture-time constant)
+call :func:`mark_dynamic`; the compiler refuses traces with dynamic
+marks and the trainer stays eager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import function as _function
+from repro.autograd.tensor import Tensor
+from repro.errors import GraphError
+
+_current: Optional["TraceSession"] = None
+
+
+@dataclass
+class ApplyRecord:
+    """One ``Function.apply``: ``output = fn.forward(*inputs)``."""
+
+    fn: object
+    inputs: Tuple[Tensor, ...]
+    output: Tensor
+    requires_grad: bool
+
+
+@dataclass
+class BackwardRecord:
+    """One ``Tensor.backward`` call observed inside the capture window."""
+
+    root: Tensor
+    grad: np.ndarray
+    retain_graph: bool
+
+
+@dataclass
+class TraceSession:
+    """Recording of one step; install with ``with session:``."""
+
+    applies: List[ApplyRecord] = field(default_factory=list)
+    backwards: List[BackwardRecord] = field(default_factory=list)
+    dynamic_reasons: List[str] = field(default_factory=list)
+
+    def __enter__(self) -> "TraceSession":
+        global _current
+        if _current is not None:
+            raise GraphError("graph capture sessions do not nest")
+        _current = self
+        self._prev_apply = _function.set_trace_hook(self._on_apply)
+        self._prev_backward = _function.set_backward_trace(self._on_backward)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _current
+        _function.set_trace_hook(self._prev_apply)
+        _function.set_backward_trace(self._prev_backward)
+        _current = None
+
+    # ------------------------------------------------------------- hooks
+    def _on_apply(self, fn, tensors, out, requires) -> None:
+        self.applies.append(ApplyRecord(fn, tuple(tensors), out, bool(requires)))
+
+    def _on_backward(self, root, grad, retain_graph) -> None:
+        self.backwards.append(BackwardRecord(root, grad, bool(retain_graph)))
+
+    def mark_dynamic(self, reason: str) -> None:
+        if reason not in self.dynamic_reasons:
+            self.dynamic_reasons.append(reason)
+
+    @property
+    def is_dynamic(self) -> bool:
+        return bool(self.dynamic_reasons)
+
+
+def active_session() -> Optional[TraceSession]:
+    """The session currently recording, or ``None``."""
+    return _current
+
+
+def mark_dynamic(reason: str) -> None:
+    """Flag the active capture (if any) as non-replayable.
+
+    Called by layers with per-step behaviour a static schedule would
+    freeze incorrectly; a no-op when no capture is running, so eager
+    code pays one global read.
+    """
+    session = _current
+    if session is not None:
+        session.mark_dynamic(reason)

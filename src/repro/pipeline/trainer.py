@@ -46,6 +46,11 @@ class TrainHistory:
 class Trainer:
     """SGD trainer over in-memory NCHW float inputs and int labels."""
 
+    #: Programs are cached per (input shape/dtype, label shape) signature;
+    #: beyond this many signatures the trainer stops capturing and runs
+    #: the odd shapes (e.g. a ragged final batch) eagerly.
+    MAX_PROGRAMS = 4
+
     def __init__(
         self,
         model: Module,
@@ -60,6 +65,7 @@ class Trainer:
         backend: Optional[str] = None,
         probes: Optional[object] = None,
         dtype: Optional[str] = None,
+        compile: Optional[bool] = None,
     ) -> None:
         """Args:
             augment: apply random horizontal flips per batch -- a stock
@@ -88,6 +94,13 @@ class Trainer:
                 batch interval).  Probe exceptions never interrupt
                 training; they are recorded as ``monitor.probe_error``
                 events.
+            compile: capture the first step per batch signature into a
+                static replay schedule (:mod:`repro.graph`) and replay
+                it for subsequent steps -- bit-identical losses and
+                gradients, far less Python dispatch.  ``None`` follows
+                the process default (:func:`repro.graph.compile_default`,
+                the CLI's ``--compile`` flag).  Any capture or replay
+                failure falls back to eager execution for that step.
         """
         config.validate()
         self.model = model
@@ -124,18 +137,115 @@ class Trainer:
             from repro.errors import ConfigError
             raise ConfigError(f"unknown schedule {schedule!r}")
         self.loss_fn = CrossEntropyLoss()
+        # Parameter objects are stable for the model's lifetime (the
+        # optimizer swaps .data, never the Parameters), so walking the
+        # module tree once here replaces a per-step model.zero_grad()
+        # traversal on both the eager and the compiled path.
+        self._params = model.parameters()
         self.history = TrainHistory()
+        self.compile = compile
+        self._programs: dict = {}
+        self._capture_failed = False
+        self.compile_stats = {
+            "programs": 0, "captures": 0, "capture_failures": 0,
+            "replays": 0, "fallbacks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # One training step: eager and compiled paths
+    # ------------------------------------------------------------------
+
+    def _compile_enabled(self) -> bool:
+        if self.compile is not None:
+            return bool(self.compile)
+        from repro import graph
+        return graph.compile_default()
+
+    def _forward_backward(self, x: Tensor, labels: np.ndarray) -> dict:
+        """Forward + loss (+ penalty) + backward; the capturable window."""
+        logits = self.model(x)
+        task_loss = self.loss_fn(logits, labels)
+        result = {"task_loss": task_loss}
+        loss = task_loss
+        if self.penalty is not None:
+            penalty_term = self.penalty()
+            result["penalty"] = penalty_term
+            loss = F.add(loss, penalty_term)
+        result["loss"] = loss
+        loss.backward()
+        return result
+
+    def _zero_grads(self) -> None:
+        for param in self._params:
+            param.grad = None
+
+    def _eager_step(self, inputs: np.ndarray, labels: np.ndarray):
+        """Run one step eagerly; returns (task_loss, penalty) floats."""
+        self._zero_grads()
+        result = self._forward_backward(Tensor(inputs), labels)
+        penalty = result["penalty"].item() if "penalty" in result else 0.0
+        return result["task_loss"].item(), penalty
+
+    def _compiled_step(self, inputs: np.ndarray, labels: np.ndarray):
+        """Replay (or capture) one step; ``None`` means "run it eagerly".
+
+        Replay failures discard the stale program, re-zero the (possibly
+        partially written) gradients, count a ``graph.fallbacks`` tick
+        and hand the step back to the eager path.  Capture failures mark
+        the trainer so no further captures are attempted -- dynamic
+        models stay eager with a single warm-up's overhead.
+        """
+        from repro import graph
+        from repro.errors import GraphError
+
+        key = (inputs.shape, str(inputs.dtype), labels.shape)
+        program = self._programs.get(key)
+        if program is not None:
+            self._zero_grads()
+            try:
+                outs = program.replay(inputs=inputs, targets=labels)
+            except GraphError:
+                del self._programs[key]
+                self.compile_stats["programs"] = len(self._programs)
+                self.compile_stats["fallbacks"] += 1
+                registry = default_registry()
+                registry.counter("graph.fallbacks").inc()
+                registry.gauge("graph.programs").set(float(len(self._programs)))
+                return None
+            self.compile_stats["replays"] += 1
+            penalty = float(outs["penalty"]) if "penalty" in outs else 0.0
+            return float(outs["task_loss"]), penalty
+        if self._capture_failed or len(self._programs) >= self.MAX_PROGRAMS:
+            return None
+        x = Tensor(inputs)
+        self._zero_grads()
+        result, program = graph.capture_step(
+            lambda: self._forward_backward(x, labels), feeds={"inputs": x}
+        )
+        if program is None:
+            # the eager warm-up fully ran; its gradients stand
+            self._capture_failed = True
+            self.compile_stats["capture_failures"] += 1
+        else:
+            self._programs[key] = program
+            self.compile_stats["captures"] += 1
+            self.compile_stats["programs"] = len(self._programs)
+            default_registry().gauge("graph.programs").set(
+                float(len(self._programs))
+            )
+        penalty = result["penalty"].item() if "penalty" in result else 0.0
+        return result["task_loss"].item(), penalty
 
     def _clip_gradients(self) -> None:
         """Scale all gradients so their global L2 norm is <= grad_clip."""
         total = 0.0
-        for param in self.model.parameters():
+        for param in self._params:
             if param.grad is not None:
                 total += float((param.grad ** 2).sum())
         norm = total ** 0.5
         if norm > self.grad_clip and norm > 0:
             scale = self.grad_clip / norm
-            for param in self.model.parameters():
+            for param in self._params:
                 if param.grad is not None:
                     param.grad = param.grad * scale
 
@@ -144,6 +254,7 @@ class Trainer:
         self.model.train()
         registry = default_registry()
         batch_times = registry.histogram("trainer.batch_s")
+        compiled = self._compile_enabled()
         total_task, total_penalty, count, batches = 0.0, 0.0, 0, 0
         epoch_start = time.perf_counter()
         with _backend.use_backend(self.backend), \
@@ -155,21 +266,17 @@ class Trainer:
                     if self.augment:
                         from repro.datasets.transforms import random_flip_horizontal
                         inputs = random_flip_horizontal(inputs, self._augment_rng)
-                    logits = self.model(Tensor(inputs))
-                    task_loss = self.loss_fn(logits, labels)
-                    loss = task_loss
-                    penalty_value = 0.0
-                    if self.penalty is not None:
-                        penalty_term = self.penalty()
-                        penalty_value = penalty_term.item()
-                        loss = F.add(loss, penalty_term)
-                    self.model.zero_grad()
-                    loss.backward()
+                    step = None
+                    if compiled:
+                        step = self._compiled_step(inputs, labels)
+                    if step is None:
+                        step = self._eager_step(inputs, labels)
+                    task_loss_value, penalty_value = step
                     if self.grad_clip is not None:
                         self._clip_gradients()
                     self.optimizer.step()
                 batch = len(labels)
-                total_task += task_loss.item() * batch
+                total_task += task_loss_value * batch
                 total_penalty += penalty_value * batch
                 count += batch
                 if self.monitor is not None:

@@ -1,0 +1,201 @@
+"""Compiled backend: strided-window gathers must be bitwise equal to fast.
+
+The graph compiler is allowed to swap this backend in under a captured
+program only because a gather reorders memory without arithmetic -- so
+every override here is held to ``array_equal`` against the fast
+backend, not allclose.  The one documented exception (thread-tiled
+large matmul) is exercised separately at allclose grade.
+"""
+
+import numpy as np
+import pytest
+
+from repro import backend as B
+from repro.backend import compiled, fast
+from repro.backend.equivalence import CASES, check_all, check_all_dtype
+
+FAST = B.get_backend("fast")
+COMPILED = B.get_backend("compiled")
+
+CONV_SHAPES = [
+    ((16, 3, 8, 8), 3, 1, 1),
+    ((16, 8, 4, 4), 3, 1, 1),
+    ((4, 2, 9, 9), 3, 2, 1),
+    ((1, 1, 5, 5), 1, 1, 0),
+    ((3, 4, 7, 7), 5, 1, 2),
+    ((2, 5, 6, 6), 2, 2, 0),
+]
+
+POOL_SHAPES = [
+    ((16, 8, 8, 8), 2, 2),
+    ((16, 16, 4, 4), 2, 2),
+    ((3, 2, 9, 9), 3, 3),
+    ((2, 4, 6, 6), 3, 2),   # overlapping windows: backward falls back
+    ((5, 3, 7, 7), 2, 1),   # overlapping windows: backward falls back
+    ((1, 1, 5, 5), 5, 5),
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    compiled.clear_caches()
+    fast.clear_caches()
+    yield
+    compiled.clear_caches()
+    fast.clear_caches()
+
+
+def _conv_inputs(shape, kernel, rng):
+    batch, channels, height, width = shape
+    x = rng.standard_normal(shape)
+    weight = rng.standard_normal((channels + 1, channels, kernel, kernel))
+    bias = rng.standard_normal(channels + 1)
+    return x, weight, bias
+
+
+class TestConvBitwise:
+    @pytest.mark.parametrize("shape,kernel,stride,padding", CONV_SHAPES)
+    def test_im2col_matches_fast(self, shape, kernel, stride, padding):
+        x = np.random.default_rng(0).standard_normal(shape)
+        got = COMPILED.im2col(x, kernel, kernel, stride, padding)
+        want = FAST.im2col(x, kernel, kernel, stride, padding)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+        assert got.flags.c_contiguous
+        assert got.base is None  # never a view of pooled scratch
+
+    @pytest.mark.parametrize("shape,kernel,stride,padding", CONV_SHAPES)
+    def test_conv2d_forward_matches_fast(self, shape, kernel, stride, padding):
+        rng = np.random.default_rng(1)
+        x, weight, _ = _conv_inputs(shape, kernel, rng)
+        out_c, cols_c = COMPILED.conv2d_forward(x, weight, stride, padding)
+        out_f, cols_f = FAST.conv2d_forward(x, weight, stride, padding)
+        assert np.array_equal(out_c, out_f)
+        assert np.array_equal(cols_c, cols_f)
+
+    @pytest.mark.parametrize("shape,kernel,stride,padding", CONV_SHAPES)
+    @pytest.mark.parametrize("relu", [False, True])
+    def test_conv2d_infer_matches_fast(self, shape, kernel, stride, padding,
+                                       relu):
+        rng = np.random.default_rng(2)
+        x, weight, bias = _conv_inputs(shape, kernel, rng)
+        got = COMPILED.conv2d_infer(x, weight, bias, stride, padding, relu)
+        want = FAST.conv2d_infer(x, weight, bias, stride, padding, relu)
+        assert np.array_equal(got, want)
+
+    def test_float32_stays_float32_and_bitwise(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((4, 3, 8, 8)).astype(np.float32)
+        weight = rng.standard_normal((5, 3, 3, 3)).astype(np.float32)
+        out_c, cols_c = COMPILED.conv2d_forward(x, weight, 1, 1)
+        out_f, cols_f = FAST.conv2d_forward(x, weight, 1, 1)
+        assert out_c.dtype == np.float32
+        assert np.array_equal(out_c, out_f)
+        assert np.array_equal(cols_c, cols_f)
+
+
+class TestPoolBitwise:
+    @pytest.mark.parametrize("shape,kernel,stride", POOL_SHAPES)
+    def test_maxpool_forward_backward_match_fast(self, shape, kernel, stride):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(shape)
+        out_c, arg_c = COMPILED.maxpool2d_forward(x, kernel, stride)
+        out_f, arg_f = FAST.maxpool2d_forward(x, kernel, stride)
+        assert np.array_equal(out_c, out_f)
+        assert np.array_equal(arg_c, arg_f)
+        grad = rng.standard_normal(out_c.shape)
+        back_c = COMPILED.maxpool2d_backward(grad, arg_c, shape, kernel, stride)
+        back_f = FAST.maxpool2d_backward(grad, arg_f, shape, kernel, stride)
+        assert np.array_equal(back_c, back_f)
+        assert back_c.dtype == back_f.dtype
+
+    @pytest.mark.parametrize("shape,kernel,stride", POOL_SHAPES)
+    def test_maxpool_infer_and_avgpool_match_fast(self, shape, kernel, stride):
+        x = np.random.default_rng(5).standard_normal(shape)
+        assert np.array_equal(
+            COMPILED.maxpool2d_infer(x, kernel, stride),
+            FAST.maxpool2d_infer(x, kernel, stride),
+        )
+        assert np.array_equal(
+            COMPILED.avgpool2d_forward(x, kernel, stride),
+            FAST.avgpool2d_forward(x, kernel, stride),
+        )
+
+    def test_scatter_cache_is_capacity_capped(self):
+        rng = np.random.default_rng(6)
+        for extra in range(compiled.INDEX_CACHE_CAPACITY + 8):
+            side = 2 * (extra + 2)
+            x = rng.standard_normal((1, 1, side, side))
+            _, argmax = COMPILED.maxpool2d_forward(x, 2, 2)
+            grad = np.ones((1, 1, side // 2, side // 2))
+            COMPILED.maxpool2d_backward(grad, argmax, x.shape, 2, 2)
+        assert len(compiled._scatter_cache) <= compiled.INDEX_CACHE_CAPACITY
+        compiled.clear_caches()
+        assert not compiled._scatter_cache
+        assert not compiled._arange_cache
+
+    def test_evicted_scatter_entry_recomputes_correctly(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((2, 3, 8, 8))
+        _, argmax = COMPILED.maxpool2d_forward(x, 2, 2)
+        grad = rng.standard_normal((2, 3, 4, 4))
+        first = COMPILED.maxpool2d_backward(grad, argmax, x.shape, 2, 2)
+        # force the cached base offsets out, then recompute from scratch
+        for i in range(compiled.INDEX_CACHE_CAPACITY + 1):
+            compiled._cached(compiled._scatter_cache, ("filler", i),
+                             lambda: np.empty(0))
+        again = COMPILED.maxpool2d_backward(grad, argmax, x.shape, 2, 2)
+        assert np.array_equal(first, again)
+
+
+class TestMatmul:
+    def test_small_matmul_is_bitwise_monolithic(self):
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((64, 32))
+        b = rng.standard_normal((32, 48))
+        assert np.array_equal(COMPILED.matmul(a, b), a @ b)
+
+    def test_batched_operands_skip_tiling(self):
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((3, 4, 5))
+        b = rng.standard_normal((3, 5, 6))
+        assert np.array_equal(COMPILED.matmul(a, b), a @ b)
+
+    def test_tiled_path_is_allclose(self, monkeypatch):
+        # force the threaded row-partition on a tiny product; BLAS may
+        # block differently per partition so this path is allclose-grade
+        monkeypatch.setattr(compiled, "TILED_MATMUL_THRESHOLD", 1)
+        monkeypatch.setattr(compiled, "_workers", 2)
+        monkeypatch.setattr(compiled, "_executor", None)
+        rng = np.random.default_rng(10)
+        a = rng.standard_normal((16, 8))
+        b = rng.standard_normal((8, 12))
+        try:
+            out = compiled.matmul(a, b)
+        finally:
+            if compiled._executor is not None:
+                compiled._executor.shutdown(wait=True)
+        assert out.shape == (16, 12)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-12)
+
+
+class TestEquivalenceHarness:
+    def test_every_compiled_kernel_has_a_case(self):
+        missing = set(COMPILED.kernels()) - set(CASES)
+        assert not missing, f"kernels without equivalence cases: {missing}"
+
+    def test_check_all_against_reference(self):
+        checked = check_all("compiled", trials=2, seed=3)
+        assert checked == sorted(COMPILED.kernels())
+
+    def test_check_all_float32(self):
+        checked = check_all_dtype("compiled", np.float32, trials=2, seed=5)
+        assert checked == sorted(COMPILED.kernels())
+
+
+class TestCapabilityFlags:
+    def test_flags_for_info_and_manifests(self):
+        assert COMPILED.graph_compiler is True
+        assert COMPILED.fusion is True
+        assert COMPILED.tiling is True
+        assert COMPILED.name == "compiled"

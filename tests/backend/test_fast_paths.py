@@ -294,3 +294,73 @@ class TestFusedInference:
         with B.use_backend("fast"):
             back = col2im(fast_cols, x.shape, 3, 3, 1, 1)
         assert back.shape == x.shape
+
+
+class TestIndexCacheLRU:
+    """Capacity control, recency, and eviction telemetry of the im2col LRU."""
+
+    @pytest.fixture(autouse=True)
+    def restore_capacity(self):
+        previous = fast.index_cache_stats()["capacity"]
+        yield
+        fast.set_index_cache_capacity(previous)
+
+    @staticmethod
+    def _warm(side):
+        return fast.cached_im2col_indices((1, 1, side, side), 2, 2, 1, 0)
+
+    def test_set_capacity_returns_previous_and_evicts(self):
+        previous = fast.set_index_cache_capacity(4)
+        assert previous == fast._CACHE_SIZE
+        before = fast.index_cache_stats()["evictions"]
+        for side in range(4, 10):  # six distinct keys through capacity 4
+            self._warm(side)
+        stats = fast.index_cache_stats()
+        assert stats["capacity"] == 4
+        assert stats["size"] == 4
+        assert stats["evictions"] == before + 2
+
+    def test_evicted_entry_recomputes_identically(self):
+        from repro.backend.reference import im2col_indices
+
+        fast.set_index_cache_capacity(2)
+        first = self._warm(6)
+        self._warm(7)
+        self._warm(8)  # evicts the side-6 entry
+        again = self._warm(6)
+        assert again[0] is not first[0]  # genuinely recomputed
+        want = im2col_indices((1, 1, 6, 6), 2, 2, 1, 0)
+        for got, ref in zip(again[:3], want[:3]):
+            assert np.array_equal(got, ref)
+        assert again[3:] == want[3:]
+
+    def test_hits_refresh_recency_not_insertion_order(self):
+        fast.set_index_cache_capacity(2)
+        kept = self._warm(6)
+        self._warm(7)
+        touched = self._warm(6)  # hit: side 6 becomes most recent
+        assert touched[0] is kept[0]
+        self._warm(8)  # must evict side 7, the coldest, not side 6
+        assert self._warm(6)[0] is kept[0]
+
+    def test_eviction_mirrors_to_telemetry(self):
+        from repro.telemetry.metrics import default_registry
+
+        registry = default_registry()
+        counter = registry.counter("backend.im2col_cache_evictions")
+        before = counter.snapshot()
+        fast.set_index_cache_capacity(1)
+        self._warm(6)
+        self._warm(7)
+        self._warm(8)
+        assert counter.snapshot() == before + 2
+        assert registry.gauge("backend.im2col_cache_size").snapshot() == 1.0
+
+    def test_resize_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            fast.set_index_cache_capacity(0)
+
+    def test_stats_shape(self):
+        assert set(fast.index_cache_stats()) == {
+            "size", "capacity", "evictions",
+        }

@@ -1,0 +1,168 @@
+"""Capture/replay edge cases: double backward, fallbacks, dynamic layers.
+
+Every failure mode here must degrade to eager execution with training
+results exactly equal to a never-compiled twin -- fallback is only
+correct if it is invisible.
+"""
+
+import numpy as np
+import pytest
+
+from repro import graph
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.errors import GraphError
+from repro.nn.layers import Dropout, Flatten, Linear
+from repro.nn.module import Module
+from repro.pipeline.config import TrainingConfig
+from repro.pipeline.trainer import Trainer
+
+from tests.graph.test_trainer_compile import (
+    assert_models_identical,
+    build_trainer,
+)
+
+
+class TestRetainGraphReplay:
+    def _capture_double_backward(self):
+        rng = np.random.default_rng(11)
+        w = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        x = Tensor(rng.standard_normal((3, 4)))
+
+        def step():
+            loss = F.sum(F.relu(F.mul(x, w)))
+            loss.backward(retain_graph=True)
+            loss.backward()
+            return {"loss": loss}
+
+        result, program = graph.capture_step(step, feeds={"inputs": x})
+        return w, x, result, program
+
+    def test_double_backward_captures_two_sections(self):
+        w, x, result, program = self._capture_double_backward()
+        assert program is not None
+        assert program.describe()["backward_sections"] == 2
+        # eager warm-up accumulated both passes
+        mask = (x.data * w.data) > 0
+        np.testing.assert_array_equal(w.grad, 2.0 * x.data * mask)
+
+    def test_replay_accumulates_like_eager(self):
+        w, x, result, program = self._capture_double_backward()
+        rng = np.random.default_rng(12)
+        fresh = rng.standard_normal((3, 4))
+        w.grad = None
+        outs = program.replay(inputs=fresh)
+        mask = (fresh * w.data) > 0
+        expected = fresh * w.data * mask
+        assert np.array_equal(outs["loss"], expected.sum())
+        np.testing.assert_array_equal(w.grad, 2.0 * fresh * mask)
+
+    def test_explicit_gradient_seed_refuses_capture(self):
+        rng = np.random.default_rng(13)
+        w = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        x = Tensor(rng.standard_normal((3, 4)))
+
+        def step():
+            loss = F.sum(F.mul(x, w))
+            loss.backward(np.asarray(2.0))  # non-unit seed cannot replay
+            return {"loss": loss}
+
+        result, program = self._swallowing_capture(step, x)
+        assert program is None
+        np.testing.assert_array_equal(w.grad, 2.0 * x.data)
+
+    @staticmethod
+    def _swallowing_capture(step, x):
+        before = graph.stats()["graph.capture_failures"]
+        result, program = graph.capture_step(step, feeds={"inputs": x})
+        assert graph.stats()["graph.capture_failures"] == before + (
+            1 if program is None else 0
+        )
+        return result, program
+
+
+class TestReplayShapeGuards:
+    def test_wrong_shape_asks_for_recompile(self):
+        trainer = build_trainer(True, epochs=1)
+        trainer.train_epoch()
+        program = next(iter(trainer._programs.values()))
+        bad = np.zeros((3, 3, 8, 8))
+        with pytest.raises(GraphError, match="recompile"):
+            program.replay(inputs=bad, targets=np.zeros(3, dtype=int))
+
+    def test_missing_feed_raises(self):
+        trainer = build_trainer(True, epochs=1)
+        trainer.train_epoch()
+        program = next(iter(trainer._programs.values()))
+        with pytest.raises(GraphError, match="missing feed"):
+            program.replay(targets=np.zeros(8, dtype=int))
+
+
+class TestRaisingFusedKernel:
+    def test_fused_failure_falls_back_without_corruption(self):
+        eager = build_trainer(False)
+        compiled = build_trainer(True)
+        eager.train_epoch()
+        compiled.train_epoch()
+        program = next(iter(compiled._programs.values()))
+        chains = program.fused_chains
+        assert chains, "workload captured no fused chain to sabotage"
+        step = chains[0].steps[0]
+
+        def bomb(fn, ins, dest):
+            dest.fill(np.nan)  # scribble on the planned scratch buffer
+            raise GraphError("injected fused-kernel failure")
+
+        step.runner = bomb
+        # second epoch: first replay raises, program is discarded, the
+        # step re-runs eagerly, and the next batch re-captures cleanly
+        eager.train_epoch()
+        compiled.train_epoch()
+        stats = compiled.compile_stats
+        assert stats["fallbacks"] == 1
+        assert stats["captures"] == 2
+        assert stats["replays"] >= 3
+        assert_models_identical(eager, compiled)
+
+
+class DropNet(Module):
+    """Tiny MLP with a Dropout layer -- inherently uncapturable."""
+
+    def __init__(self, seed: int) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.flatten = Flatten()
+        self.fc1 = Linear(48, 16, rng=rng)
+        self.drop = Dropout(0.5, rng=np.random.default_rng(seed + 1))
+        self.fc2 = Linear(16, 3, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(self.drop(self.fc1(self.flatten(x)).relu()))
+
+
+class TestDynamicModelStaysEager:
+    def _trainer(self, compile_flag):
+        rng = np.random.default_rng(3)
+        inputs = rng.standard_normal((12, 3, 4, 4))
+        labels = rng.integers(0, 3, size=12)
+        config = TrainingConfig(epochs=2, batch_size=4, lr=0.05, seed=3)
+        return Trainer(DropNet(21), inputs, labels, config,
+                       compile=compile_flag)
+
+    def test_dropout_capture_fails_once_then_stays_eager(self):
+        eager = self._trainer(False)
+        compiled = self._trainer(True)
+        for _ in range(2):
+            eager.train_epoch()
+            compiled.train_epoch()
+        stats = compiled.compile_stats
+        assert stats["capture_failures"] == 1
+        assert stats["captures"] == 0
+        assert stats["replays"] == 0
+        assert compiled._capture_failed is True
+        # both twins drew the same dropout masks (module-owned rngs), so
+        # the eager fallback must be exactly the eager run
+        assert compiled.history.task_loss == eager.history.task_loss
+        for pe, pc in zip(eager.model.parameters(),
+                          compiled.model.parameters()):
+            assert np.array_equal(pe.data, pc.data)

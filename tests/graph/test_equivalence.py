@@ -1,0 +1,102 @@
+"""Fused-subgraph equivalence: every chain vs the reference oracle."""
+
+import numpy as np
+import pytest
+
+from repro import backend as B
+from repro import graph
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.backend.registry import Backend
+from repro.errors import GraphError
+from repro.graph import check_chain, check_program, fusion_supported
+
+from tests.graph.test_trainer_compile import build_trainer
+
+
+def capture_chain_program(fuse=True):
+    """Mul -> Add -> ReLU: one three-op fused chain feeding a Sum."""
+    rng = np.random.default_rng(3)
+    w = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+    b = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+    x = Tensor(rng.standard_normal((4, 5)))
+
+    def step():
+        loss = F.sum(F.relu(F.add(F.mul(x, w), b)))
+        loss.backward()
+        return {"loss": loss}
+
+    result, program = graph.capture_step(step, feeds={"inputs": x},
+                                         fuse=fuse)
+    assert program is not None
+    return program
+
+
+class TestCheckProgram:
+    def test_covers_every_chain_and_op(self):
+        program = capture_chain_program()
+        assert len(program.fused_chains) == 1
+        assert program.fused_op_count == 3
+        summary = check_program(program)
+        assert summary == {"chains": 1, "ops": 3}
+
+    def test_every_chain_of_a_real_training_step_verifies(self):
+        # the acceptance wording: the equivalence harness covers every
+        # fused subgraph of a captured step against the reference oracle
+        trainer = build_trainer(True, n=20, epochs=1)
+        trainer.train_epoch()
+        assert trainer._programs, "no program captured"
+        total_chains = 0
+        for program in trainer._programs.values():
+            summary = check_program(program)
+            assert summary["chains"] == len(program.fused_chains)
+            assert summary["ops"] == program.fused_op_count
+            total_chains += summary["chains"]
+        assert total_chains >= 1, "training step fused nothing"
+
+    def test_detects_bitwise_divergence_and_restores_state(self):
+        program = capture_chain_program()
+        chain = program.fused_chains[0]
+        step = chain.steps[-1]
+        saved_before = step.fn.saved
+        real = step.runner
+
+        def skewed(fn, ins, dest):
+            out = real(fn, ins, dest)
+            np.add(out, 1e-8, out=out)  # one ULP-ish nudge must be caught
+            return out
+
+        step.runner = skewed
+        try:
+            with pytest.raises(GraphError, match="diverges bitwise"):
+                check_chain(chain, np.random.default_rng(0))
+        finally:
+            step.runner = real
+        # the harness snapshots and restores saved state even on failure
+        assert step.fn.saved is saved_before
+
+    def test_unfused_compile_still_replays_bitwise(self):
+        fused = capture_chain_program(fuse=True)
+        plain = capture_chain_program(fuse=False)
+        assert plain.fused_chains == []
+        rng = np.random.default_rng(9)
+        fresh = rng.standard_normal((4, 5))
+        out_fused = fused.replay(inputs=fresh)["loss"]
+        out_plain = plain.replay(inputs=fresh)["loss"]
+        assert np.array_equal(out_fused, out_plain)
+
+
+class TestFusionSupported:
+    @pytest.mark.parametrize("backend", ["reference", "fast", "compiled"])
+    def test_shipped_backends_support_fusion(self, backend):
+        assert fusion_supported(B.get_backend(backend))
+
+    def test_foreign_elementwise_kernel_disables_fusion(self):
+        foreign = Backend("foreign-elementwise",
+                          fallback=B.get_backend("reference"))
+
+        @foreign.register()
+        def add(a, b):  # same math, different object: not provably bitwise
+            return a + b
+
+        assert not fusion_supported(foreign)

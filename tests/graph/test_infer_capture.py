@@ -1,0 +1,88 @@
+"""Kernel-level inference capture: bitwise replay, guards, probe check."""
+
+import numpy as np
+import pytest
+
+from repro import backend as B
+from repro.autograd import no_grad
+from repro.autograd.tensor import Tensor
+from repro.errors import GraphError
+from repro.graph import capture_infer
+from repro.models.simple_cnn import SimpleCNN
+
+
+def eval_model():
+    model = SimpleCNN(num_classes=4, image_size=8, width=4,
+                      rng=np.random.default_rng(5))
+    model.eval()
+    return model
+
+
+def forward_fn(model):
+    def fn(arr):
+        with no_grad():
+            return model(Tensor(np.asarray(arr))).data
+    return fn
+
+
+class TestCaptureInfer:
+    def test_replay_is_bitwise_identical_to_eager(self):
+        model = eval_model()
+        fn = forward_fn(model)
+        rng = np.random.default_rng(1)
+        feed = rng.standard_normal((3, 3, 8, 8))
+        with B.use_backend("fast"):
+            program = capture_infer(fn, feed)
+            for seed in range(3):
+                x = np.random.default_rng(seed + 10).standard_normal(feed.shape)
+                assert np.array_equal(program.run(x), fn(x))
+        assert program.runs >= 3
+        # eval-mode conv dispatches the fused inference kernel
+        assert "conv2d_infer" in program.kernel_names
+
+    def test_wrong_shape_or_dtype_raises(self):
+        model = eval_model()
+        fn = forward_fn(model)
+        feed = np.random.default_rng(1).standard_normal((2, 3, 8, 8))
+        with B.use_backend("fast"):
+            program = capture_infer(fn, feed)
+        with pytest.raises(GraphError, match="captured"):
+            program.run(np.zeros((4, 3, 8, 8)))
+        with pytest.raises(GraphError, match="captured"):
+            program.run(np.zeros((2, 3, 8, 8), dtype=np.float32))
+
+    def test_probe_input_catches_frozen_constants(self):
+        # ``x + 0.0`` allocates a fresh array the resolver cannot tie to
+        # the feed, so it freezes as a capture-time constant; the
+        # same-input verification passes and only the second, perturbed
+        # input exposes the wrong program
+        K = B.get_backend("fast")
+        W = np.random.default_rng(2).standard_normal((4, 3))
+
+        def leaky(x):
+            return K.matmul(np.asarray(x) + 0.0, W)
+
+        feed = np.random.default_rng(3).standard_normal((5, 4))
+        with pytest.raises(GraphError, match="probe input"):
+            capture_infer(leaky, feed)
+        # without the probe the broken program would have shipped
+        program = capture_infer(leaky, feed, verify_second_input=False)
+        other = np.random.default_rng(4).standard_normal((5, 4))
+        assert not np.array_equal(program.run(other), leaky(other))
+
+    def test_no_kernel_calls_refuses(self):
+        with pytest.raises(GraphError, match="no kernel calls"):
+            capture_infer(lambda x: np.asarray(x) * 2.0, np.ones((2, 2)))
+
+    def test_compiled_backend_capture_matches_fast(self):
+        model = eval_model()
+        fn = forward_fn(model)
+        feed = np.random.default_rng(6).standard_normal((2, 3, 8, 8))
+        with B.use_backend("fast"):
+            eager = fn(feed)
+        with B.use_backend("compiled"):
+            program = capture_infer(fn, feed)
+            replay = program.run(feed)
+        # the compiled backend's gather kernels are bitwise identical to
+        # fast's, so even cross-backend the forward cannot move a ULP
+        assert np.array_equal(replay, eager)

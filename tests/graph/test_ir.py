@@ -1,0 +1,79 @@
+"""IR lints: op-to-kernel mapping vs the registry, JSON round-trip."""
+
+import numpy as np
+import pytest
+
+from repro import backend as B
+from repro.graph.ir import FUNCTION_KERNELS, GraphIR, kernels_for
+
+from tests.graph.test_trainer_compile import build_trainer
+
+BACKENDS = ["reference", "fast", "compiled"]
+
+
+@pytest.fixture(scope="module")
+def captured_program():
+    trainer = build_trainer(True, epochs=1)
+    trainer.train_epoch()
+    return next(iter(trainer._programs.values()))
+
+
+class TestKernelLint:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_mapped_kernel_is_registered(self, backend):
+        K = B.get_backend(backend)
+        missing = {
+            f"{op} -> {kernel}"
+            for op, kernels in FUNCTION_KERNELS.items()
+            for kernel in kernels
+            if not K.has(kernel)
+        }
+        assert not missing, f"FUNCTION_KERNELS drifted from {backend}: {missing}"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_captured_graph_kernels_resolve(self, captured_program, backend):
+        # the round-trip lint the module docstring promises: every kernel
+        # a real captured training step may dispatch exists on every
+        # shipped backend
+        K = B.get_backend(backend)
+        names = captured_program.ir.kernel_names()
+        assert names, "captured IR names no kernels"
+        unresolved = [name for name in names if not K.has(name)]
+        assert not unresolved
+
+    def test_kernels_for_unknown_op_is_empty(self):
+        assert kernels_for("FluxCapacitor") == ()
+        assert kernels_for("Conv2dFn") == FUNCTION_KERNELS["Conv2dFn"]
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self, captured_program):
+        ir = captured_program.ir
+        payload = ir.to_payload()
+        again = GraphIR.from_json(ir.to_json(indent=2))
+        assert again.to_payload() == payload
+        assert again.kernel_names() == ir.kernel_names()
+        assert again.ops() == ir.ops()
+
+    def test_ir_structure_matches_capture(self, captured_program):
+        ir = captured_program.ir
+        kinds = {source.kind for source in ir.sources}
+        assert kinds <= {"feed", "leaf", "const"}
+        feeds = [s for s in ir.sources if s.kind == "feed"]
+        assert [s.name for s in feeds] == ["inputs"]
+        assert set(ir.outputs) == {"task_loss", "penalty", "loss"}
+        assert ir.backward_roots == [ir.outputs["loss"]]
+        # the training step of a conv net must include the conv stack
+        ops = set(ir.ops())
+        assert {"Conv2dFn", "BatchNormTrainFn", "MaxPool2dFn"} <= ops
+        by_id = {node.id: node for node in ir.nodes}
+        source_ids = {source.id for source in ir.sources}
+        for node in ir.nodes:
+            for value in node.inputs:
+                assert value in by_id or value in source_ids, \
+                    f"{node.id} consumes unknown value {value}"
+
+    def test_empty_graph_round_trips(self):
+        blank = GraphIR.from_json(GraphIR().to_json())
+        assert blank.nodes == [] and blank.sources == []
+        assert blank.kernel_names() == []

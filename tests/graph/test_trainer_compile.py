@@ -1,0 +1,157 @@
+"""Compiled training must be bit-identical to eager training.
+
+The speedup gate (``benchmarks/test_graph_speedup.py``) only enforces
+rtol 1e-5; this suite pins the real contract -- *exact* equality of
+loss traces, parameters, and batch-norm running statistics between a
+``compile=True`` trainer and its eager twin -- on both the fast and the
+compiled backend, including the ragged final batch that forces a second
+program signature mid-epoch.
+"""
+
+import numpy as np
+import pytest
+
+from repro import graph
+from repro.attacks.correlated import CorrelationPenalty
+from repro.models.simple_cnn import SimpleCNN
+from repro.pipeline.config import TrainingConfig
+from repro.pipeline.trainer import Trainer
+
+SEED = 7
+
+
+def build_trainer(compile_flag, *, n=24, batch=8, backend="fast",
+                  epochs=2, penalty=True):
+    """A small SimpleCNN trainer; twins share every seed."""
+    rng = np.random.default_rng(SEED)
+    inputs = rng.standard_normal((n, 3, 8, 8))
+    labels = rng.integers(0, 5, size=n)
+    model = SimpleCNN(num_classes=5, image_size=8, width=4,
+                      rng=np.random.default_rng(SEED + 1))
+    pen = None
+    if penalty:
+        pen = CorrelationPenalty([model.parameters()[0]],
+                                 rng.standard_normal(16), rate=0.1)
+    config = TrainingConfig(epochs=epochs, batch_size=batch, lr=0.05,
+                            seed=SEED)
+    return Trainer(model, inputs, labels, config, penalty=pen,
+                   backend=backend, compile=compile_flag)
+
+
+def assert_models_identical(eager: Trainer, compiled: Trainer) -> None:
+    assert compiled.history.task_loss == eager.history.task_loss
+    assert compiled.history.penalty == eager.history.penalty
+    for (name, pe), pc in zip(eager.model.named_parameters(),
+                              compiled.model.parameters()):
+        assert pe.data.dtype == pc.data.dtype, name
+        assert np.array_equal(pe.data, pc.data), f"parameter {name} diverged"
+        if pe.grad is None:
+            assert pc.grad is None, name
+        else:
+            assert np.array_equal(pe.grad, pc.grad), f"gradient {name} diverged"
+    eager_buffers = dict(eager.model.named_buffers())
+    compiled_buffers = dict(compiled.model.named_buffers())
+    assert eager_buffers.keys() == compiled_buffers.keys()
+    for name, buf in eager_buffers.items():
+        assert np.array_equal(buf, compiled_buffers[name]), \
+            f"buffer {name} diverged"
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", ["fast", "compiled"])
+    def test_two_epochs_bitwise_identical(self, backend):
+        eager = build_trainer(False, backend=backend)
+        compiled = build_trainer(True, backend=backend)
+        for _ in range(2):
+            eager.train_epoch()
+            compiled.train_epoch()
+        assert_models_identical(eager, compiled)
+        stats = compiled.compile_stats
+        # 24 images / batch 8 = 3 steps per epoch: 1 capture, then replays
+        assert stats["captures"] == 1
+        assert stats["programs"] == 1
+        assert stats["replays"] == 5
+        assert stats["fallbacks"] == 0
+        assert stats["capture_failures"] == 0
+
+    def test_ragged_final_batch_compiles_second_signature(self):
+        # 20 images / batch 8 -> 8, 8, 4: the mid-epoch shape change
+        # must capture a second program, not fall back and not diverge
+        eager = build_trainer(False, n=20)
+        compiled = build_trainer(True, n=20)
+        for _ in range(2):
+            eager.train_epoch()
+            compiled.train_epoch()
+        assert_models_identical(eager, compiled)
+        stats = compiled.compile_stats
+        assert stats["captures"] == 2
+        assert stats["programs"] == 2
+        assert stats["replays"] == 4
+        assert stats["fallbacks"] == 0
+        assert {key[0][0] for key in compiled._programs} == {8, 4}
+
+    def test_reference_backend_refuses_capture_and_stays_exact(self):
+        # reference has no fused batch-norm node: the composed graph's
+        # running-statistics update is a side effect a replay would
+        # freeze, so the layer marks the trace dynamic and the trainer
+        # stays eager -- and therefore exactly equal to the eager twin
+        eager = build_trainer(False, backend="reference")
+        compiled = build_trainer(True, backend="reference")
+        for _ in range(2):
+            eager.train_epoch()
+            compiled.train_epoch()
+        stats = compiled.compile_stats
+        assert stats["captures"] == 0
+        assert stats["capture_failures"] == 1
+        assert stats["replays"] == 0
+        assert compiled._capture_failed is True
+        assert_models_identical(eager, compiled)
+
+    def test_max_programs_cap_keeps_odd_shapes_eager(self):
+        eager = build_trainer(False, n=20)
+        compiled = build_trainer(True, n=20)
+        compiled.MAX_PROGRAMS = 1
+        for _ in range(2):
+            eager.train_epoch()
+            compiled.train_epoch()
+        assert_models_identical(eager, compiled)
+        stats = compiled.compile_stats
+        assert stats["captures"] == 1
+        assert stats["programs"] == 1
+        # the ragged batch ran eagerly both epochs without a capture try
+        assert stats["capture_failures"] == 0
+
+
+class TestCompileDefault:
+    def test_trainer_follows_process_default(self):
+        previous = graph.set_compile_default(True)
+        try:
+            assert graph.compile_default() is True
+            trainer = build_trainer(None, epochs=1)
+            trainer.train_epoch()
+            assert trainer.compile_stats["captures"] == 1
+        finally:
+            graph.set_compile_default(previous)
+
+    def test_set_returns_previous_value(self):
+        first = graph.set_compile_default(True)
+        second = graph.set_compile_default(first)
+        assert second is True
+        assert graph.compile_default() is first
+
+
+class TestStats:
+    def test_counters_tick_and_gauge_is_finite(self):
+        before = graph.stats()
+        trainer = build_trainer(True, epochs=1)
+        trainer.train_epoch()
+        after = graph.stats()
+        assert after["graph.captures"] >= before["graph.captures"] + 1
+        assert after["graph.replays"] >= before["graph.replays"] + 2
+        assert after["graph.fallbacks"] >= before["graph.fallbacks"]
+        # the gauge NaN-guard: always a real number, even pre-first-set
+        assert after["graph.programs"] == after["graph.programs"]
+        assert set(after) == {
+            "graph.captures", "graph.capture_failures", "graph.replays",
+            "graph.fallbacks", "graph.programs",
+        }

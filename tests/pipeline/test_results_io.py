@@ -70,7 +70,13 @@ class TestRunManifest:
         loaded = load_manifest(result_path)
         assert loaded == manifest
         assert loaded.telemetry["trainer.images"] == 192.0
-        assert loaded.extra == {"dataset": "cifar"}
+        assert loaded.extra["dataset"] == "cifar"
+        # manifests record graph-compiler activity and capability flags
+        graph_extra = loaded.extra["graph"]
+        assert set(graph_extra) == {"compile_default", "stats", "capabilities"}
+        assert set(graph_extra["capabilities"]) == {
+            "graph_compiler", "fusion", "tiling"}
+        assert "graph.captures" in graph_extra["stats"]
 
     def test_save_result_writes_sidecar(self, tmp_path):
         from repro.pipeline import load_manifest, load_result, manifest_path

@@ -98,7 +98,13 @@ class TestRunManifest:
         assert manifest.seed == 7
         assert len(manifest.config_hash) == 16
         assert manifest.telemetry == {"m": 1}
-        assert manifest.extra == {"dataset": "cifar"}
+        assert manifest.extra["dataset"] == "cifar"
+        # every manifest records the graph-compiler configuration snapshot
+        graph = manifest.extra["graph"]
+        assert set(graph["capabilities"]) == {
+            "graph_compiler", "fusion", "tiling",
+        }
+        assert isinstance(graph["compile_default"], bool)
         assert manifest.created_at > 0
 
     def test_create_snapshots_default_registry(self):
