@@ -18,6 +18,9 @@ Subcommands:
 * ``loadgen``      -- deterministic heavy-tailed open-loop traffic
   against a server (in-process or ``--url``), with replayable traces
   and ``BENCH_serve.json`` trajectories.
+* ``analyze``      -- tail-latency attribution over a ``--trace-out``
+  Chrome trace or a flight-recorder dump: per-stage percentiles,
+  top-K slowest requests, queue-wait vs compute split.
 * ``profile``      -- per-autograd-op and per-kernel cost tables for a
   small training run.
 * ``bench-kernels`` -- per-kernel reference-vs-fast timing table.
@@ -59,6 +62,8 @@ Examples::
     python -m repro.cli serve --demo --bits 4 --port 8080 --shards 2
     python -m repro.cli loadgen --url http://127.0.0.1:8080 --requests 500
     python -m repro.cli loadgen --demo --requests 200 --bench-out .
+    python -m repro.cli --trace-out serve.trace.json loadgen --demo --requests 200
+    python -m repro.cli analyze serve.trace.json --top 10
     python -m repro.cli --backend fast profile quickstart --top 12
     python -m repro.cli bench-kernels --repeats 20 --csv kernels.csv
 """
@@ -437,6 +442,15 @@ def _cmd_info(args) -> int:
         ("metrics", f"{len(names)} registered"
                     + (": " + ", ".join(names) if names else "")),
     ]
+    flat = default_registry().flat_snapshot()
+    lookups = flat.get("serve.cache_hits", 0.0) + \
+        flat.get("serve.cache_misses", 0.0)
+    if lookups:
+        rate = flat.get("serve.cache_hits", 0.0) / lookups
+        rows.append(("serve cache",
+                     f"{rate:.1%} hit rate over {int(lookups)} lookups "
+                     f"({int(flat.get('serve.cache_evictions', 0.0))} "
+                     f"evictions)"))
     store = BenchStore(args.bench_dir)
     for name in store.names():
         entries = store.entries(name)
@@ -534,10 +548,21 @@ def _cmd_serve(args) -> int:
     config = ServeConfig(
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
         queue_capacity=args.queue_capacity, shards=args.shards,
-        backend=args.backend, default_deadline_ms=args.deadline_ms)
+        backend=args.backend, default_deadline_ms=args.deadline_ms,
+        slo_ms=args.slo_ms, flight_dir=args.flight_dir)
     engine = None
     if args.alerts:
         engine = AlertEngine(serving_rules(p99_budget_ms=args.p99_budget_ms))
+    if args.manifest_out:
+        manifest = RunManifest.create(
+            seed=args.seed, config=config, telemetry={},
+            artifacts=sorted(artifacts),
+            trace_out=args.trace_out, flight_dir=args.flight_dir,
+            slo_ms=args.slo_ms)
+        save_result({"command": "serve", "run_id": manifest.run_id},
+                    args.manifest_out, manifest=manifest)
+        print(f"manifest written beside {args.manifest_out} "
+              f"(run {manifest.run_id})", file=sys.stderr)
 
     async def _run() -> None:
         async with ModelServer(artifacts, config, alerts=engine) as server:
@@ -607,7 +632,8 @@ def _cmd_loadgen(args) -> int:
         serve_config = ServeConfig(
             max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
             shards=args.shards, backend=args.backend,
-            default_deadline_ms=args.deadline_ms)
+            default_deadline_ms=args.deadline_ms,
+            slo_ms=args.slo_ms, flight_dir=args.flight_dir)
 
         async def _run():
             async with ModelServer(artifacts, serve_config) as server:
@@ -621,7 +647,30 @@ def _cmd_loadgen(args) -> int:
         store = BenchStore(args.bench_out)
         store.append("serve", report.metrics())
         print(f"trajectory appended to {store.path('serve')}", file=sys.stderr)
+    if args.out:
+        import dataclasses
+        manifest = RunManifest.create(
+            seed=args.seed, config=config, trace_out=args.trace_out,
+            flight_dir=args.flight_dir, slo_ms=args.slo_ms,
+            requests=len(trace))
+        save_result(dataclasses.asdict(report), args.out, manifest=manifest)
+        print(f"report written to {args.out} (run {manifest.run_id})",
+              file=sys.stderr)
     return 1 if (report.errors or not report.completed) else 0
+
+
+def _cmd_analyze(args) -> int:
+    """Attribute tail latency from a trace or flight-recorder dump."""
+    from repro.errors import ServeError
+    from repro.serve import analyze_requests, load_requests, render_analysis
+
+    try:
+        records = load_requests(args.path)
+        report = analyze_requests(records, top=args.top)
+    except (OSError, ServeError) as exc:
+        raise SystemExit(f"repro analyze: {exc}")
+    print(render_analysis(report, source=args.path), end="")
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -911,6 +960,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "exit 1 if any fired")
     serve.add_argument("--p99-budget-ms", type=float, default=250.0,
                        help="latency budget for the serve_p99_breach rule")
+    serve.add_argument("--slo-ms", type=float, default=250.0,
+                       help="per-request latency SLO; responses above it "
+                            "count as breaches on serve.slo.latency_ms "
+                            "(the latency_slo burn-rate rule)")
+    serve.add_argument("--flight-dir", metavar="DIR", default=None,
+                       help="where the flight recorder dumps its last-N-"
+                            "requests JSONL when an alert fires or a "
+                            "shard crashes")
+    serve.add_argument("--manifest-out", metavar="PATH", default=None,
+                       help="write a run manifest (recording --trace-out, "
+                            "--flight-dir and the serve config) as JSON")
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -951,7 +1011,25 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--bench-out", metavar="DIR", default=None,
                          help="append p50/p99/throughput to "
                               "DIR/BENCH_serve.json")
+    loadgen.add_argument("--out", metavar="PATH", default=None,
+                         help="write the load report + run manifest "
+                              "(recording --trace-out) as JSON")
+    loadgen.add_argument("--slo-ms", type=float, default=250.0,
+                         help="latency SLO for the in-process server")
+    loadgen.add_argument("--flight-dir", metavar="DIR", default=None,
+                         help="flight-recorder dump dir for the "
+                              "in-process server")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="attribute tail latency from a trace or flight dump")
+    analyze.add_argument("path", metavar="TRACE_OR_DUMP",
+                         help="a --trace-out Chrome trace JSON or a "
+                              "flight-recorder JSONL dump")
+    analyze.add_argument("--top", type=int, default=5,
+                         help="slowest requests to list individually")
+    analyze.set_defaults(func=_cmd_analyze)
 
     info = sub.add_parser("info", help="print versions/platform for bug reports")
     info.add_argument("--bench-dir", metavar="DIR", default=".",

@@ -32,7 +32,7 @@ import time
 import dataclasses
 from dataclasses import dataclass
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
-                    Sequence)
+                    Sequence, Tuple)
 
 from repro.errors import ConfigError
 
@@ -344,6 +344,79 @@ class MetricRule(AlertRule):
                            epoch=epoch)
 
 
+class BurnRateRule(AlertRule):
+    """Fire when the error-budget *burn rate* over a window exceeds budget.
+
+    SLO alerting on raw counters is either too twitchy (any breach
+    fires) or too numb (lifetime ratios dilute a fresh regression).
+    The standard fix is burn-rate alerting: watch the ratio of *recent*
+    bad events to *recent* total events.  ``bad`` and ``total`` are
+    cumulative flat-snapshot keys (``serve.slo.latency_ms.breaches`` /
+    ``serve.slo.latency_ms.count``); each registry evaluation appends
+    one observation, and the rule fires when, over the trailing
+    ``window`` evaluations,
+
+    ``(bad_now - bad_then) / (total_now - total_then) > budget``
+
+    with at least ``min_events`` new total events (so a quiet server
+    or a tiny test run cannot fire on two unlucky requests).  The rule
+    latches while burning and re-arms once the windowed rate drops back
+    under budget -- a sustained regression alerts once, recovery and
+    re-regression alerts again.
+    """
+
+    def __init__(self, name: str, bad: str, total: str,
+                 budget: float = 0.1, window: int = 8,
+                 min_events: int = 50,
+                 severity: str = "warning") -> None:
+        super().__init__(name, severity)
+        if not 0.0 <= budget < 1.0:
+            raise ConfigError(f"budget must be in [0, 1), got {budget}")
+        if window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
+        if min_events < 1:
+            raise ConfigError(f"min_events must be >= 1, got {min_events}")
+        self.bad = bad
+        self.total = total
+        self.budget = float(budget)
+        self.window = int(window)
+        self.min_events = int(min_events)
+        self._history: List[Tuple[float, float]] = []
+        self._burning = False
+
+    def reset(self) -> None:
+        self._history = []
+        self._burning = False
+
+    def evaluate_registry(self, flat: Mapping[str, float],
+                          epoch: Optional[int]) -> Optional[Alert]:
+        if self.bad not in flat or self.total not in flat:
+            return None
+        bad = float(flat[self.bad])
+        total = float(flat[self.total])
+        if math.isnan(bad) or math.isnan(total):
+            return None
+        self._history.append((bad, total))
+        if len(self._history) > self.window + 1:
+            del self._history[:-(self.window + 1)]
+        bad_then, total_then = self._history[0]
+        delta_bad = bad - bad_then
+        delta_total = total - total_then
+        if delta_total < self.min_events:
+            return None
+        rate = delta_bad / delta_total
+        if rate <= self.budget:
+            self._burning = False
+            return None
+        if self._burning:  # latched: one alert per burn episode
+            return None
+        self._burning = True
+        return self._alert(
+            f"{self.bad}/{self.total} burn rate {rate:.1%} over last "
+            f"{int(delta_total)} events exceeds budget {self.budget:.1%}",
+            field=self.bad, value=rate, epoch=epoch)
+
+
 class ProbeDisabledRule(AlertRule):
     """Fire (once per probe) when the monitor auto-disables a probe.
 
@@ -518,7 +591,11 @@ def default_rules(corr_threshold: float = 0.25,
 
 def serving_rules(p99_budget_ms: float = 250.0,
                   error_budget: float = 0.0,
-                  refusal_budget: float = 0.0) -> List[AlertRule]:
+                  refusal_budget: float = 0.0,
+                  slo_burn_budget: float = 0.1,
+                  saturation_budget: float = 0.05,
+                  burn_window: int = 8,
+                  burn_min_events: int = 50) -> List[AlertRule]:
     """Rule set watching the ``repro.serve`` request path's vitals.
 
     Wire into :class:`~repro.serve.server.ModelServer` via ``alerts=``;
@@ -532,7 +609,13 @@ def serving_rules(p99_budget_ms: float = 250.0,
     * ``serve_errors`` -- operational failures (crashes surviving the
       retry budget, timeouts, handler exceptions) exceeded budget;
     * ``serve_refusals`` -- admission refused more requests than the
-      back-pressure budget allows: the queue cap is being hit.
+      back-pressure budget allows: the queue cap is being hit;
+    * ``latency_slo`` -- burn-rate rule on the SLO histogram: more than
+      ``slo_burn_budget`` of recent requests breached the per-request
+      latency target (critical; also trips a flight-recorder dump);
+    * ``queue_saturation`` -- burn-rate rule on admission: more than
+      ``saturation_budget`` of recent submissions were refused, i.e.
+      the queue is persistently saturated rather than momentarily full.
     """
     return [
         MetricRule("serve_p99_breach", metric="serve.latency_ms.p99",
@@ -543,4 +626,11 @@ def serving_rules(p99_budget_ms: float = 250.0,
                    above=error_budget, severity="critical"),
         MetricRule("serve_refusals", metric="serve.refused",
                    above=refusal_budget),
+        BurnRateRule("latency_slo", bad="serve.slo.latency_ms.breaches",
+                     total="serve.slo.latency_ms.count",
+                     budget=slo_burn_budget, window=burn_window,
+                     min_events=burn_min_events, severity="critical"),
+        BurnRateRule("queue_saturation", bad="serve.refused",
+                     total="serve.requests", budget=saturation_budget,
+                     window=burn_window, min_events=burn_min_events),
     ]

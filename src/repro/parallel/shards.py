@@ -59,22 +59,45 @@ class ShardResult:
     duration_s: float = 0.0
 
 
+def _counter_deltas(baseline: Dict[str, float]) -> Dict[str, float]:
+    """Positive counter movement since ``baseline`` (which is advanced).
+
+    Shard children fork with a copy of the parent's registry, so
+    counters bumped inside a shard (cache hits, handler-level tallies)
+    are invisible to the parent.  Each reply ships the per-request
+    counter *deltas* home instead; baselining after handler init keeps
+    the inherited parent values out of the first delta.
+    """
+    current = default_registry().typed_snapshot()["counters"]
+    deltas: Dict[str, float] = {}
+    for name, value in current.items():
+        moved = float(value) - baseline.get(name, 0.0)
+        if moved > 0:
+            deltas[name] = moved
+        baseline[name] = float(value)
+    return deltas
+
+
 def _shard_main(index: int, init_fn: Callable[[], Callable[[Any], Any]],
                 conn) -> None:
     """Shard entrypoint: build the handler once, then serve requests.
 
     Module-level for start-method safety.  ``init_fn`` returns the
     request handler; an init failure is reported once and the shard
-    exits (the parent treats further traffic to it as a crash).
+    exits (the parent treats further traffic to it as a crash).  Replies
+    are 6-tuples ``(status, ticket, value, error, duration, deltas)``
+    where ``deltas`` maps counter names to their movement during the
+    request; the parent folds them into its own registry.
     """
     try:
         handler = init_fn()
     except Exception as exc:
         try:
-            conn.send(("init_error", -1, None, repr(exc), 0.0))
+            conn.send(("init_error", -1, None, repr(exc), 0.0, {}))
         finally:
             conn.close()
         return
+    baseline = dict(default_registry().typed_snapshot()["counters"])
     while True:
         try:
             message = conn.recv()
@@ -86,16 +109,17 @@ def _shard_main(index: int, init_fn: Callable[[], Callable[[Any], Any]],
         start = time.perf_counter()
         try:
             value = handler(payload)
-            reply = ("ok", ticket, value, "", time.perf_counter() - start)
+            reply = ("ok", ticket, value, "", time.perf_counter() - start,
+                     _counter_deltas(baseline))
         except Exception as exc:
             reply = ("err", ticket, None, repr(exc),
-                     time.perf_counter() - start)
+                     time.perf_counter() - start, _counter_deltas(baseline))
         try:
             conn.send(reply)
         except Exception as exc:  # unpicklable handler result
             conn.send(("err", ticket, None,
                        f"unpicklable result: {exc!r}",
-                       time.perf_counter() - start))
+                       time.perf_counter() - start, {}))
     conn.close()
 
 
@@ -377,7 +401,13 @@ class ShardPool:
                         self._on_shard_death(shard)
 
     def _on_message(self, shard: _Shard, message: Any) -> None:
-        status, ticket, value, error, duration = message
+        status, ticket, value, error, duration = message[:5]
+        deltas = message[5] if len(message) > 5 else None
+        if deltas:
+            registry = default_registry()
+            for name, moved in deltas.items():
+                if moved > 0:
+                    registry.counter(str(name)).inc(float(moved))
         if status == "init_error":
             # the shard never became serviceable; treat as death
             self._on_shard_death(shard, reason=f"init failed: {error}")

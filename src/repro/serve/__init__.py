@@ -14,9 +14,20 @@ is that serving stack, end to end:
 * :mod:`repro.serve.loadgen` -- seeded heavy-tailed open-loop traffic
   with byte-replayable traces;
 * :mod:`repro.serve.http` -- a stdlib HTTP/1.1 face for cross-process
-  runs (``repro serve`` / ``repro loadgen``).
+  runs (``repro serve`` / ``repro loadgen``);
+* :mod:`repro.serve.tracing` -- per-request span trees, SLO
+  histograms, and the flight-recorder ring
+  (:class:`RequestTracer`);
+* :mod:`repro.serve.analyze` -- tail-latency attribution over traces
+  and flight dumps (``repro analyze``).
 """
 
+from repro.serve.analyze import (
+    RequestRecord,
+    analyze_requests,
+    load_requests,
+    render_analysis,
+)
 from repro.serve.artifacts import (
     ArtifactCache,
     ReleasedArtifact,
@@ -39,8 +50,11 @@ from repro.serve.loadgen import (
     trace_to_jsonl,
 )
 from repro.serve.server import InferenceResponse, ModelServer, ServeConfig
+from repro.serve.tracing import FlightRecorder, RequestContext, RequestTracer
 
 __all__ = [
+    "RequestContext", "RequestTracer", "FlightRecorder",
+    "RequestRecord", "load_requests", "analyze_requests", "render_analysis",
     "ArtifactCache", "ReleasedArtifact", "artifact_fingerprint",
     "load_artifact", "save_artifact",
     "DeadlineBatcher", "QueuedRequest",

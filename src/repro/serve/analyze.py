@@ -1,0 +1,317 @@
+"""Tail-latency attribution over traces and flight-recorder dumps.
+
+The tracer (:mod:`repro.serve.tracing`) leaves two artifacts behind: a
+Chrome trace with one ``serve.request`` span tree per request, and
+flight-recorder JSONL dumps of the requests leading up to an alert or
+crash.  ``repro analyze <path>`` reads either one back into uniform
+:class:`RequestRecord` rows and answers the on-call questions:
+
+* **where does the time go** -- per-stage latency percentiles
+  (admission / queue / batch / infer), whose stage means sum back to
+  the end-to-end mean because the stages tile each request exactly;
+* **which requests are the tail** -- the top-K slowest with their
+  stage breakdown, so a queue-dominated p99 reads differently from a
+  compute-dominated one;
+* **queueing or compute** -- the aggregate split of wall time spent
+  waiting for dispatch vs. inside the shard handler;
+* **which artifact is slow** -- per-model percentile rows.
+
+Everything is stdlib + exact arithmetic on the recorded numbers; the
+same loader backs the CLI and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ServeError
+from repro.serve.tracing import FLIGHT_FORMAT, REQUEST_SPAN
+
+__all__ = ["RequestRecord", "load_requests", "load_flight_dump",
+           "load_chrome_trace", "analyze_requests", "render_analysis"]
+
+#: Stage keys in pipeline order (the tiling stages, then the overlay).
+STAGE_KEYS = ("admission_ms", "queue_ms", "batch_ms", "infer_ms")
+
+
+@dataclass
+class RequestRecord:
+    """One analyzed request, whichever artifact it was read from."""
+
+    request_id: str
+    model: str = ""
+    outcome: str = "ok"
+    shard: int = -1
+    batch_size: int = 0
+    latency_ms: float = 0.0
+    admission_ms: Optional[float] = None
+    queue_ms: Optional[float] = None
+    batch_ms: Optional[float] = None
+    infer_ms: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    def stage(self, key: str) -> Optional[float]:
+        return getattr(self, key)
+
+
+# ---------------------------------------------------------------------------
+# Loaders
+# ---------------------------------------------------------------------------
+
+def load_flight_dump(path: os.PathLike) -> List[RequestRecord]:
+    """Read a flight-recorder JSONL dump (header line + request lines)."""
+    records: List[RequestRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except ValueError as exc:
+            raise ServeError(f"{os.fspath(path)}: not a flight dump: {exc}")
+        if header.get("flight") != FLIGHT_FORMAT:
+            raise ServeError(
+                f"{os.fspath(path)}: unknown flight format "
+                f"{header.get('flight')!r} (expected {FLIGHT_FORMAT!r})")
+        for line_no, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError as exc:
+                raise ServeError(
+                    f"{os.fspath(path)}:{line_no}: bad record: {exc}")
+            records.append(RequestRecord(
+                request_id=str(data.get("request_id", "")),
+                model=str(data.get("model", "")),
+                outcome=str(data.get("outcome", "ok")),
+                shard=int(data.get("shard", -1)),
+                batch_size=int(data.get("batch_size", 0)),
+                latency_ms=float(data.get("latency_ms", 0.0)),
+                **{key: (float(data[key]) if key in data else None)
+                   for key in STAGE_KEYS},
+            ))
+    return records
+
+
+def load_chrome_trace(path: os.PathLike) -> List[RequestRecord]:
+    """Rebuild request records from a ``--trace-out`` Chrome trace.
+
+    Groups ``ph: "X"`` events by their ``args.request_id``: the
+    ``serve.request`` root carries identity/outcome/latency, the
+    ``serve.request.<stage>`` children carry the stage durations.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except ValueError as exc:
+        raise ServeError(f"{os.fspath(path)}: not a chrome trace: {exc}")
+    events = payload.get("traceEvents", [])
+    by_request: Dict[str, RequestRecord] = {}
+    order: List[str] = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        name = str(event.get("name", ""))
+        if not name.startswith(REQUEST_SPAN):
+            continue
+        args = event.get("args", {}) or {}
+        request_id = str(args.get("request_id", ""))
+        if not request_id:
+            continue
+        record = by_request.get(request_id)
+        if record is None:
+            record = by_request[request_id] = RequestRecord(request_id)
+            order.append(request_id)
+        duration_ms = float(event.get("dur", 0.0)) / 1e3
+        if name == REQUEST_SPAN:
+            record.model = str(args.get("model", ""))
+            record.outcome = str(args.get("outcome", "ok"))
+            record.shard = int(args.get("shard", -1))
+            record.batch_size = int(args.get("batch_size", 0))
+            record.latency_ms = float(args.get("latency_ms", duration_ms))
+        else:
+            stage = name[len(REQUEST_SPAN) + 1:]  # admission/queue/...
+            key = f"{stage}_ms"
+            if key in STAGE_KEYS:
+                setattr(record, key, duration_ms)
+    return [by_request[request_id] for request_id in order]
+
+
+def load_requests(path: os.PathLike) -> List[RequestRecord]:
+    """Auto-detect flight dump vs Chrome trace by the first bytes."""
+    with open(path, "r", encoding="utf-8") as handle:
+        head = handle.read(512).lstrip()
+    if not head:
+        raise ServeError(f"{os.fspath(path)}: empty file")
+    if f'"{FLIGHT_FORMAT}"' in head.splitlines()[0]:
+        return load_flight_dump(path)
+    return load_chrome_trace(path)
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over the exact sample (no interpolation)."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _stat_row(values: Sequence[float]) -> Dict[str, float]:
+    if not values:
+        return {"count": 0, "mean": float("nan"), "p50": float("nan"),
+                "p90": float("nan"), "p99": float("nan"),
+                "max": float("nan")}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "p50": _percentile(values, 0.50),
+        "p90": _percentile(values, 0.90),
+        "p99": _percentile(values, 0.99),
+        "max": max(values),
+    }
+
+
+def analyze_requests(records: Sequence[RequestRecord],
+                     top: int = 5) -> Dict[str, Any]:
+    """The full attribution report as plain data (rendered separately).
+
+    Keys: ``stages`` (per-stage stat rows, ``e2e`` last -- the tiling
+    stages' means sum to the ``e2e`` mean up to refused requests that
+    never queued), ``slowest`` (top-K by latency), ``split``
+    (queue-wait vs compute vs other fractions of total wall time),
+    ``models`` (per-artifact stat rows), ``outcomes`` (tally by
+    outcome), and ``count``.
+    """
+    if not records:
+        raise ServeError("no request records to analyze")
+    top = max(0, int(top))
+
+    stages: Dict[str, Dict[str, float]] = {}
+    for key in STAGE_KEYS:
+        values = [r.stage(key) for r in records if r.stage(key) is not None]
+        stages[key] = _stat_row([float(v) for v in values])
+    stages["e2e"] = _stat_row([r.latency_ms for r in records])
+
+    slowest = sorted(records, key=lambda r: r.latency_ms, reverse=True)[:top]
+
+    total_wall = sum(r.latency_ms for r in records)
+    queue_wait = sum((r.admission_ms or 0.0) + (r.queue_ms or 0.0)
+                     for r in records)
+    compute = sum(r.infer_ms or 0.0 for r in records)
+    other = max(0.0, total_wall - queue_wait - compute)
+    split = {
+        "total_ms": total_wall,
+        "queue_wait_ms": queue_wait,
+        "compute_ms": compute,
+        "other_ms": other,
+        "queue_wait_frac": queue_wait / total_wall if total_wall else 0.0,
+        "compute_frac": compute / total_wall if total_wall else 0.0,
+    }
+
+    models: Dict[str, Dict[str, float]] = {}
+    for model in sorted({r.model for r in records}):
+        latencies = [r.latency_ms for r in records if r.model == model]
+        models[model or "<unknown>"] = _stat_row(latencies)
+
+    outcomes: Dict[str, int] = {}
+    for record in records:
+        outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
+
+    return {"count": len(records), "stages": stages, "slowest": slowest,
+            "split": split, "models": models, "outcomes": outcomes}
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "-"
+    return f"{value:.3f}" if isinstance(value, float) else str(value)
+
+
+def _table(headers: Sequence[str],
+           rows: Sequence[Sequence[Any]]) -> List[str]:
+    cells = [[str(h) for h in headers]] + \
+        [[_fmt(c) if isinstance(c, float) else str(c) for c in row]
+         for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) if i == 0
+                               else cell.rjust(width)
+                               for i, (cell, width)
+                               in enumerate(zip(row, widths))))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines
+
+
+def render_analysis(report: Mapping[str, Any], source: str = "") -> str:
+    """Human-readable report text for ``repro analyze``."""
+    lines: List[str] = []
+    title = f"request analysis: {report['count']} requests"
+    if source:
+        title += f"  ({source})"
+    lines.append(title)
+    outcomes = ", ".join(f"{name}={count}" for name, count
+                         in sorted(report["outcomes"].items()))
+    lines.append(f"outcomes: {outcomes}")
+    lines.append("")
+
+    lines.append("latency by stage (ms):")
+    stage_rows = []
+    for key, row in report["stages"].items():
+        label = key[:-3] if key.endswith("_ms") else key
+        stage_rows.append([label, int(row["count"]), row["mean"],
+                           row["p50"], row["p90"], row["p99"], row["max"]])
+    lines.extend(_table(
+        ["stage", "count", "mean", "p50", "p90", "p99", "max"], stage_rows))
+    lines.append("")
+
+    split = report["split"]
+    lines.append(
+        f"queue-wait vs compute: {split['queue_wait_frac']:.1%} waiting, "
+        f"{split['compute_frac']:.1%} computing "
+        f"(of {split['total_ms']:.1f} ms total request wall time)")
+    lines.append("")
+
+    if report["slowest"]:
+        lines.append(f"top {len(report['slowest'])} slowest requests (ms):")
+        slow_rows = []
+        for record in report["slowest"]:
+            slow_rows.append([
+                record.request_id, record.outcome, record.latency_ms,
+                record.admission_ms if record.admission_ms is not None
+                else float("nan"),
+                record.queue_ms if record.queue_ms is not None
+                else float("nan"),
+                record.infer_ms if record.infer_ms is not None
+                else float("nan"),
+                record.batch_size,
+            ])
+        lines.extend(_table(
+            ["request", "outcome", "latency", "admission", "queue",
+             "infer", "batch"], slow_rows))
+        lines.append("")
+
+    lines.append("latency by artifact (ms):")
+    model_rows = [[model, int(row["count"]), row["mean"], row["p50"],
+                   row["p99"]] for model, row in report["models"].items()]
+    lines.extend(_table(["artifact", "count", "mean", "p50", "p99"],
+                        model_rows))
+    return "\n".join(lines) + "\n"

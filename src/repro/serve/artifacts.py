@@ -214,19 +214,38 @@ class ArtifactCache:
     pair; the least-recently-used entry is evicted past ``capacity``
     and transparently reloaded from disk on its next request.  Counters
     ``serve.cache_hits`` / ``serve.cache_misses`` /
-    ``serve.cache_evictions`` land in the default registry.
+    ``serve.cache_evictions`` land in the default registry, and the
+    same tallies are kept per-instance (:attr:`hits` / :attr:`misses`
+    / :attr:`evictions`, summarized by :meth:`stats`) so a cache living
+    inside a forked shard still reports accurately -- shard replies
+    ship the counter deltas back, but the instance numbers are the
+    ground truth the owner can always read directly.
     """
 
     def __init__(self, capacity: int = 2) -> None:
         if capacity < 1:
             raise ServeError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
         self._entries: "OrderedDict[str, Tuple[Module, ReleasedArtifact]]" = \
             OrderedDict()
         self._by_path: Dict[str, str] = {}  # abspath -> fingerprint
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction tallies plus the derived hit rate."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "lookups": float(lookups),
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
 
     def fingerprints(self) -> Tuple[str, ...]:
         """Cached fingerprints, least- to most-recently used."""
@@ -237,9 +256,11 @@ class ArtifactCache:
         abspath = os.path.abspath(os.fspath(path))
         key = self._by_path.get(abspath)
         if key is not None and key in self._entries:
+            self.hits += 1
             registry.counter("serve.cache_hits").inc()
             self._entries.move_to_end(key)
             return self._entries[key]
+        self.misses += 1
         registry.counter("serve.cache_misses").inc()
         model, artifact = load_artifact(abspath)
         self._by_path[abspath] = artifact.fingerprint
@@ -247,6 +268,7 @@ class ArtifactCache:
         self._entries.move_to_end(artifact.fingerprint)
         while len(self._entries) > self.capacity:
             evicted, _ = self._entries.popitem(last=False)
+            self.evictions += 1
             registry.counter("serve.cache_evictions").inc()
             self._by_path = {p: f for p, f in self._by_path.items()
                              if f != evicted}

@@ -47,8 +47,9 @@ from repro.errors import ServeError
 from repro.parallel.shards import ShardPool
 from repro.serve.artifacts import META_FILE, ArtifactCache
 from repro.serve.batcher import DeadlineBatcher, QueuedRequest
+from repro.serve.tracing import RequestContext, RequestTracer
 from repro.telemetry.metrics import default_registry
-from repro.telemetry.trace import span
+from repro.telemetry.trace import get_recorder, span
 
 __all__ = ["ServeConfig", "InferenceResponse", "ModelServer"]
 
@@ -70,6 +71,14 @@ class ServeConfig:
     compile: bool = True  # replay per-(artifact, shape) compiled forward
     #   graphs in the shards (repro.graph.infer); capture verifies
     #   bitwise against eager, any failure stays eager per shape
+    trace_requests: bool = True  # per-request observability: stage spans
+    #   (when a recorder is active), serve.slo.* histograms, and the
+    #   flight-recorder ring (repro.serve.tracing)
+    slo_ms: float = 250.0  # end-to-end latency target; responses above
+    #   it count as serve.slo.latency_ms breaches (latency_slo rule)
+    flight_capacity: int = 256  # flight-recorder ring size (requests)
+    flight_dir: Optional[str] = None  # where alert/crash-triggered
+    #   flight dumps land as JSONL; None disables dumping to disk
 
 
 @dataclass
@@ -249,6 +258,7 @@ class ModelServer:
             for key in self._artifacts
         }
         self._ids = itertools.count()
+        self._tracer: Optional[RequestTracer] = None
         self._pool: Optional[ShardPool] = None
         self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._loop_task: Optional[asyncio.Task] = None
@@ -260,6 +270,14 @@ class ModelServer:
     async def start(self) -> "ModelServer":
         if self._running:
             return self
+        if self.config.trace_requests:
+            # the recorder active *now* is the span sink for the whole
+            # server lifetime (the CLI installs it before commands run)
+            self._tracer = RequestTracer(
+                recorder=get_recorder(), clock=self.clock,
+                slo_ms=self.config.slo_ms,
+                flight_capacity=self.config.flight_capacity,
+                flight_dir=self.config.flight_dir)
         self._pool = ShardPool(
             functools.partial(_make_shard_handler, self.config.cache_capacity,
                               self.config.backend),
@@ -313,6 +331,17 @@ class ModelServer:
         if self._pool is None:
             raise ServeError("server is not started")
         return self._pool
+
+    @property
+    def tracer(self) -> Optional[RequestTracer]:
+        """The per-request tracer (None before start or when disabled)."""
+        return self._tracer
+
+    def flight_records(self) -> List[Dict[str, Any]]:
+        """The flight recorder's current ring (oldest first)."""
+        if self._tracer is None:
+            return []
+        return self._tracer.flight.records()
 
     def models(self) -> Dict[str, Dict[str, Any]]:
         """Served keys with fingerprint/quantization metadata."""
@@ -369,15 +398,17 @@ class ModelServer:
         registry.counter("serve.requests").inc()
         key = model or self.default_model
         rid = request_id if request_id is not None else f"r{next(self._ids)}"
+        tracer = self._tracer
+        ctx = tracer.admit(rid, key) if tracer is not None else None
         if not self._running:
             return self._error_response(rid, key, "server is not running",
-                                        "shutdown")
+                                        "shutdown", ctx=ctx)
         if key not in self._artifacts:
             registry.counter("serve.errors").inc()
             return self._error_response(
                 rid, key, f"unknown model {key!r} "
                           f"(served: {', '.join(sorted(self._artifacts))})",
-                "unknown_model")
+                "unknown_model", ctx=ctx)
         try:
             if inputs is None:
                 if input_seed is None:
@@ -387,7 +418,10 @@ class ModelServer:
                 inputs = self._normalize_inputs(np.asarray(inputs), key)
         except ServeError as exc:
             registry.counter("serve.errors").inc()
-            return self._error_response(rid, key, str(exc), "bad_request")
+            return self._error_response(rid, key, str(exc), "bad_request",
+                                        ctx=ctx)
+        if ctx is not None:
+            ctx.input_shape = tuple(inputs.shape)
         now = self.clock()
         deadline_ms = (self.config.default_deadline_ms
                        if deadline_ms is None else float(deadline_ms))
@@ -395,10 +429,13 @@ class ModelServer:
         try:
             self._batchers[key].submit(
                 rid, inputs, deadline=now + deadline_ms / 1e3, now=now,
-                context=future)
+                context=(future, ctx))
         except ServeError as exc:
             registry.counter("serve.refused").inc()
-            return self._error_response(rid, key, str(exc), "refused")
+            return self._error_response(rid, key, str(exc), "refused",
+                                        ctx=ctx)
+        if tracer is not None:
+            tracer.mark_submitted(ctx)
         registry.gauge("serve.queue_depth").set(
             float(sum(len(b) for b in self._batchers.values())))
         self._wake.set()
@@ -428,8 +465,11 @@ class ModelServer:
                 f"artifact input_shape {expected}")
         return inputs
 
-    def _error_response(self, rid: str, key: str, error: str,
-                        kind: str) -> InferenceResponse:
+    def _error_response(self, rid: str, key: str, error: str, kind: str,
+                        ctx: Optional[RequestContext] = None,
+                        ) -> InferenceResponse:
+        if self._tracer is not None and ctx is not None:
+            self._tracer.finish(ctx, ok=False, error_kind=kind)
         return InferenceResponse(
             request_id=rid, ok=False, model=key,
             fingerprint=self._meta.get(key, {}).get("fingerprint", ""),
@@ -475,6 +515,15 @@ class ModelServer:
                                batch: List[QueuedRequest]) -> None:
         registry = default_registry()
         dispatched_at = self.clock()
+        tracer = self._tracer
+        if tracer is not None:
+            for request in batch:
+                tracer.mark_dispatched(self._request_ctx(request),
+                                       batch_size=len(batch))
+        registry.gauge("serve.batch_occupancy").set(
+            len(batch) / float(self.config.max_batch))
+        registry.gauge("serve.coalesce_wait_ms").set(
+            (dispatched_at - batch[0].enqueued_at) * 1e3)
         sizes = [len(r.payload) for r in batch]
         stacked = np.concatenate([r.payload for r in batch], axis=0) \
             if len(batch) > 1 else batch[0].payload
@@ -504,10 +553,15 @@ class ModelServer:
             for request in batch:
                 self._finish_error(request, key, result.error,
                                    result.error_kind or "exception",
-                                   shard=result.shard, batch_size=len(batch))
+                                   shard=result.shard, batch_size=len(batch),
+                                   infer_s=result.duration_s)
+            if tracer is not None and result.error_kind == "crash":
+                tracer.dump_flight("shard_crash")
         if self.alerts is not None:
             try:
-                self.alerts.observe_registry(registry, epoch=None)
+                fired = self.alerts.observe_registry(registry, epoch=None)
+                if fired and tracer is not None:
+                    tracer.dump_flight(f"alert_{fired[0].rule}")
             except Exception:
                 pass  # alerting must never take the serving path down
 
@@ -525,6 +579,10 @@ class ModelServer:
         registry.histogram("serve.latency_ms").observe(latency_ms)
         if missed:
             registry.counter("serve.deadline_missed").inc()
+        if self._tracer is not None:
+            self._tracer.finish(self._request_ctx(request), ok=True,
+                                shard=shard, batch_size=batch_size,
+                                infer_s=infer_ms / 1e3)
         self._set_future(request, InferenceResponse(
             request_id=request.request_id, ok=True, model=key,
             fingerprint=self._meta[key].get("fingerprint", ""),
@@ -534,8 +592,12 @@ class ModelServer:
 
     def _finish_error(self, request: QueuedRequest, key: str, error: str,
                       kind: str, shard: int = -1,
-                      batch_size: int = 0) -> None:
+                      batch_size: int = 0, infer_s: float = 0.0) -> None:
         latency_ms = (self.clock() - request.enqueued_at) * 1e3
+        if self._tracer is not None:
+            self._tracer.finish(self._request_ctx(request), ok=False,
+                                error_kind=kind, shard=shard,
+                                batch_size=batch_size, infer_s=infer_s)
         self._set_future(request, InferenceResponse(
             request_id=request.request_id, ok=False, model=key,
             fingerprint=self._meta.get(key, {}).get("fingerprint", ""),
@@ -544,8 +606,18 @@ class ModelServer:
             deadline_missed=self.clock() > request.deadline))
 
     @staticmethod
+    def _request_ctx(request: QueuedRequest) -> Optional[RequestContext]:
+        """The RequestContext riding the batcher's opaque context slot."""
+        context = request.context
+        if isinstance(context, tuple) and len(context) == 2:
+            return context[1]
+        return None
+
+    @staticmethod
     def _set_future(request: QueuedRequest,
                     response: InferenceResponse) -> None:
         future = request.context
+        if isinstance(future, tuple):
+            future = future[0]
         if future is not None and not future.done():
             future.set_result(response)

@@ -26,6 +26,7 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     default_registry,
 )
+from repro.telemetry.slo import SloHistogram, bucket_edges
 from repro.telemetry.trace import (
     SpanRecord,
     TraceContext,
@@ -67,7 +68,7 @@ from repro.telemetry.tables import format_records, format_table, percent
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "EwmaTimer", "MetricsRegistry",
-    "default_registry",
+    "default_registry", "SloHistogram", "bucket_edges",
     "SpanRecord", "TraceContext", "TraceRecorder", "span", "recording",
     "get_recorder", "set_recorder", "timed_stage", "current_trace_context",
     "worker_recorder",

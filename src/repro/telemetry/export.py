@@ -97,7 +97,12 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
     Counters and gauges map directly; histograms and EWMA timers become
     summaries (quantile series plus ``_sum``/``_count``), with the
     timer's EWMA additionally exposed as a ``_ewma`` gauge since it is
-    the value the alert rules watch.
+    the value the alert rules watch.  SLO histograms
+    (:class:`~repro.telemetry.slo.SloHistogram`) render as *native*
+    Prometheus histograms -- cumulative ``_bucket{le="..."}`` series
+    plus ``_sum``/``_count`` -- so ``histogram_quantile()`` works on
+    them server-side, and their breach tally as a ``_breaches``
+    counter.
     """
     registry = registry if registry is not None else default_registry()
     typed = registry.typed_snapshot()
@@ -130,6 +135,25 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
         if "last" in snap:
             lines.append(f"# TYPE {prom}_last gauge")
             lines.append(f"{prom}_last {_prom_value(snap['last'])}")
+    for name, snap in typed.get("slo", {}).items():
+        from repro.telemetry.slo import bucket_edges
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        edges = bucket_edges(
+            lo=float(snap.get("lo", 0.01)), hi=float(snap.get("hi", 1e5)),
+            buckets_per_decade=int(snap.get("buckets_per_decade", 10)))
+        counts = snap.get("counts") or []
+        cumulative = 0
+        for edge, count in zip(edges, counts):
+            cumulative += int(count)
+            lines.append(f'{prom}_bucket{{le="{edge:g}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} '
+                     f"{int(snap.get('count', 0))}")
+        lines.append(f"{prom}_sum {_prom_value(snap.get('sum', 0.0))}")
+        lines.append(f"{prom}_count {_prom_value(snap.get('count', 0))}")
+        lines.append(f"# TYPE {prom}_breaches counter")
+        lines.append(f"{prom}_breaches "
+                     f"{_prom_value(snap.get('breaches', 0.0))}")
     return "\n".join(lines) + "\n"
 
 

@@ -24,6 +24,7 @@ from collections import deque
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
+from repro.telemetry.slo import SloHistogram
 
 
 class Counter:
@@ -266,6 +267,18 @@ class MetricsRegistry:
     def timer(self, name: str, alpha: float = 0.2) -> EwmaTimer:
         return self._get_or_create(name, EwmaTimer, alpha)
 
+    def slo(self, name: str, lo: float = 0.01, hi: float = 1e5,
+            buckets_per_decade: int = 10,
+            slo: Optional[float] = None) -> SloHistogram:
+        """Fixed-bucket :class:`~repro.telemetry.slo.SloHistogram`.
+
+        Unlike :meth:`histogram`, its quantiles merge exactly across
+        processes (bucket vectors add); the constructor arguments only
+        apply on first creation, as with every accessor here.
+        """
+        return self._get_or_create(name, SloHistogram, lo, hi,
+                                   buckets_per_decade, slo)
+
     def names(self) -> List[str]:
         with self._lock:
             return sorted(self._metrics)
@@ -293,9 +306,11 @@ class MetricsRegistry:
         process-local metrics back to the parent.
         """
         kinds = {Counter: "counters", Gauge: "gauges",
-                 Histogram: "histograms", EwmaTimer: "timers"}
+                 Histogram: "histograms", EwmaTimer: "timers",
+                 SloHistogram: "slo"}
         typed: Dict[str, Dict[str, Any]] = {
-            "counters": {}, "gauges": {}, "histograms": {}, "timers": {}}
+            "counters": {}, "gauges": {}, "histograms": {}, "timers": {},
+            "slo": {}}
         with self._lock:
             for name, metric in sorted(self._metrics.items()):
                 typed[kinds[type(metric)]][name] = metric.snapshot()
@@ -324,14 +339,29 @@ class MetricsRegistry:
         for name, value in typed.get("timers", {}).items():
             if int(value.get("count", 0)) > 0:
                 self.timer(name).merge_snapshot(value)
+        for name, value in typed.get("slo", {}).items():
+            if int(value.get("count", 0)) > 0:
+                self.slo(
+                    name,
+                    lo=float(value.get("lo", 0.01)),
+                    hi=float(value.get("hi", 1e5)),
+                    buckets_per_decade=int(value.get("buckets_per_decade", 10)),
+                    slo=value.get("slo"),
+                ).merge_snapshot(value)
 
     def flat_snapshot(self) -> Dict[str, float]:
-        """Snapshot with compound metrics flattened to dotted scalar keys."""
+        """Snapshot with compound metrics flattened to dotted scalar keys.
+
+        Non-scalar fields (an SLO histogram's bucket vector) are
+        skipped: flat snapshots feed alert rules and the health
+        endpoint, which expect every value to be a number.
+        """
         flat: Dict[str, float] = {}
         for name, value in self.snapshot().items():
             if isinstance(value, dict):
                 for field, scalar in value.items():
-                    flat[f"{name}.{field}"] = scalar
+                    if isinstance(scalar, (int, float)):
+                        flat[f"{name}.{field}"] = scalar
             else:
                 flat[name] = value
         return flat

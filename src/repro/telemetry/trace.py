@@ -110,6 +110,8 @@ class TraceRecorder:
         self._ids = itertools.count(1)
         # spans merged from other processes label their pid lane here
         self._process_labels: Dict[int, str] = {os.getpid(): "repro main"}
+        # (pid, tid) -> display name for synthetic lanes (request lanes)
+        self._thread_labels: Dict[Any, str] = {}
         # worker-side recorders re-parent their root spans onto the
         # parent process's span that was open at context capture
         self._root_parent_id = 0
@@ -140,14 +142,39 @@ class TraceRecorder:
 
     def add(self, name: str, start: float, duration: float, depth: int,
             attrs: Dict[str, Any], span_id: int = 0,
-            parent_id: int = 0) -> None:
+            parent_id: int = 0, thread_id: Optional[int] = None) -> None:
         record = SpanRecord(
             name=name, start=start, duration=duration, depth=depth,
-            thread_id=threading.get_ident(), attrs=attrs,
+            thread_id=(threading.get_ident() if thread_id is None
+                       else int(thread_id)),
+            attrs=attrs,
             span_id=span_id, parent_id=parent_id, pid=os.getpid(),
         )
         with self._lock:
             self.spans.append(record)
+
+    def label_thread(self, thread_id: int, label: str,
+                     pid: Optional[int] = None) -> None:
+        """Name one tid lane in the Chrome trace (``thread_name`` meta).
+
+        Synthetic lanes -- per-request lanes from
+        :mod:`repro.serve.tracing` -- pick tids outside the range of
+        real thread idents and label them here so the trace viewer
+        shows "request lane 3" instead of a bare number.
+        """
+        with self._lock:
+            self._thread_labels[(pid or os.getpid(), int(thread_id))] = label
+
+    def next_span_id(self) -> int:
+        """Allocate a span id for externally-assembled spans.
+
+        :class:`~repro.serve.tracing.RequestTracer` builds its spans
+        from explicit timestamps rather than ``with span(...)`` blocks
+        (the stages cross async/executor boundaries), but still needs
+        ids from the recorder's sequence so parent links cannot collide
+        with live spans.
+        """
+        return next(self._ids)
 
     # ------------------------------------------------- distributed tracing
     def context(self) -> TraceContext:
@@ -257,8 +284,9 @@ class TraceRecorder:
             meta.append({"name": "process_sort_index", "ph": "M", "pid": pid,
                          "tid": 0, "args": {"sort_index": sort_index}})
             for tid in sorted(lanes[pid]):
+                name = self._thread_labels.get((pid, tid), f"thread {tid}")
                 meta.append({"name": "thread_name", "ph": "M", "pid": pid,
-                             "tid": tid, "args": {"name": f"thread {tid}"}})
+                             "tid": tid, "args": {"name": name}})
         return {"traceEvents": meta + events, "displayTimeUnit": "ms",
                 "otherData": {"trace_id": self.trace_id}}
 

@@ -12,6 +12,7 @@ from repro.monitor import Monitor
 from repro.monitor.alerts import (
     Alert,
     AlertEngine,
+    BurnRateRule,
     DriftRule,
     MetricRule,
     ProbeDisabledRule,
@@ -349,11 +350,14 @@ class TestServingRules:
         rules = serving_rules()
         names = {r.name: r for r in rules}
         assert set(names) == {"serve_p99_breach", "shard_death",
-                              "serve_errors", "serve_refusals"}
+                              "serve_errors", "serve_refusals",
+                              "latency_slo", "queue_saturation"}
         assert names["serve_p99_breach"].severity == "critical"
         assert names["shard_death"].severity == "critical"
         assert names["serve_errors"].severity == "critical"
         assert names["serve_refusals"].severity == "warning"
+        assert names["latency_slo"].severity == "critical"
+        assert names["queue_saturation"].severity == "warning"
 
     def test_quiet_serving_metrics_fire_nothing(self):
         engine = AlertEngine(serving_rules(p99_budget_ms=250.0))
@@ -385,6 +389,69 @@ class TestServingRules:
         # a registry with no serve.* metrics (no server running) is fine
         for rule in serving_rules():
             assert rule.evaluate_registry({}, 0) is None
+
+
+class TestBurnRateRule:
+    @staticmethod
+    def rule(**kwargs):
+        defaults = dict(bad="bad", total="total", budget=0.1,
+                        window=4, min_events=10)
+        defaults.update(kwargs)
+        return BurnRateRule("burn", **defaults)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.rule(budget=1.0)
+        with pytest.raises(ConfigError):
+            self.rule(window=0)
+        with pytest.raises(ConfigError):
+            self.rule(min_events=0)
+
+    def test_fires_on_windowed_burn_not_lifetime_ratio(self):
+        # lifetime ratio 50/1050 is under budget; the *recent* delta
+        # (50 bad of 50 new) is what the rule must see
+        rule = self.rule()
+        assert rule.evaluate_registry({"bad": 0.0, "total": 1000.0}, 0) is None
+        alert = rule.evaluate_registry({"bad": 50.0, "total": 1050.0}, 1)
+        assert alert is not None
+        assert alert.severity == "warning"
+        assert alert.value == pytest.approx(1.0)
+
+    def test_min_events_guards_quiet_servers(self):
+        rule = self.rule(min_events=50)
+        assert rule.evaluate_registry({"bad": 0.0, "total": 0.0}, 0) is None
+        # 2 unlucky requests out of 2: 100% "burn", but only 2 events
+        assert rule.evaluate_registry({"bad": 2.0, "total": 2.0}, 1) is None
+
+    def test_latches_while_burning_and_rearms(self):
+        rule = self.rule(window=8)
+        rule.evaluate_registry({"bad": 0.0, "total": 0.0}, 0)
+        assert rule.evaluate_registry({"bad": 20.0, "total": 100.0}, 1) \
+            is not None
+        # still burning: no repeat alert
+        assert rule.evaluate_registry({"bad": 40.0, "total": 200.0}, 2) is None
+        # recovery: rate over the window drops under budget...
+        for step in range(3, 12):
+            rule.evaluate_registry({"bad": 40.0,
+                                    "total": 200.0 + step * 100.0}, step)
+        # ...then a fresh regression alerts again
+        assert rule.evaluate_registry({"bad": 400.0, "total": 1500.0}, 12) \
+            is not None
+
+    def test_reset_clears_history_and_latch(self):
+        rule = self.rule()
+        rule.evaluate_registry({"bad": 0.0, "total": 0.0}, 0)
+        assert rule.evaluate_registry({"bad": 50.0, "total": 100.0}, 1) \
+            is not None
+        rule.reset()
+        rule.evaluate_registry({"bad": 50.0, "total": 100.0}, 2)
+        assert rule.evaluate_registry({"bad": 100.0, "total": 200.0}, 3) \
+            is not None
+
+    def test_first_observation_never_fires(self):
+        # no prior point => no delta, even with a terrible lifetime ratio
+        assert self.rule().evaluate_registry(
+            {"bad": 900.0, "total": 1000.0}, 0) is None
 
 
 class TestInjectedClock:

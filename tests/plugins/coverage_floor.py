@@ -41,6 +41,9 @@ TARGET_FILES = (
     "src/repro/serve/server.py",
     "src/repro/serve/loadgen.py",
     "src/repro/serve/http.py",
+    "src/repro/serve/tracing.py",
+    "src/repro/serve/analyze.py",
+    "src/repro/telemetry/slo.py",
     "src/repro/pipeline/sweep.py",
     "src/repro/backend/__init__.py",
     "src/repro/backend/registry.py",

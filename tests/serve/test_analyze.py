@@ -1,0 +1,232 @@
+"""repro analyze: loaders, tail attribution, rendering, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import ServeError
+from repro.models.registry import build_model
+from repro.pipeline.results_io import load_manifest
+from repro.serve import save_artifact
+from repro.serve.analyze import (
+    RequestRecord,
+    analyze_requests,
+    load_chrome_trace,
+    load_flight_dump,
+    load_requests,
+    render_analysis,
+)
+from repro.serve.tracing import RequestTracer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import TraceRecorder
+
+
+def record(rid, latency, admission=0.5, queue=2.0, infer=5.0,
+           model="m", outcome="ok", batch=4):
+    batch_ms = latency - admission - queue
+    return RequestRecord(
+        request_id=rid, model=model, outcome=outcome, batch_size=batch,
+        latency_ms=latency, admission_ms=admission, queue_ms=queue,
+        batch_ms=batch_ms, infer_ms=infer)
+
+
+class FakeClock:
+    def __init__(self, start=50.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def drive_tracer(tracer, n=4):
+    """Run n requests with latencies 10, 20, 30, ... ms through a tracer."""
+    for index in range(n):
+        ctx = tracer.admit(f"r{index}", "m", input_shape=(1, 3, 8, 8))
+        tracer.clock.advance(0.001)
+        tracer.mark_submitted(ctx)
+        tracer.clock.advance(0.002)
+        tracer.mark_dispatched(ctx, batch_size=2)
+        tracer.clock.advance(0.010 * (index + 1) - 0.003)
+        tracer.finish(ctx, ok=True, shard=0,
+                      infer_s=0.004 * (index + 1))
+
+
+class TestAnalyzeRequests:
+    def test_stage_means_sum_to_e2e_mean(self):
+        records = [record(f"r{i}", 10.0 + 5 * i) for i in range(10)]
+        report = analyze_requests(records)
+        stages = report["stages"]
+        tiling = stages["admission_ms"]["mean"] + \
+            stages["queue_ms"]["mean"] + stages["batch_ms"]["mean"]
+        assert tiling == pytest.approx(stages["e2e"]["mean"])
+
+    def test_slowest_are_sorted_and_capped(self):
+        records = [record(f"r{i}", float(i)) for i in range(20)]
+        report = analyze_requests(records, top=3)
+        assert [r.request_id for r in report["slowest"]] == \
+            ["r19", "r18", "r17"]
+        assert analyze_requests(records, top=0)["slowest"] == []
+
+    def test_split_queue_wait_vs_compute(self):
+        records = [record("a", 10.0, admission=1.0, queue=3.0, infer=4.0)]
+        split = analyze_requests(records)["split"]
+        assert split["total_ms"] == 10.0
+        assert split["queue_wait_ms"] == 4.0
+        assert split["compute_ms"] == 4.0
+        assert split["other_ms"] == pytest.approx(2.0)
+        assert split["queue_wait_frac"] == pytest.approx(0.4)
+
+    def test_per_model_rows_and_outcome_tally(self):
+        records = [record("a", 10.0, model="fast"),
+                   record("b", 90.0, model="slow"),
+                   record("c", 5.0, model="fast", outcome="refused")]
+        report = analyze_requests(records)
+        assert report["models"]["fast"]["count"] == 2
+        assert report["models"]["slow"]["mean"] == 90.0
+        assert report["outcomes"] == {"ok": 2, "refused": 1}
+
+    def test_missing_stages_are_skipped_not_zeroed(self):
+        refused = RequestRecord("r", outcome="refused", latency_ms=1.0,
+                                admission_ms=1.0)
+        report = analyze_requests([refused, record("a", 10.0)])
+        assert report["stages"]["queue_ms"]["count"] == 1
+        assert report["stages"]["e2e"]["count"] == 2
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ServeError):
+            analyze_requests([])
+
+
+class TestRender:
+    def test_tables_and_headline(self):
+        records = [record(f"r{i}", 10.0 + i) for i in range(6)]
+        text = render_analysis(analyze_requests(records), source="x.jsonl")
+        assert "request analysis: 6 requests  (x.jsonl)" in text
+        assert "latency by stage (ms):" in text
+        assert "top 5 slowest requests (ms):" in text
+        assert "latency by artifact (ms):" in text
+        assert "outcomes: ok=6" in text
+
+    def test_missing_stage_renders_as_dash(self):
+        refused = RequestRecord("r0", outcome="refused", latency_ms=1.0)
+        text = render_analysis(analyze_requests([refused]))
+        slow_line = [l for l in text.splitlines() if l.startswith("r0")][0]
+        assert " - " in slow_line
+
+
+class TestLoaders:
+    def test_flight_dump_roundtrip(self, tmp_path):
+        tracer = RequestTracer(clock=FakeClock(),
+                               registry=MetricsRegistry())
+        drive_tracer(tracer, n=3)
+        path = tmp_path / "dump.jsonl"
+        tracer.flight.dump(path, reason="test")
+        records = load_flight_dump(path)
+        assert [r.request_id for r in records] == ["r0", "r1", "r2"]
+        assert records[0].latency_ms == pytest.approx(10.0, abs=0.01)
+        assert records[0].ok
+        tiling = records[0].admission_ms + records[0].queue_ms + \
+            records[0].batch_ms
+        assert tiling == pytest.approx(records[0].latency_ms, abs=0.01)
+
+    def test_chrome_trace_roundtrip(self, tmp_path):
+        recorder = TraceRecorder()
+        tracer = RequestTracer(recorder=recorder, clock=FakeClock(),
+                               registry=MetricsRegistry())
+        drive_tracer(tracer, n=3)
+        path = tmp_path / "trace.json"
+        recorder.to_chrome_trace(path)
+        records = load_chrome_trace(path)
+        assert len(records) == 3
+        by_id = {r.request_id: r for r in records}
+        assert by_id["r1"].latency_ms == pytest.approx(20.0, abs=0.01)
+        assert by_id["r1"].queue_ms == pytest.approx(2.0, abs=0.01)
+        assert by_id["r1"].model == "m" and by_id["r1"].outcome == "ok"
+
+    def test_auto_detection_picks_the_right_loader(self, tmp_path):
+        recorder = TraceRecorder()
+        tracer = RequestTracer(recorder=recorder, clock=FakeClock(),
+                               registry=MetricsRegistry())
+        drive_tracer(tracer, n=2)
+        flight, chrome = tmp_path / "f.jsonl", tmp_path / "t.json"
+        tracer.flight.dump(flight, reason="test")
+        recorder.to_chrome_trace(chrome)
+        assert len(load_requests(flight)) == 2
+        assert len(load_requests(chrome)) == 2
+        report_a = analyze_requests(load_requests(flight))
+        report_b = analyze_requests(load_requests(chrome))
+        assert report_a["stages"]["e2e"]["mean"] == \
+            pytest.approx(report_b["stages"]["e2e"]["mean"], abs=0.05)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ServeError, match="empty"):
+            load_requests(path)
+
+    def test_bad_flight_header_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"flight": "who-knows-v9"}\n')
+        with pytest.raises(ServeError, match="unknown flight format"):
+            load_flight_dump(path)
+
+    def test_bad_record_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"flight": "repro-flight-v1"}\n{not json\n')
+        with pytest.raises(ServeError, match=":2"):
+            load_flight_dump(path)
+
+    def test_non_json_chrome_trace_raises(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text("<html>")
+        with pytest.raises(ServeError, match="not a chrome trace"):
+            load_chrome_trace(path)
+
+
+class TestCli:
+    def test_analyze_flight_dump(self, tmp_path, capsys):
+        tracer = RequestTracer(clock=FakeClock(),
+                               registry=MetricsRegistry())
+        drive_tracer(tracer, n=4)
+        path = tmp_path / "dump.jsonl"
+        tracer.flight.dump(path, reason="test")
+        assert main(["analyze", str(path), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "request analysis: 4 requests" in out
+        assert "top 2 slowest requests" in out
+
+    def test_analyze_missing_file_exits(self):
+        with pytest.raises(SystemExit, match="repro analyze"):
+            main(["analyze", "/nonexistent/nowhere.json"])
+
+    def test_loadgen_writes_trace_and_manifest(self, tmp_path, capsys):
+        kwargs = dict(num_classes=4, in_channels=3, width=4)
+        artifact = tmp_path / "released"
+        model = build_model("resnet8_tiny", rng=np.random.default_rng(5),
+                            **kwargs)
+        save_artifact(model, artifact, "resnet8_tiny", model_kwargs=kwargs,
+                      input_shape=(3, 8, 8), seed=5)
+        trace_out = tmp_path / "serve.trace.json"
+        out = tmp_path / "report.json"
+        rc = main(["--trace-out", str(trace_out),
+                   "loadgen", f"m={artifact}", "--requests", "12",
+                   "--rate", "400", "--time-scale", "1.0",
+                   "--out", str(out)])
+        capsys.readouterr()
+        assert rc == 0
+        # the chrome trace analyzes end to end
+        records = load_requests(trace_out)
+        assert len(records) == 12
+        assert all(r.outcome == "ok" for r in records)
+        # the manifest pins the observability surface of the run
+        manifest = load_manifest(out)
+        assert manifest.extra["trace_out"] == str(trace_out)
+        assert manifest.extra["requests"] == 12
+        assert "slo_ms" in manifest.extra
+        report = json.loads(out.read_text())
+        assert report["completed"] == 12

@@ -168,3 +168,35 @@ class TestArtifactCache:
     def test_capacity_validation(self):
         with pytest.raises(ServeError, match="capacity"):
             ArtifactCache(capacity=0)
+
+    def test_stats_tallies_and_hit_rate(self, tmp_path):
+        _make_artifact(tmp_path / "a", seed=1)
+        _make_artifact(tmp_path / "b", seed=2)
+        _make_artifact(tmp_path / "c", seed=3)
+        cache = ArtifactCache(capacity=2)
+        assert cache.stats() == {"hits": 0.0, "misses": 0.0,
+                                 "evictions": 0.0, "lookups": 0.0,
+                                 "hit_rate": 0.0}
+        cache.get(tmp_path / "a")   # miss
+        cache.get(tmp_path / "a")   # hit
+        cache.get(tmp_path / "b")   # miss
+        cache.get(tmp_path / "c")   # miss, evicts a
+        stats = cache.stats()
+        assert stats["hits"] == 1.0
+        assert stats["misses"] == 3.0
+        assert stats["evictions"] == 1.0
+        assert stats["lookups"] == 4.0
+        assert stats["hit_rate"] == pytest.approx(0.25)
+
+    def test_info_reports_cache_hit_rate(self, tmp_path, capsys):
+        from repro.cli import main
+        _make_artifact(tmp_path / "a", seed=1)
+        cache = ArtifactCache(capacity=1)
+        cache.get(tmp_path / "a")
+        cache.get(tmp_path / "a")
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        line = [l for l in out.splitlines() if "serve cache" in l]
+        assert line, out
+        assert "hit rate over" in line[0]
+        assert "evictions" in line[0]

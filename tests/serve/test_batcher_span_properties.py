@@ -1,0 +1,156 @@
+"""Property tests: request span trees under simulated batcher schedules.
+
+Drives the real :class:`DeadlineBatcher` and :class:`RequestTracer` on
+one shared fake clock over hypothesis-generated arrival patterns, then
+checks the span-tree invariants the Chrome trace (and ``repro
+analyze``) relies on: every span is monotone (non-negative duration),
+every stage child nests inside its ``serve.request`` parent, the
+tiling children are gapless, and the stage durations sum back to the
+request's end-to-end latency.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.batcher import DeadlineBatcher
+from repro.serve.tracing import REQUEST_SPAN, RequestTracer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import TraceRecorder
+
+EPS = 1e-9
+
+# Workload: per-request (arrival gap, deadline slack); plus batcher
+# shape and a per-batch simulated service time.
+request_plans = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.02,
+                  allow_nan=False, allow_infinity=False),  # gap to previous
+        st.floats(min_value=1e-3, max_value=0.5,
+                  allow_nan=False, allow_infinity=False),  # deadline slack
+    ),
+    min_size=1, max_size=40,
+)
+
+scenario_params = st.tuples(
+    st.integers(min_value=1, max_value=8),     # max_batch
+    st.floats(min_value=0.0, max_value=0.05,   # max_wait_s
+              allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=0.01,   # per-batch service time
+              allow_nan=False, allow_infinity=False),
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _simulate(plan, max_batch, max_wait_s, service_s):
+    """Admission -> coalescing -> dispatch -> finish on one fake clock.
+
+    Mirrors the server's dispatch loop: pop after every admission, wake
+    at ``next_due()`` between arrivals, and on dispatch advance the
+    clock by the batch's service time before finishing its requests.
+    """
+    clock = FakeClock()
+    recorder = TraceRecorder()
+    tracer = RequestTracer(recorder=recorder, clock=clock,
+                           registry=MetricsRegistry())
+    batcher = DeadlineBatcher(max_batch=max_batch, max_wait_s=max_wait_s,
+                              capacity=10_000, clock=clock)
+
+    def _service(batches):
+        for batch in batches:
+            for request in batch:
+                tracer.mark_dispatched(request.context,
+                                       batch_size=len(batch))
+            clock.now += service_s
+            for request in batch:
+                tracer.finish(request.context, ok=True, shard=0,
+                              batch_size=len(batch),
+                              infer_s=service_s / 2)
+
+    def _wake_until(horizon):
+        while True:
+            due = batcher.next_due()
+            if due is None or (horizon is not None and due > horizon):
+                return
+            clock.now = max(clock.now, due)
+            _service(batcher.pop_due(clock.now))
+
+    for index, (gap, slack) in enumerate(plan):
+        arrival = clock.now + gap
+        _wake_until(arrival)
+        clock.now = arrival
+        ctx = tracer.admit(f"r{index}", "m")
+        batcher.submit(f"r{index}", payload=index,
+                       deadline=clock.now + slack, now=clock.now,
+                       context=ctx)
+        tracer.mark_submitted(ctx)
+        _service(batcher.pop_due(clock.now))
+    _wake_until(None)
+    assert len(batcher) == 0
+    return recorder
+
+
+def _span_trees(recorder):
+    roots = {s.span_id: s for s in recorder.spans if s.name == REQUEST_SPAN}
+    children = {}
+    for span in recorder.spans:
+        if span.name == REQUEST_SPAN:
+            continue
+        # infer spans hang off the batch child; walk up to the root
+        parent = span.parent_id
+        while parent not in roots:
+            parent = next(s for s in recorder.spans
+                          if s.span_id == parent).parent_id
+        children.setdefault(parent, []).append(span)
+    return roots, children
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_plans, scenario_params)
+def test_spans_are_monotone_and_nested_in_their_request(plan, params):
+    recorder = _simulate(plan, *params)
+    roots, children = _span_trees(recorder)
+    assert len(roots) == len(plan), "every admitted request gets a root span"
+    for root_id, root in roots.items():
+        assert root.duration >= -EPS
+        for child in children.get(root_id, []):
+            assert child.duration >= -EPS, f"{child.name} runs backwards"
+            assert child.start >= root.start - EPS, (
+                f"{child.name} starts before its request span")
+            assert child.end <= root.end + EPS, (
+                f"{child.name} ends after its request span")
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_plans, scenario_params)
+def test_tiling_children_are_gapless_and_sum_to_e2e(plan, params):
+    recorder = _simulate(plan, *params)
+    roots, children = _span_trees(recorder)
+    for root_id, root in roots.items():
+        tiling = sorted(
+            (c for c in children.get(root_id, [])
+             if c.name != "serve.request.infer"),
+            key=lambda c: c.start)
+        assert tiling, "a finished request must have stage children"
+        assert abs(tiling[0].start - root.start) <= EPS
+        assert abs(tiling[-1].end - root.end) <= EPS
+        for left, right in zip(tiling, tiling[1:]):
+            assert abs(right.start - left.end) <= EPS, (
+                f"gap between {left.name} and {right.name}")
+        covered = sum(c.duration for c in tiling)
+        assert abs(covered - root.duration) <= len(tiling) * EPS
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_plans, scenario_params)
+def test_every_request_id_appears_exactly_once(plan, params):
+    recorder = _simulate(plan, *params)
+    roots = [s for s in recorder.spans if s.name == REQUEST_SPAN]
+    ids = sorted(s.attrs["request_id"] for s in roots)
+    assert ids == sorted(f"r{i}" for i in range(len(plan)))

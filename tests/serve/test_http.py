@@ -1,7 +1,11 @@
 """HTTP front end: routing, status mapping, cross-socket loadgen."""
 
 import asyncio
+import contextlib
+import http.server
 import json
+import socket
+import threading
 import urllib.error
 import urllib.request
 
@@ -160,3 +164,74 @@ class TestHTTPLoadgen:
         assert report.sent == 4
         assert report.completed == 0
         assert report.errors == 4
+
+
+@contextlib.contextmanager
+def _stub_server(status, body):
+    """A real socket answering every POST with a canned (status, body)."""
+
+    class Handler(http.server.BaseHTTPRequestHandler):
+        def do_POST(self):
+            self.rfile.read(int(self.headers.get("Content-Length", 0) or 0))
+            payload = body if isinstance(body, bytes) else body.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, *args):
+            pass
+
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestHTTPLoadgenErrorPaths:
+    """The client must degrade structurally, never raise mid-run."""
+
+    def _trace(self, n=3):
+        return generate_trace(LoadGenConfig(seed=13, n_requests=n,
+                                            rate_rps=1000.0))
+
+    def test_connection_refused_is_counted_as_lost(self):
+        # bind then release a port so the address is valid but refusing
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        report = asyncio.run(http_loadgen(
+            f"http://127.0.0.1:{port}", self._trace(), timeout_s=2.0))
+        assert report.sent == 3 and report.completed == 0
+        assert report.error_kinds == {"lost": 3}
+
+    def test_non_200_with_structured_body_keeps_the_error_kind(self):
+        body = json.dumps({"request_id": "x", "ok": False,
+                           "error": "queue full", "error_kind": "refused"})
+        with _stub_server(503, body) as url:
+            report = asyncio.run(http_loadgen(url, self._trace(),
+                                              timeout_s=5.0))
+        assert report.sent == 3 and report.completed == 0
+        assert report.refused == 3
+        assert report.error_kinds == {"refused": 3}
+
+    def test_non_200_with_garbage_body_is_lost_not_raised(self):
+        with _stub_server(500, "<html>Internal Server Error</html>") as url:
+            report = asyncio.run(http_loadgen(url, self._trace(),
+                                              timeout_s=5.0))
+        assert report.completed == 0
+        assert report.error_kinds == {"lost": 3}
+
+    def test_malformed_json_on_200_is_lost_not_raised(self):
+        with _stub_server(200, '{"ok": true, "request_id":') as url:
+            report = asyncio.run(http_loadgen(url, self._trace(),
+                                              timeout_s=5.0))
+        assert report.completed == 0
+        assert report.error_kinds == {"lost": 3}
