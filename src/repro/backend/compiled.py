@@ -66,6 +66,18 @@ def _thread_pool():
     return _executor
 
 
+def _drop_executor_after_fork() -> None:
+    # A fork only clones the calling thread: an inherited executor's
+    # worker threads do not exist in the child, so any submit() would
+    # queue work forever.  Forked children (repro.parallel) start from
+    # a fresh lazily-built pool instead.
+    global _executor
+    _executor = None
+
+
+os.register_at_fork(after_in_child=_drop_executor_after_fork)
+
+
 def _worker_count() -> int:
     # os.cpu_count() costs a surprising ~10us per call; sample it once
     global _workers

@@ -37,6 +37,10 @@ policy (``repro.precision``; float32 is the training default, float64
 restores the bit-exact wide path), ``--workers N`` fans sweep points
 and multi-bitwidth attack arms across worker processes
 (``repro.parallel``; results are identical to a serial run),
+``--ddp-workers N`` shards every training run across N data-parallel
+ranks sharing tensors through ``multiprocessing.shared_memory`` with a
+deterministic tree all-reduce (``repro.parallel.ddp``; attack metrics
+stay inside the serial tolerance bands),
 ``--trace-out PATH`` exports a Chrome-trace file of the run's spans
 (including spans shipped back from worker processes),
 ``--serve-metrics PORT`` serves live Prometheus ``/metrics`` and JSON
@@ -72,6 +76,7 @@ from __future__ import annotations
 
 import argparse
 import functools
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -394,6 +399,29 @@ def _cmd_audit(args) -> int:
     return 0 if report.flagged else 1
 
 
+def _shm_info_row() -> str:
+    """Shared-memory capability summary for ``repro info``."""
+    from repro.parallel import ddp as _ddp
+    from repro.parallel.arena import live_segments
+
+    if not _ddp.shm_available():
+        return "unavailable (multiprocessing.shared_memory probe failed)"
+    segments = live_segments()
+    return (f"available ({len(segments)} repro_* segment(s) live)"
+            if segments else "available (no repro_* segments live)")
+
+
+def _ddp_info_row() -> str:
+    """Data-parallel training configuration for ``repro info``."""
+    from repro.parallel import ddp as _ddp
+
+    config = _ddp.ddp_config()
+    workers = config["default_workers"]
+    mode = f"{workers} worker(s)" if workers else "serial (--ddp-workers N)"
+    fork = "fork ok" if config["fork_available"] else "fork unavailable"
+    return f"{mode}; {fork}; {config['cpus']} cpu(s)"
+
+
 def _graph_info_row() -> str:
     """Graph-compiler capability summary for the active backend."""
     from repro import graph as _graph
@@ -437,6 +465,9 @@ def _cmd_info(args) -> int:
         ("dtype", f"{_precision.default_dtype().name} "
                   f"(metrics pinned to {_precision.METRICS_DTYPE.name})"),
         ("workers", f"{cpu_workers()} cpu(s) auto-detected"),
+        ("cpus", f"{os.cpu_count() or 1} logical core(s)"),
+        ("shm", _shm_info_row()),
+        ("ddp", _ddp_info_row()),
         ("exporter", f"serving {exporter.url}" if exporter is not None
                      else "not running (--serve-metrics PORT)"),
         ("metrics", f"{len(names)} registered"
@@ -783,6 +814,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker processes for sweep points / attack "
                              "arms (default: serial; results are identical)")
+    parser.add_argument("--ddp-workers", type=int, default=None, metavar="N",
+                        help="data-parallel training ranks per run "
+                             "(repro.parallel.ddp: shared-memory tensors, "
+                             "deterministic all-reduce; default: serial)")
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome-trace JSON of the run's spans")
     parser.add_argument("--serve-metrics", type=int, metavar="PORT",
@@ -1065,9 +1100,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     trace_error = None
     # restored afterwards so in-process callers (tests) are unaffected
     from repro import graph as _graph
+    from repro.parallel import ddp as _ddp
     previous_backend = _backend.set_backend(args.backend)
     previous_dtype = _precision.set_default_dtype(args.dtype)
     previous_compile = _graph.set_compile_default(args.compile)
+    previous_ddp = _ddp.set_default_ddp_workers(args.ddp_workers)
     try:
         code = args.func(args)
     except Exception as exc:
@@ -1077,6 +1114,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _backend.set_backend(previous_backend)
         _precision.set_default_dtype(previous_dtype)
         _graph.set_compile_default(previous_compile)
+        _ddp.set_default_ddp_workers(previous_ddp)
         if exporter is not None:
             from repro.telemetry.export import stop_exporter
             stop_exporter()

@@ -48,11 +48,28 @@ def normalize_batch(
     return (batch - shaped_mean) / shaped_std, np.asarray(mean), np.asarray(std)
 
 
+def flip_mask(
+    rng: np.random.Generator, count: int, probability: float = 0.5
+) -> np.ndarray:
+    """Draw the per-image flip decisions for a batch of ``count`` images.
+
+    Exactly one ``rng.random(count)`` call, so consumers that only apply
+    a *slice* of the mask (data-parallel ranks covering a shard of the
+    batch) still advance the generator identically to a serial run over
+    the full batch.
+    """
+    return rng.random(count) < probability
+
+
+def apply_flip_mask(batch: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Flip the masked subset of an NCHW batch left-right (copying)."""
+    out = batch.copy()
+    out[mask] = out[mask, :, :, ::-1]
+    return out
+
+
 def random_flip_horizontal(
     batch: np.ndarray, rng: np.random.Generator, probability: float = 0.5
 ) -> np.ndarray:
     """Flip a random subset of an NCHW batch left-right (augmentation)."""
-    out = batch.copy()
-    flips = rng.random(len(batch)) < probability
-    out[flips] = out[flips, :, :, ::-1]
-    return out
+    return apply_flip_mask(batch, flip_mask(rng, len(batch), probability))

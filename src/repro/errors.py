@@ -40,3 +40,7 @@ class ServeError(ReproError):
 
 class GraphError(ReproError):
     """Graph capture or compilation was requested in an unsupported state."""
+
+
+class DDPError(ReproError):
+    """The data-parallel training runtime failed or was misconfigured."""

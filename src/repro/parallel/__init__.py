@@ -14,6 +14,13 @@ Three pieces:
   substrate.
 * :mod:`repro.parallel.seeding` -- ``SeedSequence``-based per-task seed
   derivation so parallel and serial runs produce identical records.
+* :mod:`repro.parallel.arena` -- :class:`SharedTensorArena`: named
+  tensors inside one ``multiprocessing.shared_memory`` segment with a
+  picklable registry/attach protocol and crash-safe unlink sweeps.
+* :mod:`repro.parallel.ddp` -- :class:`DDPContext`: persistent
+  fork-based data-parallel training ranks sharing parameters and
+  gradient slabs through an arena, with a deterministic tree-structured
+  all-reduce (``Trainer(ddp_workers=N)``, the CLI's ``--ddp-workers``).
 
 Consumers: ``pipeline.sweep`` (``Sweep.run(parallel=N)``),
 ``pipeline.baselines`` (:func:`run_baseline_suite`),
@@ -22,6 +29,14 @@ Consumers: ``pipeline.sweep`` (``Sweep.run(parallel=N)``),
 and the CLI's global ``--workers`` flag.
 """
 
+from repro.parallel.arena import ArenaSpec, SharedTensorArena, cleanup_stale_segments
+from repro.parallel.ddp import (
+    DDPContext,
+    ddp_config,
+    default_ddp_workers,
+    reduce_plan,
+    set_default_ddp_workers,
+)
 from repro.parallel.pool import Task, TaskOutcome, WorkerPool, cpu_workers
 from repro.parallel.seeding import (
     rng_for_index,
@@ -33,5 +48,8 @@ from repro.parallel.shards import ShardPool, ShardResult
 __all__ = [
     "Task", "TaskOutcome", "WorkerPool", "cpu_workers",
     "ShardPool", "ShardResult",
+    "ArenaSpec", "SharedTensorArena", "cleanup_stale_segments",
+    "DDPContext", "ddp_config", "default_ddp_workers",
+    "set_default_ddp_workers", "reduce_plan",
     "rng_for_index", "sequence_for_index", "spawn_sequences",
 ]

@@ -1,0 +1,309 @@
+"""Zero-copy shared-memory tensor storage for data-parallel training.
+
+A :class:`SharedTensorArena` is **one** ``multiprocessing.shared_memory``
+segment holding many named tensors at fixed offsets.  The owner process
+lays out the registry (name -> offset/shape/dtype), creates the segment,
+and hands out :func:`numpy.ndarray` views backed directly by the mapped
+buffer -- writes made by any process mapping the segment are visible to
+every other one without serialization.  That is the whole point: the
+DDP hot path (:mod:`repro.parallel.ddp`) moves gradients and parameters
+through these views and never pickles a weight or a batch.
+
+Two ways to reach an arena from another process:
+
+* **fork** (the DDP default): children forked after the arena exists
+  inherit the mapping as-is -- the same :class:`SharedTensorArena`
+  object, the same views, nothing to attach.
+* **attach protocol**: :meth:`SharedTensorArena.spec` returns a small
+  picklable :class:`ArenaSpec` (segment name + registry); any process
+  can call :meth:`SharedTensorArena.attach` on it to map the segment by
+  name.  Attached arenas never unlink the segment -- the owner does.
+
+Cleanup hygiene: segments live in ``/dev/shm`` and outlive a crashed
+process unless someone unlinks them.  Owner arenas register themselves
+for an ``atexit`` sweep, unlink *before* closing (so the name disappears
+even while views pin the mapping), and :func:`cleanup_stale_segments`
+removes segments whose owner pid is dead -- the pool-teardown sweep for
+crash/KeyboardInterrupt paths.  The test suite enforces all of this with
+a fixture failing any test that leaks a ``/dev/shm/repro_*`` segment.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DDPError
+
+#: Prefix every arena segment name carries; the stale sweep and the
+#: test-suite leak fixture both key off it.
+SEGMENT_PREFIX = "repro_arena"
+
+#: Tensor offsets are rounded up to this many bytes so every view is
+#: cache-line aligned regardless of its neighbours' sizes.
+_ALIGN = 64
+
+_SHM_DIR = "/dev/shm"
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Picklable description of an arena: ship this, not the tensors.
+
+    ``entries`` maps tensor name -> ``(offset, shape, dtype string)``.
+    """
+
+    segment: str
+    size: int
+    entries: Dict[str, Tuple[int, Tuple[int, ...], str]] = field(
+        default_factory=dict
+    )
+
+
+class SharedTensorArena:
+    """Named tensors at fixed offsets inside one shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: ArenaSpec,
+                 owner: bool) -> None:
+        self._shm = shm
+        self._spec = spec
+        self._owner = owner
+        self._views: Dict[str, np.ndarray] = {}
+        self._closed = False
+        if owner:
+            _register_owned(self)
+
+    # ------------------------------------------------------------ creation
+    @classmethod
+    def create(
+        cls,
+        tensors: Mapping[str, Tuple[Tuple[int, ...], object]],
+        zero: bool = True,
+    ) -> "SharedTensorArena":
+        """Lay out and create an arena for ``{name: (shape, dtype)}``.
+
+        The segment name encodes the owner pid so a later sweep can tell
+        whether the owner is still alive.
+        """
+        if not tensors:
+            raise DDPError("cannot create an empty SharedTensorArena")
+        entries: Dict[str, Tuple[int, Tuple[int, ...], str]] = {}
+        offset = 0
+        for name, (shape, dtype) in tensors.items():
+            shape = tuple(int(dim) for dim in shape)
+            dt = np.dtype(dtype)
+            offset = _align(offset)
+            entries[name] = (offset, shape, dt.str)
+            offset += int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        size = max(offset, 1)
+        segment = f"{SEGMENT_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
+        try:
+            shm = shared_memory.SharedMemory(
+                name=segment, create=True, size=size
+            )
+        except OSError as exc:  # pragma: no cover - exotic /dev/shm states
+            raise DDPError(f"could not create shared memory segment: {exc}")
+        spec = ArenaSpec(segment=segment, size=size, entries=dict(entries))
+        arena = cls(shm, spec, owner=True)
+        if zero:
+            shm.buf[:size] = b"\x00" * size
+        return arena
+
+    @classmethod
+    def attach(cls, spec: ArenaSpec) -> "SharedTensorArena":
+        """Map an existing arena by name (the non-fork consumer path)."""
+        # The attaching process's resource tracker would otherwise think
+        # it owns the segment and unlink it at interpreter exit, yanking
+        # the memory out from under the real owner.  (Python 3.13 grows
+        # a track=False argument; suppressing registration is the 3.11
+        # spelling -- unregistering after the fact double-counts when the
+        # owner shares the same tracker process and later unlinks.)
+        from multiprocessing import resource_tracker
+        original_register = resource_tracker.register
+
+        def _skip_shm(name: str, rtype: str) -> None:
+            if rtype != "shared_memory":
+                original_register(name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            shm = shared_memory.SharedMemory(name=spec.segment)
+        except FileNotFoundError:
+            raise DDPError(
+                f"arena segment {spec.segment!r} does not exist "
+                "(owner exited or already unlinked it)"
+            )
+        finally:
+            resource_tracker.register = original_register
+        return cls(shm, spec, owner=False)
+
+    # ------------------------------------------------------------- access
+    @property
+    def segment_name(self) -> str:
+        return self._spec.segment
+
+    @property
+    def nbytes(self) -> int:
+        return self._spec.size
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    def spec(self) -> ArenaSpec:
+        """The picklable attach handle for this arena."""
+        return self._spec
+
+    def keys(self) -> List[str]:
+        return list(self._spec.entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._spec.entries
+
+    def view(self, name: str) -> np.ndarray:
+        """A writable ndarray view of one named tensor (no copy)."""
+        if self._closed:
+            raise DDPError(f"arena {self._spec.segment} is closed")
+        cached = self._views.get(name)
+        if cached is not None:
+            return cached
+        try:
+            offset, shape, dtype = self._spec.entries[name]
+        except KeyError:
+            raise DDPError(
+                f"arena has no tensor {name!r} "
+                f"(known: {sorted(self._spec.entries)[:8]}...)"
+            )
+        view = np.ndarray(shape, dtype=np.dtype(dtype),
+                          buffer=self._shm.buf, offset=offset)
+        self._views[name] = view
+        return view
+
+    # ------------------------------------------------------------ teardown
+    def unlink(self) -> None:
+        """Remove the segment name; the mapping stays valid until closed."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        """Release this process's handle (owners unlink first).
+
+        Unlinking before closing means the ``/dev/shm`` entry is gone
+        immediately, so a segment can never be leaked by a close that
+        fails halfway.  Views handed out by :meth:`view` must not be
+        touched after ``close`` -- numpy does not pin the underlying
+        mapping, so a stale view dereferences unmapped memory.  The DDP
+        runtime copies parameters out of the arena before closing it for
+        exactly this reason.  A ``BufferError`` from the close itself is
+        swallowed: a briefly pinned mapping beats a leaked segment.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owner:
+            self.unlink()
+            _unregister_owned(self)
+        self._views.clear()
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+    def __enter__(self) -> "SharedTensorArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Owner registry + atexit / crash sweeps
+# ---------------------------------------------------------------------------
+
+_owned_lock = threading.Lock()
+_owned: Dict[str, SharedTensorArena] = {}
+_atexit_registered = False
+
+
+def _register_owned(arena: SharedTensorArena) -> None:
+    global _atexit_registered
+    with _owned_lock:
+        _owned[arena.segment_name] = arena
+        if not _atexit_registered:
+            atexit.register(_close_owned_arenas)
+            _atexit_registered = True
+
+
+def _unregister_owned(arena: SharedTensorArena) -> None:
+    with _owned_lock:
+        _owned.pop(arena.segment_name, None)
+
+
+def _close_owned_arenas() -> None:
+    """atexit hook: unlink every owner arena still open in this process."""
+    with _owned_lock:
+        arenas = list(_owned.values())
+    for arena in arenas:
+        try:
+            arena.close()
+        except Exception:  # pragma: no cover - nothing to do at exit
+            pass
+
+
+def live_segments() -> List[str]:
+    """Names of ``repro_*`` segments currently present in ``/dev/shm``."""
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    return sorted(n for n in names if n.startswith("repro_"))
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid exists, not ours
+        return True
+    return True
+
+
+def cleanup_stale_segments() -> List[str]:
+    """Unlink arena segments whose owner process is dead.
+
+    The segment name encodes the creating pid
+    (``repro_arena_<pid>_<token>``), so a sweep after a crash or a
+    KeyboardInterrupt can reclaim segments no live process will ever
+    unlink.  Segments owned by live pids (including this one) are left
+    alone.  Returns the names removed.
+    """
+    removed: List[str] = []
+    for name in live_segments():
+        if not name.startswith(SEGMENT_PREFIX + "_"):
+            continue
+        parts = name[len(SEGMENT_PREFIX) + 1:].split("_", 1)
+        if not parts or not parts[0].isdigit():
+            continue
+        pid = int(parts[0])
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            removed.append(name)
+        except OSError:  # pragma: no cover - raced with another sweep
+            pass
+    return removed

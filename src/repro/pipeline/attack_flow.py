@@ -75,6 +75,7 @@ def run_quantized_correlation_attack(
     backend: Optional[str] = None,
     monitor: Optional[object] = None,
     dtype: Optional[str] = None,
+    ddp_workers: Optional[int] = None,
 ) -> AttackFlowResult:
     """Run the full Fig. 1 flow and evaluate it.
 
@@ -96,6 +97,12 @@ def run_quantized_correlation_attack(
             observed per epoch throughout correlation training, and
             ticked once more after quantization so the timeseries shows
             the imprint appearing and then being erased.
+        ddp_workers: data-parallel rank count for the correlation
+            training stage (see :class:`~repro.pipeline.trainer.Trainer`);
+            ``None`` follows the process default (the CLI's
+            ``--ddp-workers``).  The workers are torn down before the
+            quantization stage, so everything downstream of training is
+            unchanged.
 
     Returns:
         An :class:`AttackFlowResult` with per-stage artifacts and both
@@ -107,6 +114,7 @@ def run_quantized_correlation_attack(
         return _run_attack_flow(
             train_dataset, test_dataset, model_builder,
             training, attack, quantization, progress, monitor,
+            ddp_workers,
         )
 
 
@@ -119,6 +127,7 @@ def _run_attack_flow(
     quantization: Optional[QuantizationConfig],
     progress: Optional[Callable[[str], None]],
     monitor: Optional[object] = None,
+    ddp_workers: Optional[int] = None,
 ) -> AttackFlowResult:
     training.validate()
     attack.validate()
@@ -172,7 +181,8 @@ def _run_attack_flow(
     with timed_stage("attack.training", epochs=training.epochs):
         penalty = LayerwiseCorrelationPenalty(groups)
         trainer = Trainer(model, train_batch, train_dataset.labels, training,
-                          penalty=penalty, probes=monitor)
+                          penalty=penalty, probes=monitor,
+                          ddp_workers=ddp_workers)
         history = trainer.train()
 
     _report("evaluating uncompressed")

@@ -137,6 +137,7 @@ def train_benign(
     test_dataset: ImageDataset,
     model_builder: Callable[[], Module],
     training: TrainingConfig = TrainingConfig(),
+    ddp_workers: Optional[int] = None,
 ) -> BenignResult:
     """Plain training run -- the reference the data holder validates against."""
     train_batch = images_to_batch(train_dataset.images)
@@ -144,7 +145,8 @@ def train_benign(
     test_batch = images_to_batch(test_dataset.images)
     test_batch, _, _ = normalize_batch(test_batch, mean, std)
     model = model_builder()
-    trainer = Trainer(model, train_batch, train_dataset.labels, training)
+    trainer = Trainer(model, train_batch, train_dataset.labels, training,
+                      ddp_workers=ddp_workers)
     history = trainer.train()
     accuracy = evaluate_accuracy(model, test_batch, test_dataset.labels)
     return BenignResult(model, accuracy, history, mean, std)

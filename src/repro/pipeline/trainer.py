@@ -3,11 +3,19 @@
 From the data holder's point of view this is a stock training loop:
 loss = cross-entropy (+ "regularization").  The penalty callable is how
 the encoding attacks hide inside it.
+
+The actual forward/backward/step machinery lives in :class:`StepRunner`
+so the same engine drives both the serial :class:`Trainer` loop and
+every rank of the data-parallel runtime (:mod:`repro.parallel.ddp`):
+forked DDP workers inherit a private copy of the trainer's runner --
+including its compiled-program cache -- and execute the identical step
+on their shard of each batch.
 """
 
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -43,13 +51,132 @@ class TrainHistory:
         return max(self.val_accuracy) if self.val_accuracy else float("nan")
 
 
+class StepRunner:
+    """One training step (eager or capture/replay) over a fixed model.
+
+    Owns everything a single step needs -- model, loss, penalty, the
+    parameter list, and the compiled-program cache -- and nothing an
+    epoch needs (loader, optimizer, schedule, monitor all stay on the
+    :class:`Trainer`).  That split is what lets a forked DDP rank run
+    steps without dragging the epoch machinery across the fork: each
+    worker's copy of the runner keeps its own per-shape program cache.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn,
+        params: List,
+        penalty: Optional[Callable[[], Tensor]] = None,
+        max_programs: int = 4,
+    ) -> None:
+        self.model = model
+        self.loss_fn = loss_fn
+        self.params = params
+        self.penalty = penalty
+        self.max_programs = max_programs
+        self.programs: dict = {}
+        self.capture_failed = False
+        self.stats = {
+            "programs": 0, "captures": 0, "capture_failures": 0,
+            "replays": 0, "fallbacks": 0,
+        }
+
+    def forward_backward(self, x: Tensor, labels: np.ndarray) -> dict:
+        """Forward + loss (+ penalty) + backward; the capturable window."""
+        logits = self.model(x)
+        task_loss = self.loss_fn(logits, labels)
+        result = {"task_loss": task_loss}
+        loss = task_loss
+        if self.penalty is not None:
+            penalty_term = self.penalty()
+            result["penalty"] = penalty_term
+            loss = F.add(loss, penalty_term)
+        result["loss"] = loss
+        loss.backward()
+        return result
+
+    def zero_grads(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def eager_step(self, inputs: np.ndarray, labels: np.ndarray):
+        """Run one step eagerly; returns (task_loss, penalty) floats."""
+        self.zero_grads()
+        result = self.forward_backward(Tensor(inputs), labels)
+        penalty = result["penalty"].item() if "penalty" in result else 0.0
+        return result["task_loss"].item(), penalty
+
+    def compiled_step(self, inputs: np.ndarray, labels: np.ndarray):
+        """Replay (or capture) one step; ``None`` means "run it eagerly".
+
+        Replay failures discard the stale program, re-zero the (possibly
+        partially written) gradients, count a ``graph.fallbacks`` tick
+        and hand the step back to the eager path.  Capture failures mark
+        the runner so no further captures are attempted -- dynamic
+        models stay eager with a single warm-up's overhead.
+        """
+        from repro import graph
+        from repro.errors import GraphError
+
+        key = (inputs.shape, str(inputs.dtype), labels.shape)
+        program = self.programs.get(key)
+        if program is not None:
+            self.zero_grads()
+            try:
+                outs = program.replay(inputs=inputs, targets=labels)
+            except GraphError:
+                del self.programs[key]
+                self.stats["programs"] = len(self.programs)
+                self.stats["fallbacks"] += 1
+                registry = default_registry()
+                registry.counter("graph.fallbacks").inc()
+                registry.gauge("graph.programs").set(float(len(self.programs)))
+                return None
+            self.stats["replays"] += 1
+            penalty = float(outs["penalty"]) if "penalty" in outs else 0.0
+            return float(outs["task_loss"]), penalty
+        if self.capture_failed or len(self.programs) >= self.max_programs:
+            return None
+        x = Tensor(inputs)
+        self.zero_grads()
+        result, program = graph.capture_step(
+            lambda: self.forward_backward(x, labels), feeds={"inputs": x}
+        )
+        if program is None:
+            # the eager warm-up fully ran; its gradients stand
+            self.capture_failed = True
+            self.stats["capture_failures"] += 1
+        else:
+            self.programs[key] = program
+            self.stats["captures"] += 1
+            self.stats["programs"] = len(self.programs)
+            default_registry().gauge("graph.programs").set(
+                float(len(self.programs))
+            )
+        penalty = result["penalty"].item() if "penalty" in result else 0.0
+        return result["task_loss"].item(), penalty
+
+    def step(self, inputs: np.ndarray, labels: np.ndarray,
+             compiled: bool = False):
+        """One full step; returns (task_loss, penalty) floats."""
+        out = self.compiled_step(inputs, labels) if compiled else None
+        if out is None:
+            out = self.eager_step(inputs, labels)
+        return out
+
+
+def _shutdown_ddp(ctx) -> None:
+    """weakref.finalize target: reap workers + unlink the arena even when
+    a Trainer is dropped without :meth:`Trainer.close`."""
+    try:
+        ctx.shutdown()
+    except Exception:
+        pass
+
+
 class Trainer:
     """SGD trainer over in-memory NCHW float inputs and int labels."""
-
-    #: Programs are cached per (input shape/dtype, label shape) signature;
-    #: beyond this many signatures the trainer stops capturing and runs
-    #: the odd shapes (e.g. a ragged final batch) eagerly.
-    MAX_PROGRAMS = 4
 
     def __init__(
         self,
@@ -66,6 +193,7 @@ class Trainer:
         probes: Optional[object] = None,
         dtype: Optional[str] = None,
         compile: Optional[bool] = None,
+        ddp_workers: Optional[int] = None,
     ) -> None:
         """Args:
             augment: apply random horizontal flips per batch -- a stock
@@ -101,6 +229,17 @@ class Trainer:
                 the process default (:func:`repro.graph.compile_default`,
                 the CLI's ``--compile`` flag).  Any capture or replay
                 failure falls back to eager execution for that step.
+            ddp_workers: train data-parallel across this many ranks
+                (:mod:`repro.parallel.ddp`): the batch is sharded, each
+                rank runs forward/backward on its slice, and a
+                deterministic tree all-reduce over shared memory
+                reassembles the serial batch gradient before the
+                optimizer runs.  ``None`` follows the process default
+                (:func:`repro.parallel.ddp.default_ddp_workers`, the
+                CLI's ``--ddp-workers`` flag); ``1`` forces serial.
+                Workers are forked lazily at the first epoch and
+                persist until :meth:`close` (``train()`` closes them
+                automatically when it finishes).
         """
         config.validate()
         self.model = model
@@ -144,16 +283,42 @@ class Trainer:
         self._params = model.parameters()
         self.history = TrainHistory()
         self.compile = compile
-        self._programs: dict = {}
-        self._capture_failed = False
-        self.compile_stats = {
-            "programs": 0, "captures": 0, "capture_failures": 0,
-            "replays": 0, "fallbacks": 0,
-        }
+        self._runner = StepRunner(
+            model, self.loss_fn, self._params, penalty=penalty,
+        )
+        if ddp_workers is None:
+            from repro.parallel.ddp import default_ddp_workers
+            ddp_workers = default_ddp_workers()
+        self.ddp_workers = max(1, int(ddp_workers)) if ddp_workers else 1
+        self._ddp = None
+        self._ddp_finalizer = None
 
     # ------------------------------------------------------------------
-    # One training step: eager and compiled paths
+    # Compiled-step surface (delegated to the StepRunner)
     # ------------------------------------------------------------------
+
+    @property
+    def MAX_PROGRAMS(self) -> int:
+        """Program-cache cap per (input shape/dtype, label shape)
+        signature; beyond it the odd shapes (e.g. a ragged final batch)
+        run eagerly.  Assigning to it retunes the underlying runner."""
+        return self._runner.max_programs
+
+    @MAX_PROGRAMS.setter
+    def MAX_PROGRAMS(self, value: int) -> None:
+        self._runner.max_programs = int(value)
+
+    @property
+    def compile_stats(self) -> dict:
+        return self._runner.stats
+
+    @property
+    def _programs(self) -> dict:
+        return self._runner.programs
+
+    @property
+    def _capture_failed(self) -> bool:
+        return self._runner.capture_failed
 
     def _compile_enabled(self) -> bool:
         if self.compile is not None:
@@ -161,80 +326,64 @@ class Trainer:
         from repro import graph
         return graph.compile_default()
 
-    def _forward_backward(self, x: Tensor, labels: np.ndarray) -> dict:
-        """Forward + loss (+ penalty) + backward; the capturable window."""
-        logits = self.model(x)
-        task_loss = self.loss_fn(logits, labels)
-        result = {"task_loss": task_loss}
-        loss = task_loss
-        if self.penalty is not None:
-            penalty_term = self.penalty()
-            result["penalty"] = penalty_term
-            loss = F.add(loss, penalty_term)
-        result["loss"] = loss
-        loss.backward()
-        return result
+    # ------------------------------------------------------------------
+    # Data-parallel lifecycle
+    # ------------------------------------------------------------------
 
-    def _zero_grads(self) -> None:
-        for param in self._params:
-            param.grad = None
+    def _ensure_ddp(self):
+        """The live DDP context, or ``None`` for serial training.
 
-    def _eager_step(self, inputs: np.ndarray, labels: np.ndarray):
-        """Run one step eagerly; returns (task_loss, penalty) floats."""
-        self._zero_grads()
-        result = self._forward_backward(Tensor(inputs), labels)
-        penalty = result["penalty"].item() if "penalty" in result else 0.0
-        return result["task_loss"].item(), penalty
-
-    def _compiled_step(self, inputs: np.ndarray, labels: np.ndarray):
-        """Replay (or capture) one step; ``None`` means "run it eagerly".
-
-        Replay failures discard the stale program, re-zero the (possibly
-        partially written) gradients, count a ``graph.fallbacks`` tick
-        and hand the step back to the eager path.  Capture failures mark
-        the trainer so no further captures are attempted -- dynamic
-        models stay eager with a single warm-up's overhead.
+        Construction is lazy so a trainer that never trains never forks;
+        the context itself forks its workers on the first epoch, which
+        guarantees every rank's copy of the loader/augment RNG state is
+        taken before any epoch is consumed.
         """
-        from repro import graph
-        from repro.errors import GraphError
-
-        key = (inputs.shape, str(inputs.dtype), labels.shape)
-        program = self._programs.get(key)
-        if program is not None:
-            self._zero_grads()
-            try:
-                outs = program.replay(inputs=inputs, targets=labels)
-            except GraphError:
-                del self._programs[key]
-                self.compile_stats["programs"] = len(self._programs)
-                self.compile_stats["fallbacks"] += 1
-                registry = default_registry()
-                registry.counter("graph.fallbacks").inc()
-                registry.gauge("graph.programs").set(float(len(self._programs)))
-                return None
-            self.compile_stats["replays"] += 1
-            penalty = float(outs["penalty"]) if "penalty" in outs else 0.0
-            return float(outs["task_loss"]), penalty
-        if self._capture_failed or len(self._programs) >= self.MAX_PROGRAMS:
+        if self.ddp_workers <= 1:
             return None
-        x = Tensor(inputs)
-        self._zero_grads()
-        result, program = graph.capture_step(
-            lambda: self._forward_backward(x, labels), feeds={"inputs": x}
-        )
-        if program is None:
-            # the eager warm-up fully ran; its gradients stand
-            self._capture_failed = True
-            self.compile_stats["capture_failures"] += 1
-        else:
-            self._programs[key] = program
-            self.compile_stats["captures"] += 1
-            self.compile_stats["programs"] = len(self._programs)
-            default_registry().gauge("graph.programs").set(
-                float(len(self._programs))
+        if self._ddp is None:
+            from repro.parallel import ddp as _ddp
+            if not _ddp.available():
+                from repro.telemetry.events import get_logger
+                get_logger().warning(
+                    "ddp.unavailable", requested_workers=self.ddp_workers,
+                    reason="fork start method not supported; training serially",
+                )
+                self.ddp_workers = 1
+                return None
+            self._ddp = _ddp.DDPContext(
+                model=self.model, params=self._params, runner=self._runner,
+                loader=self.loader, world_size=self.ddp_workers,
+                augment=self.augment, augment_rng=self._augment_rng,
+                backend=self.backend, dtype=self.dtype,
             )
-        penalty = result["penalty"].item() if "penalty" in result else 0.0
-        return result["task_loss"].item(), penalty
+            self._ddp_finalizer = weakref.finalize(
+                self, _shutdown_ddp, self._ddp
+            )
+        return self._ddp
+
+    def close(self) -> None:
+        """Stop DDP workers and return the model to private memory.
+
+        Idempotent; serial trainers are unaffected.  After ``close`` the
+        trainer can train again -- a fresh worker group is forked on the
+        next epoch, inheriting the loader exactly where it stopped.
+        """
+        if self._ddp is not None:
+            ctx, self._ddp = self._ddp, None
+            ctx.shutdown()
+        if self._ddp_finalizer is not None:
+            self._ddp_finalizer.detach()
+            self._ddp_finalizer = None
+
+    def __enter__(self) -> "Trainer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The epoch loop
+    # ------------------------------------------------------------------
 
     def _clip_gradients(self) -> None:
         """Scale all gradients so their global L2 norm is <= grad_clip."""
@@ -255,27 +404,43 @@ class Trainer:
         registry = default_registry()
         batch_times = registry.histogram("trainer.batch_s")
         compiled = self._compile_enabled()
+        ddp = self._ensure_ddp()
         total_task, total_penalty, count, batches = 0.0, 0.0, 0, 0
         epoch_start = time.perf_counter()
         with _backend.use_backend(self.backend), \
                 _precision.use_dtype(self.dtype), \
-                span("trainer.epoch", epoch=self.history.epochs):
-            for inputs, labels in self.loader:
+                span("trainer.epoch", epoch=self.history.epochs,
+                     ddp_workers=self.ddp_workers):
+            if ddp is not None:
+                iterator = ddp.begin_epoch(self.history.epochs, compiled)
+            else:
+                iterator = self.loader
+            for item in iterator:
                 batch_start = time.perf_counter()
                 with span("trainer.batch"):
-                    if self.augment:
-                        from repro.datasets.transforms import random_flip_horizontal
-                        inputs = random_flip_horizontal(inputs, self._augment_rng)
-                    step = None
-                    if compiled:
-                        step = self._compiled_step(inputs, labels)
-                    if step is None:
-                        step = self._eager_step(inputs, labels)
-                    task_loss_value, penalty_value = step
-                    if self.grad_clip is not None:
-                        self._clip_gradients()
-                    self.optimizer.step()
-                batch = len(labels)
+                    if ddp is not None:
+                        task_loss_value, penalty_value, batch = \
+                            ddp.rank0_step(item)
+                        if self.grad_clip is not None:
+                            self._clip_gradients()
+                        self.optimizer.step()
+                        ddp.finish_step()
+                    else:
+                        inputs, labels = item
+                        if self.augment:
+                            from repro.datasets.transforms import (
+                                random_flip_horizontal,
+                            )
+                            inputs = random_flip_horizontal(
+                                inputs, self._augment_rng
+                            )
+                        task_loss_value, penalty_value = self._runner.step(
+                            inputs, labels, compiled=compiled
+                        )
+                        if self.grad_clip is not None:
+                            self._clip_gradients()
+                        self.optimizer.step()
+                        batch = len(labels)
                 total_task += task_loss_value * batch
                 total_penalty += penalty_value * batch
                 count += batch
@@ -285,6 +450,8 @@ class Trainer:
                                           optimizer=self.optimizer)
                 batches += 1
                 batch_times.observe(time.perf_counter() - batch_start)
+            if ddp is not None:
+                ddp.end_epoch()
         elapsed = time.perf_counter() - epoch_start
         registry.timer("trainer.epoch_s").update(elapsed)
         registry.counter("trainer.batches").inc(batches)
@@ -325,19 +492,30 @@ class Trainer:
         self, epochs: Optional[int] = None,
         progress: Optional[Callable[[int, float], None]] = None,
     ) -> TrainHistory:
-        """Run the configured number of epochs."""
+        """Run the configured number of epochs.
+
+        When data-parallel training is active the worker group is shut
+        down (and the model detached from shared memory) before
+        returning, so downstream consumers -- quantization, release,
+        serving -- always see a plain in-process model.
+        """
         epochs = epochs if epochs is not None else self.config.epochs
         from repro.telemetry.events import get_logger
         logger = get_logger()
         logger.debug("trainer.start", epochs=epochs, lr=self.config.lr,
-                     batch_size=self.config.batch_size, seed=self.config.seed)
-        with span("trainer.train", epochs=epochs):
-            for epoch in range(epochs):
-                mean_loss = self.train_epoch()
-                logger.debug("trainer.epoch", epoch=epoch, task_loss=mean_loss,
-                             penalty=self.history.penalty[-1])
-                if progress is not None:
-                    progress(epoch, mean_loss)
+                     batch_size=self.config.batch_size, seed=self.config.seed,
+                     ddp_workers=self.ddp_workers)
+        try:
+            with span("trainer.train", epochs=epochs):
+                for epoch in range(epochs):
+                    mean_loss = self.train_epoch()
+                    logger.debug("trainer.epoch", epoch=epoch,
+                                 task_loss=mean_loss,
+                                 penalty=self.history.penalty[-1])
+                    if progress is not None:
+                        progress(epoch, mean_loss)
+        finally:
+            self.close()
         logger.debug("trainer.done", epochs=epochs,
                      final_task_loss=self.history.task_loss[-1] if epochs else None)
         self.model.eval()

@@ -44,6 +44,23 @@ def rng():
     return np.random.default_rng(0)
 
 
+@pytest.fixture(autouse=True)
+def no_shm_leaks():
+    """Fail any test that leaves a new ``/dev/shm/repro_*`` segment behind.
+
+    Shared-memory segments survive the process that created them; a test
+    that crashes a DDP worker or skips teardown would silently fill
+    ``/dev/shm`` for every suite run after it.  Segments already present
+    before the test (e.g. leaked by an unrelated process) are ignored.
+    """
+    from repro.parallel.arena import live_segments
+
+    before = set(live_segments())
+    yield
+    leaked = sorted(set(live_segments()) - before)
+    assert not leaked, f"test leaked shared-memory segments: {leaked}"
+
+
 def tiny_model_builder(num_classes=6, seed=7):
     """A deterministic tiny ResNet builder used across tests."""
     return lambda: resnet8_tiny(

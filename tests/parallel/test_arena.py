@@ -1,0 +1,150 @@
+"""SharedTensorArena: layout, attach protocol, cleanup hygiene."""
+
+import multiprocessing as mp
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import DDPError
+from repro.parallel.arena import (
+    SEGMENT_PREFIX,
+    ArenaSpec,
+    SharedTensorArena,
+    cleanup_stale_segments,
+    live_segments,
+)
+
+
+class TestArenaBasics:
+    def test_views_share_one_segment(self):
+        with SharedTensorArena.create({
+            "a": ((3, 4), np.float32),
+            "b": ((5,), np.float64),
+            "c": ((2, 2), np.int64),
+        }) as arena:
+            a, b, c = arena.view("a"), arena.view("b"), arena.view("c")
+            assert a.shape == (3, 4) and a.dtype == np.float32
+            assert b.shape == (5,) and b.dtype == np.float64
+            assert c.shape == (2, 2) and c.dtype == np.int64
+            # zero-initialized, writable, and persistent across view calls
+            assert not a.any() and not b.any()
+            a[...] = 1.5
+            b[...] = np.arange(5)
+            assert arena.view("a").sum() == pytest.approx(18.0)
+            assert np.array_equal(arena.view("b"), np.arange(5.0))
+            assert sorted(arena.keys()) == ["a", "b", "c"]
+            assert "a" in arena and "missing" not in arena
+
+    def test_views_are_aligned_and_disjoint(self):
+        with SharedTensorArena.create({
+            "x": ((7,), np.uint8),   # odd size forces padding before y
+            "y": ((4,), np.float64),
+        }) as arena:
+            spec = arena.spec()
+            for offset, _, _ in spec.entries.values():
+                assert offset % 64 == 0
+            arena.view("x")[...] = 0xFF
+            assert not arena.view("y").any()
+
+    def test_unknown_name_and_empty_layout_raise(self):
+        with pytest.raises(DDPError):
+            SharedTensorArena.create({})
+        with SharedTensorArena.create({"a": ((1,), np.float32)}) as arena:
+            with pytest.raises(DDPError, match="no tensor"):
+                arena.view("nope")
+
+    def test_closed_arena_refuses_views(self):
+        arena = SharedTensorArena.create({"a": ((2,), np.float32)})
+        arena.close()
+        with pytest.raises(DDPError, match="closed"):
+            arena.view("a")
+        arena.close()  # idempotent
+
+
+class TestAttachProtocol:
+    def test_spec_is_picklable_and_attachable(self):
+        with SharedTensorArena.create({"t": ((4,), np.float32)}) as arena:
+            arena.view("t")[...] = [1, 2, 3, 4]
+            spec = pickle.loads(pickle.dumps(arena.spec()))
+            assert isinstance(spec, ArenaSpec)
+            attached = SharedTensorArena.attach(spec)
+            try:
+                assert np.array_equal(attached.view("t"), [1, 2, 3, 4])
+                # writes flow the other way too: this is shared memory
+                attached.view("t")[0] = 9
+                assert arena.view("t")[0] == 9
+                assert not attached.owner
+            finally:
+                attached.close()
+            # a non-owner close must not have unlinked the segment
+            assert arena.segment_name in live_segments()
+
+    def test_attach_from_child_process(self):
+        with SharedTensorArena.create({"t": ((3,), np.float64)}) as arena:
+            arena.view("t")[...] = [1.0, 2.0, 3.0]
+            ctx = mp.get_context("fork")
+            parent, child = ctx.Pipe()
+
+            def reader(spec, conn):
+                other = SharedTensorArena.attach(spec)
+                conn.send(float(other.view("t").sum()))
+                other.close()
+
+            proc = ctx.Process(target=reader, args=(arena.spec(), child))
+            proc.start()
+            assert parent.recv() == 6.0
+            proc.join(timeout=5)
+            assert proc.exitcode == 0
+            # the child's exit (and its resource tracker) must not have
+            # yanked the segment out from under the owner
+            assert arena.segment_name in live_segments()
+            assert float(arena.view("t").sum()) == 6.0
+
+    def test_attach_after_unlink_raises(self):
+        arena = SharedTensorArena.create({"t": ((2,), np.float32)})
+        spec = arena.spec()
+        arena.close()
+        with pytest.raises(DDPError, match="does not exist"):
+            SharedTensorArena.attach(spec)
+
+
+class TestCleanupHygiene:
+    def test_owner_close_unlinks_even_with_live_views(self):
+        arena = SharedTensorArena.create({"t": ((8,), np.float32)})
+        name = arena.segment_name
+        view = arena.view("t")
+        view[...] = 7.0
+        assert name in live_segments()
+        arena.close()
+        # unlink-before-close: the /dev/shm entry is gone immediately even
+        # though a view reference is still held (the view itself must not
+        # be dereferenced after close -- numpy does not pin the mapping)
+        assert name not in live_segments()
+        del view
+
+    def test_stale_sweep_reclaims_dead_owner_segments(self):
+        ctx = mp.get_context("fork")
+
+        def crash():
+            # create an arena and die without closing it -- the atexit
+            # hook never runs under os._exit, like a hard crash
+            SharedTensorArena.create({"t": ((16,), np.float64)})
+            os._exit(1)
+
+        proc = ctx.Process(target=crash)
+        proc.start()
+        proc.join(timeout=10)
+        stale = [n for n in live_segments()
+                 if n.startswith(f"{SEGMENT_PREFIX}_{proc.pid}_")]
+        assert stale, "crashed child should have left a segment behind"
+        removed = cleanup_stale_segments()
+        for name in stale:
+            assert name in removed
+            assert name not in live_segments()
+
+    def test_stale_sweep_spares_live_owners(self):
+        with SharedTensorArena.create({"t": ((4,), np.float32)}) as arena:
+            assert arena.segment_name not in cleanup_stale_segments()
+            assert arena.segment_name in live_segments()
